@@ -1,0 +1,184 @@
+// Command hftreconstruct rebuilds HFT networks from a license database
+// at a date (§2.3) and writes the paper's artifacts: human-readable YAML
+// network files, GeoJSON, and SVG corridor maps.
+//
+// Usage:
+//
+//	hftreconstruct [-bulk corpus.uls] [-date 2020-04-01]
+//	               [-licensee "New Line Networks" | -all]
+//	               [-out out/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hftnetview"
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/viz"
+)
+
+func main() {
+	bulk := flag.String("bulk", "", "ULS bulk file (default: synthetic corpus)")
+	dateStr := flag.String("date", "2020-04-01", "reconstruction date")
+	licensee := flag.String("licensee", "", "licensee to reconstruct")
+	all := flag.Bool("all", false, "reconstruct every connected CME-NY4 network")
+	analyze := flag.String("analyze", "", "analyze a network YAML file instead of a license database")
+	outDir := flag.String("out", "out", "output directory")
+	flag.Parse()
+
+	if *analyze != "" {
+		if err := analyzeYAML(*analyze); err != nil {
+			log.Fatalf("hftreconstruct: %v", err)
+		}
+		return
+	}
+
+	db, err := loadDB(*bulk)
+	if err != nil {
+		log.Fatalf("hftreconstruct: %v", err)
+	}
+	date, err := hftnetview.ParseDate(*dateStr)
+	if err != nil {
+		log.Fatalf("hftreconstruct: %v", err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatalf("hftreconstruct: %v", err)
+	}
+
+	var names []string
+	switch {
+	case *all:
+		rows, err := hftnetview.ConnectedNetworks(db, date, hftnetview.PathNY4(),
+			hftnetview.DefaultOptions())
+		if err != nil {
+			log.Fatalf("hftreconstruct: %v", err)
+		}
+		for _, r := range rows {
+			names = append(names, r.Licensee)
+		}
+	case *licensee != "":
+		names = []string{*licensee}
+	default:
+		fmt.Fprintln(os.Stderr, "hftreconstruct: need -licensee or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var nets []*core.Network
+	for _, name := range names {
+		n, err := emit(db, name, date, *outDir)
+		if err != nil {
+			log.Fatalf("hftreconstruct: %s: %v", name, err)
+		}
+		nets = append(nets, n)
+	}
+	if *all && len(nets) > 1 {
+		atlas := filepath.Join(*outDir, "atlas.svg")
+		if err := os.WriteFile(atlas, viz.AtlasSVG(nets, viz.SVGOptions{}), 0o644); err != nil {
+			log.Fatalf("hftreconstruct: atlas: %v", err)
+		}
+		fmt.Printf("wrote corridor atlas %s\n", atlas)
+	}
+}
+
+func loadDB(bulkPath string) (*hftnetview.Database, error) {
+	if bulkPath == "" {
+		return hftnetview.GenerateCorpus()
+	}
+	f, err := os.Open(bulkPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hftnetview.ReadBulk(f)
+}
+
+func emit(db *hftnetview.Database, name string, date hftnetview.Date, outDir string) (*core.Network, error) {
+	n, err := core.Reconstruct(db, name, date, sites.All, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Join(outDir, slug(name))
+
+	y, err := n.ToYAML()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(base+".yaml", y, 0o644); err != nil {
+		return nil, err
+	}
+	gj, err := viz.NetworkGeoJSON(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(base+".geojson", gj, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(base+".svg", viz.NetworkSVG(n, viz.SVGOptions{}), 0o644); err != nil {
+		return nil, err
+	}
+
+	summary := fmt.Sprintf("%s @ %s: %d towers, %d links", name, date,
+		len(n.Towers), len(n.Links))
+	if r, ok := n.BestRoute(hftnetview.PathNY4()); ok {
+		summary += fmt.Sprintf(", CME-NY4 %s over %d towers", r.Latency, r.TowerCount)
+	} else {
+		summary += ", not connected CME-NY4"
+	}
+	fmt.Println(summary)
+	return n, nil
+}
+
+// analyzeYAML loads a published network YAML file and runs the path
+// analyses on it directly — no license database required.
+func analyzeYAML(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	nf, err := core.ParseNetworkYAML(data)
+	if err != nil {
+		return err
+	}
+	n, err := core.NetworkFromFile(nf, sites.All, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s @ %s: %d towers, %d links\n", n.Licensee, nf.Date,
+		len(n.Towers), len(n.Links))
+	for _, p := range sites.CorridorPaths() {
+		r, ok := n.BestRoute(p)
+		if !ok {
+			fmt.Printf("  %-12s not connected\n", p.Name())
+			continue
+		}
+		apa, _ := n.APA(p)
+		fmt.Printf("  %-12s %s over %d towers (%d hops), APA %.0f%%\n",
+			p.Name(), r.Latency, r.TowerCount, r.HopCount(), apa*100)
+	}
+	return nil
+}
+
+func slug(name string) string {
+	var b strings.Builder
+	lastDash := true // suppress leading dash
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hftnetview"
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"New Line Networks":  "new-line-networks",
+		"AQ2AT":              "aq2at",
+		"Fox River Relay":    "fox-river-relay",
+		"  Weird -- Name  ":  "weird-name",
+		"Alpha & Sons <HFT>": "alpha-sons-hft",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadDBFromBulkFile(t *testing.T) {
+	db, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.uls")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hftnetview.WriteBulk(f, db); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, err := loadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Errorf("loaded %d licenses, want %d", loaded.Len(), db.Len())
+	}
+	if _, err := loadDB(filepath.Join(t.TempDir(), "missing.uls")); err == nil {
+		t.Error("missing bulk file should error")
+	}
+}
+
+func TestEmitAndAnalyzeYAML(t *testing.T) {
+	db, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	n, err := emit(db, "Pierce Broadband", hftnetview.Snapshot(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil {
+		t.Fatal("emit returned nil network")
+	}
+	for _, ext := range []string{".yaml", ".geojson", ".svg"} {
+		p := filepath.Join(dir, "pierce-broadband"+ext)
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", p)
+		}
+	}
+	// The written YAML analyzes cleanly end to end.
+	if err := analyzeYAML(filepath.Join(dir, "pierce-broadband.yaml")); err != nil {
+		t.Errorf("analyzeYAML: %v", err)
+	}
+	if err := analyzeYAML(filepath.Join(dir, "nope.yaml")); err == nil {
+		t.Error("missing YAML should error")
+	}
+	// And it round-trips into an equivalent network.
+	data, err := os.ReadFile(filepath.Join(dir, "pierce-broadband.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := core.ParseNetworkYAML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.NetworkFromFile(nf, sites.All, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := n.BestRoute(hftnetview.PathNY4())
+	r2, ok := back.BestRoute(hftnetview.PathNY4())
+	if !ok || r1.Latency.String() != r2.Latency.String() {
+		t.Errorf("YAML analysis latency %v, want %v", r2.Latency, r1.Latency)
+	}
+}

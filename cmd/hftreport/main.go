@@ -1,0 +1,178 @@
+// Command hftreport regenerates every table and figure of the paper's
+// evaluation from a license database (default: the synthetic corpus).
+//
+// Usage:
+//
+//	hftreport [-bulk corpus.uls] [-exp all|table1|table2|table3|fig1|
+//	          fig2|fig3|fig4a|fig4b|fig5|weather|overhead|entity|race|design|diverse|availability|
+//	          scrape] [-out out/] [-storms 25] [-margin-db 40]
+//
+// Textual experiments print to stdout; fig3 writes SVG/GeoJSON files to
+// -out; scrape spins an in-process portal and runs the §2.2 pipeline
+// against real HTTP.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hftnetview"
+	"hftnetview/internal/report"
+	"hftnetview/internal/scrape"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/ulsserver"
+)
+
+func main() {
+	bulk := flag.String("bulk", "", "ULS bulk file (default: synthetic corpus)")
+	exp := flag.String("exp", "all", "experiment to run")
+	outDir := flag.String("out", "out", "output directory for figure artifacts")
+	dataDir := flag.String("data", "", "also write each table as a .dat plot file here")
+	storms := flag.Int("storms", 25, "weather experiment storm count")
+	marginDB := flag.Float64("margin-db", 40, "weather experiment fade margin")
+	flag.Parse()
+
+	db, err := loadDB(*bulk)
+	if err != nil {
+		log.Fatalf("hftreport: %v", err)
+	}
+	date := hftnetview.Snapshot()
+
+	run := func(name string) error {
+		var t *report.Table
+		var err error
+		switch name {
+		case "table1":
+			t, err = report.Table1(db, date)
+		case "table2":
+			t, err = report.Table2(db, date)
+		case "table3":
+			t, err = report.Table3(db, date)
+		case "fig1":
+			t, err = report.Fig1(db, 2013, 2020)
+		case "fig2":
+			t, err = report.Fig2(db, 2013, 2020)
+		case "fig3":
+			return fig3(db, *outDir)
+		case "fig4a":
+			t, err = report.Fig4a(db, date)
+		case "fig4b":
+			t, err = report.Fig4b(db, date)
+		case "fig5":
+			t, err = report.Fig5()
+		case "weather":
+			t, err = report.Weather(db, date, *storms, *marginDB)
+		case "overhead":
+			t, err = report.OverheadSweep(db, date)
+		case "entity":
+			t, err = report.EntityResolution(db, date)
+		case "race":
+			t, err = report.RaceStrategies(db, date, *storms, *marginDB, 2e-6)
+		case "design":
+			t, err = report.DesignSweep()
+		case "diverse":
+			t, err = report.DiverseRoutes(db, date, 3)
+		case "availability":
+			t, err = report.AvailabilityBudget(db, date, *marginDB)
+		case "scrape":
+			return runScrape(db)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		if *dataDir != "" {
+			if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*dataDir, name+".dat"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.WriteData(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	experiments := []string{*exp}
+	if *exp == "all" {
+		experiments = []string{"table1", "table2", "table3", "fig1", "fig2",
+			"fig3", "fig4a", "fig4b", "fig5", "weather", "overhead",
+			"entity", "race", "design", "diverse", "availability", "scrape"}
+	}
+	for _, name := range experiments {
+		if err := run(name); err != nil {
+			log.Fatalf("hftreport: %s: %v", name, err)
+		}
+	}
+}
+
+func loadDB(bulkPath string) (*hftnetview.Database, error) {
+	if bulkPath == "" {
+		return hftnetview.GenerateCorpus()
+	}
+	f, err := os.Open(bulkPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return hftnetview.ReadBulk(f)
+}
+
+func fig3(db *hftnetview.Database, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	dates := []uls.Date{
+		uls.NewDate(2016, time.January, 1),
+		uls.NewDate(2020, time.April, 1),
+	}
+	files, err := report.Fig3(db, "New Line Networks", dates)
+	if err != nil {
+		return err
+	}
+	for name, data := range files {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fig3: wrote %s (%d bytes)\n", path, len(data))
+	}
+	fmt.Println()
+	diff, err := report.Fig3Diff(db, "New Line Networks", dates[0], dates[1])
+	if err != nil {
+		return err
+	}
+	fmt.Println(diff.String())
+	return nil
+}
+
+func runScrape(db *hftnetview.Database) error {
+	ts := httptest.NewServer(ulsserver.New(db))
+	defer ts.Close()
+	c := scrape.NewClient(ts.URL)
+	c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	scraped, funnel, err := scrape.Run(context.Background(), c, scrape.DefaultPipelineOptions())
+	if err != nil {
+		return err
+	}
+	t := report.ScrapeFunnelTable(funnel.GeographicMatches, funnel.Candidates,
+		funnel.Shortlisted, funnel.LicensesScraped, funnel.ShortlistedNames)
+	fmt.Println(t.String())
+	fmt.Printf("scraped %d licenses over HTTP in %v\n\n", scraped.Len(),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,50 @@
+// Command ulsserver runs the simulated FCC Universal Licensing System
+// portal over a license database, serving the geographic / site-based /
+// licensee search interfaces and per-license detail pages that the
+// scraping pipeline consumes.
+//
+// Usage:
+//
+//	ulsserver [-addr :8080] [-bulk corpus.uls]
+//
+// Without -bulk, the built-in synthetic corridor corpus is served.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"hftnetview"
+	"hftnetview/internal/ulsserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	bulk := flag.String("bulk", "", "ULS bulk file to serve (default: synthetic corpus)")
+	flag.Parse()
+
+	db, err := loadDB(*bulk)
+	if err != nil {
+		log.Fatalf("ulsserver: %v", err)
+	}
+	log.Printf("ulsserver: serving %d licenses from %d licensees on %s",
+		db.Len(), len(db.Licensees()), *addr)
+	if err := http.ListenAndServe(*addr, ulsserver.New(db)); err != nil {
+		log.Fatalf("ulsserver: %v", err)
+	}
+}
+
+func loadDB(bulkPath string) (*hftnetview.Database, error) {
+	if bulkPath == "" {
+		return hftnetview.GenerateCorpus()
+	}
+	f, err := os.Open(bulkPath)
+	if err != nil {
+		return nil, fmt.Errorf("opening bulk file: %w", err)
+	}
+	defer f.Close()
+	return hftnetview.ReadBulk(f)
+}

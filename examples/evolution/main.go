@@ -1,0 +1,56 @@
+// Evolution: the paper's longitudinal study (§4, Figs 1–2) — how the
+// corridor's networks rose, improved, and died over 2013–2020.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hftnetview"
+	"hftnetview/internal/report"
+)
+
+func main() {
+	db, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fig1, err := report.Fig1(db, 2013, 2020)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig1.String())
+
+	fig2, err := report.Fig2(db, 2013, 2020)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig2.String())
+
+	// The §4 narrative beats, computed rather than asserted.
+	dates := hftnetview.PaperSampleDates(2013, 2020)
+	opts := hftnetview.DefaultOptions()
+
+	ntc, err := hftnetview.Evolution(db, "National Tower Company",
+		hftnetview.PathNY4(), dates, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lastAlive := 0
+	for i, pt := range ntc {
+		if pt.Connected {
+			lastAlive = i
+		}
+	}
+	fmt.Printf("National Tower Company's last connected year: %d — ", dates[lastAlive].Year)
+	g17, c17 := db.GrantsCancellationsInYear("National Tower Company", 2017)
+	g18, c18 := db.GrantsCancellationsInYear("National Tower Company", 2018)
+	fmt.Printf("it cancelled %d licenses across 2017-18 (granting %d) and vanished.\n",
+		c17+c18, g17+g18)
+
+	g15, _ := db.GrantsCancellationsInYear("New Line Networks", 2015)
+	nlnCount := db.ActiveCountByLicensee(dates[3])["New Line Networks"]
+	fmt.Printf("New Line Networks was granted %d licenses in 2015 (%d active on %s) "+
+		"and first connected end-to-end that January.\n", g15, nlnCount, dates[3])
+}

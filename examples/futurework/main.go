@@ -1,0 +1,80 @@
+// Futurework: the analyses the paper proposes as next steps (§2.4, §3,
+// §6), run on the corpus — per-tower radio overhead bounds, joint-entity
+// identification, and multi-network subscription strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hftnetview"
+	"hftnetview/internal/core"
+	"hftnetview/internal/entity"
+	"hftnetview/internal/report"
+	"hftnetview/internal/sites"
+)
+
+func main() {
+	db, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	date := hftnetview.Snapshot()
+
+	// §3: "if the per-tower added latency was higher than 1.4 µs, JM
+	// would offer lower end-end latency" — find the exact crossover.
+	rows, err := hftnetview.ConnectedNetworks(db, date, hftnetview.PathNY4(),
+		hftnetview.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var nln, jm core.NetworkSummary
+	for _, r := range rows {
+		switch r.Licensee {
+		case "New Line Networks":
+			nln = r
+		case "Jefferson Microwave":
+			jm = r
+		}
+	}
+	if o, ok := core.CrossoverOverhead(nln, jm); ok {
+		fmt.Printf("JM (%d towers) overtakes NLN (%d towers) above %.2f µs per tower.\n\n",
+			jm.TowerCount, nln.TowerCount, o.Microseconds())
+	}
+	sweep, err := report.OverheadSweep(db, date)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sweep.String())
+
+	// §2.4/§6: who files for whom?
+	fmt.Println("Entity resolution:")
+	for _, cluster := range entity.ClustersByFRN(db) {
+		fmt.Printf("  shared FRN: %v\n", cluster)
+	}
+	pairs, err := entity.ComplementaryPairs(db, date, hftnetview.PathNY4(),
+		nil, hftnetview.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		u, err := core.ReconstructUnion(db, []string{p.A, p.B}, date,
+			sites.All, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		apa, _ := u.APA(hftnetview.PathNY4())
+		fmt.Printf("  complementary: %s + %s form an end-to-end network: "+
+			"%s over %d towers, APA %.0f%%\n",
+			p.A, p.B, p.Latency, p.TowerCount, apa*100)
+	}
+	fmt.Println()
+
+	// §5 closing: subscription strategies under weather.
+	strat, err := report.RaceStrategies(db, date, 20, 40, 2e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strat.String())
+
+}

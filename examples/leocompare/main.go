@@ -1,0 +1,49 @@
+// LEO compare: the paper's Fig 5 / §6 outlook — where terrestrial
+// microwave beats satellites and where LEO constellations win.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/leo"
+	"hftnetview/internal/report"
+	"hftnetview/internal/sites"
+)
+
+func main() {
+	t, err := report.Fig5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t.String())
+
+	// Altitude sweep on the corridor: even a 300 km shell cannot beat
+	// towers — the up-and-down overhead dominates on 1,186 km.
+	fmt.Println("CME-NY4 altitude sweep (one-way ms):")
+	mw := leo.TerrestrialMicrowave(sites.CME.Location, sites.NY4.Location, 1.0014)
+	for alt := 300.0; alt <= 1100; alt += 200 {
+		c := leo.Constellation{AltitudeM: alt * 1000, SpacingM: 2000e3}
+		l, bd, err := c.PathLatency(sites.CME.Location, sites.NY4.Location)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  shell %4.0f km: LEO %.3f ms (%d ISL hops, %.0f km flown) vs MW %.3f ms\n",
+			alt, l.Milliseconds(), bd.Hops, bd.TotalM/1000, mw.Milliseconds())
+	}
+
+	// Tokyo–New York, the "longer high-value segment" the paper names
+	// as the likely first LEO adoption.
+	tokyo := geo.Point{Lat: 35.6762, Lon: 139.6503}
+	nyc := geo.Point{Lat: 40.7128, Lon: -74.0060}
+	c := leo.Starlink550()
+	l, _, err := c.PathLatency(tokyo, nyc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fiber := leo.Fiber(tokyo, nyc, 1.55)
+	fmt.Printf("\nTokyo-New York: LEO %.1f ms vs trans-Pacific fiber %.1f ms "+
+		"(%.1f ms saved one-way)\n", l.Milliseconds(), fiber.Milliseconds(),
+		fiber.Milliseconds()-l.Milliseconds())
+}

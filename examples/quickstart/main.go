@@ -1,0 +1,39 @@
+// Quickstart: generate the corridor corpus, reconstruct the 1 April
+// 2020 snapshot, and print the state of the race (the paper's Table 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hftnetview"
+)
+
+func main() {
+	// The corpus substitutes for scraping the live FCC portal; it is
+	// deterministic, so every run sees the same corridor.
+	db, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d licenses across %d licensees\n\n",
+		db.Len(), len(db.Licensees()))
+
+	rows, err := hftnetview.ConnectedNetworks(db, hftnetview.Snapshot(),
+		hftnetview.PathNY4(), hftnetview.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Connected CME-NY4 networks, fastest first:")
+	for i, r := range rows {
+		fmt.Printf("%d. %-24s %s  (%d towers, APA %.0f%%)\n",
+			i+1, r.Licensee, r.Latency, r.TowerCount, r.APA*100)
+	}
+
+	leader := rows[0]
+	runnerUp := rows[1]
+	gap := runnerUp.Latency.Sub(leader.Latency)
+	fmt.Printf("\n%s leads %s by %.2f µs — the scale this race is fought at.\n",
+		leader.Licensee, runnerUp.Licensee, gap.Microseconds())
+}

@@ -1,0 +1,80 @@
+// Scrapeloop: the paper's full §2 methodology over real HTTP — serve
+// the corpus from an in-process FCC-style portal, scrape it back with
+// the §2.2 pipeline, and verify the reconstruction from the scraped
+// copy matches the ground truth to the microsecond.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"hftnetview"
+	"hftnetview/internal/report"
+	"hftnetview/internal/scrape"
+	"hftnetview/internal/ulsserver"
+)
+
+func main() {
+	truth, err := hftnetview.GenerateCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the portal on a loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: ulsserver.New(truth)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("portal serving %d licenses at %s\n\n", truth.Len(), base)
+
+	// Run the §2.2 pipeline against it.
+	c := scrape.NewClient(base)
+	start := time.Now()
+	scraped, funnel, err := scrape.Run(context.Background(), c,
+		scrape.DefaultPipelineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.ScrapeFunnelTable(funnel.GeographicMatches,
+		funnel.Candidates, funnel.Shortlisted, funnel.LicensesScraped,
+		nil).String())
+	fmt.Printf("scraped in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// The decisive check: rankings computed from the scraped corpus
+	// must equal rankings from ground truth.
+	opts := hftnetview.DefaultOptions()
+	date := hftnetview.Snapshot()
+	fromTruth, err := hftnetview.ConnectedNetworks(truth, date, hftnetview.PathNY4(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromScrape, err := hftnetview.ConnectedNetworks(scraped, date, hftnetview.PathNY4(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Portal coordinates carry 0.1" (~3 m) DMS resolution, so scraped
+	// latencies may differ from ground truth by a few nanoseconds.
+	const dmsToleranceUS = 0.05
+	fmt.Println("rank  ground truth              scraped corpus")
+	for i := range fromTruth {
+		match := "OK"
+		gapUS := fromScrape[i].Latency.Sub(fromTruth[i].Latency).Microseconds()
+		if gapUS < 0 {
+			gapUS = -gapUS
+		}
+		if fromScrape[i].Licensee != fromTruth[i].Licensee || gapUS > dmsToleranceUS {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%4d  %-24s  %-24s %s (%s)\n", i+1,
+			fromTruth[i].Licensee, fromScrape[i].Licensee,
+			fromScrape[i].Latency, match)
+	}
+}

@@ -1,0 +1,3 @@
+module hftnetview
+
+go 1.23

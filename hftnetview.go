@@ -1,0 +1,126 @@
+// Package hftnetview reproduces "A Bird's Eye View of the World's
+// Fastest Networks" (Bhattacherjee et al., ACM IMC 2020): systematic
+// reconstruction of the Chicago–New Jersey high-frequency-trading
+// microwave networks from FCC-style license filings, and the paper's
+// analyses — end-to-end latency rankings, longitudinal evolution,
+// alternate path availability, link-length and operating-frequency
+// distributions, weather resilience, and the LEO satellite comparison.
+//
+// This package is the facade over the implementation packages: it
+// exposes the corpus, reconstruction, and analysis workflow that the
+// examples, tools, and benchmarks build on.
+//
+// A typical session:
+//
+//	db, _ := hftnetview.GenerateCorpus()
+//	rows, _ := hftnetview.ConnectedNetworks(db, hftnetview.Snapshot(),
+//		hftnetview.PathNY4(), hftnetview.DefaultOptions())
+//	for _, r := range rows {
+//		fmt.Printf("%-24s %s\n", r.Licensee, r.Latency)
+//	}
+package hftnetview
+
+import (
+	"io"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// Re-exported domain types. The aliases make the facade's functions
+// interoperate directly with the implementation packages.
+type (
+	// Database is an in-memory FCC license store.
+	Database = uls.Database
+	// License is one ULS license filing.
+	License = uls.License
+	// Date is a calendar date as used in license lifecycles.
+	Date = uls.Date
+	// Network is one licensee's reconstructed network as of a date.
+	Network = core.Network
+	// Route is an end-to-end lowest-latency path through a network.
+	Route = core.Route
+	// NetworkSummary is one row of a connected-networks table.
+	NetworkSummary = core.NetworkSummary
+	// PathRanking is a corridor path with its fastest networks.
+	PathRanking = core.PathRanking
+	// EvolutionPoint is one longitudinal sample of a network.
+	EvolutionPoint = core.EvolutionPoint
+	// Options tunes reconstruction.
+	Options = core.Options
+	// DataCenter is a corridor anchor facility.
+	DataCenter = sites.DataCenter
+	// Path is an ordered data-center pair.
+	Path = sites.Path
+	// Latency is a one-way propagation delay in seconds.
+	Latency = units.Latency
+)
+
+// Corridor anchors (§2.2).
+var (
+	CME    = sites.CME
+	NY4    = sites.NY4
+	NYSE   = sites.NYSE
+	NASDAQ = sites.NASDAQ
+)
+
+// PathNY4 returns the paper's headline path, CME–Equinix NY4.
+func PathNY4() Path { return Path{From: CME, To: NY4} }
+
+// CorridorPaths returns the three paths of Table 2.
+func CorridorPaths() []Path { return sites.CorridorPaths() }
+
+// Snapshot returns the paper's analysis date, 1 April 2020.
+func Snapshot() Date { return uls.NewDate(2020, time.April, 1) }
+
+// DefaultOptions returns the paper's reconstruction parameters: towers
+// merged at ~11 m, ≤50 km fiber tails with one attachment per data
+// center, and the 5% alternate-path stretch bound.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// GenerateCorpus builds the deterministic synthetic corridor license
+// database that substitutes for the live FCC corpus (see DESIGN.md):
+// the nine connected 2020 networks, National Tower Company's full arc,
+// and the non-HFT licensees of the §2.2 discovery funnel.
+func GenerateCorpus() (*Database, error) { return synth.Generate() }
+
+// ReadBulk parses a pipe-delimited ULS bulk stream into a database.
+func ReadBulk(r io.Reader) (*Database, error) { return uls.ReadBulk(r) }
+
+// WriteBulk writes a database in the ULS bulk interchange format.
+func WriteBulk(w io.Writer, db *Database) error { return uls.WriteBulk(w, db) }
+
+// ParseDate parses MM/DD/YYYY (FCC style) or YYYY-MM-DD dates.
+func ParseDate(s string) (Date, error) { return uls.ParseDate(s) }
+
+// Reconstruct rebuilds one licensee's network as of a date, attaching
+// fiber tails to the given data centers (§2.3).
+func Reconstruct(db *Database, licensee string, date Date, dcs []DataCenter, opts Options) (*Network, error) {
+	return core.Reconstruct(db, licensee, date, dcs, opts)
+}
+
+// ConnectedNetworks reproduces a Table 1 row set: every licensee with an
+// end-to-end route on the path at the date, ordered by latency.
+func ConnectedNetworks(db *Database, date Date, path Path, opts Options) ([]NetworkSummary, error) {
+	return core.ConnectedNetworks(db, date, path, opts)
+}
+
+// RankNetworks reproduces Table 2: the fastest networks per path.
+func RankNetworks(db *Database, date Date, paths []Path, topN int, opts Options) ([]PathRanking, error) {
+	return core.RankNetworks(db, date, paths, topN, opts)
+}
+
+// Evolution reproduces the Figs 1–2 trajectories for one licensee.
+func Evolution(db *Database, licensee string, path Path, dates []Date, opts Options) ([]EvolutionPoint, error) {
+	return core.Evolution(db, licensee, path, dates, opts)
+}
+
+// PaperSampleDates returns January-1 samples (April 1 for 2020), as the
+// paper's longitudinal figures use.
+func PaperSampleDates(firstYear, lastYear int) []Date {
+	return core.PaperSampleDates(firstYear, lastYear)
+}

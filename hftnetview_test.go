@@ -1,0 +1,70 @@
+package hftnetview
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFacadeWorkflow drives the documented end-to-end workflow through
+// the public API only.
+func TestFacadeWorkflow(t *testing.T) {
+	db, err := GenerateCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := ConnectedNetworks(db, Snapshot(), PathNY4(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("connected networks = %d, want 9", len(rows))
+	}
+	if rows[0].Licensee != "New Line Networks" {
+		t.Errorf("fastest = %s", rows[0].Licensee)
+	}
+
+	ranks, err := RankNetworks(db, Snapshot(), CorridorPaths(), 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != 3 {
+		t.Fatalf("rankings = %d", len(ranks))
+	}
+
+	n, err := Reconstruct(db, "Webline Holdings", Snapshot(),
+		[]DataCenter{CME, NY4, NYSE, NASDAQ}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Connected(PathNY4()) {
+		t.Error("WH should be connected")
+	}
+
+	dates := PaperSampleDates(2013, 2020)
+	evo, err := Evolution(db, "New Line Networks", PathNY4(), dates, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evo) != 8 {
+		t.Fatalf("evolution points = %d", len(evo))
+	}
+
+	// Bulk round trip through the facade.
+	var buf bytes.Buffer
+	if err := WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBulk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("bulk round trip %d != %d", back.Len(), db.Len())
+	}
+
+	d, err := ParseDate("04/01/2020")
+	if err != nil || d != Snapshot() {
+		t.Errorf("ParseDate = %v, %v", d, err)
+	}
+}

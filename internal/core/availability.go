@@ -1,0 +1,48 @@
+package core
+
+import (
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+)
+
+// routeHops converts the best route's links into radio hops at each
+// link's most robust (lowest) channel.
+func (n *Network) routeHops(path sites.Path) ([]radio.Hop, bool) {
+	r, ok := n.BestRoute(path)
+	if !ok {
+		return nil, false
+	}
+	hops := make([]radio.Hop, 0, len(r.LinkIndexes))
+	for _, li := range r.LinkIndexes {
+		l := n.Links[li]
+		hops = append(hops, radio.Hop{
+			FreqGHz: linkFrequencyGHz(l),
+			PathKM:  l.LengthMeters / 1000,
+		})
+	}
+	return hops, true
+}
+
+// RainAvailability returns the annual availability of the network's
+// lowest-latency route under rain fades (ITU-R P.530-style scaling from
+// the corridor's 0.01%-exceeded rain rate).
+func (n *Network) RainAvailability(path sites.Path, marginDB float64) (float64, bool) {
+	hops, ok := n.routeHops(path)
+	if !ok {
+		return 0, false
+	}
+	return radio.PathRainAvailability(hops, marginDB, radio.R001CorridorMMH), true
+}
+
+// ClearAirAvailability returns the worst-month availability of the
+// network's lowest-latency route under clear-air multipath fading
+// (Vigants–Barnett, average climate): the §6 tradeoff — link length
+// cubed, frequency linear — evaluated over the route's actual hops.
+// ok is false when the network has no route for the path.
+func (n *Network) ClearAirAvailability(path sites.Path, marginDB float64) (float64, bool) {
+	hops, ok := n.routeHops(path)
+	if !ok {
+		return 0, false
+	}
+	return radio.PathAvailability(hops, marginDB, radio.ClimateAverage), true
+}

@@ -1,0 +1,99 @@
+package core
+
+import "hftnetview/internal/geo"
+
+// Diff compares two reconstructions of a network (typically the same
+// licensee at two dates) by physical infrastructure — the §4 analysis
+// behind "the company gave up some tower sites as it acquired more
+// suitable ones" and the visual NLN-2016-vs-2020 comparison of Fig 3.
+type Diff struct {
+	// TowersAdded/Removed/Kept count tower sites by their canonical
+	// coordinate identity.
+	TowersAdded, TowersRemoved, TowersKept int
+	// LinksAdded/Removed/Kept count tower-pair links.
+	LinksAdded, LinksRemoved, LinksKept int
+	// LatencyDelta is new minus old end-to-end latency for the route
+	// both share (0 when either is unreachable).
+	LatencyDeltaSeconds float64
+}
+
+// DiffNetworks compares old and new reconstructions.
+func DiffNetworks(old, new *Network) Diff {
+	var d Diff
+	oldTowers := towerKeySet(old)
+	newTowers := towerKeySet(new)
+	for k := range newTowers {
+		if oldTowers[k] {
+			d.TowersKept++
+		} else {
+			d.TowersAdded++
+		}
+	}
+	for k := range oldTowers {
+		if !newTowers[k] {
+			d.TowersRemoved++
+		}
+	}
+	oldLinks := linkKeySet(old)
+	newLinks := linkKeySet(new)
+	for k := range newLinks {
+		if oldLinks[k] {
+			d.LinksKept++
+		} else {
+			d.LinksAdded++
+		}
+	}
+	for k := range oldLinks {
+		if !newLinks[k] {
+			d.LinksRemoved++
+		}
+	}
+	return d
+}
+
+func towerKeySet(n *Network) map[string]bool {
+	set := make(map[string]bool, len(n.Towers))
+	for _, t := range n.Towers {
+		set[t.Key] = true
+	}
+	return set
+}
+
+func linkKeySet(n *Network) map[string]bool {
+	set := make(map[string]bool, len(n.Links))
+	for _, l := range n.Links {
+		a, b := n.Towers[l.From].Key, n.Towers[l.To].Key
+		if a > b {
+			a, b = b, a
+		}
+		set[a+"|"+b] = true
+	}
+	return set
+}
+
+// MovedTowers pairs each removed tower with the nearest added tower
+// within maxMeters — the "gave up a site for a more suitable one"
+// signature. It returns the number of such replacements.
+func MovedTowers(old, new *Network, maxMeters float64) int {
+	newTowers := towerKeySet(new)
+	oldTowers := towerKeySet(old)
+	var added []geo.Point
+	for _, t := range new.Towers {
+		if !oldTowers[t.Key] {
+			added = append(added, t.Point)
+		}
+	}
+	moved := 0
+	for _, t := range old.Towers {
+		if newTowers[t.Key] {
+			continue
+		}
+		for _, p := range added {
+			if geo.Distance(t.Point, p) <= maxMeters {
+				moved++
+				break
+			}
+		}
+	}
+	return moved
+}

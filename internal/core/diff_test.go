@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hftnetview/internal/uls"
+)
+
+func TestDiffNetworksIdentical(t *testing.T) {
+	db := uls.NewDatabase()
+	buildChainNetwork(t, db, "Chain Net", 10, grant15, uls.Date{}, 11000)
+	a := reconstructOrDie(t, db, "Chain Net", date20)
+	b := reconstructOrDie(t, db, "Chain Net", date20)
+	d := DiffNetworks(a, b)
+	if d.TowersAdded != 0 || d.TowersRemoved != 0 || d.TowersKept != 10 {
+		t.Errorf("towers diff = %+v", d)
+	}
+	if d.LinksAdded != 0 || d.LinksRemoved != 0 || d.LinksKept != 9 {
+		t.Errorf("links diff = %+v", d)
+	}
+}
+
+func TestDiffNetworksGrowth(t *testing.T) {
+	db := uls.NewDatabase()
+	// Original chain from 2015; ladder rails added in 2018.
+	buildChainNetwork(t, db, "Grow Net", 10, grant15, uls.Date{}, 11000)
+	pts := chainTowers(10)
+	grant18 := uls.NewDate(2018, time.June, 1)
+	for i := 0; i < 3; i++ {
+		addLinkLicense(t, db, "Grow Net", 100+i, pts[i], pts[i+2], grant18,
+			uls.Date{}, []float64{6004.5})
+	}
+	before := reconstructOrDie(t, db, "Grow Net", uls.NewDate(2016, time.January, 1))
+	after := reconstructOrDie(t, db, "Grow Net", date20)
+	d := DiffNetworks(before, after)
+	if d.TowersAdded != 0 || d.TowersKept != 10 {
+		t.Errorf("bypass links reuse towers: %+v", d)
+	}
+	if d.LinksAdded != 3 || d.LinksKept != 9 || d.LinksRemoved != 0 {
+		t.Errorf("links diff = %+v, want 3 added", d)
+	}
+}
+
+func TestDiffCorpusNLN2016vs2020(t *testing.T) {
+	db := corpusForCore(t)
+	before := reconstructCorpus(t, db, "New Line Networks", uls.NewDate(2016, time.January, 1))
+	after := reconstructCorpus(t, db, "New Line Networks", date20)
+	d := DiffNetworks(before, after)
+	// Fig 3 narrative: significantly more towers and redundant links by
+	// 2020, while keeping most of the 2016 corridor.
+	if d.TowersAdded < 10 {
+		t.Errorf("towers added = %d, want the Fig 3 build-out", d.TowersAdded)
+	}
+	if d.LinksAdded < 10 {
+		t.Errorf("links added = %d", d.LinksAdded)
+	}
+	if d.TowersKept < 20 {
+		t.Errorf("towers kept = %d, want continuity", d.TowersKept)
+	}
+	// The 2016→2020 upgrades replaced some towers with nearby better
+	// sites (§4): removed towers with an added tower within 30 km.
+	if d.TowersRemoved > 0 {
+		if moved := MovedTowers(before, after, 30e3); moved == 0 {
+			t.Errorf("%d towers removed but none replaced nearby", d.TowersRemoved)
+		}
+	}
+}
+
+func TestClearAirAvailabilityCorpus(t *testing.T) {
+	db := corpusForCore(t)
+	wh := reconstructCorpus(t, db, "Webline Holdings", date20)
+	nln := reconstructCorpus(t, db, "New Line Networks", date20)
+	aWH, ok1 := wh.ClearAirAvailability(pathNY4, 40)
+	aNLN, ok2 := nln.ClearAirAvailability(pathNY4, 40)
+	if !ok1 || !ok2 {
+		t.Fatal("availability not computable")
+	}
+	// §5/§6: WH's shorter, lower-band links are more available even in
+	// clear air.
+	if aWH <= aNLN {
+		t.Errorf("WH clear-air availability %v not above NLN %v", aWH, aNLN)
+	}
+	if aWH < 0.998 || aNLN < 0.99 {
+		t.Errorf("availabilities implausible: WH %v, NLN %v", aWH, aNLN)
+	}
+	// Disconnected network: not computable.
+	dead := reconstructCorpus(t, db, "National Tower Company", date20)
+	if _, ok := dead.ClearAirAvailability(pathNY4, 40); ok {
+		t.Error("dead network should have no availability")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"hftnetview/internal/uls"
+)
+
+func TestDiverseRoutesChain(t *testing.T) {
+	db := uls.NewDatabase()
+	buildChainNetwork(t, db, "Chain Net", 12, grant15, uls.Date{}, 11000)
+	n := reconstructOrDie(t, db, "Chain Net", date20)
+	routes := n.DiverseRoutes(pathNY4, 5)
+	if len(routes) != 1 {
+		t.Fatalf("chain diverse routes = %d, want exactly 1", len(routes))
+	}
+	best, _ := n.BestRoute(pathNY4)
+	if routes[0].Latency != best.Latency {
+		t.Errorf("first diverse route %v != best route %v", routes[0].Latency, best.Latency)
+	}
+}
+
+func TestDiverseRoutesLadder(t *testing.T) {
+	db := uls.NewDatabase()
+	buildLadderNetwork(t, db, "Ladder Net", 10, 3000, grant15, 11000, 6000)
+	n := reconstructOrDie(t, db, "Ladder Net", date20)
+	routes := n.DiverseRoutes(pathNY4, 4)
+	if len(routes) != 4 {
+		t.Fatalf("ladder diverse routes = %d, want 4", len(routes))
+	}
+	for i := 1; i < len(routes); i++ {
+		if routes[i].Latency < routes[i-1].Latency {
+			t.Errorf("routes not sorted: %v < %v", routes[i].Latency, routes[i-1].Latency)
+		}
+	}
+	// Each alternate is a genuinely different route.
+	seen := map[int]bool{}
+	for i, r := range routes {
+		key := r.TowerCount*1000 + r.HopCount()
+		_ = key
+		if i > 0 && routes[i].Latency == routes[0].Latency &&
+			equalInts(routes[i].Towers, routes[0].Towers) {
+			t.Errorf("route %d duplicates the best route", i)
+		}
+		seen[i] = true
+	}
+	// Alternates stay close: on a tight ladder the 4th route is within
+	// 1% of the best.
+	if routes[3].Latency.Seconds() > routes[0].Latency.Seconds()*1.01 {
+		t.Errorf("4th route %v too far above best %v", routes[3].Latency, routes[0].Latency)
+	}
+}
+
+func TestDiverseRoutesUnknownPath(t *testing.T) {
+	db := uls.NewDatabase()
+	buildChainNetwork(t, db, "Chain Net", 8, grant15, uls.Date{}, 11000)
+	n, err := Reconstruct(db, "Chain Net", date20, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes := n.DiverseRoutes(pathNY4, 3); routes != nil {
+		t.Errorf("no data centers attached: routes = %d", len(routes))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// EvolutionPoint is one sample of a network's longitudinal trajectory
+// (§4): its end-to-end latency and active license count on a date.
+type EvolutionPoint struct {
+	Date uls.Date
+	// Connected reports whether an end-to-end route existed; Latency is
+	// meaningful only when it did.
+	Connected bool
+	Latency   units.Latency
+	// ActiveLicenses is the licensee's license count in force on Date
+	// (Fig 2's y-axis).
+	ActiveLicenses int
+}
+
+// Evolution reconstructs the licensee's network at each date and reports
+// the trajectory — the data behind Figs 1 and 2.
+func Evolution(db *uls.Database, licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error) {
+	counts := func(d uls.Date) int {
+		return db.ActiveCountByLicensee(d)[licensee]
+	}
+	out := make([]EvolutionPoint, 0, len(dates))
+	for _, d := range dates {
+		n, err := Reconstruct(db, licensee, d, []sites.DataCenter{path.From, path.To}, opts)
+		if err != nil {
+			return nil, err
+		}
+		pt := EvolutionPoint{Date: d, ActiveLicenses: counts(d)}
+		if r, ok := n.BestRoute(path); ok {
+			pt.Connected = true
+			pt.Latency = r.Latency
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PaperSampleDates returns the sampling dates of Figs 1 and 2: January
+// 1st of each year from firstYear through lastYear, except that when
+// lastYear is 2020 the final sample is April 1st (the paper's snapshot
+// date).
+func PaperSampleDates(firstYear, lastYear int) []uls.Date {
+	var out []uls.Date
+	for y := firstYear; y <= lastYear; y++ {
+		if y == 2020 {
+			out = append(out, uls.NewDate(2020, time.April, 1))
+			continue
+		}
+		out = append(out, uls.NewDate(y, time.January, 1))
+	}
+	return out
+}

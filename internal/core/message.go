@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"hftnetview/internal/units"
+)
+
+// The paper notes that "each unique trading activity translates to only
+// 2 bits of information sent over the network" (§1) and that per-tower
+// signal regeneration is the unmodeled latency component (§3). This
+// file combines both: end-to-end message latency = propagation +
+// per-hop (serialization + regeneration), which shows *why* message
+// size is kept minimal and when tower counts start to matter.
+
+// RadioProfile describes the repeater hardware on a network's towers.
+type RadioProfile struct {
+	// BandwidthBps is the link rate used for serialization delay.
+	BandwidthBps float64
+	// RegenSeconds is the per-hop signal regeneration/processing delay
+	// (analog repeaters ~ nanoseconds; decode-regenerate radios ~ µs).
+	RegenSeconds float64
+}
+
+// TypicalHFTRadio is a current-generation low-latency microwave radio:
+// ~500 Mbps and ~1 µs of regeneration per hop.
+func TypicalHFTRadio() RadioProfile {
+	return RadioProfile{BandwidthBps: 500e6, RegenSeconds: 1e-6}
+}
+
+// MessageLatency returns the end-to-end latency of a message of
+// msgBits over the route: propagation plus, per microwave hop,
+// serialization (msgBits / bandwidth) and regeneration.
+func MessageLatency(r Route, msgBits int, radio RadioProfile) units.Latency {
+	perHop := radio.RegenSeconds
+	if radio.BandwidthBps > 0 {
+		perHop += float64(msgBits) / radio.BandwidthBps
+	}
+	return r.Latency + units.Latency(perHop*float64(r.HopCount()))
+}
+
+// MessageSummary re-scores a Table 1 row set for a concrete message
+// size and radio profile, re-ranking by total message latency.
+type MessageSummary struct {
+	NetworkSummary
+	// Total is propagation + per-hop costs for the message.
+	Total units.Latency
+}
+
+// RankByMessageLatency re-ranks networks for a message size and radio
+// profile. With the paper's 2-bit updates the ranking equals Table 1's
+// whenever regeneration is small; large messages or slow radios shift
+// the race toward fewer-tower networks (the §3 caveat).
+func RankByMessageLatency(rows []NetworkSummary, msgBits int, radio RadioProfile) []MessageSummary {
+	out := make([]MessageSummary, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, MessageSummary{
+			NetworkSummary: r,
+			Total:          MessageLatency(r.Route, msgBits, radio),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total < out[j].Total
+		}
+		return out[i].Licensee < out[j].Licensee
+	})
+	return out
+}
+
+// SerializationBudget answers: at what message size does serialization
+// start to cost one microsecond per hop at the given bandwidth?
+func SerializationBudget(radio RadioProfile, perHop units.Latency) (bits int) {
+	if radio.BandwidthBps <= 0 {
+		return 0
+	}
+	return int(perHop.Seconds() * radio.BandwidthBps)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hftnetview/internal/units"
+)
+
+func routeWithHops(latencyMS float64, hops int) Route {
+	r := Route{Latency: units.Latency(latencyMS / 1000)}
+	for i := 0; i < hops; i++ {
+		r.LinkIndexes = append(r.LinkIndexes, i)
+	}
+	return r
+}
+
+func TestMessageLatencyTwoBits(t *testing.T) {
+	// The paper's 2-bit trading update over 24 hops at 500 Mbps:
+	// serialization is 4 ns/hop — utterly negligible against 1 µs regen.
+	r := routeWithHops(3.96171, 24)
+	radio := TypicalHFTRadio()
+	got := MessageLatency(r, 2, radio)
+	wantExtra := 24 * (1e-6 + 2/500e6)
+	if math.Abs(got.Seconds()-(r.Latency.Seconds()+wantExtra)) > 1e-12 {
+		t.Errorf("latency = %v", got)
+	}
+	// Serialization share is tiny.
+	serOnly := MessageLatency(r, 2, RadioProfile{BandwidthBps: 500e6})
+	if extra := serOnly.Sub(r.Latency).Microseconds(); extra > 0.2 {
+		t.Errorf("2-bit serialization cost %v µs over 24 hops, want ≪ 1", extra)
+	}
+}
+
+func TestMessageLatencyBigMessagesFlipRankings(t *testing.T) {
+	// NLN (24 hops, 3.96171) vs JM (21 hops, 3.96597): at 2 bits NLN
+	// wins; at a 1500-byte frame over 100 Mbps radios (120 µs/hop!) the
+	// fewer-hop network wins.
+	nln := NetworkSummary{Licensee: "NLN", Latency: units.Latency(0.00396171),
+		TowerCount: 25, Route: routeWithHops(3.96171, 24)}
+	jm := NetworkSummary{Licensee: "JM", Latency: units.Latency(0.00396597),
+		TowerCount: 22, Route: routeWithHops(3.96597, 21)}
+	rows := []NetworkSummary{nln, jm}
+
+	fast := RankByMessageLatency(rows, 16, TypicalHFTRadio())
+	if fast[0].Licensee != "NLN" {
+		t.Errorf("small message leader = %s, want NLN", fast[0].Licensee)
+	}
+	slowRadio := RadioProfile{BandwidthBps: 100e6, RegenSeconds: 5e-6}
+	big := RankByMessageLatency(rows, 1500*8, slowRadio)
+	if big[0].Licensee != "JM" {
+		t.Errorf("big message leader = %s, want JM (fewer hops)", big[0].Licensee)
+	}
+}
+
+func TestMessageLatencyRegenCrossover(t *testing.T) {
+	// Consistency with the §3 overhead analysis: at ~1.42 µs per hop
+	// (≈ per tower), JM overtakes NLN.
+	nln := routeWithHops(3.96171, 24)
+	jm := routeWithHops(3.96597, 21)
+	for _, regen := range []float64{1.0e-6, 1.3e-6} {
+		radio := RadioProfile{RegenSeconds: regen}
+		if MessageLatency(nln, 2, radio) >= MessageLatency(jm, 2, radio) {
+			t.Errorf("at %.1f µs regen NLN should still lead", regen*1e6)
+		}
+	}
+	for _, regen := range []float64{1.6e-6, 3e-6} {
+		radio := RadioProfile{RegenSeconds: regen}
+		if MessageLatency(jm, 2, radio) >= MessageLatency(nln, 2, radio) {
+			t.Errorf("at %.1f µs regen JM should lead", regen*1e6)
+		}
+	}
+}
+
+func TestSerializationBudget(t *testing.T) {
+	radio := TypicalHFTRadio()
+	bits := SerializationBudget(radio, units.Latency(1e-6))
+	if bits != 500 {
+		t.Errorf("1 µs at 500 Mbps = %d bits, want 500", bits)
+	}
+	if SerializationBudget(RadioProfile{}, units.Latency(1e-6)) != 0 {
+		t.Error("zero bandwidth should budget 0 bits")
+	}
+}

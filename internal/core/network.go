@@ -1,0 +1,362 @@
+// Package core implements the paper's primary contribution: systematic
+// reconstruction of HFT microwave networks from license filings (§2.3)
+// and the analyses built on the reconstructed graphs — end-to-end latency
+// and rankings (§3), longitudinal evolution (§4), and the reliability
+// metrics APA, link lengths and operating frequencies (§5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/graph"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// Options tunes reconstruction. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// TowerMergeDecimals is the number of decimal places coordinates are
+	// rounded to when deduplicating towers across licenses (4 ≈ 11 m,
+	// comfortably below tower spacing and above filing jitter).
+	TowerMergeDecimals int
+	// MaxFiberMeters is the maximum data-center-to-tower fiber tail the
+	// paper assumes exists (50 km, §2.3).
+	MaxFiberMeters float64
+	// FiberTailsPerDC caps how many towers each data center gets fiber
+	// to (nearest first). The paper's Table 1 reports APA = 0 for pure
+	// chain networks, which implies a single attachment point — with
+	// unlimited tails, a chain's final hops always have a fiber
+	// fallback. 0 means unlimited.
+	FiberTailsPerDC int
+	// StretchBound is the paper's alternate-path latency budget relative
+	// to the c-speed geodesic latency (1.05 = "not more than 5% greater",
+	// §5).
+	StretchBound float64
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		TowerMergeDecimals: 4,
+		MaxFiberMeters:     50e3,
+		FiberTailsPerDC:    1,
+		StretchBound:       1.05,
+	}
+}
+
+// Tower is a deduplicated antenna site in a reconstructed network.
+type Tower struct {
+	// Key is the canonical rounded-coordinate identity of the site.
+	Key string
+	// Point is the site coordinate (of the first filing seen).
+	Point geo.Point
+	// HeightMeters is the tallest support structure filed at the site.
+	HeightMeters float64
+}
+
+// Link is a reconstructed microwave hop between two towers.
+type Link struct {
+	// From and To index into Network.Towers.
+	From, To int
+	// CallSign and PathNumber identify the license path behind the hop.
+	CallSign   string
+	PathNumber int
+	// LengthMeters is the geodesic hop length.
+	LengthMeters float64
+	// Latency is the one-way propagation delay at microwave speed.
+	Latency units.Latency
+	// FrequenciesMHz are the assigned center frequencies.
+	FrequenciesMHz []float64
+}
+
+// FiberTail is an assumed data-center-to-tower fiber stub (§2.3).
+type FiberTail struct {
+	DataCenter   sites.DataCenter
+	Tower        int // index into Network.Towers
+	LengthMeters float64
+	Latency      units.Latency
+}
+
+// Network is one licensee's reconstructed network as of a date.
+type Network struct {
+	Licensee string
+	Date     uls.Date
+	Towers   []Tower
+	Links    []Link
+	Fiber    []FiberTail
+
+	opts      Options
+	g         *graph.Graph
+	towerID   []graph.NodeID          // tower index -> graph node
+	nodeTower map[graph.NodeID]int    // graph node -> tower index
+	dcID      map[string]graph.NodeID // DC code -> graph node
+	mwEdge    map[graph.EdgeID]int    // graph edge -> Links index
+	fbEdge    map[graph.EdgeID]int    // graph edge -> Fiber index
+}
+
+// towerKey canonicalizes a coordinate for tower deduplication.
+func towerKey(p geo.Point, decimals int) string {
+	scale := math.Pow(10, float64(decimals))
+	lat := math.Round(p.Lat*scale) / scale
+	lon := math.Round(p.Lon*scale) / scale
+	return fmt.Sprintf("%.*f,%.*f", decimals, lat, decimals, lon)
+}
+
+// Reconstruct rebuilds the named licensee's network as of the given date
+// from its active licenses, stitching links that share tower sites
+// (§2.3), and attaches fiber tails to every data center in dcs that has a
+// tower within opts.MaxFiberMeters.
+func Reconstruct(db *uls.Database, licensee string, date uls.Date, dcs []sites.DataCenter, opts Options) (*Network, error) {
+	links := db.ActiveLinks(licensee, date)
+	return reconstructLinks(links, licensee, date, dcs, opts)
+}
+
+// ReconstructUnion rebuilds the combined network of several filing
+// entities, treating their licenses as one infrastructure — the joint
+// analysis the paper's §2.4 limitations and §6 future work call for
+// ("if a network has multiple entities filing on its behalf, it will
+// appear as two separate networks").
+func ReconstructUnion(db *uls.Database, licensees []string, date uls.Date, dcs []sites.DataCenter, opts Options) (*Network, error) {
+	if len(licensees) == 0 {
+		return nil, fmt.Errorf("core: ReconstructUnion needs at least one licensee")
+	}
+	var links []uls.Link
+	label := ""
+	for i, name := range licensees {
+		if i > 0 {
+			label += " + "
+		}
+		label += name
+		links = append(links, db.ActiveLinks(name, date)...)
+	}
+	return reconstructLinks(links, label, date, dcs, opts)
+}
+
+func reconstructLinks(links []uls.Link, label string, date uls.Date, dcs []sites.DataCenter, opts Options) (*Network, error) {
+	if opts.TowerMergeDecimals <= 0 || opts.MaxFiberMeters <= 0 || opts.StretchBound <= 1 {
+		return nil, fmt.Errorf("core: invalid options %+v", opts)
+	}
+	n := &Network{
+		Licensee:  label,
+		Date:      date,
+		opts:      opts,
+		g:         graph.New(),
+		nodeTower: make(map[graph.NodeID]int),
+		dcID:      make(map[string]graph.NodeID),
+		mwEdge:    make(map[graph.EdgeID]int),
+		fbEdge:    make(map[graph.EdgeID]int),
+	}
+
+	// Deterministic order: by call sign then path number.
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].CallSign != links[j].CallSign {
+			return links[i].CallSign < links[j].CallSign
+		}
+		return links[i].PathNumber < links[j].PathNumber
+	})
+
+	towerIdx := make(map[string]int)
+	ensureTower := func(loc uls.Location) int {
+		key := towerKey(loc.Point, opts.TowerMergeDecimals)
+		if i, ok := towerIdx[key]; ok {
+			if loc.SupportHeight > n.Towers[i].HeightMeters {
+				n.Towers[i].HeightMeters = loc.SupportHeight
+			}
+			return i
+		}
+		i := len(n.Towers)
+		towerIdx[key] = i
+		n.Towers = append(n.Towers, Tower{
+			Key:          key,
+			Point:        loc.Point,
+			HeightMeters: loc.SupportHeight,
+		})
+		id := n.g.EnsureNode("tower:" + key)
+		n.towerID = append(n.towerID, id)
+		n.nodeTower[id] = i
+		return i
+	}
+
+	// Licenses covering the same tower pair (e.g. one filing per hop
+	// direction, or re-filed channels) describe one physical link:
+	// merge them, unioning their frequencies. Without the merge, a
+	// directional license pair would register as two parallel edges and
+	// every link would trivially have an "alternate path" — itself.
+	linkAt := make(map[[2]int]int)
+	for _, lk := range links {
+		from := ensureTower(lk.TX)
+		to := ensureTower(lk.RX)
+		if from == to {
+			continue // both endpoints merged into one site; not a link
+		}
+		key := [2]int{from, to}
+		if from > to {
+			key = [2]int{to, from}
+		}
+		if li, ok := linkAt[key]; ok {
+			n.Links[li].FrequenciesMHz = mergeFrequencies(
+				n.Links[li].FrequenciesMHz, lk.FrequenciesMHz)
+			continue
+		}
+		length := lk.LengthMeters()
+		l := Link{
+			From:           from,
+			To:             to,
+			CallSign:       lk.CallSign,
+			PathNumber:     lk.PathNumber,
+			LengthMeters:   length,
+			Latency:        units.MicrowaveLatency(length),
+			FrequenciesMHz: append([]float64(nil), lk.FrequenciesMHz...),
+		}
+		eid, err := n.g.AddEdge(n.towerID[from], n.towerID[to], l.Latency.Seconds())
+		if err != nil {
+			return nil, fmt.Errorf("core: %s path %d: %w", lk.CallSign, lk.PathNumber, err)
+		}
+		linkAt[key] = len(n.Links)
+		n.mwEdge[eid] = len(n.Links)
+		n.Links = append(n.Links, l)
+	}
+
+	// Fiber tails: towers within MaxFiberMeters of a data center are
+	// assumed reachable over geodesic fiber (§2.3), nearest first, up to
+	// FiberTailsPerDC attachments.
+	for _, dc := range dcs {
+		dcNode := n.g.EnsureNode("dc:" + dc.Code)
+		n.dcID[dc.Code] = dcNode
+		type cand struct {
+			tower int
+			dist  float64
+		}
+		var cands []cand
+		for ti, tw := range n.Towers {
+			if d := geo.Distance(dc.Location, tw.Point); d <= opts.MaxFiberMeters {
+				cands = append(cands, cand{tower: ti, dist: d})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].dist != cands[j].dist {
+				return cands[i].dist < cands[j].dist
+			}
+			return cands[i].tower < cands[j].tower
+		})
+		if opts.FiberTailsPerDC > 0 && len(cands) > opts.FiberTailsPerDC {
+			cands = cands[:opts.FiberTailsPerDC]
+		}
+		for _, c := range cands {
+			ft := FiberTail{
+				DataCenter:   dc,
+				Tower:        c.tower,
+				LengthMeters: c.dist,
+				Latency:      units.FiberLatency(c.dist),
+			}
+			eid, err := n.g.AddEdge(dcNode, n.towerID[c.tower], ft.Latency.Seconds())
+			if err != nil {
+				return nil, fmt.Errorf("core: fiber tail %s: %w", dc.Code, err)
+			}
+			n.fbEdge[eid] = len(n.Fiber)
+			n.Fiber = append(n.Fiber, ft)
+		}
+	}
+	return n, nil
+}
+
+// mergeFrequencies unions two sorted-or-not frequency lists without
+// duplicates, returning an ascending list.
+func mergeFrequencies(a, b []float64) []float64 {
+	out := append(append([]float64(nil), a...), b...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, f := range out {
+		if i == 0 || out[i-1] != f {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// Route is an end-to-end lowest-latency path through a network.
+type Route struct {
+	Path sites.Path
+	// Latency is the end-to-end one-way latency (fiber tails included).
+	Latency units.Latency
+	// MicrowaveMeters and FiberMeters split the route length by medium.
+	MicrowaveMeters float64
+	FiberMeters     float64
+	// TowerCount is the number of distinct towers on the route, the
+	// quantity in Table 1's "#Towers" column.
+	TowerCount int
+	// Towers are the indices (into Network.Towers) of the route's towers
+	// in travel order.
+	Towers []int
+	// LinkIndexes are the indices (into Network.Links) of the microwave
+	// hops in travel order.
+	LinkIndexes []int
+}
+
+// HopCount returns the number of microwave hops on the route.
+func (r Route) HopCount() int { return len(r.LinkIndexes) }
+
+// BestRoute returns the lowest-latency route between two data centers,
+// computed with Dijkstra's algorithm accounting for the different speeds
+// of light in air and fiber (§2.3). ok is false when no end-to-end path
+// exists on the reconstruction date.
+func (n *Network) BestRoute(path sites.Path) (Route, bool) {
+	src, okS := n.dcID[path.From.Code]
+	dst, okD := n.dcID[path.To.Code]
+	if !okS || !okD {
+		return Route{}, false
+	}
+	p, ok := n.g.ShortestPath(src, dst)
+	if !ok {
+		return Route{}, false
+	}
+	return n.routeFromPath(path, p), true
+}
+
+func (n *Network) routeFromPath(path sites.Path, p graph.Path) Route {
+	r := Route{Path: path, Latency: units.Latency(p.Weight)}
+	for _, eid := range p.Edges {
+		if li, ok := n.mwEdge[eid]; ok {
+			r.MicrowaveMeters += n.Links[li].LengthMeters
+			r.LinkIndexes = append(r.LinkIndexes, li)
+		} else if fi, ok := n.fbEdge[eid]; ok {
+			r.FiberMeters += n.Fiber[fi].LengthMeters
+		}
+	}
+	seen := make(map[int]bool)
+	for _, node := range p.Nodes {
+		if ti, ok := n.towerIndexOf(node); ok && !seen[ti] {
+			seen[ti] = true
+			r.Towers = append(r.Towers, ti)
+		}
+	}
+	r.TowerCount = len(r.Towers)
+	return r
+}
+
+func (n *Network) towerIndexOf(node graph.NodeID) (int, bool) {
+	i, ok := n.nodeTower[node]
+	return i, ok
+}
+
+// Connected reports whether the network has any end-to-end route for the
+// given path.
+func (n *Network) Connected(path sites.Path) bool {
+	_, ok := n.BestRoute(path)
+	return ok
+}
+
+// Graph exposes the underlying graph for analyses that need raw access
+// (visualization, custom metrics). Callers must not mutate it.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// LatencyBound returns the paper's §5 alternate-path latency budget for a
+// path: StretchBound × the c-speed latency along the geodesic.
+func (n *Network) LatencyBound(path sites.Path) units.Latency {
+	return units.Latency(n.opts.StretchBound * units.CLatency(path.GeodesicMeters()).Seconds())
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"hftnetview/internal/units"
+)
+
+// §3 caveat, made computable: "the per-tower overheads not accounted for
+// in our study could change the rankings... If both NLN and JM were
+// using the same radios, and the per-tower added latency was higher than
+// 1.4 µs, JM would offer lower end-end latency." This file ranks
+// networks under a per-tower regeneration overhead and finds the
+// crossover points.
+
+// AdjustedSummary is a NetworkSummary re-scored with a per-tower
+// overhead.
+type AdjustedSummary struct {
+	NetworkSummary
+	// PerTower is the overhead applied per tower on the route.
+	PerTower units.Latency
+	// Adjusted is Latency + PerTower × TowerCount.
+	Adjusted units.Latency
+}
+
+// RankWithPerTowerOverhead re-ranks Table 1 rows under a per-tower
+// overhead: propagation latency plus overhead × tower count, as the
+// paper's §3 thought experiment does.
+func RankWithPerTowerOverhead(rows []NetworkSummary, perTower units.Latency) []AdjustedSummary {
+	out := make([]AdjustedSummary, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, AdjustedSummary{
+			NetworkSummary: r,
+			PerTower:       perTower,
+			Adjusted:       r.Latency + units.Latency(perTower.Seconds()*float64(r.TowerCount)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Adjusted != out[j].Adjusted {
+			return out[i].Adjusted < out[j].Adjusted
+		}
+		return out[i].Licensee < out[j].Licensee
+	})
+	return out
+}
+
+// CrossoverOverhead returns the per-tower overhead at which b's adjusted
+// latency equals a's: above it, b is faster. ok is false when no
+// positive crossover exists (b never overtakes, or is already ahead and
+// has fewer towers).
+func CrossoverOverhead(a, b NetworkSummary) (units.Latency, bool) {
+	// a.Latency + o·a.Towers = b.Latency + o·b.Towers
+	// o = (b.Latency − a.Latency) / (a.Towers − b.Towers)
+	dTowers := a.TowerCount - b.TowerCount
+	if dTowers == 0 {
+		return 0, false
+	}
+	o := (b.Latency.Seconds() - a.Latency.Seconds()) / float64(dTowers)
+	if o <= 0 {
+		return 0, false
+	}
+	return units.Latency(o), true
+}
+
+// LeaderByOverhead sweeps per-tower overheads and reports the leader at
+// each point, collapsing consecutive identical leaders into ranges. The
+// sweep is over the crossover points implied by the rows themselves, so
+// no leader change can be missed between sample points.
+type LeaderRange struct {
+	// FromOverhead is the inclusive lower edge of the range; the first
+	// range starts at 0.
+	FromOverhead units.Latency
+	Leader       string
+}
+
+// LeaderByOverhead computes the exact leader timeline as the per-tower
+// overhead grows from 0.
+func LeaderByOverhead(rows []NetworkSummary) []LeaderRange {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Candidate breakpoints: all pairwise crossovers.
+	breaks := []units.Latency{0}
+	for i := range rows {
+		for j := range rows {
+			if i == j {
+				continue
+			}
+			if o, ok := CrossoverOverhead(rows[i], rows[j]); ok {
+				breaks = append(breaks, o)
+			}
+		}
+	}
+	sort.Slice(breaks, func(i, j int) bool { return breaks[i] < breaks[j] })
+
+	var out []LeaderRange
+	for _, o := range breaks {
+		// Evaluate just past the breakpoint to get the post-crossover
+		// leader.
+		probe := o + units.Latency(1e-12)
+		leader := RankWithPerTowerOverhead(rows, probe)[0].Licensee
+		if len(out) > 0 && out[len(out)-1].Leader == leader {
+			continue
+		}
+		out = append(out, LeaderRange{FromOverhead: o, Leader: leader})
+	}
+	return out
+}

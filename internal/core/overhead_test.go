@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hftnetview/internal/units"
+)
+
+func mkSummary(name string, latencyMS float64, towers int) NetworkSummary {
+	return NetworkSummary{
+		Licensee:   name,
+		Latency:    units.Latency(latencyMS / 1000),
+		TowerCount: towers,
+	}
+}
+
+// Paper values: NLN 3.96171 ms over 25 towers, JM 3.96597 ms over 22.
+var (
+	sumNLN = mkSummary("NLN", 3.96171, 25)
+	sumJM  = mkSummary("JM", 3.96597, 22)
+	sumSW  = mkSummary("SW", 4.44530, 74)
+)
+
+func TestCrossoverMatchesPaperClaim(t *testing.T) {
+	// §3: "if the per-tower added latency was higher than 1.4 µs, JM
+	// would offer lower end-end latency" than NLN.
+	o, ok := CrossoverOverhead(sumNLN, sumJM)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	if us := o.Microseconds(); math.Abs(us-1.42) > 0.05 {
+		t.Errorf("NLN→JM crossover = %.3f µs, want ≈1.42", us)
+	}
+}
+
+func TestCrossoverNoOvertake(t *testing.T) {
+	// SW is slower AND has more towers: it never overtakes NLN.
+	if _, ok := CrossoverOverhead(sumNLN, sumSW); ok {
+		t.Error("SW should never overtake NLN")
+	}
+	// Equal tower counts: no crossover.
+	if _, ok := CrossoverOverhead(sumNLN, mkSummary("X", 3.99, 25)); ok {
+		t.Error("equal tower counts cannot cross")
+	}
+}
+
+func TestRankWithPerTowerOverhead(t *testing.T) {
+	rows := []NetworkSummary{sumNLN, sumJM, sumSW}
+
+	at := func(us float64) string {
+		perTower := units.Latency(us * 1e-6)
+		return RankWithPerTowerOverhead(rows, perTower)[0].Licensee
+	}
+	if got := at(0); got != "NLN" {
+		t.Errorf("leader at 0 = %s, want NLN", got)
+	}
+	if got := at(1.0); got != "NLN" {
+		t.Errorf("leader at 1.0 µs = %s, want NLN", got)
+	}
+	if got := at(1.5); got != "JM" {
+		t.Errorf("leader at 1.5 µs = %s, want JM", got)
+	}
+	if got := at(10); got != "JM" {
+		t.Errorf("leader at 10 µs = %s, want JM", got)
+	}
+
+	// Adjusted values are computed correctly.
+	adj := RankWithPerTowerOverhead(rows, units.Latency(2e-6))
+	for _, a := range adj {
+		want := a.Latency.Seconds() + 2e-6*float64(a.TowerCount)
+		if math.Abs(a.Adjusted.Seconds()-want) > 1e-12 {
+			t.Errorf("%s adjusted = %v, want %v", a.Licensee, a.Adjusted.Seconds(), want)
+		}
+	}
+}
+
+func TestLeaderByOverhead(t *testing.T) {
+	rows := []NetworkSummary{sumNLN, sumJM, sumSW}
+	ranges := LeaderByOverhead(rows)
+	if len(ranges) != 2 {
+		t.Fatalf("ranges = %+v, want NLN then JM", ranges)
+	}
+	if ranges[0].Leader != "NLN" || ranges[0].FromOverhead != 0 {
+		t.Errorf("first range = %+v", ranges[0])
+	}
+	if ranges[1].Leader != "JM" {
+		t.Errorf("second range = %+v", ranges[1])
+	}
+	if us := ranges[1].FromOverhead.Microseconds(); math.Abs(us-1.42) > 0.05 {
+		t.Errorf("JM takeover at %.3f µs, want ≈1.42", us)
+	}
+}
+
+func TestLeaderByOverheadEmpty(t *testing.T) {
+	if got := LeaderByOverhead(nil); got != nil {
+		t.Errorf("empty input: %+v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// NetworkSummary is one row of Table 1: a connected network's end-to-end
+// latency, APA, and tower count on the given path at the given date.
+type NetworkSummary struct {
+	Licensee   string
+	Latency    units.Latency
+	APA        float64 // fraction in [0, 1]
+	TowerCount int     // towers on the lowest-latency route
+	HopCount   int     // microwave hops on the route
+	Route      Route
+}
+
+// ConnectedNetworks reconstructs every licensee in the database at the
+// given date and returns those with an end-to-end route on the path,
+// ordered by increasing latency — the paper's Table 1.
+//
+// Licensees are reconstructed concurrently (the database is read-only
+// here and reconstruction is independent per licensee); the result is
+// deterministic regardless of scheduling.
+func ConnectedNetworks(db *uls.Database, date uls.Date, path sites.Path, opts Options) ([]NetworkSummary, error) {
+	licensees := db.Licensees()
+	summaries := make([]*NetworkSummary, len(licensees))
+	errs := make([]error, len(licensees))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(licensees) {
+		workers = len(licensees)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				summaries[i], errs[i] = summarize(db, licensees[i], date, path, opts)
+			}
+		}()
+	}
+	for i := range licensees {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var out []NetworkSummary
+	for i := range licensees {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if summaries[i] != nil {
+			out = append(out, *summaries[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Latency != out[j].Latency {
+			return out[i].Latency < out[j].Latency
+		}
+		return out[i].Licensee < out[j].Licensee
+	})
+	return out, nil
+}
+
+// summarize builds one licensee's Table 1 row, or nil when the licensee
+// has no end-to-end route.
+func summarize(db *uls.Database, licensee string, date uls.Date, path sites.Path, opts Options) (*NetworkSummary, error) {
+	n, err := Reconstruct(db, licensee, date, []sites.DataCenter{path.From, path.To}, opts)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := n.BestRoute(path)
+	if !ok {
+		return nil, nil
+	}
+	apa, _ := n.APA(path)
+	return &NetworkSummary{
+		Licensee:   licensee,
+		Latency:    r.Latency,
+		APA:        apa,
+		TowerCount: r.TowerCount,
+		HopCount:   r.HopCount(),
+		Route:      r,
+	}, nil
+}
+
+// PathRanking is one row of Table 2: a corridor path with its geodesic
+// distance and the fastest networks in rank order.
+type PathRanking struct {
+	Path           sites.Path
+	GeodesicMeters float64
+	Ranked         []NetworkSummary
+}
+
+// RankNetworks produces Table 2: for each corridor path, the networks
+// ranked by end-to-end latency (topN > 0 truncates each ranking).
+func RankNetworks(db *uls.Database, date uls.Date, paths []sites.Path, topN int, opts Options) ([]PathRanking, error) {
+	var out []PathRanking
+	for _, p := range paths {
+		rows, err := ConnectedNetworks(db, date, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if topN > 0 && len(rows) > topN {
+			rows = rows[:topN]
+		}
+		out = append(out, PathRanking{
+			Path:           p,
+			GeodesicMeters: p.GeodesicMeters(),
+			Ranked:         rows,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"hftnetview/internal/graph"
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+)
+
+// The paper speculates (§5) that a network like Webline Holdings, slower
+// in fair weather, "may be faster at other times" thanks to shorter
+// links, lower frequencies and more alternate paths. This file makes
+// that testable: knock out links a storm would fade and re-run the
+// lowest-latency route.
+
+// StormImpact is the outcome of a weather scenario on one network path.
+type StormImpact struct {
+	// LinksDown is the number of microwave links faded out.
+	LinksDown int
+	// Connected reports whether an end-to-end route survived.
+	Connected bool
+	// Route is the surviving lowest-latency route (valid only when
+	// Connected).
+	Route Route
+	// FairWeather is the no-storm route for comparison.
+	FairWeather Route
+}
+
+// linkFrequencyGHz picks the carrier used for fade evaluation: the
+// link's lowest assigned channel, since an operator rides out a fade on
+// the most rain-robust channel available.
+func linkFrequencyGHz(l Link) float64 {
+	if len(l.FrequenciesMHz) == 0 {
+		return 11 // conservative default for unlicensed test fixtures
+	}
+	min := l.FrequenciesMHz[0]
+	for _, f := range l.FrequenciesMHz[1:] {
+		if f < min {
+			min = f
+		}
+	}
+	return min / 1000
+}
+
+// RouteUnderStorm disables every microwave link whose rain attenuation
+// under the storm exceeds marginDB (fiber tails are weatherproof), finds
+// the best surviving route for the path, then restores the network.
+func (n *Network) RouteUnderStorm(path sites.Path, storm radio.Storm, marginDB float64) (StormImpact, error) {
+	impact := StormImpact{}
+	if fair, ok := n.BestRoute(path); ok {
+		impact.FairWeather = fair
+	}
+	var disabled []graph.EdgeID
+	for eid, li := range n.mwEdge {
+		l := n.Links[li]
+		a := n.Towers[l.From].Point
+		b := n.Towers[l.To].Point
+		if storm.LinkDownUnderStorm(a, b, linkFrequencyGHz(l), marginDB) {
+			n.g.SetDisabled(eid, true)
+			disabled = append(disabled, eid)
+		}
+	}
+	impact.LinksDown = len(disabled)
+	if r, ok := n.BestRoute(path); ok {
+		impact.Connected = true
+		impact.Route = r
+	}
+	for _, eid := range disabled {
+		n.g.SetDisabled(eid, false)
+	}
+	return impact, nil
+}

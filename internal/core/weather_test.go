@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+func TestRouteUnderStormDetour(t *testing.T) {
+	// Ladder: 11 GHz geodesic rail (shortest) + 6 GHz offset rail.
+	db := uls.NewDatabase()
+	buildLadderNetwork(t, db, "Storm Net", 25, 3000, grant15, 11000, 6000)
+	n := reconstructOrDie(t, db, "Storm Net", date20)
+
+	fair, ok := n.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("fair-weather route missing")
+	}
+
+	// A violent cell centered on the middle of the corridor fades the
+	// long 11 GHz trunk links inside it but not the 6 GHz rail.
+	mid := geo.Interpolate(sites.CME.Location, sites.NY4.Location, 0.5)
+	storm := radio.Storm{Cells: []radio.Cell{{Center: mid, RadiusM: 60e3, RateMMH: 100}}}
+
+	impact, err := n.RouteUnderStorm(pathNY4, storm, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.LinksDown == 0 {
+		t.Fatal("storm faded no links")
+	}
+	if !impact.Connected {
+		t.Fatal("laddered network should survive the storm")
+	}
+	if impact.Route.Latency <= fair.Latency {
+		t.Errorf("storm route latency %v not above fair-weather %v",
+			impact.Route.Latency, fair.Latency)
+	}
+	if impact.FairWeather.Latency != fair.Latency {
+		t.Errorf("FairWeather = %v, want %v", impact.FairWeather.Latency, fair.Latency)
+	}
+
+	// Network must be fully restored afterwards.
+	after, ok := n.BestRoute(pathNY4)
+	if !ok || after.Latency != fair.Latency {
+		t.Errorf("network not restored after storm: %v vs %v", after.Latency, fair.Latency)
+	}
+}
+
+func TestRouteUnderStormDisconnectsChain(t *testing.T) {
+	// A pure 11 GHz chain has no alternates: a big enough cell cuts it.
+	db := uls.NewDatabase()
+	buildChainNetwork(t, db, "Chain Net", 25, grant15, uls.Date{}, 11000)
+	n := reconstructOrDie(t, db, "Chain Net", date20)
+
+	mid := geo.Interpolate(sites.CME.Location, sites.NY4.Location, 0.5)
+	storm := radio.Storm{Cells: []radio.Cell{{Center: mid, RadiusM: 60e3, RateMMH: 100}}}
+	impact, err := n.RouteUnderStorm(pathNY4, storm, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.Connected {
+		t.Error("chain should be disconnected by a mid-corridor storm")
+	}
+	if impact.LinksDown == 0 {
+		t.Error("no links faded")
+	}
+	// 6 GHz variant of the same chain survives the same storm.
+	db6 := uls.NewDatabase()
+	buildChainNetwork(t, db6, "LowBand Net", 25, grant15, uls.Date{}, 6004.5)
+	n6 := reconstructOrDie(t, db6, "LowBand Net", date20)
+	impact6, err := n6.RouteUnderStorm(pathNY4, storm, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impact6.Connected {
+		t.Error("6 GHz chain should survive the storm the 11 GHz chain lost")
+	}
+}
+
+func TestRouteUnderStormNoStorm(t *testing.T) {
+	db := uls.NewDatabase()
+	buildChainNetwork(t, db, "Chain Net", 10, grant15, uls.Date{}, 11000)
+	n := reconstructOrDie(t, db, "Chain Net", date20)
+	impact, err := n.RouteUnderStorm(pathNY4, radio.Storm{}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.LinksDown != 0 || !impact.Connected {
+		t.Errorf("clear weather impact = %+v", impact)
+	}
+	if impact.Route.Latency != impact.FairWeather.Latency {
+		t.Error("clear-weather route should equal fair-weather route")
+	}
+}
+
+func TestLinkFrequencySelection(t *testing.T) {
+	l := Link{FrequenciesMHz: []float64{11245, 6004.5, 17845}}
+	if got := linkFrequencyGHz(l); got != 6.0045 {
+		t.Errorf("linkFrequencyGHz = %v, want lowest channel 6.0045", got)
+	}
+	if got := linkFrequencyGHz(Link{}); got != 11 {
+		t.Errorf("default frequency = %v, want 11", got)
+	}
+}

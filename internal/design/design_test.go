@@ -1,0 +1,222 @@
+package design
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/units"
+)
+
+// corridorSites builds a candidate field along CME→NY4: a spine of
+// near-geodesic sites every ~40 km plus laterally offset extras.
+func corridorSites(extrasPerSpine int) []Site {
+	rng := rand.New(rand.NewPCG(5, 5))
+	a, b := sites.CME.Location, sites.NY4.Location
+	brg := geo.InitialBearing(a, b)
+	var out []Site
+	out = append(out, Site{Point: a, TowerCost: 1})
+	n := 30
+	for i := 1; i < n; i++ {
+		frac := float64(i) / float64(n)
+		base := geo.Interpolate(a, b, frac)
+		out = append(out, Site{
+			Point:     geo.Offset(base, brg, 0, (rng.Float64()-0.5)*2000),
+			TowerCost: 1,
+		})
+		for e := 0; e < extrasPerSpine; e++ {
+			out = append(out, Site{
+				Point:     geo.Offset(base, brg, 0, 4000+6000*rng.Float64()),
+				TowerCost: 1,
+			})
+		}
+	}
+	out = append(out, Site{Point: b, TowerCost: 1})
+	return out
+}
+
+func baseProblem(budget float64, extras int) Problem {
+	cands := corridorSites(extras)
+	return Problem{
+		Src: 0, Dst: len(cands) - 1,
+		Candidates:   cands,
+		Cost:         DefaultCostModel(),
+		Budget:       budget,
+		StretchBound: 1.05,
+	}
+}
+
+func TestDesignMinimalBudgetIsChain(t *testing.T) {
+	p := baseProblem(1e9, 0)
+	n, err := Design(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimizer skips spine towers where the 100 km link cap allows
+	// — §6's "longer links allow cheaper builds using fewer towers".
+	if len(n.Chain) < 13 || len(n.Chain) > 31 {
+		t.Errorf("chain towers = %d, want 13..31", len(n.Chain))
+	}
+	// Latency close to the c-bound.
+	c := units.CLatency(geo.Distance(sites.CME.Location, sites.NY4.Location))
+	if stretch := n.Latency.Stretch(c); stretch > 1.01 {
+		t.Errorf("designed latency stretch = %v, want < 1.01", stretch)
+	}
+	if n.Chain[0] != p.Src || n.Chain[len(n.Chain)-1] != p.Dst {
+		t.Error("chain endpoints wrong")
+	}
+}
+
+func TestDesignRespectsBudget(t *testing.T) {
+	p := baseProblem(45, 2)
+	n, err := Design(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cost > p.Budget {
+		t.Errorf("cost %.2f exceeds budget %.2f", n.Cost, p.Budget)
+	}
+	// Impossible budget errors.
+	p.Budget = 1
+	if _, err := Design(p); err == nil {
+		t.Error("sub-chain budget should fail")
+	}
+}
+
+func TestDesignAPAGrowsWithBudget(t *testing.T) {
+	// The §6 lesson: spend beyond the chain on redundancy and APA rises
+	// while latency stays put.
+	var prevAPA float64 = -1
+	var chainLatency units.Latency
+	for i, budget := range []float64{42, 50, 70, 100} {
+		p := baseProblem(budget, 2)
+		n, err := Design(p)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		apa := n.APA(p.Src, p.Dst, p.StretchBound)
+		if math.IsNaN(apa) {
+			t.Fatalf("budget %v: APA NaN", budget)
+		}
+		if apa < prevAPA-1e-9 {
+			t.Errorf("APA fell when budget rose: %v -> %v at %v", prevAPA, apa, budget)
+		}
+		prevAPA = apa
+		if i == 0 {
+			chainLatency = n.Latency
+		} else if n.Latency != chainLatency {
+			t.Errorf("primary-path latency changed with budget: %v vs %v",
+				n.Latency, chainLatency)
+		}
+	}
+	if prevAPA <= 0.3 {
+		t.Errorf("largest budget APA = %v, want substantial redundancy", prevAPA)
+	}
+}
+
+func TestDesignAlternateLinksMarked(t *testing.T) {
+	p := baseProblem(100, 2)
+	n, err := Design(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var primary, alternates int
+	for _, l := range n.Links {
+		if l.Alternate {
+			alternates++
+		} else {
+			primary++
+		}
+	}
+	if primary != len(n.Chain)-1 {
+		t.Errorf("primary links = %d, want %d", primary, len(n.Chain)-1)
+	}
+	if alternates == 0 {
+		t.Error("big budget bought no redundancy")
+	}
+}
+
+func TestDesignLinkLengthCap(t *testing.T) {
+	p := baseProblem(1e9, 0)
+	n, err := Design(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range n.Links {
+		if l.LengthM > p.Cost.MaxLinkKM*1000 {
+			t.Errorf("link %d-%d is %.1f km, above the %v km cap",
+				l.From, l.To, l.LengthM/1000, p.Cost.MaxLinkKM)
+		}
+	}
+	// Sparse candidates with a tiny cap are infeasible.
+	p.Cost.MaxLinkKM = 20
+	if _, err := Design(p); err == nil {
+		t.Error("20 km cap over 40 km spacing should be infeasible")
+	}
+}
+
+func TestIncrementalSuperset(t *testing.T) {
+	p := baseProblem(0, 2)
+	stages, err := Incremental(p, []float64{42, 55, 75, 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	key := func(l Link) string {
+		a, b := l.From, l.To
+		if a > b {
+			a, b = b, a
+		}
+		return fmt.Sprintf("%d-%d", a, b)
+	}
+	for i := 1; i < len(stages); i++ {
+		prevLinks := map[string]bool{}
+		for _, l := range stages[i-1].Links {
+			prevLinks[key(l)] = true
+		}
+		for k := range prevLinks {
+			found := false
+			for _, l := range stages[i].Links {
+				if key(l) == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("stage %d dropped link %s from stage %d — teardown!", i, k, i-1)
+			}
+		}
+		if stages[i].Cost < stages[i-1].Cost {
+			t.Errorf("cost fell between stages: %v -> %v", stages[i-1].Cost, stages[i].Cost)
+		}
+		if stages[i].Latency != stages[0].Latency {
+			t.Errorf("stage %d latency changed", i)
+		}
+	}
+	// Descending schedule rejected.
+	if _, err := Incremental(p, []float64{75, 42}); err == nil {
+		t.Error("descending schedule accepted")
+	}
+	if _, err := Incremental(p, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	cands := corridorSites(0)
+	bad := []Problem{
+		{Src: 0, Dst: 0, Candidates: cands, Cost: DefaultCostModel(), Budget: 100},
+		{Src: -1, Dst: 1, Candidates: cands, Cost: DefaultCostModel(), Budget: 100},
+		{Src: 0, Dst: 9999, Candidates: cands, Cost: DefaultCostModel(), Budget: 100},
+	}
+	for _, p := range bad {
+		if _, err := Design(p); err == nil {
+			t.Errorf("invalid problem accepted: %+v endpoints", p.Src)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package entity implements the paper's proposed future work (§2.4, §6):
+// identifying which filing entities jointly operate one physical
+// network. It offers two complementary signals:
+//
+//   - registration clustering: entities sharing an FCC Registration
+//     Number filed by the same registrant;
+//   - complementary-link analysis: pairs of licensees, neither of which
+//     has an end-to-end path alone, whose combined filings do — §2.4's
+//     "evaluating which networks have complementary links that together
+//     form end-end paths".
+package entity
+
+import (
+	"sort"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// ClustersByFRN groups licensee names that share an FCC Registration
+// Number. Only groups with at least two names are returned, sorted
+// internally and by first member.
+func ClustersByFRN(db *uls.Database) [][]string {
+	byFRN := make(map[string]map[string]bool)
+	for _, l := range db.All() {
+		if l.FRN == "" {
+			continue
+		}
+		set := byFRN[l.FRN]
+		if set == nil {
+			set = make(map[string]bool)
+			byFRN[l.FRN] = set
+		}
+		set[l.Licensee] = true
+	}
+	var out [][]string
+	for _, set := range byFRN {
+		if len(set) < 2 {
+			continue
+		}
+		group := make([]string, 0, len(set))
+		for name := range set {
+			group = append(group, name)
+		}
+		sort.Strings(group)
+		out = append(out, group)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ClustersByContact groups licensee names that file under the same
+// contact email address — the §6 signal ("analyzing items like the
+// licensee email addresses"). Only groups with at least two names are
+// returned.
+func ClustersByContact(db *uls.Database) [][]string {
+	byEmail := make(map[string]map[string]bool)
+	for _, l := range db.All() {
+		if l.ContactEmail == "" {
+			continue
+		}
+		set := byEmail[l.ContactEmail]
+		if set == nil {
+			set = make(map[string]bool)
+			byEmail[l.ContactEmail] = set
+		}
+		set[l.Licensee] = true
+	}
+	var out [][]string
+	for _, set := range byEmail {
+		if len(set) < 2 {
+			continue
+		}
+		group := make([]string, 0, len(set))
+		for name := range set {
+			group = append(group, name)
+		}
+		sort.Strings(group)
+		out = append(out, group)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Pair is a complementary licensee pair: neither connected alone, the
+// union connected.
+type Pair struct {
+	A, B string
+	// Latency is the union network's end-to-end latency on the path.
+	Latency units.Latency
+	// TowerCount is the union route's tower count.
+	TowerCount int
+}
+
+// ComplementaryPairs tests every pair among candidates (nil = every
+// licensee in the database): pairs where neither member has an
+// end-to-end route on the path at the date, but their union does.
+// Pairs are returned sorted by (A, B); within a pair A < B.
+func ComplementaryPairs(db *uls.Database, date uls.Date, path sites.Path,
+	candidates []string, opts core.Options) ([]Pair, error) {
+	if candidates == nil {
+		candidates = db.Licensees()
+	}
+	dcs := []sites.DataCenter{path.From, path.To}
+
+	// Precompute per-licensee connectivity; connected licensees cannot
+	// be part of a complementary pair (they are networks already).
+	var loners []string
+	for _, name := range candidates {
+		n, err := core.Reconstruct(db, name, date, dcs, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !n.Connected(path) && len(n.Links) > 0 {
+			loners = append(loners, name)
+		}
+	}
+	sort.Strings(loners)
+
+	var out []Pair
+	for i := 0; i < len(loners); i++ {
+		for j := i + 1; j < len(loners); j++ {
+			u, err := core.ReconstructUnion(db, []string{loners[i], loners[j]},
+				date, dcs, opts)
+			if err != nil {
+				return nil, err
+			}
+			r, ok := u.BestRoute(path)
+			if !ok {
+				continue
+			}
+			out = append(out, Pair{
+				A: loners[i], B: loners[j],
+				Latency:    r.Latency,
+				TowerCount: r.TowerCount,
+			})
+		}
+	}
+	return out, nil
+}

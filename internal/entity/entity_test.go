@@ -1,0 +1,148 @@
+package entity
+
+import (
+	"testing"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+var (
+	corpus   *uls.Database
+	snapshot = uls.NewDate(2020, time.April, 1)
+	pathNY4  = sites.Path{From: sites.CME, To: sites.NY4}
+)
+
+func db(t *testing.T) *uls.Database {
+	t.Helper()
+	if corpus == nil {
+		d, err := synth.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = d
+	}
+	return corpus
+}
+
+func TestClustersByFRN(t *testing.T) {
+	clusters := ClustersByFRN(db(t))
+	var joint []string
+	for _, c := range clusters {
+		for _, name := range c {
+			if name == synth.JointA {
+				joint = c
+			}
+		}
+	}
+	if joint == nil {
+		t.Fatalf("joint pair not clustered; clusters = %v", clusters)
+	}
+	if len(joint) != 2 || joint[0] != synth.JointA || joint[1] != synth.JointB {
+		t.Errorf("joint cluster = %v, want [%s %s]", joint, synth.JointA, synth.JointB)
+	}
+	// The ten single-entity HFT networks must NOT share FRNs.
+	for _, c := range clusters {
+		for _, name := range c {
+			for _, spec := range synth.HFTNetworks() {
+				if spec.JointPartner == "" && name == spec.Name {
+					t.Errorf("%s unexpectedly clustered: %v", name, c)
+				}
+			}
+		}
+	}
+}
+
+func TestClustersByContact(t *testing.T) {
+	clusters := ClustersByContact(db(t))
+	if len(clusters) != 1 {
+		t.Fatalf("contact clusters = %v, want only the joint pair", clusters)
+	}
+	got := clusters[0]
+	if len(got) != 2 || got[0] != synth.JointA || got[1] != synth.JointB {
+		t.Errorf("contact cluster = %v", got)
+	}
+	// Every corpus license carries a contact address.
+	for _, l := range db(t).All() {
+		if l.ContactEmail == "" {
+			t.Fatalf("%s has no contact email", l.CallSign)
+		}
+	}
+}
+
+func TestJointEntitiesDisconnectedAlone(t *testing.T) {
+	opts := core.DefaultOptions()
+	for _, name := range []string{synth.JointA, synth.JointB} {
+		n, err := core.Reconstruct(db(t), name, snapshot, sites.All, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Connected(pathNY4) {
+			t.Errorf("%s should not be connected alone", name)
+		}
+		if len(n.Links) == 0 {
+			t.Errorf("%s has no links at all", name)
+		}
+	}
+}
+
+func TestReconstructUnionConnects(t *testing.T) {
+	u, err := core.ReconstructUnion(db(t), []string{synth.JointA, synth.JointB},
+		snapshot, sites.All, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := u.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("union should be connected")
+	}
+	// Calibrated to 4.055 ms.
+	if ms := r.Latency.Milliseconds(); ms < 4.0549 || ms > 4.0551 {
+		t.Errorf("union latency = %.5f ms, want 4.05500", ms)
+	}
+	if r.TowerCount != 26 {
+		t.Errorf("union towers = %d, want 26", r.TowerCount)
+	}
+	if u.Licensee != synth.JointA+" + "+synth.JointB {
+		t.Errorf("union label = %q", u.Licensee)
+	}
+}
+
+func TestComplementaryPairs(t *testing.T) {
+	pairs, err := ComplementaryPairs(db(t), snapshot, pathNY4, nil, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v, want exactly the joint pair", pairs)
+	}
+	p := pairs[0]
+	if p.A != synth.JointA || p.B != synth.JointB {
+		t.Errorf("pair = %s + %s", p.A, p.B)
+	}
+	if ms := p.Latency.Milliseconds(); ms < 4.05 || ms > 4.06 {
+		t.Errorf("pair latency = %.5f", ms)
+	}
+}
+
+func TestComplementaryPairsSubset(t *testing.T) {
+	// Restricting candidates to names without the partner finds nothing.
+	pairs, err := ComplementaryPairs(db(t), snapshot, pathNY4,
+		[]string{synth.JointA, "Great Lakes Relay"}, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Errorf("pairs = %+v, want none", pairs)
+	}
+}
+
+func TestReconstructUnionValidation(t *testing.T) {
+	if _, err := core.ReconstructUnion(db(t), nil, snapshot, sites.All,
+		core.DefaultOptions()); err == nil {
+		t.Error("empty licensee list accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package fresnel_test
+
+import (
+	"testing"
+
+	"hftnetview/internal/fresnel"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/terrain"
+)
+
+// TestCorpusLinksAreLoSFeasible ties the physics to the corpus: every
+// generated license's hop must clear the synthetic terrain — Earth
+// bulge, ridges, and 0.6 F1 at 6 GHz — with its filed tower heights;
+// otherwise the synthetic corridor would be unbuildable.
+func TestCorpusLinksAreLoSFeasible(t *testing.T) {
+	db, err := synth.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, infeasible := 0, 0
+	maxHeight := 0.0
+	for _, l := range db.All() {
+		for _, lk := range l.Links() {
+			prof := fresnel.NewPathProfile(lk.TX.Point, lk.RX.Point,
+				terrain.Elevation, 12)
+			if !prof.Feasible(lk.TX.SupportHeight, lk.RX.SupportHeight,
+				6, fresnel.StandardK) {
+				infeasible++
+				if infeasible <= 5 {
+					t.Errorf("%s: %.1f km link with %.0f/%.0f m towers does not clear terrain",
+						l.CallSign, lk.LengthMeters()/1000,
+						lk.TX.SupportHeight, lk.RX.SupportHeight)
+				}
+			}
+			if lk.TX.SupportHeight > maxHeight {
+				maxHeight = lk.TX.SupportHeight
+			}
+			checked++
+		}
+	}
+	if infeasible > 0 {
+		t.Fatalf("%d of %d links infeasible", infeasible, checked)
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d links checked", checked)
+	}
+	// Filed structures stay within real-world mast heights.
+	if maxHeight > 480 {
+		t.Errorf("max filed height %.0f m implausible", maxHeight)
+	}
+}
+
+// TestTerrainActuallyConstrains: over the Appalachian belt, terrain must
+// force some towers above the smooth-Earth minimum — otherwise the
+// terrain model is decorative.
+func TestTerrainActuallyConstrains(t *testing.T) {
+	db, err := synth.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised := 0
+	for _, l := range db.All() {
+		for _, lk := range l.Links() {
+			flat := fresnel.MinAntennaHeight(lk.LengthMeters(), 6, fresnel.StandardK)
+			prof := fresnel.NewPathProfile(lk.TX.Point, lk.RX.Point,
+				terrain.Elevation, 12)
+			req := prof.RequiredEqualHeight(6, fresnel.StandardK, 420)
+			if req > flat+15 {
+				raised++
+			}
+		}
+	}
+	if raised < 20 {
+		t.Errorf("terrain raised only %d links; ridges should matter", raised)
+	}
+}

@@ -1,0 +1,95 @@
+// Package fresnel implements microwave line-of-sight feasibility: first
+// Fresnel zone clearance and k-factor Earth-bulge, the physics that
+// forces the tall towers the paper's licenses record. The §6 tradeoff —
+// "longer links allow cheaper builds using fewer towers, but are also
+// less reliable" — has a sibling constraint: longer links also need
+// taller towers to clear the Earth's curvature.
+package fresnel
+
+import "math"
+
+// StandardK is the median effective Earth-radius factor (4/3) used for
+// microwave path design.
+const StandardK = 4.0 / 3.0
+
+// earthRadiusM is the mean Earth radius used for bulge computation.
+const earthRadiusM = 6371008.8
+
+// FirstZoneRadius returns the first Fresnel zone radius in meters at a
+// point d1 meters from one end and d2 from the other, for a carrier at
+// freqGHz. (F1 = 17.32·√(d1·d2/(f·d)) with distances in km.)
+func FirstZoneRadius(d1M, d2M, freqGHz float64) float64 {
+	if d1M <= 0 || d2M <= 0 || freqGHz <= 0 {
+		return 0
+	}
+	d1, d2 := d1M/1000, d2M/1000
+	return 17.32 * math.Sqrt(d1*d2/(freqGHz*(d1+d2)))
+}
+
+// EarthBulge returns the effective Earth bulge in meters at a point d1/d2
+// meters from the ends, under effective-radius factor k.
+func EarthBulge(d1M, d2M, k float64) float64 {
+	if d1M <= 0 || d2M <= 0 {
+		return 0
+	}
+	if k <= 0 {
+		k = StandardK
+	}
+	return d1M * d2M / (2 * k * earthRadiusM)
+}
+
+// ClearanceRule is the fraction of the first Fresnel zone that must stay
+// unobstructed; 0.6 F1 is the standard fixed-link design rule.
+const ClearanceRule = 0.6
+
+// RequiredClearance returns the height in meters the radio path must
+// clear above smooth terrain at a point: Earth bulge plus 0.6 F1.
+func RequiredClearance(d1M, d2M, freqGHz, k float64) float64 {
+	return EarthBulge(d1M, d2M, k) + ClearanceRule*FirstZoneRadius(d1M, d2M, freqGHz)
+}
+
+// MinAntennaHeight returns the minimum equal antenna height (meters
+// above smooth terrain) for a link of pathM meters at freqGHz: with
+// equal heights the worst point is mid-path, where the straight ray sits
+// at antenna height.
+func MinAntennaHeight(pathM, freqGHz, k float64) float64 {
+	return RequiredClearance(pathM/2, pathM/2, freqGHz, k)
+}
+
+// feasibilitySamples is the along-path sampling density of LinkFeasible.
+const feasibilitySamples = 32
+
+// LinkFeasible reports whether a link of pathM meters with antenna
+// heights hTxM and hRxM (above smooth terrain) maintains 0.6 F1
+// clearance along its whole length at freqGHz under k-factor k.
+func LinkFeasible(hTxM, hRxM, pathM, freqGHz, k float64) bool {
+	if pathM <= 0 {
+		return true
+	}
+	for i := 1; i < feasibilitySamples; i++ {
+		d1 := pathM * float64(i) / feasibilitySamples
+		d2 := pathM - d1
+		rayHeight := hTxM + (hRxM-hTxM)*d1/pathM
+		if rayHeight < RequiredClearance(d1, d2, freqGHz, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxPathForHeights returns the longest feasible link (meters) for equal
+// antenna heights hM at freqGHz under k, found by bisection. It answers
+// the §6 build-cost question directly: given h-meter towers, how far
+// apart can they stand?
+func MaxPathForHeights(hM, freqGHz, k float64) float64 {
+	lo, hi := 0.0, 500e3
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if LinkFeasible(hM, hM, mid, freqGHz, k) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,125 @@
+package fresnel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstZoneRadiusKnownValues(t *testing.T) {
+	// Mid-path of a 50 km link at 6 GHz:
+	// F1 = 17.32·√(25·25/(6·50)) = 17.32·√2.0833 ≈ 25.0 m.
+	if got := FirstZoneRadius(25e3, 25e3, 6); math.Abs(got-25.0) > 0.1 {
+		t.Errorf("F1(25, 25, 6 GHz) = %.2f, want ≈25.0", got)
+	}
+	// Higher frequency → smaller zone.
+	if FirstZoneRadius(25e3, 25e3, 11) >= FirstZoneRadius(25e3, 25e3, 6) {
+		t.Error("F1 should shrink with frequency")
+	}
+	// Degenerate inputs.
+	if FirstZoneRadius(0, 25e3, 6) != 0 || FirstZoneRadius(25e3, 25e3, 0) != 0 {
+		t.Error("degenerate F1 should be 0")
+	}
+}
+
+func TestEarthBulgeKnownValues(t *testing.T) {
+	// Mid-path of a 56 km link, k = 4/3:
+	// h = 28e3²/(2·(4/3)·6371e3) ≈ 46.2 m.
+	if got := EarthBulge(28e3, 28e3, StandardK); math.Abs(got-46.2) > 0.5 {
+		t.Errorf("bulge(28/28, 4/3) = %.1f, want ≈46.2", got)
+	}
+	// Sub-refractive conditions (k < 1) raise the bulge.
+	if EarthBulge(28e3, 28e3, 0.8) <= EarthBulge(28e3, 28e3, StandardK) {
+		t.Error("smaller k should raise the bulge")
+	}
+	// k <= 0 falls back to the standard factor.
+	if EarthBulge(28e3, 28e3, 0) != EarthBulge(28e3, 28e3, StandardK) {
+		t.Error("k fallback missing")
+	}
+}
+
+func TestBulgeSymmetryAndPeak(t *testing.T) {
+	f := func(aKM, bKM float64) bool {
+		a := math.Mod(math.Abs(aKM), 50) * 1000
+		b := math.Mod(math.Abs(bKM), 50) * 1000
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(EarthBulge(a, b, StandardK)-EarthBulge(b, a, StandardK)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// The bulge peaks mid-path.
+	total := 50e3
+	mid := EarthBulge(total/2, total/2, StandardK)
+	for _, frac := range []float64{0.1, 0.25, 0.4} {
+		d1 := total * frac
+		if EarthBulge(d1, total-d1, StandardK) >= mid {
+			t.Errorf("bulge at %.0f%% not below mid-path", frac*100)
+		}
+	}
+}
+
+func TestMinAntennaHeightCorridorScale(t *testing.T) {
+	// The numbers that make 50 km corridor hops need ~60 m towers.
+	h6 := MinAntennaHeight(56e3, 6, StandardK)
+	if h6 < 55 || h6 > 70 {
+		t.Errorf("min height 56 km @ 6 GHz = %.1f m, want ≈62", h6)
+	}
+	h11 := MinAntennaHeight(56e3, 11, StandardK)
+	if h11 >= h6 {
+		t.Error("11 GHz needs less Fresnel clearance than 6 GHz")
+	}
+	// Short rungs barely need height.
+	if h := MinAntennaHeight(3e3, 6, StandardK); h > 10 {
+		t.Errorf("3 km rung min height = %.1f m, want < 10", h)
+	}
+}
+
+func TestLinkFeasible(t *testing.T) {
+	// 56 km at 6 GHz with 65 m towers: feasible.
+	if !LinkFeasible(65, 65, 56e3, 6, StandardK) {
+		t.Error("65 m towers should clear 56 km at 6 GHz")
+	}
+	// With 40 m towers: infeasible.
+	if LinkFeasible(40, 40, 56e3, 6, StandardK) {
+		t.Error("40 m towers should not clear 56 km at 6 GHz")
+	}
+	// Asymmetric heights: a tall end can lift the ray over the worst
+	// point of a shorter link.
+	if !LinkFeasible(120, 60, 50e3, 6, StandardK) {
+		t.Error("120/60 m should clear 50 km")
+	}
+	if LinkFeasible(0, 0, 30e3, 6, StandardK) {
+		t.Error("ground-level antennas cannot clear 30 km")
+	}
+	if !LinkFeasible(10, 10, 0, 6, StandardK) {
+		t.Error("zero-length path is trivially feasible")
+	}
+}
+
+func TestMaxPathForHeights(t *testing.T) {
+	// Monotone in height.
+	prev := 0.0
+	for _, h := range []float64{20, 40, 65, 100, 150} {
+		d := MaxPathForHeights(h, 6, StandardK)
+		if d <= prev {
+			t.Errorf("max path not monotone at h=%v", h)
+		}
+		prev = d
+	}
+	// 65 m at 6 GHz reaches at least the corridor's 56 km hops but not
+	// the paper's 100 km "too inefficient" bound.
+	d := MaxPathForHeights(65, 6, StandardK)
+	if d < 56e3 || d > 100e3 {
+		t.Errorf("max path for 65 m towers = %.1f km, want 56-100", d/1000)
+	}
+	// Consistency with LinkFeasible at the boundary.
+	if !LinkFeasible(65, 65, d-10, 6, StandardK) {
+		t.Error("just under the max should be feasible")
+	}
+	if LinkFeasible(65, 65, d+100, 6, StandardK) {
+		t.Error("just over the max should be infeasible")
+	}
+}

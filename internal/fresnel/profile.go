@@ -1,0 +1,78 @@
+package fresnel
+
+import "hftnetview/internal/geo"
+
+// PathProfile is a precomputed terrain profile of one link, ready for
+// repeated clearance queries (the bisection in RequiredEqualHeight asks
+// many times).
+type PathProfile struct {
+	// TotalM is the link length.
+	TotalM float64
+	// DistM[i] is the along-path distance of interior sample i; ElevM[i]
+	// its terrain elevation (meters ASL).
+	DistM []float64
+	ElevM []float64
+	// ElevA and ElevB are the terrain elevations at the endpoints.
+	ElevA, ElevB float64
+}
+
+// NewPathProfile samples the terrain along a→b at n interior points
+// using the supplied elevation model.
+func NewPathProfile(a, b geo.Point, elev func(geo.Point) float64, n int) PathProfile {
+	p := PathProfile{
+		TotalM: geo.Distance(a, b),
+		DistM:  make([]float64, n),
+		ElevM:  make([]float64, n),
+		ElevA:  elev(a),
+		ElevB:  elev(b),
+	}
+	for i := 0; i < n; i++ {
+		t := (float64(i) + 0.5) / float64(n)
+		p.DistM[i] = p.TotalM * t
+		p.ElevM[i] = elev(geo.Interpolate(a, b, t))
+	}
+	return p
+}
+
+// Feasible reports whether antennas at hA and hB meters above their
+// ground clear terrain plus Earth bulge plus 0.6 F1 along the whole
+// profile at freqGHz under k-factor k.
+func (p PathProfile) Feasible(hA, hB, freqGHz, k float64) bool {
+	if p.TotalM <= 0 {
+		return true
+	}
+	endA := p.ElevA + hA
+	endB := p.ElevB + hB
+	for i, d1 := range p.DistM {
+		d2 := p.TotalM - d1
+		ray := endA + (endB-endA)*d1/p.TotalM
+		need := p.ElevM[i] + RequiredClearance(d1, d2, freqGHz, k)
+		if ray < need {
+			return false
+		}
+	}
+	return true
+}
+
+// RequiredEqualHeight returns the minimum equal antenna height (meters
+// above ground at each end) that makes the profile feasible, by
+// bisection up to maxH. When even maxH does not clear (a ridge towers
+// over both ends), maxH is returned.
+func (p PathProfile) RequiredEqualHeight(freqGHz, k, maxH float64) float64 {
+	if p.Feasible(0, 0, freqGHz, k) {
+		return 0
+	}
+	if !p.Feasible(maxH, maxH, freqGHz, k) {
+		return maxH
+	}
+	lo, hi := 0.0, maxH
+	for i := 0; i < 24; i++ {
+		mid := (lo + hi) / 2
+		if p.Feasible(mid, mid, freqGHz, k) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

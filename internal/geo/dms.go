@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FCC ULS location records carry coordinates as separate degree, minute,
+// second and hemisphere-direction fields (e.g. 41° 47' 52.3" N). This file
+// converts between that representation and decimal degrees.
+
+// DMS is a coordinate component in degrees-minutes-seconds form as stored
+// in ULS `LO` records.
+type DMS struct {
+	Degrees   int
+	Minutes   int
+	Seconds   float64
+	Direction byte // 'N', 'S', 'E' or 'W'
+}
+
+// Decimal converts the component to signed decimal degrees. South and west
+// are negative.
+func (d DMS) Decimal() float64 {
+	v := float64(d.Degrees) + float64(d.Minutes)/60 + d.Seconds/3600
+	if d.Direction == 'S' || d.Direction == 'W' {
+		v = -v
+	}
+	return v
+}
+
+// Valid reports whether the component is a legal latitude (N/S) or
+// longitude (E/W).
+func (d DMS) Valid() bool {
+	if d.Degrees < 0 || d.Minutes < 0 || d.Minutes >= 60 ||
+		d.Seconds < 0 || d.Seconds >= 60 {
+		return false
+	}
+	switch d.Direction {
+	case 'N', 'S':
+		return d.Degrees <= 90
+	case 'E', 'W':
+		return d.Degrees <= 180
+	}
+	return false
+}
+
+// String renders the component in the compact form used by the simulated
+// portal's detail pages, e.g. "41-47-52.3 N".
+func (d DMS) String() string {
+	return fmt.Sprintf("%d-%02d-%04.1f %c", d.Degrees, d.Minutes, d.Seconds, d.Direction)
+}
+
+// ToDMS converts decimal degrees to DMS. isLat selects the hemisphere
+// letters (N/S vs E/W). Seconds are kept at 0.1" resolution (≈3 m), the
+// precision ULS records carry.
+func ToDMS(decimal float64, isLat bool) DMS {
+	dir := byte('N')
+	if isLat {
+		if decimal < 0 {
+			dir = 'S'
+		}
+	} else {
+		dir = 'E'
+		if decimal < 0 {
+			dir = 'W'
+		}
+	}
+	v := decimal
+	if v < 0 {
+		v = -v
+	}
+	deg := int(v)
+	rem := (v - float64(deg)) * 60
+	min := int(rem)
+	sec := (rem - float64(min)) * 60
+	// Round to 0.1" and carry.
+	sec = float64(int(sec*10+0.5)) / 10
+	if sec >= 60 {
+		sec -= 60
+		min++
+	}
+	if min >= 60 {
+		min -= 60
+		deg++
+	}
+	return DMS{Degrees: deg, Minutes: min, Seconds: sec, Direction: dir}
+}
+
+// ParseDMS parses the compact "D-M-S.s H" form produced by DMS.String and
+// by the simulated portal. It also accepts the space-separated
+// "D M S.s H" variant.
+func ParseDMS(s string) (DMS, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DMS{}, fmt.Errorf("geo: empty DMS string")
+	}
+	dir := s[len(s)-1]
+	body := strings.TrimSpace(s[:len(s)-1])
+	var parts []string
+	if strings.Contains(body, "-") {
+		parts = strings.Split(body, "-")
+	} else {
+		parts = strings.Fields(body)
+	}
+	if len(parts) != 3 {
+		return DMS{}, fmt.Errorf("geo: malformed DMS %q", s)
+	}
+	deg, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return DMS{}, fmt.Errorf("geo: bad degrees in %q: %v", s, err)
+	}
+	min, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return DMS{}, fmt.Errorf("geo: bad minutes in %q: %v", s, err)
+	}
+	sec, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		return DMS{}, fmt.Errorf("geo: bad seconds in %q: %v", s, err)
+	}
+	d := DMS{Degrees: deg, Minutes: min, Seconds: sec, Direction: dir}
+	if !d.Valid() {
+		return DMS{}, fmt.Errorf("geo: out-of-range DMS %q", s)
+	}
+	return d, nil
+}
+
+// PointToDMS converts a Point to its latitude and longitude DMS components.
+func PointToDMS(p Point) (lat, lon DMS) {
+	return ToDMS(p.Lat, true), ToDMS(p.Lon, false)
+}
+
+// PointFromDMS builds a Point from latitude and longitude DMS components.
+func PointFromDMS(lat, lon DMS) (Point, error) {
+	if !lat.Valid() || lat.Direction == 'E' || lat.Direction == 'W' {
+		return Point{}, fmt.Errorf("geo: invalid latitude %v", lat)
+	}
+	if !lon.Valid() || lon.Direction == 'N' || lon.Direction == 'S' {
+		return Point{}, fmt.Errorf("geo: invalid longitude %v", lon)
+	}
+	return Point{Lat: lat.Decimal(), Lon: lon.Decimal()}, nil
+}

@@ -1,0 +1,155 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDMSDecimal(t *testing.T) {
+	tests := []struct {
+		dms  DMS
+		want float64
+	}{
+		{DMS{41, 47, 45.0, 'N'}, 41.795833},
+		{DMS{88, 14, 33.0, 'W'}, -88.2425},
+		{DMS{0, 0, 0, 'N'}, 0},
+		{DMS{33, 52, 7.7, 'S'}, -33.868806},
+		{DMS{151, 12, 33.5, 'E'}, 151.209306},
+	}
+	for _, tt := range tests {
+		if got := tt.dms.Decimal(); math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("%v.Decimal() = %v, want %v", tt.dms, got, tt.want)
+		}
+	}
+}
+
+func TestToDMSRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		lat := math.Mod(raw, 90)
+		d := ToDMS(lat, true)
+		if !d.Valid() {
+			return false
+		}
+		// 0.1" resolution is ~2.8e-5 degrees.
+		return math.Abs(d.Decimal()-lat) < 5e-5
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+	g := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		lon := math.Mod(raw, 180)
+		d := ToDMS(lon, false)
+		return d.Valid() && math.Abs(d.Decimal()-lon) < 5e-5
+	}
+	if err := quick.Check(g, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToDMSCarry(t *testing.T) {
+	// 41.9999999 should carry seconds → minutes → degrees cleanly.
+	d := ToDMS(41.9999999, true)
+	if !d.Valid() {
+		t.Fatalf("carry produced invalid DMS: %+v", d)
+	}
+	if math.Abs(d.Decimal()-42.0) > 5e-5 {
+		t.Errorf("carry: got %v, want ≈42", d.Decimal())
+	}
+}
+
+func TestParseDMS(t *testing.T) {
+	good := []struct {
+		in   string
+		want float64
+	}{
+		{"41-47-45.0 N", 41.795833},
+		{"88-14-33.0 W", -88.2425},
+		{"41 47 45.0 N", 41.795833},
+		{" 0-00-00.0 N", 0},
+		{"179-59-59.9 E", 179.999972},
+	}
+	for _, tt := range good {
+		d, err := ParseDMS(tt.in)
+		if err != nil {
+			t.Errorf("ParseDMS(%q) error: %v", tt.in, err)
+			continue
+		}
+		if math.Abs(d.Decimal()-tt.want) > 1e-4 {
+			t.Errorf("ParseDMS(%q) = %v, want %v", tt.in, d.Decimal(), tt.want)
+		}
+	}
+	bad := []string{
+		"", "N", "41-47 N", "41-47-45.0-3 N", "x-47-45.0 N",
+		"41-xx-45.0 N", "41-47-zz N", "91-00-00.0 N", "41-60-00.0 N",
+		"41-47-60.0 N", "181-00-00.0 E", "41-47-45.0 Q",
+	}
+	for _, in := range bad {
+		if _, err := ParseDMS(in); err == nil {
+			t.Errorf("ParseDMS(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseDMSStringRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		lat := math.Mod(raw, 90)
+		d := ToDMS(lat, true)
+		parsed, err := ParseDMS(d.String())
+		return err == nil && parsed == d
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointDMSRoundTrip(t *testing.T) {
+	for _, p := range []Point{cme, ny4, nyse, nasdaq, sydney, santiago} {
+		lat, lon := PointToDMS(p)
+		got, err := PointFromDMS(lat, lon)
+		if err != nil {
+			t.Fatalf("PointFromDMS(%v): %v", p, err)
+		}
+		if Distance(got, p) > 5 { // 0.1" ≈ 3 m
+			t.Errorf("DMS round trip moved %v by %.1f m", p, Distance(got, p))
+		}
+	}
+}
+
+func TestPointFromDMSRejectsSwappedAxes(t *testing.T) {
+	lat, lon := PointToDMS(cme)
+	if _, err := PointFromDMS(lon, lat); err == nil {
+		t.Error("PointFromDMS accepted swapped lat/lon")
+	}
+	if _, err := PointFromDMS(lat, lat); err == nil {
+		t.Error("PointFromDMS accepted latitude as longitude")
+	}
+}
+
+func TestDMSValid(t *testing.T) {
+	invalid := []DMS{
+		{-1, 0, 0, 'N'}, {0, -1, 0, 'N'}, {0, 60, 0, 'N'},
+		{0, 0, -0.1, 'N'}, {0, 0, 60, 'N'}, {91, 0, 0, 'N'},
+		{181, 0, 0, 'E'}, {0, 0, 0, 'Z'},
+	}
+	for _, d := range invalid {
+		if d.Valid() {
+			t.Errorf("%+v should be invalid", d)
+		}
+	}
+	if !(DMS{90, 0, 0, 'S'}).Valid() {
+		t.Error("90-00-00 S should be valid")
+	}
+	if !(DMS{180, 0, 0, 'W'}).Valid() {
+		t.Error("180-00-00 W should be valid")
+	}
+}

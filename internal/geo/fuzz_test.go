@@ -1,0 +1,33 @@
+package geo
+
+import "testing"
+
+// FuzzParseDMS asserts the DMS parser never panics and accepted values
+// re-render losslessly.
+func FuzzParseDMS(f *testing.F) {
+	for _, s := range []string{
+		"", "41-47-45.0 N", "88-14-33.0 W", "41 47 45.0 N", "0-00-00.0 N",
+		"179-59-59.9 E", "91-00-00.0 N", "x-47-45.0 N", "41-47-45.0 Q",
+		"- - - N", "41-47-45.0  N",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDMS(s)
+		if err != nil {
+			return
+		}
+		if !d.Valid() {
+			t.Fatalf("ParseDMS(%q) accepted invalid DMS %+v", s, d)
+		}
+		back, err := ParseDMS(d.String())
+		if err != nil {
+			t.Fatalf("rendered DMS %q failed to parse: %v", d.String(), err)
+		}
+		// The canonical rendering is 0.1" resolution, so compare there.
+		if back.Degrees != d.Degrees || back.Minutes != d.Minutes ||
+			back.Direction != d.Direction {
+			t.Fatalf("round trip changed %+v to %+v", d, back)
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package geo provides the geodesy substrate used throughout HFTNetView:
+// great-circle and ellipsoidal distance computation on the WGS84 Earth
+// model, bearings, destination points, cross-track distances, and parsing
+// of coordinates in the degrees-minutes-seconds form used by FCC ULS
+// filings.
+//
+// All distances are in meters and all angles at the API boundary are in
+// degrees unless a name says otherwise. Latitude is positive north,
+// longitude positive east (so the Chicago–New Jersey corridor lies at
+// longitudes around -74 to -88).
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WGS84 ellipsoid constants.
+const (
+	// EquatorialRadius is the WGS84 semi-major axis in meters.
+	EquatorialRadius = 6378137.0
+	// PolarRadius is the WGS84 semi-minor axis in meters.
+	PolarRadius = 6356752.314245
+	// Flattening is the WGS84 flattening f = (a-b)/a.
+	Flattening = 1.0 / 298.257223563
+	// MeanRadius is the IUGG mean Earth radius R1 in meters, used by the
+	// spherical (haversine) fallback.
+	MeanRadius = 6371008.8
+)
+
+// Point is a geographic coordinate on the WGS84 ellipsoid.
+type Point struct {
+	Lat float64 // degrees, [-90, 90]
+	Lon float64 // degrees, [-180, 180]
+}
+
+// String renders the point with the ~0.1 m precision the FCC records carry.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether the point lies within the legal lat/lon ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// radians converts degrees to radians.
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// degrees converts radians to degrees.
+func degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Haversine returns the great-circle distance in meters between a and b on
+// a sphere of MeanRadius. It is accurate to ~0.5% against the ellipsoid and
+// is used as a cheap lower bound and as a cross-check for Vincenty.
+func Haversine(a, b Point) float64 {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * MeanRadius * math.Asin(math.Sqrt(h))
+}
+
+// ErrNoConvergence is returned by Distance when the Vincenty iteration
+// fails to converge (nearly antipodal points).
+var ErrNoConvergence = errors.New("geo: vincenty iteration did not converge")
+
+// vincentyInverse solves the geodesic inverse problem on the WGS84
+// ellipsoid, returning distance in meters and the initial and final
+// bearings in radians.
+func vincentyInverse(a, b Point) (dist, alpha1, alpha2 float64, err error) {
+	if a == b {
+		return 0, 0, 0, nil
+	}
+	f := Flattening
+	la := EquatorialRadius
+	lb := PolarRadius
+
+	phi1, phi2 := radians(a.Lat), radians(b.Lat)
+	L := radians(b.Lon - a.Lon)
+	U1 := math.Atan((1 - f) * math.Tan(phi1))
+	U2 := math.Atan((1 - f) * math.Tan(phi2))
+	sinU1, cosU1 := math.Sincos(U1)
+	sinU2, cosU2 := math.Sincos(U2)
+
+	lambda := L
+	var sinLambda, cosLambda, sinSigma, cosSigma, sigma, sinAlpha,
+		cosSqAlpha, cos2SigmaM float64
+	for i := 0; i < 200; i++ {
+		sinLambda, cosLambda = math.Sincos(lambda)
+		t1 := cosU2 * sinLambda
+		t2 := cosU1*sinU2 - sinU1*cosU2*cosLambda
+		sinSigma = math.Sqrt(t1*t1 + t2*t2)
+		if sinSigma == 0 {
+			return 0, 0, 0, nil // coincident points
+		}
+		cosSigma = sinU1*sinU2 + cosU1*cosU2*cosLambda
+		sigma = math.Atan2(sinSigma, cosSigma)
+		sinAlpha = cosU1 * cosU2 * sinLambda / sinSigma
+		cosSqAlpha = 1 - sinAlpha*sinAlpha
+		if cosSqAlpha == 0 {
+			cos2SigmaM = 0 // equatorial line
+		} else {
+			cos2SigmaM = cosSigma - 2*sinU1*sinU2/cosSqAlpha
+		}
+		C := f / 16 * cosSqAlpha * (4 + f*(4-3*cosSqAlpha))
+		lambdaPrev := lambda
+		lambda = L + (1-C)*f*sinAlpha*
+			(sigma+C*sinSigma*(cos2SigmaM+C*cosSigma*(-1+2*cos2SigmaM*cos2SigmaM)))
+		if math.Abs(lambda-lambdaPrev) < 1e-12 {
+			uSq := cosSqAlpha * (la*la - lb*lb) / (lb * lb)
+			A := 1 + uSq/16384*(4096+uSq*(-768+uSq*(320-175*uSq)))
+			B := uSq / 1024 * (256 + uSq*(-128+uSq*(74-47*uSq)))
+			deltaSigma := B * sinSigma * (cos2SigmaM + B/4*
+				(cosSigma*(-1+2*cos2SigmaM*cos2SigmaM)-
+					B/6*cos2SigmaM*(-3+4*sinSigma*sinSigma)*(-3+4*cos2SigmaM*cos2SigmaM)))
+			dist = lb * A * (sigma - deltaSigma)
+			alpha1 = math.Atan2(cosU2*sinLambda, cosU1*sinU2-sinU1*cosU2*cosLambda)
+			alpha2 = math.Atan2(cosU1*sinLambda, -sinU1*cosU2+cosU1*sinU2*cosLambda)
+			return dist, alpha1, alpha2, nil
+		}
+	}
+	return 0, 0, 0, ErrNoConvergence
+}
+
+// Distance returns the geodesic distance in meters between a and b on the
+// WGS84 ellipsoid (Vincenty inverse). For the rare non-convergent
+// near-antipodal case it falls back to the haversine distance; corridor
+// geometry never hits that case.
+func Distance(a, b Point) float64 {
+	d, _, _, err := vincentyInverse(a, b)
+	if err != nil {
+		return Haversine(a, b)
+	}
+	return d
+}
+
+// InitialBearing returns the initial bearing in degrees (clockwise from
+// north, [0, 360)) of the geodesic from a to b.
+func InitialBearing(a, b Point) float64 {
+	_, alpha1, _, err := vincentyInverse(a, b)
+	if err != nil {
+		// Spherical fallback.
+		lat1, lat2 := radians(a.Lat), radians(b.Lat)
+		dLon := radians(b.Lon - a.Lon)
+		y := math.Sin(dLon) * math.Cos(lat2)
+		x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+		alpha1 = math.Atan2(y, x)
+	}
+	deg := degrees(alpha1)
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// Destination solves the geodesic direct problem: the point reached by
+// travelling dist meters from start along the given initial bearing in
+// degrees (Vincenty direct formula on WGS84).
+func Destination(start Point, bearingDeg, dist float64) Point {
+	if dist == 0 {
+		return start
+	}
+	f := Flattening
+	la := EquatorialRadius
+	lb := PolarRadius
+
+	alpha1 := radians(bearingDeg)
+	sinAlpha1, cosAlpha1 := math.Sincos(alpha1)
+	tanU1 := (1 - f) * math.Tan(radians(start.Lat))
+	cosU1 := 1 / math.Sqrt(1+tanU1*tanU1)
+	sinU1 := tanU1 * cosU1
+	sigma1 := math.Atan2(tanU1, cosAlpha1)
+	sinAlpha := cosU1 * sinAlpha1
+	cosSqAlpha := 1 - sinAlpha*sinAlpha
+	uSq := cosSqAlpha * (la*la - lb*lb) / (lb * lb)
+	A := 1 + uSq/16384*(4096+uSq*(-768+uSq*(320-175*uSq)))
+	B := uSq / 1024 * (256 + uSq*(-128+uSq*(74-47*uSq)))
+
+	sigma := dist / (lb * A)
+	var sinSigma, cosSigma, cos2SigmaM float64
+	for i := 0; i < 200; i++ {
+		cos2SigmaM = math.Cos(2*sigma1 + sigma)
+		sinSigma, cosSigma = math.Sincos(sigma)
+		deltaSigma := B * sinSigma * (cos2SigmaM + B/4*
+			(cosSigma*(-1+2*cos2SigmaM*cos2SigmaM)-
+				B/6*cos2SigmaM*(-3+4*sinSigma*sinSigma)*(-3+4*cos2SigmaM*cos2SigmaM)))
+		sigmaPrev := sigma
+		sigma = dist/(lb*A) + deltaSigma
+		if math.Abs(sigma-sigmaPrev) < 1e-12 {
+			break
+		}
+	}
+	cos2SigmaM = math.Cos(2*sigma1 + sigma)
+	sinSigma, cosSigma = math.Sincos(sigma)
+
+	tmp := sinU1*sinSigma - cosU1*cosSigma*cosAlpha1
+	phi2 := math.Atan2(sinU1*cosSigma+cosU1*sinSigma*cosAlpha1,
+		(1-f)*math.Sqrt(sinAlpha*sinAlpha+tmp*tmp))
+	lambda := math.Atan2(sinSigma*sinAlpha1,
+		cosU1*cosSigma-sinU1*sinSigma*cosAlpha1)
+	C := f / 16 * cosSqAlpha * (4 + f*(4-3*cosSqAlpha))
+	L := lambda - (1-C)*f*sinAlpha*
+		(sigma+C*sinSigma*(cos2SigmaM+C*cosSigma*(-1+2*cos2SigmaM*cos2SigmaM)))
+	lon2 := radians(start.Lon) + L
+
+	return Point{Lat: degrees(phi2), Lon: normalizeLonRad(lon2)}
+}
+
+func normalizeLonRad(lon float64) float64 {
+	deg := degrees(lon)
+	for deg > 180 {
+		deg -= 360
+	}
+	for deg < -180 {
+		deg += 360
+	}
+	return deg
+}
+
+// Interpolate returns the point a fraction t (0..1) of the way along the
+// geodesic from a to b, by solving the direct problem from a.
+func Interpolate(a, b Point, t float64) Point {
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	d := Distance(a, b)
+	return Destination(a, InitialBearing(a, b), d*t)
+}
+
+// Offset returns the point displaced from p by along meters in the
+// direction of bearingDeg and lateral meters perpendicular to it
+// (positive lateral = 90° clockwise from the bearing). It is the primitive
+// the synthetic corridor generator uses to jitter towers off a geodesic.
+func Offset(p Point, bearingDeg, along, lateral float64) Point {
+	q := p
+	if along != 0 {
+		q = Destination(q, bearingDeg, along)
+	}
+	if lateral != 0 {
+		q = Destination(q, math.Mod(bearingDeg+90, 360), lateral)
+	}
+	return q
+}
+
+// CrossTrack returns the (unsigned) cross-track distance in meters of
+// point p from the great circle through a and b, using the spherical
+// approximation, which is accurate to well under 1% at corridor scales.
+func CrossTrack(a, b, p Point) float64 {
+	d13 := Haversine(a, p) / MeanRadius
+	theta13 := radians(InitialBearing(a, p))
+	theta12 := radians(InitialBearing(a, b))
+	dxt := math.Asin(math.Sin(d13) * math.Sin(theta13-theta12))
+	return math.Abs(dxt * MeanRadius)
+}
+
+// PathLength returns the total geodesic length in meters of the polyline
+// through pts. A polyline with fewer than two points has length 0.
+func PathLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += Distance(pts[i-1], pts[i])
+	}
+	return total
+}
+
+// Midpoint returns the geodesic midpoint of a and b.
+func Midpoint(a, b Point) Point { return Interpolate(a, b, 0.5) }

@@ -1,0 +1,269 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Known data-center coordinates used throughout the reproduction.
+var (
+	cme      = Point{Lat: 41.7625, Lon: -88.2030}   // CME Aurora, IL (calibrated)
+	ny4      = Point{Lat: 40.7770, Lon: -74.093036} // Equinix NY4 Secaucus, NJ
+	nyse     = Point{Lat: 41.0722, Lon: -74.174623} // NYSE Mahwah, NJ
+	nasdaq   = Point{Lat: 40.5837, Lon: -74.260104} // NASDAQ Carteret, NJ
+	london   = Point{Lat: 51.5074, Lon: -0.1278}
+	newYork  = Point{Lat: 40.7128, Lon: -74.0060}
+	sydney   = Point{Lat: -33.8688, Lon: 151.2093}
+	santiago = Point{Lat: -33.4489, Lon: -70.6693}
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want float64 // meters
+		tol  float64 // relative tolerance
+	}{
+		// Reference distances computed with Karney's GeographicLib.
+		{"London-NewYork", london, newYork, 5585234, 0.001},
+		{"Sydney-Santiago", sydney, santiago, 11369000, 0.002},
+		{"CME-NY4 corridor", cme, ny4, 1186000, 0.001},
+		{"CME-NYSE corridor", cme, nyse, 1174000, 0.001},
+		{"CME-NASDAQ corridor", cme, nasdaq, 1176000, 0.001},
+		{"zero", cme, cme, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Distance(tt.a, tt.b)
+			if tt.want == 0 {
+				if got != 0 {
+					t.Fatalf("Distance = %v, want 0", got)
+				}
+				return
+			}
+			if rel := math.Abs(got-tt.want) / tt.want; rel > tt.tol {
+				t.Errorf("Distance = %.0f m, want %.0f m (rel err %.4f > %.4f)",
+					got, tt.want, rel, tt.tol)
+			}
+		})
+	}
+}
+
+func TestHaversineCloseToVincenty(t *testing.T) {
+	d1 := Haversine(cme, ny4)
+	d2 := Distance(cme, ny4)
+	if rel := math.Abs(d1-d2) / d2; rel > 0.006 {
+		t.Errorf("haversine %.0f vs vincenty %.0f differ by %.4f", d1, d2, rel)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := clampPoint(lat1, lon1)
+		b := clampPoint(lat2, lon2)
+		d1 := Distance(a, b)
+		d2 := Distance(b, a)
+		return math.Abs(d1-d2) <= 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegativeAndIdentity(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		p := clampPoint(lat, lon)
+		return Distance(p, p) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+	g := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := clampPoint(lat1, lon1)
+		b := clampPoint(lat2, lon2)
+		return Distance(a, b) >= 0
+	}
+	if err := quick.Check(g, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	// Geodesic distance is a metric; check d(a,c) <= d(a,b)+d(b,c) with a
+	// small numeric slack. Restrict to a hemisphere patch to avoid
+	// antipodal fallback mixing models.
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := patchPoint(lat1, lon1)
+		b := patchPoint(lat2, lon2)
+		c := patchPoint(lat3, lon3)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-3
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	// Destination(a, bearing(a,b), d(a,b)) should land on b.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := patchPoint(lat1, lon1)
+		b := patchPoint(lat2, lon2)
+		if Distance(a, b) < 1 {
+			return true
+		}
+		d := Distance(a, b)
+		brg := InitialBearing(a, b)
+		got := Destination(a, brg, d)
+		return Distance(got, b) < 0.5 // half a meter
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDestinationDistanceConsistency(t *testing.T) {
+	// The point reached by travelling d meters is d meters away.
+	f := func(lat, lon, bearing, distKm float64) bool {
+		p := patchPoint(lat, lon)
+		brg := math.Mod(math.Abs(bearing), 360)
+		d := math.Mod(math.Abs(distKm), 2000) * 1000 // up to 2000 km
+		if d < 1 {
+			return true
+		}
+		q := Destination(p, brg, d)
+		return math.Abs(Distance(p, q)-d) < 0.5
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterpolateEndpointsAndMonotonicity(t *testing.T) {
+	if got := Interpolate(cme, ny4, 0); got != cme {
+		t.Errorf("Interpolate(t=0) = %v, want %v", got, cme)
+	}
+	if got := Interpolate(cme, ny4, 1); got != ny4 {
+		t.Errorf("Interpolate(t=1) = %v, want %v", got, ny4)
+	}
+	total := Distance(cme, ny4)
+	prev := 0.0
+	for _, tfrac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		p := Interpolate(cme, ny4, tfrac)
+		d := Distance(cme, p)
+		if d <= prev {
+			t.Errorf("Interpolate not monotone at t=%v: %v <= %v", tfrac, d, prev)
+		}
+		if math.Abs(d-total*tfrac) > total*0.001 {
+			t.Errorf("Interpolate(t=%v) at %.0f m, want %.0f m", tfrac, d, total*tfrac)
+		}
+		prev = d
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(cme, ny4)
+	d1 := Distance(cme, m)
+	d2 := Distance(m, ny4)
+	if math.Abs(d1-d2) > 1 {
+		t.Errorf("midpoint distances differ: %.1f vs %.1f", d1, d2)
+	}
+}
+
+func TestCrossTrackOnAndOffPath(t *testing.T) {
+	mid := Interpolate(cme, ny4, 0.5)
+	if xt := CrossTrack(cme, ny4, mid); xt > 50 {
+		t.Errorf("cross-track of on-path point = %.1f m, want ~0", xt)
+	}
+	off := Offset(mid, InitialBearing(cme, ny4), 0, 5000)
+	xt := CrossTrack(cme, ny4, off)
+	if math.Abs(xt-5000) > 100 {
+		t.Errorf("cross-track of 5 km offset point = %.1f m, want ≈5000", xt)
+	}
+}
+
+func TestOffsetAlongOnly(t *testing.T) {
+	brg := InitialBearing(cme, ny4)
+	q := Offset(cme, brg, 10000, 0)
+	if d := Distance(cme, q); math.Abs(d-10000) > 1 {
+		t.Errorf("along-only offset distance = %.1f, want 10000", d)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if got := PathLength(nil); got != 0 {
+		t.Errorf("PathLength(nil) = %v", got)
+	}
+	if got := PathLength([]Point{cme}); got != 0 {
+		t.Errorf("PathLength(single) = %v", got)
+	}
+	pts := []Point{cme, Interpolate(cme, ny4, 0.5), ny4}
+	direct := Distance(cme, ny4)
+	got := PathLength(pts)
+	if got < direct-1 {
+		t.Errorf("polyline through midpoint shorter than direct: %v < %v", got, direct)
+	}
+	if got > direct*1.001 {
+		t.Errorf("polyline through on-geodesic midpoint too long: %v vs %v", got, direct)
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	p := Point{Lat: 40, Lon: -88}
+	north := Point{Lat: 41, Lon: -88}
+	east := Point{Lat: 40, Lon: -87}
+	if b := InitialBearing(p, north); math.Abs(b-0) > 0.5 && math.Abs(b-360) > 0.5 {
+		t.Errorf("bearing to north = %v", b)
+	}
+	if b := InitialBearing(p, east); math.Abs(b-90) > 1 {
+		t.Errorf("bearing to east = %v", b)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{0, 0}, {90, 180}, {-90, -180}, cme}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{{91, 0}, {0, 181}, {-91, 0}, {0, -181},
+		{math.NaN(), 0}, {0, math.NaN()}}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+// clampPoint maps arbitrary floats into legal lat/lon space.
+func clampPoint(lat, lon float64) Point {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		lon = 0
+	}
+	lat = math.Mod(lat, 90)
+	lon = math.Mod(lon, 180)
+	return Point{Lat: lat, Lon: lon}
+}
+
+// patchPoint maps arbitrary floats into a mid-latitude patch where
+// geodesics are well-conditioned (no antipodal or polar degeneracies).
+func patchPoint(lat, lon float64) Point {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		lon = 0
+	}
+	return Point{
+		Lat: 25 + math.Mod(math.Abs(lat), 30),  // 25..55 N
+		Lon: -60 - math.Mod(math.Abs(lon), 60), // 60..120 W
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 200}
+}

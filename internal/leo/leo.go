@@ -1,0 +1,147 @@
+// Package leo models low-Earth-orbit satellite relay latency for the
+// paper's Fig 5 / §6 discussion: a string-of-pearls constellation along
+// the great circle between two ground stations, with line-of-sight
+// up/down links and inter-satellite laser links, compared against
+// terrestrial microwave and fiber.
+package leo
+
+import (
+	"fmt"
+	"math"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/units"
+)
+
+// Constellation describes the shell geometry relevant to one path: the
+// orbital altitude and the along-track spacing of satellites. (The
+// cross-track structure of a real constellation is irrelevant for a
+// single great-circle path; the nearest-plane satellites dominate.)
+type Constellation struct {
+	// AltitudeM is the shell altitude above the surface (Starlink's
+	// initial shell is ~550 km; the paper quotes shells as low as
+	// 300 km).
+	AltitudeM float64
+	// SpacingM is the along-track distance between adjacent satellites.
+	// Starlink's 22-satellites-per-plane shells space them ~2,000 km
+	// apart; denser shells shrink this.
+	SpacingM float64
+}
+
+// Starlink550 is the familiar 550 km shell with ~2,000 km along-track
+// spacing.
+func Starlink550() Constellation {
+	return Constellation{AltitudeM: 550e3, SpacingM: 2000e3}
+}
+
+// Breakdown itemizes a satellite path.
+type Breakdown struct {
+	// UplinkM and DownlinkM are the ground-to-satellite slant ranges.
+	UplinkM, DownlinkM float64
+	// ISLM is the total inter-satellite distance.
+	ISLM float64
+	// Hops is the number of inter-satellite links used.
+	Hops int
+	// TotalM is the full path length.
+	TotalM float64
+}
+
+// slantRange returns the line-of-sight distance from a ground point to a
+// satellite at altitude alt whose ground track is groundDist away, over
+// a spherical Earth of radius geo.MeanRadius.
+func slantRange(groundDist, alt float64) float64 {
+	R := geo.MeanRadius
+	theta := groundDist / R
+	rs := R + alt
+	return math.Sqrt(R*R + rs*rs - 2*R*rs*math.Cos(theta))
+}
+
+// chordAtAltitude returns the straight-line distance between two
+// satellites at altitude alt whose ground tracks are groundDist apart.
+func chordAtAltitude(groundDist, alt float64) float64 {
+	rs := geo.MeanRadius + alt
+	theta := groundDist / geo.MeanRadius
+	return 2 * rs * math.Sin(theta/2)
+}
+
+// PathLatency returns the one-way latency of relaying a→b through the
+// constellation, assuming satellites sit along the a→b great circle with
+// the worst-case phase (the first satellite half a spacing away —
+// a conservative, time-averaged placement).
+func (c Constellation) PathLatency(a, b geo.Point) (units.Latency, Breakdown, error) {
+	if c.AltitudeM <= 0 || c.SpacingM <= 0 {
+		return 0, Breakdown{}, fmt.Errorf("leo: invalid constellation %+v", c)
+	}
+	ground := geo.Distance(a, b)
+	var bd Breakdown
+	if ground <= c.SpacingM {
+		// Single-satellite bent pipe over the midpoint region.
+		up := slantRange(ground/2, c.AltitudeM)
+		bd = Breakdown{UplinkM: up, DownlinkM: up, TotalM: 2 * up}
+	} else {
+		// First and last satellites sit half a spacing inside the path;
+		// intermediate hops cover the rest.
+		offset := c.SpacingM / 2
+		bd.UplinkM = slantRange(offset, c.AltitudeM)
+		bd.DownlinkM = slantRange(offset, c.AltitudeM)
+		islGround := ground - 2*offset
+		bd.Hops = int(math.Ceil(islGround / c.SpacingM))
+		if bd.Hops < 1 {
+			bd.Hops = 1
+		}
+		hopGround := islGround / float64(bd.Hops)
+		bd.ISLM = float64(bd.Hops) * chordAtAltitude(hopGround, c.AltitudeM)
+		bd.TotalM = bd.UplinkM + bd.ISLM + bd.DownlinkM
+	}
+	// Space and upper-atmosphere propagation is effectively at c.
+	return units.CLatency(bd.TotalM), bd, nil
+}
+
+// TerrestrialMicrowave returns the one-way latency of a line-of-sight
+// microwave network spanning the a→b geodesic with the given path
+// stretch (1.0 = perfectly straight towers).
+func TerrestrialMicrowave(a, b geo.Point, stretch float64) units.Latency {
+	return units.MicrowaveLatency(geo.Distance(a, b) * stretch)
+}
+
+// Fiber returns the one-way latency of a fiber route with the given
+// stretch over the geodesic (long-haul routes are typically 1.2–2×
+// circuitous, and light in glass runs at 2c/3).
+func Fiber(a, b geo.Point, stretch float64) units.Latency {
+	return units.FiberLatency(geo.Distance(a, b) * stretch)
+}
+
+// Comparison is one row of the Fig 5 analysis.
+type Comparison struct {
+	Label           string
+	GroundKM        float64
+	MicrowaveMS     float64 // NaN when terrestrial MW is infeasible (ocean)
+	FiberMS         float64
+	LEOMS           float64
+	LEOBreakdown    Breakdown
+	MicrowaveViable bool
+}
+
+// Compare evaluates one segment under a constellation, terrestrial MW
+// stretch (ignored when mwViable is false) and fiber stretch.
+func Compare(label string, a, b geo.Point, c Constellation,
+	mwViable bool, mwStretch, fiberStretch float64) (Comparison, error) {
+	leoLat, bd, err := c.PathLatency(a, b)
+	if err != nil {
+		return Comparison{}, err
+	}
+	out := Comparison{
+		Label:           label,
+		GroundKM:        geo.Distance(a, b) / 1000,
+		FiberMS:         Fiber(a, b, fiberStretch).Milliseconds(),
+		LEOMS:           leoLat.Milliseconds(),
+		LEOBreakdown:    bd,
+		MicrowaveViable: mwViable,
+	}
+	if mwViable {
+		out.MicrowaveMS = TerrestrialMicrowave(a, b, mwStretch).Milliseconds()
+	} else {
+		out.MicrowaveMS = math.NaN()
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package leo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+)
+
+var (
+	frankfurt  = geo.Point{Lat: 50.1109, Lon: 8.6821}
+	washington = geo.Point{Lat: 38.9072, Lon: -77.0369}
+	tokyo      = geo.Point{Lat: 35.6762, Lon: 139.6503}
+	newYork    = geo.Point{Lat: 40.7128, Lon: -74.0060}
+)
+
+func TestSlantRange(t *testing.T) {
+	// Satellite directly overhead: slant = altitude.
+	if got := slantRange(0, 550e3); math.Abs(got-550e3) > 1 {
+		t.Errorf("overhead slant = %v, want 550 km", got)
+	}
+	// Slant grows with ground offset.
+	prev := 0.0
+	for _, g := range []float64{0, 100e3, 500e3, 1000e3} {
+		s := slantRange(g, 550e3)
+		if s < prev {
+			t.Errorf("slant not monotone at %v", g)
+		}
+		prev = s
+	}
+	// 750 km offset at 550 km altitude ≈ √(550²+750²) ≈ 931 km
+	// (flat-earth bound; sphere adds a little).
+	if s := slantRange(750e3, 550e3); s < 930e3 || s > 1000e3 {
+		t.Errorf("slant(750, 550) = %v km", s/1000)
+	}
+}
+
+func TestChordAtAltitude(t *testing.T) {
+	if got := chordAtAltitude(0, 550e3); got != 0 {
+		t.Errorf("zero-ground chord = %v", got)
+	}
+	// A chord is shorter than the arc at altitude but longer than the
+	// ground distance for small separations... actually the chord at
+	// altitude exceeds the ground arc by roughly the altitude ratio.
+	g := 2000e3
+	c := chordAtAltitude(g, 550e3)
+	if c < g {
+		t.Errorf("chord %v below ground distance %v", c, g)
+	}
+	arcAtAlt := g * (geo.MeanRadius + 550e3) / geo.MeanRadius
+	if c > arcAtAlt {
+		t.Errorf("chord %v exceeds arc at altitude %v", c, arcAtAlt)
+	}
+}
+
+func TestFig5MicrowaveBeatsLEOOnCorridor(t *testing.T) {
+	// Fig 5: "the overhead of going up and down even a few hundred
+	// kilometers ... will still mean that MW networks provide lower
+	// latency" on Chicago–NJ.
+	cme, ny4 := sites.CME.Location, sites.NY4.Location
+	for _, alt := range []float64{300e3, 550e3, 1100e3} {
+		c := Constellation{AltitudeM: alt, SpacingM: 2000e3}
+		leoLat, _, err := c.PathLatency(cme, ny4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw := TerrestrialMicrowave(cme, ny4, 1.005)
+		if leoLat <= mw {
+			t.Errorf("alt %v km: LEO %v beats MW %v on the corridor",
+				alt/1000, leoLat, mw)
+		}
+	}
+}
+
+func TestFig5LEOBeatsFiberTransatlantic(t *testing.T) {
+	// §6: "for some HFT-relevant segments like Frankfurt–Washington DC,
+	// LEO constellations may offer superior latencies."
+	c := Starlink550()
+	leoLat, bd, err := c.PathLatency(frankfurt, washington)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiber := Fiber(frankfurt, washington, 1.4) // transatlantic cable stretch
+	if leoLat >= fiber {
+		t.Errorf("LEO %v does not beat fiber %v on FRA-IAD", leoLat, fiber)
+	}
+	if bd.Hops < 2 {
+		t.Errorf("transatlantic path used %d ISL hops, want several", bd.Hops)
+	}
+	// Sanity: LEO one-way FRA-IAD in the 22-32 ms range.
+	if ms := leoLat.Milliseconds(); ms < 20 || ms > 35 {
+		t.Errorf("LEO FRA-IAD = %v ms, want 20-35", ms)
+	}
+}
+
+func TestLEOLatencyIncreasesWithAltitude(t *testing.T) {
+	prev := 0.0
+	for _, alt := range []float64{300e3, 550e3, 800e3, 1100e3} {
+		c := Constellation{AltitudeM: alt, SpacingM: 2000e3}
+		l, _, err := c.PathLatency(tokyo, newYork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Milliseconds() <= prev {
+			t.Errorf("latency not increasing at alt %v", alt)
+		}
+		prev = l.Milliseconds()
+	}
+}
+
+func TestSingleSatelliteBentPipe(t *testing.T) {
+	// Endpoints closer than one spacing use a single bent pipe.
+	a := geo.Point{Lat: 41.76, Lon: -88.20}
+	b := geo.Point{Lat: 41.90, Lon: -87.60} // ~52 km
+	c := Starlink550()
+	l, bd, err := c.PathLatency(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Hops != 0 || bd.ISLM != 0 {
+		t.Errorf("short path used ISLs: %+v", bd)
+	}
+	// Up+down ≥ 2× altitude.
+	if bd.TotalM < 2*c.AltitudeM {
+		t.Errorf("bent pipe total %v below 2×altitude", bd.TotalM)
+	}
+	if l.Milliseconds() < 3.6 { // 2×550 km at c ≈ 3.67 ms
+		t.Errorf("bent pipe latency %v suspiciously low", l)
+	}
+}
+
+func TestPathLatencyValidation(t *testing.T) {
+	bad := []Constellation{{}, {AltitudeM: 550e3}, {SpacingM: 1000e3},
+		{AltitudeM: -1, SpacingM: 1000e3}}
+	for _, c := range bad {
+		if _, _, err := c.PathLatency(frankfurt, washington); err == nil {
+			t.Errorf("constellation %+v accepted", c)
+		}
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	f := func(altSeed, spacingSeed uint16) bool {
+		c := Constellation{
+			AltitudeM: 300e3 + float64(altSeed%800)*1e3,
+			SpacingM:  500e3 + float64(spacingSeed%3000)*1e3,
+		}
+		_, bd, err := c.PathLatency(tokyo, newYork)
+		if err != nil {
+			return false
+		}
+		sum := bd.UplinkM + bd.ISLM + bd.DownlinkM
+		return math.Abs(sum-bd.TotalM) < 1 && bd.TotalM > geo.Distance(tokyo, newYork)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cmp, err := Compare("CME-NY4", sites.CME.Location, sites.NY4.Location,
+		Starlink550(), true, 1.005, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.MicrowaveViable || math.IsNaN(cmp.MicrowaveMS) {
+		t.Error("corridor MW should be viable")
+	}
+	if !(cmp.MicrowaveMS < cmp.LEOMS && cmp.MicrowaveMS < cmp.FiberMS) {
+		t.Errorf("corridor: MW %.3f should beat LEO %.3f and fiber %.3f",
+			cmp.MicrowaveMS, cmp.LEOMS, cmp.FiberMS)
+	}
+	ocean, err := Compare("FRA-IAD", frankfurt, washington,
+		Starlink550(), false, 0, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(ocean.MicrowaveMS) {
+		t.Error("oceanic MW should be NaN")
+	}
+	if ocean.LEOMS >= ocean.FiberMS {
+		t.Errorf("FRA-IAD: LEO %.2f should beat fiber %.2f", ocean.LEOMS, ocean.FiberMS)
+	}
+}

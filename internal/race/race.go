@@ -1,0 +1,119 @@
+// Package race models the winner-takes-all latency races that motivate
+// the paper (§1): "the first player to reach the distant financial
+// center reaps all the rewards". It turns latency differences — down to
+// the 0.4 µs gaps of Table 2 — into win probabilities, and evaluates
+// multi-network subscription strategies under weather, quantifying §5's
+// closing speculation that "the most competitive trading firms may even
+// use a combination of both services".
+package race
+
+import (
+	"fmt"
+	"math"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/units"
+)
+
+// WinProbability returns P(A's message arrives before B's) when each
+// side's one-way latency is perturbed by independent zero-mean Gaussian
+// jitter with standard deviation sigma seconds (radio regeneration,
+// serialization, and matching-engine arrival jitter):
+//
+//	P = Φ((latB − latA) / (σ·√2))
+//
+// Equal latencies give 0.5; a lead of a few σ gives near-certainty.
+func WinProbability(latA, latB units.Latency, sigma float64) float64 {
+	if sigma <= 0 {
+		// Deterministic race.
+		switch {
+		case latA < latB:
+			return 1
+		case latA > latB:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	z := (latB.Seconds() - latA.Seconds()) / (sigma * math.Sqrt2)
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Strategy is a firm's connectivity choice: one or more subscribed
+// networks; per scenario the firm uses whichever subscribed network is
+// fastest right now.
+type Strategy struct {
+	Name     string
+	Networks []*core.Network
+}
+
+// EffectiveLatency returns the strategy's best available latency for the
+// path under a storm (fade margin marginDB); ok is false when every
+// subscribed network is disconnected.
+func (s Strategy) EffectiveLatency(path sites.Path, storm radio.Storm, marginDB float64) (units.Latency, bool) {
+	best := units.Latency(math.Inf(1))
+	found := false
+	for _, n := range s.Networks {
+		impact, err := n.RouteUnderStorm(path, storm, marginDB)
+		if err != nil || !impact.Connected {
+			continue
+		}
+		if impact.Route.Latency < best {
+			best = impact.Route.Latency
+			found = true
+		}
+	}
+	return best, found
+}
+
+// SeasonResult summarizes a head-to-head season.
+type SeasonResult struct {
+	// WinShareA is A's expected share of races won over the season.
+	WinShareA float64
+	// Scenarios is the number of weather scenarios evaluated.
+	Scenarios int
+	// AUnavailable and BUnavailable count scenarios where the strategy
+	// had no connected network (its opponent wins those outright; if
+	// both are dark the race is a coin flip).
+	AUnavailable, BUnavailable int
+}
+
+// Season plays a head-to-head between two strategies across a sequence
+// of storm scenarios: per scenario, each strategy races on its best
+// available network with jitter sigma.
+func Season(a, b Strategy, path sites.Path, storms []radio.Storm,
+	marginDB, sigma float64) (SeasonResult, error) {
+	if len(storms) == 0 {
+		return SeasonResult{}, fmt.Errorf("race: empty season")
+	}
+	var res SeasonResult
+	res.Scenarios = len(storms)
+	var total float64
+	for _, storm := range storms {
+		latA, okA := a.EffectiveLatency(path, storm, marginDB)
+		latB, okB := b.EffectiveLatency(path, storm, marginDB)
+		switch {
+		case okA && okB:
+			total += WinProbability(latA, latB, sigma)
+		case okA:
+			res.BUnavailable++
+			total += 1
+		case okB:
+			res.AUnavailable++
+		default:
+			res.AUnavailable++
+			res.BUnavailable++
+			total += 0.5
+		}
+	}
+	res.WinShareA = total / float64(len(storms))
+	return res, nil
+}
+
+// FairWeatherSeason is Season with a single no-storm scenario — the
+// Table 1 world where propagation latency alone decides.
+func FairWeatherSeason(a, b Strategy, path sites.Path, sigma float64) (SeasonResult, error) {
+	return Season(a, b, path, []radio.Storm{{}}, radio.DefaultFadeMarginDB, sigma)
+}

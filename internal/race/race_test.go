@@ -1,0 +1,203 @@
+package race
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+var (
+	corpus   *uls.Database
+	snapshot = uls.NewDate(2020, time.April, 1)
+	pathNY4  = sites.Path{From: sites.CME, To: sites.NY4}
+)
+
+func db(t *testing.T) *uls.Database {
+	t.Helper()
+	if corpus == nil {
+		d, err := synth.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = d
+	}
+	return corpus
+}
+
+func network(t *testing.T, name string) *core.Network {
+	t.Helper()
+	n, err := core.Reconstruct(db(t), name, snapshot, sites.All, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestWinProbabilityBasics(t *testing.T) {
+	l := units.Latency(0.00396)
+	if p := WinProbability(l, l, 1e-6); p != 0.5 {
+		t.Errorf("equal latencies: p = %v, want 0.5", p)
+	}
+	// A 3σ·√2 lead is a near-certain win.
+	lead := units.Latency(3 * math.Sqrt2 * 1e-6)
+	if p := WinProbability(l, l+lead, 1e-6); p < 0.99 {
+		t.Errorf("3σ√2 lead: p = %v, want > 0.99", p)
+	}
+	// Complementarity.
+	a, b := units.Latency(0.00396171), units.Latency(0.00396209)
+	pa := WinProbability(a, b, 0.5e-6)
+	pb := WinProbability(b, a, 0.5e-6)
+	if math.Abs(pa+pb-1) > 1e-12 {
+		t.Errorf("P(A)+P(B) = %v, want 1", pa+pb)
+	}
+	if pa <= 0.5 {
+		t.Errorf("faster side p = %v, want > 0.5", pa)
+	}
+}
+
+func TestWinProbabilityDeterministic(t *testing.T) {
+	a, b := units.Latency(1e-3), units.Latency(2e-3)
+	if WinProbability(a, b, 0) != 1 {
+		t.Error("σ=0: faster side should always win")
+	}
+	if WinProbability(b, a, 0) != 0 {
+		t.Error("σ=0: slower side should always lose")
+	}
+	if WinProbability(a, a, 0) != 0.5 {
+		t.Error("σ=0 tie should be 0.5")
+	}
+}
+
+func TestWinProbabilityMonotoneInGap(t *testing.T) {
+	f := func(gapUS1, gapUS2 float64) bool {
+		g1 := math.Mod(math.Abs(gapUS1), 50)
+		g2 := math.Mod(math.Abs(gapUS2), 50)
+		if math.IsNaN(g1) || math.IsNaN(g2) {
+			return true
+		}
+		if g1 > g2 {
+			g1, g2 = g2, g1
+		}
+		base := units.Latency(0.004)
+		p1 := WinProbability(base, base+units.Latency(g1*1e-6), 1e-6)
+		p2 := WinProbability(base, base+units.Latency(g2*1e-6), 1e-6)
+		return p1 <= p2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWinProbabilityMatchesMonteCarlo cross-checks the closed form.
+func TestWinProbabilityMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 1))
+	latA := units.Latency(0.00396171)
+	latB := units.Latency(0.00396209) // +0.38 µs
+	sigma := 0.5e-6
+	wins := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		a := latA.Seconds() + rng.NormFloat64()*sigma
+		b := latB.Seconds() + rng.NormFloat64()*sigma
+		if a < b {
+			wins++
+		}
+	}
+	mc := float64(wins) / trials
+	closed := WinProbability(latA, latB, sigma)
+	if math.Abs(mc-closed) > 0.005 {
+		t.Errorf("Monte Carlo %v vs closed form %v", mc, closed)
+	}
+	// A 0.38 µs edge at 0.5 µs jitter is worth ~70% of races — the
+	// paper's "sub-microsecond differences matter" in one number.
+	if closed < 0.6 || closed > 0.8 {
+		t.Errorf("NLN-vs-PB edge win rate = %v, want ≈0.70", closed)
+	}
+}
+
+func TestFairWeatherSeasonNLNBeatsWH(t *testing.T) {
+	nln := Strategy{Name: "NLN", Networks: []*core.Network{network(t, synth.NLN)}}
+	wh := Strategy{Name: "WH", Networks: []*core.Network{network(t, synth.WH)}}
+	res, err := FairWeatherSeason(nln, wh, pathNY4, 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9.86 µs lead at 2 µs jitter: near-certain.
+	if res.WinShareA < 0.95 {
+		t.Errorf("fair weather NLN win share = %v, want > 0.95", res.WinShareA)
+	}
+}
+
+func TestStormySeasonCombinationWins(t *testing.T) {
+	// §5: "the most competitive trading firms may even use a combination
+	// of both services to maintain their advantage in varied conditions."
+	nlnNet := network(t, synth.NLN)
+	whNet := network(t, synth.WH)
+	nln := Strategy{Name: "NLN only", Networks: []*core.Network{nlnNet}}
+	wh := Strategy{Name: "WH only", Networks: []*core.Network{whNet}}
+	both := Strategy{Name: "NLN+WH", Networks: []*core.Network{nlnNet, whNet}}
+
+	var storms []radio.Storm
+	for seed := 1; seed <= 20; seed++ {
+		storms = append(storms, radio.GenerateStorm(uint64(seed),
+			sites.CME.Location, sites.NY4.Location, radio.DefaultStormConfig()))
+	}
+	sigma := 2e-6
+	margin := radio.DefaultFadeMarginDB
+
+	vsNLN, err := Season(both, nln, pathNY4, storms, margin, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vsNLN.WinShareA <= 0.5 {
+		t.Errorf("combo vs NLN-only win share = %v, want > 0.5", vsNLN.WinShareA)
+	}
+	vsWH, err := Season(both, wh, pathNY4, storms, margin, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vsWH.WinShareA <= 0.5 {
+		t.Errorf("combo vs WH-only win share = %v, want > 0.5", vsWH.WinShareA)
+	}
+	// NLN-only suffers real downtime across a stormy season.
+	nlnVsWH, err := Season(nln, wh, pathNY4, storms, margin, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nlnVsWH.AUnavailable == 0 {
+		t.Error("NLN should be dark in some storm scenarios")
+	}
+}
+
+func TestSeasonEmpty(t *testing.T) {
+	if _, err := Season(Strategy{}, Strategy{}, pathNY4, nil, 40, 1e-6); err == nil {
+		t.Error("empty season should error")
+	}
+}
+
+func TestEffectiveLatencyPicksFastest(t *testing.T) {
+	nlnNet := network(t, synth.NLN)
+	whNet := network(t, synth.WH)
+	s := Strategy{Name: "both", Networks: []*core.Network{whNet, nlnNet}}
+	lat, ok := s.EffectiveLatency(pathNY4, radio.Storm{}, radio.DefaultFadeMarginDB)
+	if !ok {
+		t.Fatal("clear weather should be available")
+	}
+	// Fair weather: the combo's latency equals NLN's (the faster).
+	if math.Abs(lat.Milliseconds()-3.96171) > 0.00005 {
+		t.Errorf("combo fair latency = %.5f, want NLN's 3.96171", lat.Milliseconds())
+	}
+	empty := Strategy{Name: "none"}
+	if _, ok := empty.EffectiveLatency(pathNY4, radio.Storm{}, 40); ok {
+		t.Error("empty strategy should never be available")
+	}
+}

@@ -1,0 +1,107 @@
+// Package radio models microwave link reliability: rain-induced
+// attenuation in the style of ITU-R P.838 (specific attenuation
+// γ = k·R^α) and P.530 (effective path length), plus a synthetic storm
+// generator for the corridor. The paper (§5) argues that longer links
+// and higher frequencies are more susceptible to weather — this package
+// makes that argument quantitative so the reliability comparison between
+// Webline Holdings and New Line Networks can be simulated end to end.
+package radio
+
+import (
+	"math"
+	"sort"
+)
+
+// p838Row is one frequency row of the k/α regression table
+// (horizontal polarization). Values follow ITU-R P.838-3 to the
+// precision this simulation needs.
+type p838Row struct {
+	freqGHz float64
+	k       float64
+	alpha   float64
+}
+
+var p838Table = []p838Row{
+	{1, 0.0000259, 0.9691},
+	{2, 0.0000847, 1.0664},
+	{4, 0.0006500, 1.1210},
+	{6, 0.0017500, 1.3080},
+	{7, 0.0030100, 1.3320},
+	{8, 0.0045400, 1.3270},
+	{10, 0.0121700, 1.2571},
+	{12, 0.0238600, 1.1825},
+	{15, 0.0448100, 1.1233},
+	{18, 0.0707800, 1.0818},
+	{23, 0.1286000, 1.0214},
+	{30, 0.2403000, 0.9485},
+	{40, 0.4431000, 0.8673},
+}
+
+// coefficients returns the k and α regression coefficients for a
+// frequency, interpolating the table (k in log-log, α linearly in log f),
+// clamped to the table's range.
+func coefficients(freqGHz float64) (k, alpha float64) {
+	t := p838Table
+	if freqGHz <= t[0].freqGHz {
+		return t[0].k, t[0].alpha
+	}
+	if freqGHz >= t[len(t)-1].freqGHz {
+		last := t[len(t)-1]
+		return last.k, last.alpha
+	}
+	i := sort.Search(len(t), func(i int) bool { return t[i].freqGHz >= freqGHz }) - 1
+	lo, hi := t[i], t[i+1]
+	frac := (math.Log(freqGHz) - math.Log(lo.freqGHz)) /
+		(math.Log(hi.freqGHz) - math.Log(lo.freqGHz))
+	k = math.Exp(math.Log(lo.k) + frac*(math.Log(hi.k)-math.Log(lo.k)))
+	alpha = lo.alpha + frac*(hi.alpha-lo.alpha)
+	return k, alpha
+}
+
+// SpecificAttenuation returns the rain attenuation rate γ in dB/km for a
+// carrier frequency (GHz) and rain rate (mm/h), per the P.838 power law
+// γ = k·R^α.
+func SpecificAttenuation(freqGHz, rainRateMMH float64) float64 {
+	if rainRateMMH <= 0 {
+		return 0
+	}
+	k, alpha := coefficients(freqGHz)
+	return k * math.Pow(rainRateMMH, alpha)
+}
+
+// EffectivePathFactor is P.530's path reduction factor r = 1/(1 + d/d0)
+// with d0 = 35·e^(−0.015·R): intense rain cells are small, so long links
+// are only partly inside them.
+func EffectivePathFactor(pathKM, rainRateMMH float64) float64 {
+	r := rainRateMMH
+	if r > 100 {
+		r = 100 // P.530 caps the exponent's rate
+	}
+	d0 := 35 * math.Exp(-0.015*r)
+	return 1 / (1 + pathKM/d0)
+}
+
+// PathAttenuation returns the total rain attenuation in dB over a link of
+// pathKM entirely exposed to rainRateMMH, applying the effective path
+// factor.
+func PathAttenuation(freqGHz, rainRateMMH, pathKM float64) float64 {
+	if pathKM <= 0 {
+		return 0
+	}
+	gamma := SpecificAttenuation(freqGHz, rainRateMMH)
+	return gamma * pathKM * EffectivePathFactor(pathKM, rainRateMMH)
+}
+
+// DefaultFadeMarginDB is a typical engineered fade margin for corridor
+// HFT links. A link is considered down when rain attenuation exceeds its
+// margin.
+const DefaultFadeMarginDB = 40.0
+
+// LinkDown reports whether a link at freqGHz with the given fade margin
+// fails under attenuation attDB.
+func LinkDown(attDB, marginDB float64) bool {
+	if marginDB <= 0 {
+		marginDB = DefaultFadeMarginDB
+	}
+	return attDB > marginDB
+}

@@ -1,0 +1,113 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultipathOutageKnownValue(t *testing.T) {
+	// 50 km at 6 GHz, 40 dB margin, average climate:
+	// P = 6e-7 · 1 · 6 · 125000 · 1e-4 = 4.5e-5.
+	got := MultipathOutageProbability(6, 50, 40, ClimateAverage)
+	if math.Abs(got-4.5e-5) > 1e-9 {
+		t.Errorf("P = %v, want 4.5e-5", got)
+	}
+}
+
+func TestMultipathCubicLengthLaw(t *testing.T) {
+	// Doubling path length raises outage 8x.
+	p1 := MultipathOutageProbability(11, 25, 40, ClimateAverage)
+	p2 := MultipathOutageProbability(11, 50, 40, ClimateAverage)
+	if ratio := p2 / p1; math.Abs(ratio-8) > 1e-9 {
+		t.Errorf("length doubling ratio = %v, want 8", ratio)
+	}
+}
+
+func TestMultipathLinearFrequencyLaw(t *testing.T) {
+	p6 := MultipathOutageProbability(6, 45, 40, ClimateAverage)
+	p11 := MultipathOutageProbability(11, 45, 40, ClimateAverage)
+	if ratio := p11 / p6; math.Abs(ratio-11.0/6.0) > 1e-9 {
+		t.Errorf("frequency ratio = %v, want 11/6", ratio)
+	}
+}
+
+func TestMultipathMarginLaw(t *testing.T) {
+	// Every 10 dB of margin buys 10x outage reduction.
+	p30 := MultipathOutageProbability(11, 45, 30, ClimateAverage)
+	p40 := MultipathOutageProbability(11, 45, 40, ClimateAverage)
+	if ratio := p30 / p40; math.Abs(ratio-10) > 1e-9 {
+		t.Errorf("margin decade ratio = %v, want 10", ratio)
+	}
+}
+
+func TestMultipathEdgeCases(t *testing.T) {
+	if MultipathOutageProbability(11, 0, 40, ClimateAverage) != 0 {
+		t.Error("zero path should have zero outage")
+	}
+	if MultipathOutageProbability(0, 45, 40, ClimateAverage) != 0 {
+		t.Error("zero frequency should have zero outage")
+	}
+	// Absurd margin-free long link clamps to 1.
+	if MultipathOutageProbability(38, 200, 0, ClimateHumid) != 1 {
+		t.Error("deep-fade probability should clamp at 1")
+	}
+	// Zero climate falls back to average.
+	if MultipathOutageProbability(11, 45, 40, 0) !=
+		MultipathOutageProbability(11, 45, 40, ClimateAverage) {
+		t.Error("climate fallback missing")
+	}
+}
+
+func TestMultipathBoundsQuick(t *testing.T) {
+	f := func(fSeed, dSeed, mSeed float64) bool {
+		freq := math.Mod(math.Abs(fSeed), 40)
+		d := math.Mod(math.Abs(dSeed), 120)
+		m := math.Mod(math.Abs(mSeed), 60)
+		if math.IsNaN(freq) || math.IsNaN(d) || math.IsNaN(m) {
+			return true
+		}
+		p := MultipathOutageProbability(freq, d, m, ClimateAverage)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathAvailability(t *testing.T) {
+	// Webline-style: 26 hops of 45.6 km at 6 GHz, vs NLN-style: 24 hops
+	// of 49.4 km at 11 GHz. WH must be more available.
+	wh := make([]Hop, 26)
+	for i := range wh {
+		wh[i] = Hop{FreqGHz: 6, PathKM: 45.6}
+	}
+	nln := make([]Hop, 24)
+	for i := range nln {
+		nln[i] = Hop{FreqGHz: 11, PathKM: 49.4}
+	}
+	aWH := PathAvailability(wh, 40, ClimateAverage)
+	aNLN := PathAvailability(nln, 40, ClimateAverage)
+	if aWH <= aNLN {
+		t.Errorf("WH availability %v not above NLN %v", aWH, aNLN)
+	}
+	if aWH < 0.999 {
+		t.Errorf("corridor availability %v implausibly low", aWH)
+	}
+	if PathAvailability(nil, 40, ClimateAverage) != 1 {
+		t.Error("empty path should be fully available")
+	}
+}
+
+func TestEquivalentHopCountTradeoff(t *testing.T) {
+	// The §6 tradeoff: more towers (shorter hops) → less outage, as
+	// total³/n².
+	p20 := EquivalentHopCountTradeoff(1186, 20, 11, 40, ClimateAverage)
+	p40 := EquivalentHopCountTradeoff(1186, 40, 11, 40, ClimateAverage)
+	if ratio := p20 / p40; math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("doubling towers should quarter outage; ratio = %v", ratio)
+	}
+	if EquivalentHopCountTradeoff(1186, 0, 11, 40, ClimateAverage) != 1 {
+		t.Error("zero hops should be total outage")
+	}
+}

@@ -1,0 +1,249 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hftnetview/internal/geo"
+)
+
+func TestSpecificAttenuationKnownPoints(t *testing.T) {
+	// Table rows must reproduce exactly.
+	cases := []struct {
+		freq, rate, want float64
+		tol              float64
+	}{
+		{10, 1, 0.01217, 1e-6}, // γ = k at R=1
+		{18, 1, 0.07078, 1e-6},
+		{10, 50, 0.01217 * math.Pow(50, 1.2571), 1e-6},
+		{6, 25, 0.00175 * math.Pow(25, 1.308), 1e-6},
+	}
+	for _, c := range cases {
+		if got := SpecificAttenuation(c.freq, c.rate); math.Abs(got-c.want) > c.tol {
+			t.Errorf("γ(%v GHz, %v mm/h) = %v, want %v", c.freq, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestAttenuationMonotoneInFrequency(t *testing.T) {
+	// §5: "higher frequencies are more susceptible to weather
+	// disruptions". γ must grow with frequency at fixed rain rate.
+	for _, rate := range []float64{5, 25, 50, 100} {
+		prev := 0.0
+		for f := 2.0; f <= 38; f += 0.5 {
+			g := SpecificAttenuation(f, rate)
+			if g < prev {
+				t.Fatalf("γ not monotone at %v GHz, %v mm/h: %v < %v", f, rate, g, prev)
+			}
+			prev = g
+		}
+	}
+}
+
+func TestAttenuationMonotoneInRate(t *testing.T) {
+	f := func(r1, r2 float64) bool {
+		a := math.Mod(math.Abs(r1), 150)
+		b := math.Mod(math.Abs(r2), 150)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return SpecificAttenuation(11, a) <= SpecificAttenuation(11, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSixVsElevenGHz(t *testing.T) {
+	// The §5 design tradeoff in numbers: at heavy rain, 11 GHz fades
+	// several times faster than 6 GHz.
+	g6 := SpecificAttenuation(6, 50)
+	g11 := SpecificAttenuation(11, 50)
+	if ratio := g11 / g6; ratio < 3 {
+		t.Errorf("11/6 GHz attenuation ratio at 50 mm/h = %.1f, want > 3", ratio)
+	}
+}
+
+func TestEffectivePathFactor(t *testing.T) {
+	// Short paths are fully exposed; long paths only partially.
+	if f := EffectivePathFactor(1, 50); f < 0.9 {
+		t.Errorf("1 km factor = %v, want ≈1", f)
+	}
+	long := EffectivePathFactor(60, 50)
+	short := EffectivePathFactor(10, 50)
+	if long >= short {
+		t.Errorf("long-path factor %v not below short-path %v", long, short)
+	}
+	if f := EffectivePathFactor(60, 50); f <= 0 || f > 1 {
+		t.Errorf("factor out of range: %v", f)
+	}
+	// Rates above 100 mm/h clamp.
+	if EffectivePathFactor(30, 150) != EffectivePathFactor(30, 100) {
+		t.Error("rate clamp at 100 mm/h missing")
+	}
+}
+
+func TestPathAttenuationEdgeCases(t *testing.T) {
+	if PathAttenuation(11, 0, 50) != 0 {
+		t.Error("no rain should mean no attenuation")
+	}
+	if PathAttenuation(11, 50, 0) != 0 {
+		t.Error("zero-length path should have no attenuation")
+	}
+	if PathAttenuation(11, -5, 50) != 0 {
+		t.Error("negative rain rate should clamp to 0")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	if LinkDown(39.9, 40) {
+		t.Error("attenuation below margin should not fail the link")
+	}
+	if !LinkDown(40.1, 40) {
+		t.Error("attenuation above margin should fail the link")
+	}
+	// Zero margin selects the default.
+	if LinkDown(DefaultFadeMarginDB-1, 0) {
+		t.Error("default margin should apply when margin <= 0")
+	}
+}
+
+func TestGenerateStormDeterministic(t *testing.T) {
+	from := geo.Point{Lat: 41.76, Lon: -88.20}
+	to := geo.Point{Lat: 40.78, Lon: -74.09}
+	a := GenerateStorm(7, from, to, DefaultStormConfig())
+	b := GenerateStorm(7, from, to, DefaultStormConfig())
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("cell counts differ for same seed")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs for same seed", i)
+		}
+	}
+	c := GenerateStorm(8, from, to, DefaultStormConfig())
+	same := true
+	for i := range a.Cells {
+		if a.Cells[i] != c.Cells[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical storms")
+	}
+}
+
+func TestGenerateStormGeometry(t *testing.T) {
+	from := geo.Point{Lat: 41.76, Lon: -88.20}
+	to := geo.Point{Lat: 40.78, Lon: -74.09}
+	cfg := DefaultStormConfig()
+	s := GenerateStorm(42, from, to, cfg)
+	if len(s.Cells) != cfg.Cells {
+		t.Fatalf("cells = %d, want %d", len(s.Cells), cfg.Cells)
+	}
+	for _, c := range s.Cells {
+		if c.RadiusM < cfg.MinRadiusKM*1000 || c.RadiusM > cfg.MaxRadiusKM*1000 {
+			t.Errorf("radius %v out of range", c.RadiusM)
+		}
+		if c.RateMMH < cfg.MinRateMMH || c.RateMMH > cfg.MaxRateMMH {
+			t.Errorf("rate %v out of range", c.RateMMH)
+		}
+		// Cells stay near the corridor.
+		if geo.CrossTrack(from, to, c.Center) > (cfg.LateralKM+1)*1000 {
+			t.Errorf("cell %v too far off corridor", c.Center)
+		}
+	}
+}
+
+func TestLinkAttenuationDryLink(t *testing.T) {
+	storm := Storm{Cells: []Cell{{
+		Center: geo.Point{Lat: 41.0, Lon: -80.0}, RadiusM: 10e3, RateMMH: 80,
+	}}}
+	// A link far from the cell sees nothing.
+	a := geo.Point{Lat: 41.76, Lon: -88.20}
+	b := geo.Point{Lat: 41.70, Lon: -87.80}
+	if att := storm.LinkAttenuation(a, b, 11); att != 0 {
+		t.Errorf("dry link attenuation = %v, want 0", att)
+	}
+	if (Storm{}).LinkAttenuation(a, b, 11) != 0 {
+		t.Error("empty storm should not attenuate")
+	}
+}
+
+func TestLinkAttenuationInsideCell(t *testing.T) {
+	a := geo.Point{Lat: 41.0, Lon: -80.2}
+	b := geo.Point{Lat: 41.0, Lon: -79.9} // ≈25 km link
+	mid := geo.Midpoint(a, b)
+	storm := Storm{Cells: []Cell{{Center: mid, RadiusM: 30e3, RateMMH: 60}}}
+
+	att11 := storm.LinkAttenuation(a, b, 11)
+	att6 := storm.LinkAttenuation(a, b, 6)
+	if att11 <= 0 || att6 <= 0 {
+		t.Fatalf("wet link attenuation = %v / %v, want > 0", att11, att6)
+	}
+	if att11 <= att6 {
+		t.Errorf("11 GHz attenuation %v not above 6 GHz %v", att11, att6)
+	}
+	// Fully-inside-cell link ≈ γ·d (no path-reduction factor: the cell
+	// geometry is explicit).
+	manual := SpecificAttenuation(11, 60) * geo.Distance(a, b) / 1000
+	if rel := math.Abs(att11-manual) / manual; rel > 0.05 {
+		t.Errorf("integrated %v vs closed-form %v differ by %.2f", att11, manual, rel)
+	}
+	// Under a violent cell, an 11 GHz link of this length should exceed
+	// a 40 dB margin while 6 GHz survives — the §5 story.
+	heavy := Storm{Cells: []Cell{{Center: mid, RadiusM: 30e3, RateMMH: 100}}}
+	if !heavy.LinkDownUnderStorm(a, b, 11, 40) {
+		t.Error("11 GHz link should fade out at 100 mm/h")
+	}
+	if heavy.LinkDownUnderStorm(a, b, 6, 40) {
+		t.Error("6 GHz link should survive 100 mm/h")
+	}
+}
+
+func TestLongLinksFadeBeforeShort(t *testing.T) {
+	// §5: longer links are less reliable. Same storm, same frequency:
+	// a 50 km link inside the cell fades before a 15 km one.
+	center := geo.Point{Lat: 41.0, Lon: -80.0}
+	storm := Storm{Cells: []Cell{{Center: center, RadiusM: 40e3, RateMMH: 55}}}
+	brg := 90.0
+	shortA := geo.Destination(center, brg, -7.5e3)
+	shortB := geo.Destination(center, brg, 7.5e3)
+	longA := geo.Destination(center, brg, -25e3)
+	longB := geo.Destination(center, brg, 25e3)
+	attShort := storm.LinkAttenuation(shortA, shortB, 11)
+	attLong := storm.LinkAttenuation(longA, longB, 11)
+	if attLong <= attShort {
+		t.Errorf("long link attenuation %v not above short link %v", attLong, attShort)
+	}
+}
+
+func TestCoefficientsInterpolation(t *testing.T) {
+	// Interpolated values must be bracketed by neighbors.
+	k10, _ := coefficients(10)
+	k12, _ := coefficients(12)
+	k11, a11 := coefficients(11)
+	if !(k10 < k11 && k11 < k12) {
+		t.Errorf("k(11)=%v not between k(10)=%v and k(12)=%v", k11, k10, k12)
+	}
+	_, a10 := coefficients(10)
+	_, a12 := coefficients(12)
+	if !(a12 < a11 && a11 < a10) {
+		t.Errorf("α(11)=%v not between α(12)=%v and α(10)=%v", a11, a12, a10)
+	}
+	// Clamping at range ends.
+	kLow, _ := coefficients(0.5)
+	kTab, _ := coefficients(1)
+	if kLow != kTab {
+		t.Error("below-range frequency should clamp")
+	}
+	kHigh, _ := coefficients(80)
+	kTop, _ := coefficients(40)
+	if kHigh != kTop {
+		t.Error("above-range frequency should clamp")
+	}
+}

@@ -1,0 +1,91 @@
+package radio
+
+import "math"
+
+// Annual rain unavailability in the style of ITU-R P.530's step-by-step
+// method: from the climate's 0.01%-exceeded rain rate, compute the
+// attenuation exceeded 0.01% of the year, then invert the P.530
+// percentage scaling law to find how often the fade margin is exceeded.
+
+// R001CorridorMMH is the rain rate exceeded 0.01% of an average year in
+// the ITU rain climate covering the Chicago–New Jersey corridor
+// (climate K/M bands ≈ 42 mm/h).
+const R001CorridorMMH = 42.0
+
+// RainAttenuation001 returns A₀.₀₁: the rain attenuation in dB exceeded
+// 0.01% of the year on a link of pathKM at freqGHz, under rain rate
+// r001 (mm/h), using the P.838 power law with the P.530 effective path
+// factor.
+func RainAttenuation001(freqGHz, pathKM, r001 float64) float64 {
+	return PathAttenuation(freqGHz, r001, pathKM)
+}
+
+// RainUnavailability returns the fraction of an average year a link's
+// rain attenuation exceeds its fade margin. P.530 scales attenuation
+// with exceedance percentage p (in %) as
+//
+//	A(p)/A₀.₀₁ = 0.12 · p^(−(0.546 + 0.043·log₁₀ p))
+//
+// Setting A(p) = margin and solving for p by fixed-point iteration
+// yields the unavailable fraction (p/100). Links whose A₀.₀₁ is below
+// the margin even at 0.01% get the scaling extrapolated, which is the
+// standard practice.
+func RainUnavailability(freqGHz, pathKM, marginDB, r001 float64) float64 {
+	if pathKM <= 0 || freqGHz <= 0 || marginDB <= 0 {
+		return 0
+	}
+	a001 := RainAttenuation001(freqGHz, pathKM, r001)
+	if a001 <= 0 {
+		return 0
+	}
+	ratio := marginDB / a001
+	// Solve 0.12 · p^(−(0.546+0.043·log10 p)) = ratio for p.
+	p := 0.01
+	for i := 0; i < 60; i++ {
+		exp := -(0.546 + 0.043*math.Log10(p))
+		f := 0.12 * math.Pow(p, exp)
+		if math.Abs(f-ratio) < 1e-12 {
+			break
+		}
+		// Invert one step: p' = (ratio/0.12)^(1/exp) with the current
+		// exponent estimate.
+		if exp >= 0 {
+			break // outside the law's domain; p has exploded
+		}
+		pNew := math.Pow(ratio/0.12, 1/exp)
+		if math.IsNaN(pNew) || math.IsInf(pNew, 0) || pNew <= 0 {
+			break
+		}
+		if math.Abs(pNew-p) < 1e-12 {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return p / 100
+}
+
+// secondsPerYear for downtime conversion.
+const secondsPerYear = 365.25 * 24 * 3600
+
+// AnnualDowntimeSeconds converts an unavailability fraction into
+// expected seconds per year.
+func AnnualDowntimeSeconds(unavailability float64) float64 {
+	return unavailability * secondsPerYear
+}
+
+// PathRainAvailability returns the annual availability of a multi-hop
+// path under rain, hops fading independently.
+func PathRainAvailability(hops []Hop, marginDB, r001 float64) float64 {
+	avail := 1.0
+	for _, h := range hops {
+		avail *= 1 - RainUnavailability(h.FreqGHz, h.PathKM, marginDB, r001)
+	}
+	return avail
+}

@@ -1,0 +1,100 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRainAttenuation001(t *testing.T) {
+	// 45 km at 11 GHz under 42 mm/h with the path factor applied.
+	gamma := SpecificAttenuation(11, R001CorridorMMH)
+	want := gamma * 45 * EffectivePathFactor(45, R001CorridorMMH)
+	if got := RainAttenuation001(11, 45, R001CorridorMMH); math.Abs(got-want) > 1e-9 {
+		t.Errorf("A001 = %v, want %v", got, want)
+	}
+}
+
+func TestRainUnavailabilityAtA001(t *testing.T) {
+	// A margin equal to A(0.01%) means unavailable ≈ 0.01% of the year.
+	a001 := RainAttenuation001(11, 45, R001CorridorMMH)
+	// The P.530 scaling law gives A(0.01)/A001 = 0.12·0.01^-0.46 ≈ 0.999…
+	// so the fixed point should land very near p = 0.01.
+	u := RainUnavailability(11, 45, a001, R001CorridorMMH)
+	if u < 0.5e-4 || u > 2e-4 {
+		t.Errorf("unavailability at margin=A001 = %v, want ≈1e-4", u)
+	}
+}
+
+func TestRainUnavailabilityMonotonicity(t *testing.T) {
+	// More margin → less downtime.
+	u30 := RainUnavailability(11, 45, 30, R001CorridorMMH)
+	u40 := RainUnavailability(11, 45, 40, R001CorridorMMH)
+	u50 := RainUnavailability(11, 45, 50, R001CorridorMMH)
+	if !(u30 > u40 && u40 > u50) {
+		t.Errorf("margin monotonicity broken: %v, %v, %v", u30, u40, u50)
+	}
+	// Higher frequency → more downtime at the same margin.
+	u6 := RainUnavailability(6, 45, 40, R001CorridorMMH)
+	u11 := RainUnavailability(11, 45, 40, R001CorridorMMH)
+	u18 := RainUnavailability(18, 45, 40, R001CorridorMMH)
+	if !(u6 < u11 && u11 < u18) {
+		t.Errorf("frequency monotonicity broken: %v, %v, %v", u6, u11, u18)
+	}
+	// Longer link → more downtime.
+	u25 := RainUnavailability(11, 25, 40, R001CorridorMMH)
+	u60 := RainUnavailability(11, 60, 40, R001CorridorMMH)
+	if u25 >= u60 {
+		t.Errorf("length monotonicity broken: %v vs %v", u25, u60)
+	}
+}
+
+func TestRainUnavailabilityScale(t *testing.T) {
+	// A 6 GHz 45 km corridor hop with a 40 dB margin is essentially
+	// rain-proof (minutes per year); the same hop at 18 GHz suffers
+	// hours.
+	u6 := RainUnavailability(6, 45, 40, R001CorridorMMH)
+	if mins := AnnualDowntimeSeconds(u6) / 60; mins > 20 {
+		t.Errorf("6 GHz hop downtime = %.1f min/yr, want < 20", mins)
+	}
+	u18 := RainUnavailability(18, 45, 40, R001CorridorMMH)
+	if hours := AnnualDowntimeSeconds(u18) / 3600; hours < 1 {
+		t.Errorf("18 GHz hop downtime = %.2f h/yr, want > 1", hours)
+	}
+}
+
+func TestRainUnavailabilityEdgeCases(t *testing.T) {
+	if RainUnavailability(11, 0, 40, R001CorridorMMH) != 0 {
+		t.Error("zero-length link should have zero rain outage")
+	}
+	if RainUnavailability(0, 45, 40, R001CorridorMMH) != 0 {
+		t.Error("zero frequency should have zero rain outage")
+	}
+	if RainUnavailability(11, 45, 0, R001CorridorMMH) != 0 {
+		t.Error("zero margin handled")
+	}
+	u := RainUnavailability(38, 100, 1, 100)
+	if u < 0 || u > 1 {
+		t.Errorf("unavailability out of range: %v", u)
+	}
+}
+
+func TestPathRainAvailability(t *testing.T) {
+	wh := make([]Hop, 26)
+	for i := range wh {
+		wh[i] = Hop{FreqGHz: 6, PathKM: 45.6}
+	}
+	nln := make([]Hop, 24)
+	for i := range nln {
+		nln[i] = Hop{FreqGHz: 11, PathKM: 49.4}
+	}
+	aWH := PathRainAvailability(wh, 40, R001CorridorMMH)
+	aNLN := PathRainAvailability(nln, 40, R001CorridorMMH)
+	// §5 in one inequality: the 6 GHz short-link network rides out rain
+	// the 11 GHz network cannot.
+	if aWH <= aNLN {
+		t.Errorf("WH rain availability %v not above NLN %v", aWH, aNLN)
+	}
+	if PathRainAvailability(nil, 40, R001CorridorMMH) != 1 {
+		t.Error("empty path should be fully available")
+	}
+}

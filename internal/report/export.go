@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteData renders the table as a gnuplot-friendly data file: a
+// commented header, then whitespace-separated rows. Cells containing
+// spaces are quoted.
+func (t *Table) WriteData(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", strings.Join(quoteCells(t.Headers), "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(quoteCells(row), "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func quoteCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, " \t") {
+			out[i] = `"` + strings.ReplaceAll(c, `"`, `'`) + `"`
+		} else if c == "" {
+			out[i] = `""`
+		} else {
+			out[i] = c
+		}
+	}
+	return out
+}
+
+// WriteCSV renders the table as RFC-4180-style CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\r\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown (the
+// format EXPERIMENTS.md uses).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(mapCells(cells, esc), " | "))
+		return err
+	}
+	if err := row(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mapCells(cells []string, f func(string) string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = f(c)
+	}
+	return out
+}
+
+// WriteCDFData writes an empirical CDF as two-column plot data
+// (value, cumulative fraction), one step per distinct sample value —
+// exactly what Fig 4's plots consume.
+func WriteCDFData(w io.Writer, label string, values []float64) error {
+	if _, err := fmt.Fprintf(w, "# CDF: %s (%d samples)\n# value\tfraction\n",
+		label, len(values)); err != nil {
+		return err
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		if i+1 < len(sorted) && sorted[i+1] == v {
+			continue // emit each distinct value once, at its final rank
+		}
+		if _, err := fmt.Fprintf(w, "%g\t%.6f\n", v, float64(i+1)/n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

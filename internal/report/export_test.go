@@ -1,0 +1,129 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Table {
+	t := &Table{
+		Title:   "Fixture",
+		Headers: []string{"Name", "Latency (ms)"},
+	}
+	t.AddRow("New Line Networks", "3.96171")
+	t.AddRow("plain", "1")
+	t.AddRow("", "2")
+	return t
+}
+
+func TestWriteData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteData(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# Fixture") {
+		t.Errorf("title comment missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "# Name") {
+		t.Errorf("header comment missing: %q", lines[1])
+	}
+	if lines[2] != `"New Line Networks"	3.96171` {
+		t.Errorf("quoted row = %q", lines[2])
+	}
+	if lines[3] != "plain\t1" {
+		t.Errorf("plain row = %q", lines[3])
+	}
+	if lines[4] != `""	2` {
+		t.Errorf("empty cell row = %q", lines[4])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"A", "B"}}
+	tb.AddRow("x,y", `say "hi"`)
+	tb.AddRow("plain", "1")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\r\n")
+	if lines[0] != "A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,y","say ""hi"""` {
+		t.Errorf("escaped row = %q", lines[1])
+	}
+	if lines[2] != "plain,1" {
+		t.Errorf("plain row = %q", lines[2])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tb := &Table{Title: "MD", Headers: []string{"A", "B"}}
+	tb.AddRow("x|y", "1")
+	var buf bytes.Buffer
+	if err := tb.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "### MD" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if lines[2] != "| A | B |" {
+		t.Errorf("header = %q", lines[2])
+	}
+	if lines[3] != "| --- | --- |" {
+		t.Errorf("separator = %q", lines[3])
+	}
+	if lines[4] != `| x\|y | 1 |` {
+		t.Errorf("escaped row = %q", lines[4])
+	}
+}
+
+func TestWriteCDFData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCDFData(&buf, "lengths", []float64{3, 1, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 2 comment lines + 3 distinct values.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[2] != "1\t0.250000" {
+		t.Errorf("first step = %q", lines[2])
+	}
+	if lines[3] != "2\t0.750000" { // duplicate collapses to final rank
+		t.Errorf("dup step = %q", lines[3])
+	}
+	if lines[4] != "3\t1.000000" {
+		t.Errorf("last step = %q", lines[4])
+	}
+}
+
+func TestFig4aDataExport(t *testing.T) {
+	tb, err := Fig4a(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteData(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "median") {
+		t.Error("exported data missing median row")
+	}
+	buf.Reset()
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "Percentile,WH,NLN") {
+		t.Errorf("CSV header = %q", strings.SplitN(buf.String(), "\r\n", 2)[0])
+	}
+}

@@ -1,0 +1,257 @@
+package report
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/design"
+	"hftnetview/internal/entity"
+	"hftnetview/internal/geo"
+	"hftnetview/internal/race"
+	"hftnetview/internal/radio"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/units"
+)
+
+// OverheadSweep reproduces the §3 thought experiment as a table: Table 1
+// re-ranked under per-tower regeneration overheads, with the exact
+// leader-change points ("if the per-tower added latency was higher than
+// 1.4 µs, JM would offer lower end-end latency").
+func OverheadSweep(db *uls.Database, date uls.Date) (*Table, error) {
+	path := sites.Path{From: sites.CME, To: sites.NY4}
+	rows, err := core.ConnectedNetworks(db, date, path, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Per-tower overhead sweep (§3), CME-NY4",
+		Headers: []string{"Overhead (µs/tower)", "Rank 1", "Rank 2", "Rank 3"},
+	}
+	for _, us := range []float64{0, 0.5, 1.0, 1.4, 1.5, 2.0, 5.0} {
+		adj := core.RankWithPerTowerOverhead(rows, units.Latency(us*1e-6))
+		row := []string{fmt.Sprintf("%.1f", us)}
+		for i := 0; i < 3 && i < len(adj); i++ {
+			row = append(row, fmt.Sprintf("%s %.5f",
+				abbreviate(adj[i].Licensee), adj[i].Adjusted.Milliseconds()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, lr := range core.LeaderByOverhead(rows) {
+		t.AddRow(fmt.Sprintf("leader from %.2f µs", lr.FromOverhead.Microseconds()),
+			abbreviate(lr.Leader), "", "")
+	}
+	return t, nil
+}
+
+// EntityResolution reproduces the §2.4/§6 future work: registration
+// clusters and complementary-link pairs among the shortlisted entities.
+func EntityResolution(db *uls.Database, date uls.Date) (*Table, error) {
+	t := &Table{
+		Title:   "Entity resolution (§2.4/§6 future work)",
+		Headers: []string{"Signal", "Finding"},
+	}
+	for _, cluster := range entity.ClustersByFRN(db) {
+		t.AddRow("shared FRN", strings.Join(cluster, " + "))
+	}
+	for _, cluster := range entity.ClustersByContact(db) {
+		t.AddRow("shared contact", strings.Join(cluster, " + "))
+	}
+	path := sites.Path{From: sites.CME, To: sites.NY4}
+	pairs, err := entity.ComplementaryPairs(db, date, path, nil, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		t.AddRow("complementary links",
+			fmt.Sprintf("%s + %s -> connected, %s over %d towers",
+				p.A, p.B, p.Latency, p.TowerCount))
+	}
+	if len(t.Rows) == 0 {
+		t.AddRow("none", "-")
+	}
+	return t, nil
+}
+
+// DesignSweep runs the cISP-style budgeted design experiment (§6/§7
+// lessons): a candidate field along CME–NY4, designed at increasing
+// budgets, reporting latency (which stays pinned to the best chain) and
+// APA (which the extra budget buys).
+func DesignSweep() (*Table, error) {
+	cands := corridorCandidates()
+	t := &Table{
+		Title: "Budgeted design sweep (§6 lessons / cISP)",
+		Headers: []string{"Budget", "Cost", "Towers", "Links", "Alt links",
+			"Latency (ms)", "APA"},
+	}
+	for _, budget := range []float64{42, 50, 70, 100, 150} {
+		p := design.Problem{
+			Src: 0, Dst: len(cands) - 1,
+			Candidates:   cands,
+			Cost:         design.DefaultCostModel(),
+			Budget:       budget,
+			StretchBound: 1.05,
+		}
+		n, err := design.Design(p)
+		if err != nil {
+			return nil, fmt.Errorf("report: budget %v: %w", budget, err)
+		}
+		alt := 0
+		for _, l := range n.Links {
+			if l.Alternate {
+				alt++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.0f", budget), fmt.Sprintf("%.1f", n.Cost),
+			fmt.Sprintf("%d", len(n.Chain)), fmt.Sprintf("%d", len(n.Links)),
+			fmt.Sprintf("%d", alt), ms(n.Latency.Milliseconds()),
+			pct(n.APA(p.Src, p.Dst, p.StretchBound)))
+	}
+	return t, nil
+}
+
+// corridorCandidates builds the deterministic candidate-site field the
+// design experiment uses: a near-geodesic spine every ~40 km plus two
+// offset sites per spine position.
+func corridorCandidates() []design.Site {
+	rng := rand.New(rand.NewPCG(5, 5))
+	a, b := sites.CME.Location, sites.NY4.Location
+	brg := geo.InitialBearing(a, b)
+	var out []design.Site
+	out = append(out, design.Site{Point: a, TowerCost: 1})
+	n := 30
+	for i := 1; i < n; i++ {
+		frac := float64(i) / float64(n)
+		base := geo.Interpolate(a, b, frac)
+		out = append(out, design.Site{
+			Point:     geo.Offset(base, brg, 0, (rng.Float64()-0.5)*2000),
+			TowerCost: 1,
+		})
+		for e := 0; e < 2; e++ {
+			out = append(out, design.Site{
+				Point:     geo.Offset(base, brg, 0, 4000+6000*rng.Float64()),
+				TowerCost: 1,
+			})
+		}
+	}
+	out = append(out, design.Site{Point: b, TowerCost: 1})
+	return out
+}
+
+// AvailabilityBudget combines the two engineering outage mechanisms —
+// annual rain fading (ITU-R P.530-style) and worst-month clear-air
+// multipath (Vigants–Barnett) — into a per-network downtime budget on
+// CME–NY4: the §5 reliability comparison as an availability table.
+func AvailabilityBudget(db *uls.Database, date uls.Date, marginDB float64) (*Table, error) {
+	path := sites.Path{From: sites.CME, To: sites.NY4}
+	opts := core.DefaultOptions()
+	t := &Table{
+		Title: fmt.Sprintf("Availability budget, CME-NY4, %.0f dB margins", marginDB),
+		Headers: []string{"Network", "Rain avail", "Rain downtime (min/yr)",
+			"Multipath avail (worst month)"},
+	}
+	rows, err := core.ConnectedNetworks(db, date, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		n, err := core.Reconstruct(db, row.Licensee, date, sites.All, opts)
+		if err != nil {
+			return nil, err
+		}
+		rain, ok := n.RainAvailability(path, marginDB)
+		if !ok {
+			continue
+		}
+		clear, _ := n.ClearAirAvailability(path, marginDB)
+		t.AddRow(abbreviate(row.Licensee),
+			fmt.Sprintf("%.5f", rain),
+			fmt.Sprintf("%.0f", radio.AnnualDowntimeSeconds(1-rain)/60),
+			fmt.Sprintf("%.5f", clear))
+	}
+	return t, nil
+}
+
+// DiverseRoutes lists the k lowest-latency physically distinct routes
+// per network on CME–NY4 — the concrete alternates behind the APA
+// numbers (§5). A chain network shows a single route; Webline's braid
+// shows alternates microseconds apart.
+func DiverseRoutes(db *uls.Database, date uls.Date, k int) (*Table, error) {
+	path := sites.Path{From: sites.CME, To: sites.NY4}
+	opts := core.DefaultOptions()
+	t := &Table{
+		Title:   fmt.Sprintf("Top-%d diverse routes, CME-NY4 (Yen's algorithm)", k),
+		Headers: []string{"Network", "Rank", "Latency (ms)", "Towers", "vs best (µs)"},
+	}
+	for _, name := range []string{"New Line Networks", "Webline Holdings", "Blueline Comm"} {
+		n, err := core.Reconstruct(db, name, date, sites.All, opts)
+		if err != nil {
+			return nil, err
+		}
+		routes := n.DiverseRoutes(path, k)
+		if len(routes) == 0 {
+			t.AddRow(abbreviate(name), "-", "not connected", "", "")
+			continue
+		}
+		for i, r := range routes {
+			t.AddRow(abbreviate(name), fmt.Sprintf("%d", i+1),
+				ms(r.Latency.Milliseconds()),
+				fmt.Sprintf("%d", r.TowerCount),
+				fmt.Sprintf("%.2f", r.Latency.Sub(routes[0].Latency).Microseconds()))
+		}
+	}
+	return t, nil
+}
+
+// RaceStrategies reproduces §5's closing speculation: season win shares
+// for single-network subscriptions versus the NLN+WH combination, over
+// seeded storms with Gaussian race jitter.
+func RaceStrategies(db *uls.Database, date uls.Date, storms int,
+	marginDB, sigmaSeconds float64) (*Table, error) {
+	path := sites.Path{From: sites.CME, To: sites.NY4}
+	opts := core.DefaultOptions()
+	nlnNet, err := core.Reconstruct(db, "New Line Networks", date, sites.All, opts)
+	if err != nil {
+		return nil, err
+	}
+	whNet, err := core.Reconstruct(db, "Webline Holdings", date, sites.All, opts)
+	if err != nil {
+		return nil, err
+	}
+	nln := race.Strategy{Name: "NLN only", Networks: []*core.Network{nlnNet}}
+	wh := race.Strategy{Name: "WH only", Networks: []*core.Network{whNet}}
+	both := race.Strategy{Name: "NLN+WH", Networks: []*core.Network{nlnNet, whNet}}
+
+	var season []radio.Storm
+	season = append(season, radio.Storm{}) // one fair-weather day
+	for seed := 1; seed <= storms; seed++ {
+		season = append(season, radio.GenerateStorm(uint64(seed),
+			sites.CME.Location, sites.NY4.Location, radio.DefaultStormConfig()))
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Subscription strategies (§5): %d storm days + 1 fair day, σ=%.1f µs",
+			storms, sigmaSeconds*1e6),
+		Headers: []string{"Matchup", "Win share", "A dark", "B dark"},
+	}
+	matchups := []struct {
+		a, b race.Strategy
+	}{
+		{nln, wh},
+		{both, nln},
+		{both, wh},
+	}
+	for _, m := range matchups {
+		res, err := race.Season(m.a, m.b, path, season, marginDB, sigmaSeconds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%s vs %s", m.a.Name, m.b.Name),
+			fmt.Sprintf("%.1f%%", res.WinShareA*100),
+			fmt.Sprintf("%d", res.AUnavailable),
+			fmt.Sprintf("%d", res.BUnavailable))
+	}
+	return t, nil
+}

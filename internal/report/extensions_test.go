@@ -1,0 +1,154 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestOverheadSweepReport(t *testing.T) {
+	tb, err := OverheadSweep(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	// At zero overhead NLN leads; at 1.5 µs JM leads (§3's claim).
+	var zeroLeader, highLeader string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "0.0":
+			zeroLeader = row[1]
+		case "1.5":
+			highLeader = row[1]
+		}
+	}
+	if !strings.HasPrefix(zeroLeader, "NLN") {
+		t.Errorf("leader at 0 = %q, want NLN", zeroLeader)
+	}
+	if !strings.HasPrefix(highLeader, "JM") {
+		t.Errorf("leader at 1.5 µs = %q, want JM", highLeader)
+	}
+	// The crossover row sits near 1.4 µs.
+	if !strings.Contains(out, "leader from 1.4") {
+		t.Errorf("missing ≈1.4 µs crossover:\n%s", out)
+	}
+}
+
+func TestEntityResolutionReport(t *testing.T) {
+	tb, err := EntityResolution(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Fox River Relay + Laurel Highlands Comm") {
+		t.Errorf("joint pair not found:\n%s", out)
+	}
+	// All three signals fire.
+	if !strings.Contains(out, "shared FRN") || !strings.Contains(out, "shared contact") ||
+		!strings.Contains(out, "complementary links") {
+		t.Errorf("missing a resolution signal:\n%s", out)
+	}
+	if !strings.Contains(out, "4.05500") {
+		t.Errorf("union latency missing:\n%s", out)
+	}
+}
+
+func TestDesignSweepReport(t *testing.T) {
+	tb, err := DesignSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Latency identical across budgets; APA non-decreasing and ending
+	// high; alt links growing.
+	lat := tb.Rows[0][5]
+	prevAPA := -1.0
+	for _, row := range tb.Rows {
+		if row[5] != lat {
+			t.Errorf("latency changed across budgets: %v", row)
+		}
+		apa := parsePct(t, row[6])
+		if apa < prevAPA {
+			t.Errorf("APA fell: %v", tb.Rows)
+		}
+		prevAPA = apa
+	}
+	if prevAPA < 60 {
+		t.Errorf("max-budget APA = %v%%, want high redundancy", prevAPA)
+	}
+	if tb.Rows[0][4] != "0" {
+		t.Errorf("chain-only budget bought alt links: %v", tb.Rows[0])
+	}
+}
+
+func TestAvailabilityBudgetReport(t *testing.T) {
+	tb, err := AvailabilityBudget(db(t), snapshot, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d, want the 9 connected networks", len(tb.Rows))
+	}
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := fmt.Sscanf(row[1], "%f", &v); err != nil {
+			t.Fatalf("bad availability cell %q", row[1])
+		}
+		if v <= 0.99 || v > 1 {
+			t.Errorf("%s rain availability %v implausible", row[0], v)
+		}
+		vals[row[0]] = v
+	}
+	// §5: WH out-rides rain vs NLN.
+	if vals["WH"] <= vals["NLN"] {
+		t.Errorf("WH rain availability %v not above NLN %v", vals["WH"], vals["NLN"])
+	}
+}
+
+func TestDiverseRoutesReport(t *testing.T) {
+	tb, err := DiverseRoutes(db(t), snapshot, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNet := map[string]int{}
+	for _, row := range tb.Rows {
+		perNet[row[0]]++
+	}
+	// Braided networks have 3 routes; Blueline's chain exactly 1.
+	if perNet["NLN"] != 3 || perNet["WH"] != 3 {
+		t.Errorf("route counts = %v, want 3 each for NLN/WH", perNet)
+	}
+	if perNet["BC"] != 1 {
+		t.Errorf("BC routes = %d, want exactly 1 (pure chain)", perNet["BC"])
+	}
+	// Rank-1 rows are 0 µs behind themselves.
+	for _, row := range tb.Rows {
+		if row[1] == "1" && row[4] != "0.00" {
+			t.Errorf("rank-1 row has nonzero gap: %v", row)
+		}
+	}
+}
+
+func TestRaceStrategiesReport(t *testing.T) {
+	tb, err := RaceStrategies(db(t), snapshot, 10, 40, 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	// The combination strategy must beat both single subscriptions.
+	for _, row := range tb.Rows[1:] {
+		share := parsePct(t, strings.TrimSpace(row[1]))
+		if share <= 50 {
+			t.Errorf("%s win share = %v%%, want > 50", row[0], share)
+		}
+	}
+	// The combination is never dark.
+	if tb.Rows[1][2] != "0" || tb.Rows[2][2] != "0" {
+		t.Errorf("combo should never be dark: %v", tb.Rows)
+	}
+}

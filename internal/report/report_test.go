@@ -1,0 +1,304 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+var (
+	corpus   *uls.Database
+	snapshot = uls.NewDate(2020, time.April, 1)
+)
+
+func db(t *testing.T) *uls.Database {
+	t.Helper()
+	if corpus == nil {
+		d, err := synth.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = d
+	}
+	return corpus
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"A", "BB"},
+	}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, underline, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "longer  2") {
+		t.Errorf("row alignment wrong:\n%s", out)
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	tb, err := Table1(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "New Line Networks" || tb.Rows[0][1] != "3.96171" {
+		t.Errorf("rank 1 = %v", tb.Rows[0])
+	}
+	if tb.Rows[8][0] != "SW Networks" {
+		t.Errorf("rank 9 = %v", tb.Rows[8])
+	}
+	out := tb.String()
+	for _, want := range []string{"Licensee", "APA", "#Towers", "Webline Holdings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestTable2Report(t *testing.T) {
+	tb, err := Table2(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	want := map[string][2]string{
+		"CME-NY4":    {"1186", "NLN 3.96171"},
+		"CME-NYSE":   {"1174", "NLN 3.93209"},
+		"CME-NASDAQ": {"1176", "NLN 3.92728"},
+	}
+	for _, row := range tb.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Fatalf("unexpected path %q", row[0])
+		}
+		if row[1] != w[0] {
+			t.Errorf("%s geodesic = %q, want %q", row[0], row[1], w[0])
+		}
+		if row[2] != w[1] {
+			t.Errorf("%s rank1 = %q, want %q", row[0], row[2], w[1])
+		}
+	}
+}
+
+func TestTable3Report(t *testing.T) {
+	tb, err := Table3(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasSuffix(row[1], "%") || !strings.HasSuffix(row[2], "%") {
+			t.Errorf("APA cells not percentages: %v", row)
+		}
+	}
+}
+
+func TestFig1And2Reports(t *testing.T) {
+	f1, err := Fig1(db(t), 2013, 2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Rows) != 8 {
+		t.Fatalf("Fig1 rows = %d, want 8", len(f1.Rows))
+	}
+	if len(f1.Headers) != 6 {
+		t.Fatalf("Fig1 headers = %v", f1.Headers)
+	}
+	// 2013: only NTC and WH connected.
+	if f1.Rows[0][1] == "-" || f1.Rows[0][2] == "-" {
+		t.Errorf("2013 NTC/WH should be connected: %v", f1.Rows[0])
+	}
+	if f1.Rows[0][4] != "-" || f1.Rows[0][5] != "-" {
+		t.Errorf("2013 PB/NLN should be dashes: %v", f1.Rows[0])
+	}
+	// 2020: NTC gone, PB present.
+	last := f1.Rows[7]
+	if last[1] != "-" {
+		t.Errorf("2020 NTC should be dash: %v", last)
+	}
+	if last[4] != "3.96209" || last[5] != "3.96171" {
+		t.Errorf("2020 PB/NLN = %v", last)
+	}
+
+	f2, err := Fig2(db(t), 2013, 2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Rows) != 8 {
+		t.Fatalf("Fig2 rows = %d", len(f2.Rows))
+	}
+	if f2.Rows[6][1] != "0" { // NTC in 2019
+		t.Errorf("NTC 2019 count = %q, want 0", f2.Rows[6][1])
+	}
+}
+
+func TestFig3Artifacts(t *testing.T) {
+	dates := []uls.Date{
+		uls.NewDate(2016, time.January, 1),
+		uls.NewDate(2020, time.April, 1),
+	}
+	files, err := Fig3(db(t), "New Line Networks", dates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("files = %d, want 4 (2 dates × svg+geojson)", len(files))
+	}
+	svg2016, ok := files["NLN-20160101.svg"]
+	if !ok {
+		t.Fatalf("missing NLN-20160101.svg; have %v", keys(files))
+	}
+	svg2020 := files["NLN-20200401.svg"]
+	// The 2020 network has visibly more infrastructure (Fig 3 top vs
+	// bottom): more circle elements.
+	if strings.Count(string(svg2020), "<circle") <= strings.Count(string(svg2016), "<circle") {
+		t.Error("2020 map should show more towers than 2016")
+	}
+	if _, ok := files["NLN-20160101.geojson"]; !ok {
+		t.Error("missing geojson artifact")
+	}
+}
+
+func keys(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFig4aReport(t *testing.T) {
+	tb, err := Fig4a(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 11 { // 10 deciles + median
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[10][0] != "median" {
+		t.Errorf("last row = %v", tb.Rows[10])
+	}
+}
+
+func TestFig4bReport(t *testing.T) {
+	tb, err := Fig4b(db(t), snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	if tb.Rows[0][0] != "WH" || tb.Rows[1][0] != "NLN-alternate" || tb.Rows[2][0] != "NLN" {
+		t.Errorf("series order = %v", tb.Rows)
+	}
+}
+
+func TestFig5Report(t *testing.T) {
+	tb, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 { // 3 segments × 3 altitudes
+		t.Fatalf("rows = %d, want 9", len(tb.Rows))
+	}
+	// Oceanic segments have no MW cell.
+	for _, row := range tb.Rows {
+		if row[0] != "CME-NY4" && row[3] != "-" {
+			t.Errorf("oceanic row has MW value: %v", row)
+		}
+		if row[0] == "CME-NY4" && row[3] == "-" {
+			t.Errorf("corridor row missing MW value: %v", row)
+		}
+	}
+}
+
+func TestWeatherReport(t *testing.T) {
+	tb, err := Weather(db(t), snapshot, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	nln, wh := tb.Rows[0], tb.Rows[1]
+	if nln[0] != "NLN" || wh[0] != "WH" {
+		t.Fatalf("row order = %v", tb.Rows)
+	}
+	// The §5 thesis: WH's availability under storms is at least NLN's.
+	nlnAvail := parsePct(t, nln[2])
+	whAvail := parsePct(t, wh[2])
+	if whAvail < nlnAvail {
+		t.Errorf("WH availability %v below NLN %v", whAvail, nlnAvail)
+	}
+	if whAvail < 90 {
+		t.Errorf("WH availability %v%%, want >= 90 (6 GHz links survive)", whAvail)
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := sscanPct(s, &v); err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v
+}
+
+func sscanPct(s string, v *float64) (int, error) {
+	n := strings.TrimSuffix(s, "%")
+	var f float64
+	_, err := fmtSscan(n, &f)
+	*v = f
+	return 1, err
+}
+
+func fmtSscan(s string, f *float64) (int, error) {
+	var v float64
+	_, err := fmt.Sscanf(s, "%f", &v)
+	*f = v
+	return 1, err
+}
+
+func TestScrapeFunnelTable(t *testing.T) {
+	tb := ScrapeFunnelTable(140, 57, 29, 1200, []string{"B Net", "A Net"})
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[4][0], "A Net") {
+		t.Errorf("names not sorted: %v", tb.Rows)
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	cases := map[string]string{
+		"New Line Networks":      "NLN",
+		"Pierce Broadband":       "PB",
+		"AQ2AT":                  "AQ2AT",
+		"Webline Holdings":       "WH",
+		"National Tower Company": "NTC",
+		"lowercase":              "lowercase",
+	}
+	for in, want := range cases {
+		if got := abbreviate(in); got != want {
+			t.Errorf("abbreviate(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

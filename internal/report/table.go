@@ -1,0 +1,82 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from a license database: Tables 1–3, the longitudinal
+// series of Figs 1–2, the CDFs of Fig 4, the Fig 3 map artifacts, the
+// Fig 5 satellite comparison, the §2.2 scrape funnel, and the §5
+// weather extension. It is the shared backend of cmd/hftreport and the
+// benchmark suite.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic formatted result: a title, column headers, and
+// string rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row built from the arguments' default formatting.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns in plain ASCII.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// ms formats a latency in the paper's 5-decimal millisecond style.
+func ms(v float64) string { return fmt.Sprintf("%.5f", v) }
+
+// pct formats a fraction as a whole percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,192 @@
+// Package scrape implements the paper's data-collection methodology
+// (§2.2) against a ULS portal: geographic search around the CME data
+// center, site-based filtering to the MG radio service and FXO station
+// class, per-licensee license enumeration with the ≥11-filings cutoff,
+// and per-license detail-page scraping.
+//
+// The client is polite by construction — a minimum inter-request
+// interval and bounded retries with backoff — because the same code is
+// meant to be pointable at a real portal.
+package scrape
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is a rate-limited, retrying ULS portal client.
+type Client struct {
+	// BaseURL is the portal root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MinInterval is the minimum spacing between requests (0 = none).
+	MinInterval time.Duration
+	// MaxRetries bounds retries on 5xx and transport errors (default 3).
+	MaxRetries int
+	// RetryBackoff is the base backoff, doubled per attempt (default
+	// 50 ms).
+	RetryBackoff time.Duration
+
+	lastRequest time.Time
+}
+
+// NewClient returns a client with sane defaults for a local simulated
+// portal (no rate limit, 3 retries).
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:      baseURL,
+		HTTPClient:   http.DefaultClient,
+		MaxRetries:   3,
+		RetryBackoff: 50 * time.Millisecond,
+	}
+}
+
+// SearchResult mirrors the portal's search row.
+type SearchResult struct {
+	CallSign string `json:"call_sign"`
+	Licensee string `json:"licensee"`
+	Service  string `json:"radio_service"`
+	Status   string `json:"status"`
+}
+
+type searchPage struct {
+	Total   int            `json:"total"`
+	Page    int            `json:"page"`
+	PerPage int            `json:"per_page"`
+	Results []SearchResult `json:"results"`
+}
+
+// get fetches a URL with rate limiting and retries; it returns the body.
+func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
+	client := c.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if c.MinInterval > 0 {
+			if wait := c.MinInterval - time.Since(c.lastRequest); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		}
+		c.lastRequest = time.Now()
+
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scrape: building request: %w", err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return body, nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("scrape: %s: server error %d", u, resp.StatusCode)
+			continue // retryable
+		default:
+			return nil, &HTTPError{URL: u, StatusCode: resp.StatusCode}
+		}
+	}
+	return nil, fmt.Errorf("scrape: %s: retries exhausted: %w", u, lastErr)
+}
+
+// HTTPError is a non-retryable HTTP failure (4xx).
+type HTTPError struct {
+	URL        string
+	StatusCode int
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("scrape: %s: status %d", e.URL, e.StatusCode)
+}
+
+// searchAll pages through one search endpoint until all results are
+// collected.
+func (c *Client) searchAll(ctx context.Context, path string, params url.Values) ([]SearchResult, error) {
+	var out []SearchResult
+	perPage := 200
+	for page := 1; ; page++ {
+		p := url.Values{}
+		for k, vs := range params {
+			p[k] = vs
+		}
+		p.Set("page", strconv.Itoa(page))
+		p.Set("per_page", strconv.Itoa(perPage))
+		body, err := c.get(ctx, c.BaseURL+path+"?"+p.Encode())
+		if err != nil {
+			return nil, err
+		}
+		var sp searchPage
+		if err := json.Unmarshal(body, &sp); err != nil {
+			return nil, fmt.Errorf("scrape: decoding %s page %d: %w", path, page, err)
+		}
+		out = append(out, sp.Results...)
+		if len(out) >= sp.Total || len(sp.Results) == 0 {
+			return out, nil
+		}
+	}
+}
+
+// GeographicSearch finds licenses with any site within radiusKM of the
+// given coordinate (§2.1's geographic search).
+func (c *Client) GeographicSearch(ctx context.Context, lat, lon, radiusKM float64) ([]SearchResult, error) {
+	return c.searchAll(ctx, "/api/geographic", url.Values{
+		"lat":       {strconv.FormatFloat(lat, 'f', -1, 64)},
+		"lon":       {strconv.FormatFloat(lon, 'f', -1, 64)},
+		"radius_km": {strconv.FormatFloat(radiusKM, 'f', -1, 64)},
+	})
+}
+
+// SiteSearch filters by radio service code and station class (§2.1's
+// site-based search).
+func (c *Client) SiteSearch(ctx context.Context, service, class string) ([]SearchResult, error) {
+	return c.searchAll(ctx, "/api/site", url.Values{
+		"service": {service},
+		"class":   {class},
+	})
+}
+
+// LicenseeSearch lists all licenses filed by an entity name.
+func (c *Client) LicenseeSearch(ctx context.Context, name string) ([]SearchResult, error) {
+	return c.searchAll(ctx, "/api/licensee", url.Values{"name": {name}})
+}
+
+// FetchDetailHTML retrieves the raw license detail page.
+func (c *Client) FetchDetailHTML(ctx context.Context, callSign string) ([]byte, error) {
+	return c.get(ctx, c.BaseURL+"/license/"+url.PathEscape(callSign))
+}

@@ -1,0 +1,36 @@
+package scrape
+
+import "testing"
+
+// FuzzParseDetailHTML asserts the detail-page parser never panics on
+// arbitrary HTML, and that whatever it accepts is a valid license.
+func FuzzParseDetailHTML(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body>no tables</body></html>",
+		`<table><tr><td>Call Sign</td><td>WQAA001</td></tr>
+<tr><td>Licensee</td><td>Net</td></tr>
+<tr><td>Grant Date</td><td>06/01/2015</td></tr>
+<tr><th>Loc</th><th>Latitude</th><th>Longitude</th><th>Ground Elev (m)</th><th>Height (m)</th></tr>
+<tr><td>1</td><td>41-45-00.0 N</td><td>88-12-00.0 W</td><td>200.0</td><td>100.0</td></tr>
+<tr><td>2</td><td>41-42-00.0 N</td><td>87-42-00.0 W</td><td>190.0</td><td>100.0</td></tr>
+<tr><th>Path</th><th>TX Loc</th><th>RX Loc</th><th>Class</th><th>Frequencies (MHz)</th></tr>
+<tr><td>1</td><td>1</td><td>2</td><td>FXO</td><td>11245.0</td></tr></table>`,
+		"<tr><td>Call Sign</td>",
+		"<tr>" + "<td>x</td>",
+		"<tr><td>Grant Date</td><td>13/99/0000</td></tr>",
+		"<tr><th>Loc</th></tr><tr><td>1</td><td>a</td><td>b</td><td>c</td><td>d</td></tr>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, page []byte) {
+		l, err := ParseDetailHTML(page)
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid license: %v", err)
+		}
+	})
+}

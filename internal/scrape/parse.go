@@ -1,0 +1,234 @@
+package scrape
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+// ParseDetailHTML extracts a license from a portal detail page. The
+// parser walks the page's <tr> rows with plain string operations —
+// the portal's markup is fixed-format, so a full HTML parser is
+// unnecessary (and the stdlib has none).
+func ParseDetailHTML(page []byte) (*uls.License, error) {
+	rows := tableRows(string(page))
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("scrape: detail page has no table rows")
+	}
+
+	l := &uls.License{}
+	section := "license"
+	for _, cells := range rows {
+		if len(cells) == 0 {
+			continue
+		}
+		// Header rows switch sections.
+		if cells[0] == "Loc" {
+			section = "locations"
+			continue
+		}
+		if cells[0] == "Path" {
+			section = "paths"
+			continue
+		}
+		switch section {
+		case "license":
+			if len(cells) != 2 {
+				continue
+			}
+			if err := applyHeaderField(l, cells[0], cells[1]); err != nil {
+				return nil, err
+			}
+		case "locations":
+			if len(cells) != 5 {
+				return nil, fmt.Errorf("scrape: malformed location row %v", cells)
+			}
+			loc, err := parseLocationRow(cells)
+			if err != nil {
+				return nil, err
+			}
+			l.Locations = append(l.Locations, loc)
+		case "paths":
+			if len(cells) != 8 {
+				return nil, fmt.Errorf("scrape: malformed path row %v", cells)
+			}
+			p, err := parsePathRow(cells)
+			if err != nil {
+				return nil, err
+			}
+			l.Paths = append(l.Paths, p)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("scrape: scraped license invalid: %w", err)
+	}
+	return l, nil
+}
+
+// tableRows extracts the cell texts of every <tr> on the page. Both
+// <td> and <th> cells are returned; markup inside cells is not expected.
+func tableRows(page string) [][]string {
+	var rows [][]string
+	rest := page
+	for {
+		start := strings.Index(rest, "<tr>")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(rest[start:], "</tr>")
+		if end < 0 {
+			break
+		}
+		row := rest[start+4 : start+end]
+		rest = rest[start+end+5:]
+		rows = append(rows, rowCells(row))
+	}
+	return rows
+}
+
+func rowCells(row string) []string {
+	var cells []string
+	rest := row
+	for {
+		tdStart, tag := -1, ""
+		for _, t := range []string{"<td>", "<th>"} {
+			if i := strings.Index(rest, t); i >= 0 && (tdStart < 0 || i < tdStart) {
+				tdStart, tag = i, t
+			}
+		}
+		if tdStart < 0 {
+			break
+		}
+		closeTag := "</td>"
+		if tag == "<th>" {
+			closeTag = "</th>"
+		}
+		end := strings.Index(rest[tdStart:], closeTag)
+		if end < 0 {
+			break
+		}
+		cell := rest[tdStart+4 : tdStart+end]
+		rest = rest[tdStart+end+5:]
+		cells = append(cells, htmlUnescape(strings.TrimSpace(cell)))
+	}
+	return cells
+}
+
+// htmlUnescape reverses html.EscapeString's five entities.
+func htmlUnescape(s string) string {
+	r := strings.NewReplacer(
+		"&lt;", "<", "&gt;", ">", "&#34;", `"`, "&#39;", "'", "&amp;", "&",
+	)
+	return r.Replace(s)
+}
+
+func applyHeaderField(l *uls.License, label, value string) error {
+	switch label {
+	case "Call Sign":
+		l.CallSign = value
+	case "Licensee":
+		l.Licensee = value
+	case "FRN":
+		l.FRN = value
+	case "Contact Email":
+		l.ContactEmail = value
+	case "Radio Service":
+		l.RadioService = value
+	case "Status":
+		l.Status = uls.Status(value)
+	case "License ID":
+		id, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("scrape: bad license id %q", value)
+		}
+		l.LicenseID = id
+	case "Grant Date", "Expiration Date", "Cancellation Date":
+		d, err := uls.ParseDate(value)
+		if err != nil {
+			return fmt.Errorf("scrape: bad %s %q: %w", label, value, err)
+		}
+		switch label {
+		case "Grant Date":
+			l.Grant = d
+		case "Expiration Date":
+			l.Expiration = d
+		case "Cancellation Date":
+			l.Cancellation = d
+		}
+	}
+	return nil
+}
+
+func parseLocationRow(cells []string) (uls.Location, error) {
+	num, err := strconv.Atoi(cells[0])
+	if err != nil {
+		return uls.Location{}, fmt.Errorf("scrape: bad location number %q", cells[0])
+	}
+	lat, err := geo.ParseDMS(cells[1])
+	if err != nil {
+		return uls.Location{}, err
+	}
+	lon, err := geo.ParseDMS(cells[2])
+	if err != nil {
+		return uls.Location{}, err
+	}
+	pt, err := geo.PointFromDMS(lat, lon)
+	if err != nil {
+		return uls.Location{}, err
+	}
+	elev, err := strconv.ParseFloat(cells[3], 64)
+	if err != nil {
+		return uls.Location{}, fmt.Errorf("scrape: bad elevation %q", cells[3])
+	}
+	height, err := strconv.ParseFloat(cells[4], 64)
+	if err != nil {
+		return uls.Location{}, fmt.Errorf("scrape: bad height %q", cells[4])
+	}
+	return uls.Location{
+		Number: num, Point: pt, GroundElevation: elev, SupportHeight: height,
+	}, nil
+}
+
+func parsePathRow(cells []string) (uls.Path, error) {
+	num, err := strconv.Atoi(cells[0])
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad path number %q", cells[0])
+	}
+	tx, err := strconv.Atoi(cells[1])
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad TX location %q", cells[1])
+	}
+	rx, err := strconv.Atoi(cells[2])
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad RX location %q", cells[2])
+	}
+	txAz, err := strconv.ParseFloat(cells[4], 64)
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad TX azimuth %q", cells[4])
+	}
+	rxAz, err := strconv.ParseFloat(cells[5], 64)
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad RX azimuth %q", cells[5])
+	}
+	gain, err := strconv.ParseFloat(cells[6], 64)
+	if err != nil {
+		return uls.Path{}, fmt.Errorf("scrape: bad antenna gain %q", cells[6])
+	}
+	p := uls.Path{Number: num, TXLocation: tx, RXLocation: rx, StationClass: cells[3],
+		TXAzimuthDeg: txAz, RXAzimuthDeg: rxAz, AntennaGainDBi: gain}
+	for _, f := range strings.Split(cells[7], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		mhz, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return uls.Path{}, fmt.Errorf("scrape: bad frequency %q", f)
+		}
+		p.FrequenciesMHz = append(p.FrequenciesMHz, mhz)
+	}
+	return p, nil
+}

@@ -1,0 +1,124 @@
+package scrape
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+// PipelineOptions parameterizes the §2.2 discovery funnel.
+type PipelineOptions struct {
+	// Center and RadiusKM define the geographic seed search (the paper
+	// uses 10 km around the CME data center).
+	CenterLat, CenterLon float64
+	RadiusKM             float64
+	// Service and Class filter candidates (MG / FXO in the paper).
+	Service, Class string
+	// MinFilings is the shortlist cutoff: licensees with fewer total
+	// filings cannot span the ~1,100 km corridor with ≤100 km hops
+	// (11 in the paper).
+	MinFilings int
+}
+
+// DefaultPipelineOptions returns the paper's parameters.
+func DefaultPipelineOptions() PipelineOptions {
+	return PipelineOptions{
+		CenterLat:  sites.CME.Location.Lat,
+		CenterLon:  sites.CME.Location.Lon,
+		RadiusKM:   10,
+		Service:    uls.ServiceMG,
+		Class:      uls.ClassFXO,
+		MinFilings: 11,
+	}
+}
+
+// Funnel reports the §2.2 discovery statistics.
+type Funnel struct {
+	// GeographicMatches is the number of licenses within the seed
+	// radius.
+	GeographicMatches int
+	// Candidates is the number of distinct licensees after the
+	// service/class filter (57 in the paper).
+	Candidates int
+	// Shortlisted is the number of candidates meeting MinFilings (29 in
+	// the paper).
+	Shortlisted int
+	// LicensesScraped is the number of detail pages fetched and parsed.
+	LicensesScraped int
+	// ShortlistedNames lists the shortlisted licensees, sorted.
+	ShortlistedNames []string
+}
+
+// Run executes the full §2.2 pipeline against the portal: geographic
+// seed search, service/class candidate filter, per-licensee license
+// enumeration, shortlist cutoff, and detail scraping of every
+// shortlisted license into a fresh database.
+func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, Funnel, error) {
+	var funnel Funnel
+
+	// 1. Geographic seed: everything licensed near the western anchor.
+	nearby, err := c.GeographicSearch(ctx, opts.CenterLat, opts.CenterLon, opts.RadiusKM)
+	if err != nil {
+		return nil, funnel, fmt.Errorf("geographic search: %w", err)
+	}
+	funnel.GeographicMatches = len(nearby)
+
+	// 2. Service/class filter via the site-based search; intersect by
+	// call sign.
+	siteMatches, err := c.SiteSearch(ctx, opts.Service, opts.Class)
+	if err != nil {
+		return nil, funnel, fmt.Errorf("site search: %w", err)
+	}
+	inService := make(map[string]bool, len(siteMatches))
+	for _, m := range siteMatches {
+		inService[m.CallSign] = true
+	}
+	candidates := make(map[string]bool)
+	for _, m := range nearby {
+		if inService[m.CallSign] {
+			candidates[m.Licensee] = true
+		}
+	}
+	funnel.Candidates = len(candidates)
+
+	// 3. Shortlist: enumerate each candidate's full filing list and
+	// apply the MinFilings cutoff.
+	var shortlisted []string
+	licensesByName := make(map[string][]SearchResult)
+	for name := range candidates {
+		all, err := c.LicenseeSearch(ctx, name)
+		if err != nil {
+			return nil, funnel, fmt.Errorf("licensee search %q: %w", name, err)
+		}
+		if len(all) >= opts.MinFilings {
+			shortlisted = append(shortlisted, name)
+			licensesByName[name] = all
+		}
+	}
+	sort.Strings(shortlisted)
+	funnel.Shortlisted = len(shortlisted)
+	funnel.ShortlistedNames = shortlisted
+
+	// 4. Scrape every shortlisted license's detail page.
+	db := uls.NewDatabase()
+	for _, name := range shortlisted {
+		for _, m := range licensesByName[name] {
+			page, err := c.FetchDetailHTML(ctx, m.CallSign)
+			if err != nil {
+				return nil, funnel, fmt.Errorf("detail %s: %w", m.CallSign, err)
+			}
+			l, err := ParseDetailHTML(page)
+			if err != nil {
+				return nil, funnel, fmt.Errorf("parsing %s: %w", m.CallSign, err)
+			}
+			if err := db.Add(l); err != nil {
+				return nil, funnel, fmt.Errorf("storing %s: %w", m.CallSign, err)
+			}
+			funnel.LicensesScraped++
+		}
+	}
+	return db, funnel, nil
+}

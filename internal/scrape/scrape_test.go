@@ -1,0 +1,325 @@
+package scrape
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+	"hftnetview/internal/ulsserver"
+)
+
+// corpus is the shared synthetic database (generation is deterministic
+// but not free, so share it across tests).
+var corpus *uls.Database
+
+func corpusDB(t *testing.T) *uls.Database {
+	t.Helper()
+	if corpus == nil {
+		db, err := synth.Generate()
+		if err != nil {
+			t.Fatalf("synth.Generate: %v", err)
+		}
+		corpus = db
+	}
+	return corpus
+}
+
+func startPortal(t *testing.T) (*ulsserver.Server, *Client) {
+	t.Helper()
+	srv := ulsserver.New(corpusDB(t))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func TestGeographicSearchPaged(t *testing.T) {
+	_, c := startPortal(t)
+	res, err := c.GeographicSearch(context.Background(),
+		sites.CME.Location.Lat, sites.CME.Location.Lon, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every generated licensee (57) has sites near CME.
+	if len(res) < 57 {
+		t.Errorf("geographic matches = %d, want >= 57", len(res))
+	}
+	names := map[string]bool{}
+	for _, r := range res {
+		names[r.Licensee] = true
+	}
+	if len(names) != 57 {
+		t.Errorf("distinct licensees = %d, want 57", len(names))
+	}
+}
+
+func TestSiteSearchPagesThroughAllResults(t *testing.T) {
+	_, c := startPortal(t)
+	res, err := c.SiteSearch(context.Background(), uls.ServiceMG, uls.ClassFXO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full corpus (>1000 licenses) far exceeds one 200-row page, so
+	// this exercises the pager; the count must match the ground truth.
+	want := len(uls.FilterService(corpusDB(t).All(), uls.ServiceMG, uls.ClassFXO))
+	if len(res) != want {
+		t.Fatalf("site search = %d results, want %d", len(res), want)
+	}
+	if want <= 200 {
+		t.Fatalf("corpus too small to exercise paging: %d", want)
+	}
+	seen := map[string]bool{}
+	for _, r := range res {
+		if seen[r.CallSign] {
+			t.Fatalf("duplicate %s across pages", r.CallSign)
+		}
+		seen[r.CallSign] = true
+	}
+}
+
+func TestLicenseDetailRoundTrip(t *testing.T) {
+	_, c := startPortal(t)
+	db := corpusDB(t)
+	// Scrape a handful of licenses and compare to ground truth.
+	count := 0
+	for _, want := range db.All() {
+		if count >= 25 {
+			break
+		}
+		count++
+		page, err := c.FetchDetailHTML(context.Background(), want.CallSign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseDetailHTML(page)
+		if err != nil {
+			t.Fatalf("%s: %v", want.CallSign, err)
+		}
+		if got.CallSign != want.CallSign || got.Licensee != want.Licensee ||
+			got.FRN != want.FRN || got.Status != want.Status {
+			t.Errorf("%s: header mismatch: %+v", want.CallSign, got)
+		}
+		if got.Grant != want.Grant || got.Cancellation != want.Cancellation {
+			t.Errorf("%s: dates mismatch", want.CallSign)
+		}
+		if len(got.Locations) != len(want.Locations) {
+			t.Fatalf("%s: %d locations, want %d", want.CallSign,
+				len(got.Locations), len(want.Locations))
+		}
+		for i := range got.Locations {
+			if geo.Distance(got.Locations[i].Point, want.Locations[i].Point) > 5 {
+				t.Errorf("%s location %d moved in scrape round trip", want.CallSign, i)
+			}
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("%s: %d paths, want %d", want.CallSign, len(got.Paths), len(want.Paths))
+		}
+		if len(got.Paths[0].FrequenciesMHz) != len(want.Paths[0].FrequenciesMHz) {
+			t.Errorf("%s: frequency count mismatch", want.CallSign)
+		}
+		// Antenna engineering fields survive the portal round trip at
+		// the page's 0.1 precision.
+		for i := range got.Paths {
+			if d := got.Paths[i].TXAzimuthDeg - want.Paths[i].TXAzimuthDeg; d > 0.06 || d < -0.06 {
+				t.Errorf("%s path %d: TX azimuth %.2f vs %.2f", want.CallSign, i,
+					got.Paths[i].TXAzimuthDeg, want.Paths[i].TXAzimuthDeg)
+			}
+			if d := got.Paths[i].AntennaGainDBi - want.Paths[i].AntennaGainDBi; d > 0.06 || d < -0.06 {
+				t.Errorf("%s path %d: gain mismatch", want.CallSign, i)
+			}
+		}
+		if got.ContactEmail != want.ContactEmail {
+			t.Errorf("%s: contact email %q vs %q", want.CallSign,
+				got.ContactEmail, want.ContactEmail)
+		}
+	}
+}
+
+func TestPipelineFunnel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline scrape is slow in -short mode")
+	}
+	_, c := startPortal(t)
+	db, funnel, err := Run(context.Background(), c, DefaultPipelineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.2: 57 candidates, 29 shortlisted.
+	if funnel.Candidates != 57 {
+		t.Errorf("candidates = %d, want 57", funnel.Candidates)
+	}
+	if funnel.Shortlisted != 29 {
+		t.Errorf("shortlisted = %d, want 29", funnel.Shortlisted)
+	}
+	if funnel.LicensesScraped != db.Len() {
+		t.Errorf("scraped %d but stored %d", funnel.LicensesScraped, db.Len())
+	}
+	// Every shortlisted licensee's full filing set must be present.
+	truth := corpusDB(t)
+	for _, name := range funnel.ShortlistedNames {
+		if got, want := len(db.ByLicensee(name)), len(truth.ByLicensee(name)); got != want {
+			t.Errorf("%s: scraped %d licenses, want %d", name, got, want)
+		}
+	}
+	// The ten HFT networks are all shortlisted.
+	for _, spec := range synth.HFTNetworks() {
+		found := false
+		for _, n := range funnel.ShortlistedNames {
+			if n == spec.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from shortlist", spec.Name)
+		}
+	}
+}
+
+func TestPipelineSurfacesCorruptDetailPage(t *testing.T) {
+	// A portal that serves one corrupted detail page mid-pipeline: the
+	// pipeline must fail with a parse error naming the license, not
+	// panic or silently skip.
+	inner := ulsserver.New(corpusDB(t))
+	corrupt := "WQNL001"
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/"+corrupt) {
+			w.Header().Set("Content-Type", "text/html")
+			w.Write([]byte("<html><body><tr><td>Call Sign</td><td>WQNL001</td></tr></body></html>"))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	_, _, err := Run(context.Background(), c, DefaultPipelineOptions())
+	if err == nil {
+		t.Fatal("pipeline accepted a corrupt detail page")
+	}
+	if !strings.Contains(err.Error(), corrupt) {
+		t.Errorf("error %q does not name the corrupt license", err)
+	}
+}
+
+func TestRetryOn5xx(t *testing.T) {
+	srv, c := startPortal(t)
+	srv.FailEveryN = 3 // every third request fails
+	c.RetryBackoff = time.Millisecond
+	// With retries, repeated searches must all succeed.
+	for i := 0; i < 5; i++ {
+		if _, err := c.SiteSearch(context.Background(), uls.ServiceMG, uls.ClassFXO); err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	_, c := startPortal(t)
+	_, err := c.FetchDetailHTML(context.Background(), "WQZZ999")
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != 404 {
+		t.Fatalf("err = %v, want 404 HTTPError", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	_, c := startPortal(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GeographicSearch(ctx, 41.76, -88.20, 10); err == nil {
+		t.Fatal("cancelled context should fail")
+	}
+}
+
+func TestMinIntervalRateLimit(t *testing.T) {
+	_, c := startPortal(t)
+	c.MinInterval = 30 * time.Millisecond
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.FetchDetailHTML(context.Background(), "WQNL001"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("3 requests took %v, want >= 60ms with 30ms spacing", elapsed)
+	}
+}
+
+func TestParseDetailHTMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+	}{
+		{"empty", ""},
+		{"no rows", "<html><body>nothing</body></html>"},
+		{"bad location row", `<table><tr><td>Call Sign</td><td>WQXX001</td></tr>
+			<tr><td>Licensee</td><td>X</td></tr>
+			<tr><td>Grant Date</td><td>06/01/2015</td></tr>
+			<tr><th>Loc</th><th>Latitude</th><th>Longitude</th><th>Ground Elev (m)</th><th>Height (m)</th></tr>
+			<tr><td>1</td><td>garbage</td><td>88-12-00.0 W</td><td>200.0</td><td>90.0</td></tr></table>`},
+		{"bad date", `<table><tr><td>Call Sign</td><td>WQXX001</td></tr>
+			<tr><td>Grant Date</td><td>13/45/2015</td></tr></table>`},
+		{"invalid license", `<table><tr><td>Call Sign</td><td>WQXX001</td></tr></table>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseDetailHTML([]byte(c.page)); err == nil {
+				t.Error("ParseDetailHTML succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestHTMLUnescape(t *testing.T) {
+	in := "Alpha &amp; Sons &lt;HFT&gt; &#34;quoted&#34; &#39;q&#39;"
+	want := `Alpha & Sons <HFT> "quoted" 'q'`
+	if got := htmlUnescape(in); got != want {
+		t.Errorf("htmlUnescape = %q, want %q", got, want)
+	}
+}
+
+func TestScrapedNetworkMatchesDirectReconstruction(t *testing.T) {
+	// End-to-end §2 check: a database built by scraping the portal must
+	// be semantically identical to the ground-truth database for a
+	// licensee (same filings, same geometry within DMS resolution).
+	_, c := startPortal(t)
+	truth := corpusDB(t)
+	name := synth.PB // smallest HFT network: fast to scrape fully
+	all, err := c.LicenseeSearch(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(truth.ByLicensee(name)) {
+		t.Fatalf("licensee search found %d, want %d", len(all), len(truth.ByLicensee(name)))
+	}
+	db := uls.NewDatabase()
+	for _, m := range all {
+		page, err := c.FetchDetailHTML(context.Background(), m.CallSign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ParseDetailHTML(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	date := uls.NewDate(2020, time.April, 1)
+	gotLinks := db.ActiveLinks(name, date)
+	wantLinks := truth.ActiveLinks(name, date)
+	if len(gotLinks) != len(wantLinks) {
+		t.Fatalf("active links = %d, want %d", len(gotLinks), len(wantLinks))
+	}
+	if !strings.HasPrefix(gotLinks[0].CallSign, "WQPB") {
+		t.Errorf("unexpected call sign prefix: %s", gotLinks[0].CallSign)
+	}
+}

@@ -1,0 +1,76 @@
+// Package sites pins the financial data centers that anchor the
+// Chicago–New Jersey trading corridor the paper studies (§1, §2.2).
+//
+// The coordinates are calibrated so that the geodesic distances between
+// CME and the three New Jersey facilities match the paper's reported
+// values (1,186 / 1,174 / 1,176 km, Table 2) to within a kilometer; they
+// sit within ~2 km of the physical facilities.
+package sites
+
+import "hftnetview/internal/geo"
+
+// DataCenter identifies one of the corridor's anchor facilities.
+type DataCenter struct {
+	// Code is the short identifier used in path names (e.g. "CME").
+	Code string
+	// Name is the human-readable facility name.
+	Name string
+	// Location is the calibrated facility coordinate.
+	Location geo.Point
+}
+
+// The four anchor facilities (§2.2).
+var (
+	// CME is the Chicago Mercantile Exchange data center in Aurora, IL.
+	CME = DataCenter{Code: "CME", Name: "CME Aurora IL",
+		Location: geo.Point{Lat: 41.7625, Lon: -88.2030}}
+	// NY4 is the Equinix NY4 data center in Secaucus, NJ (hosts CBOE).
+	NY4 = DataCenter{Code: "NY4", Name: "Equinix NY4 Secaucus NJ",
+		Location: geo.Point{Lat: 40.7770, Lon: -74.093036}}
+	// NYSE is the New York Stock Exchange data center in Mahwah, NJ.
+	NYSE = DataCenter{Code: "NYSE", Name: "NYSE Mahwah NJ",
+		Location: geo.Point{Lat: 41.0722, Lon: -74.174623}}
+	// NASDAQ is the NASDAQ data center in Carteret, NJ.
+	NASDAQ = DataCenter{Code: "NASDAQ", Name: "NASDAQ Carteret NJ",
+		Location: geo.Point{Lat: 40.5837, Lon: -74.260104}}
+)
+
+// East lists the eastern (New Jersey) endpoints in the order the paper's
+// Table 2 uses.
+var East = []DataCenter{NY4, NYSE, NASDAQ}
+
+// All lists every anchor facility.
+var All = []DataCenter{CME, NY4, NYSE, NASDAQ}
+
+// ByCode returns the data center with the given code and whether it
+// exists.
+func ByCode(code string) (DataCenter, bool) {
+	for _, dc := range All {
+		if dc.Code == code {
+			return dc, true
+		}
+	}
+	return DataCenter{}, false
+}
+
+// Path is an ordered data-center pair, the unit of analysis in Tables 1–3.
+type Path struct {
+	From, To DataCenter
+}
+
+// Name renders the path as the paper writes it, e.g. "CME-NY4".
+func (p Path) Name() string { return p.From.Code + "-" + p.To.Code }
+
+// GeodesicMeters returns the geodesic distance between the endpoints.
+func (p Path) GeodesicMeters() float64 {
+	return geo.Distance(p.From.Location, p.To.Location)
+}
+
+// CorridorPaths lists the three paths of Table 2 in table order.
+func CorridorPaths() []Path {
+	return []Path{
+		{From: CME, To: NY4},
+		{From: CME, To: NYSE},
+		{From: CME, To: NASDAQ},
+	}
+}

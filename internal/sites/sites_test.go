@@ -1,0 +1,62 @@
+package sites
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeodesicsMatchPaper(t *testing.T) {
+	// Table 2 reports the corridor geodesics as 1,186 / 1,174 / 1,176 km.
+	want := map[string]float64{
+		"CME-NY4":    1186e3,
+		"CME-NYSE":   1174e3,
+		"CME-NASDAQ": 1176e3,
+	}
+	for _, p := range CorridorPaths() {
+		w, ok := want[p.Name()]
+		if !ok {
+			t.Fatalf("unexpected path %s", p.Name())
+		}
+		if got := p.GeodesicMeters(); math.Abs(got-w) > 1000 {
+			t.Errorf("%s geodesic = %.0f m, want %.0f ± 1000", p.Name(), got, w)
+		}
+	}
+}
+
+func TestByCode(t *testing.T) {
+	for _, dc := range All {
+		got, ok := ByCode(dc.Code)
+		if !ok || got.Name != dc.Name {
+			t.Errorf("ByCode(%q) = %+v, %v", dc.Code, got, ok)
+		}
+	}
+	if _, ok := ByCode("LSE"); ok {
+		t.Error("ByCode(LSE) should not exist")
+	}
+}
+
+func TestPathName(t *testing.T) {
+	p := Path{From: CME, To: NY4}
+	if p.Name() != "CME-NY4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestEastOrdering(t *testing.T) {
+	if len(East) != 3 || East[0].Code != "NY4" || East[1].Code != "NYSE" || East[2].Code != "NASDAQ" {
+		t.Errorf("East = %+v, want NY4, NYSE, NASDAQ", East)
+	}
+}
+
+func TestAllLocationsValid(t *testing.T) {
+	for _, dc := range All {
+		if !dc.Location.Valid() {
+			t.Errorf("%s location invalid: %v", dc.Code, dc.Location)
+		}
+		// Corridor sanity: all sites are in the northeastern US.
+		if dc.Location.Lat < 40 || dc.Location.Lat > 42.5 ||
+			dc.Location.Lon > -73 || dc.Location.Lon < -89 {
+			t.Errorf("%s location out of corridor: %v", dc.Code, dc.Location)
+		}
+	}
+}

@@ -1,0 +1,828 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"hftnetview/internal/fresnel"
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/terrain"
+	"hftnetview/internal/uls"
+)
+
+// Frequency pools (MHz): the lower 6 GHz, 11 GHz and 18 GHz fixed
+// point-to-point bands used on the corridor (§5, Fig 4b).
+var (
+	band6 = []float64{
+		5945.2, 6004.5, 6063.8, 6123.1, 6182.4, 6241.7, 6301.0, 6360.3,
+	}
+	band11 = []float64{
+		10715.0, 10775.0, 10835.0, 10895.0, 10955.0, 11015.0, 11075.0,
+		11135.0, 11195.0, 11245.0, 11305.0, 11365.0, 11425.0, 11485.0,
+		11545.0, 11605.0, 11665.0,
+	}
+	band18 = []float64{
+		17765.0, 17845.0, 17925.0, 18005.0, 18085.0, 18165.0,
+	}
+)
+
+// linkKind distinguishes trunk/spur links (trunk frequency pool) from
+// redundancy links (alt pool).
+type linkKind int
+
+const (
+	kindTrunk linkKind = iota
+	kindSpur
+	kindRail
+	kindRung
+	kindStray
+)
+
+func (k linkKind) alt() bool { return k == kindRail || k == kindRung || k == kindStray }
+
+// pendingLink is one physical hop over one time interval, ready for
+// license emission.
+type pendingLink struct {
+	a, b          geo.Point
+	grant, cancel uls.Date
+	kind          linkKind
+}
+
+// generator accumulates licenses into a database.
+type generator struct {
+	db       *uls.Database
+	nextID   int
+	counters map[string]int // per-prefix call-sign sequence
+}
+
+// Generate builds the full synthetic corridor database: ten HFT
+// networks, 19 partial licensees and 28 small licensees — the §2.2
+// funnel of 57 candidates → 29 shortlisted → 9 connected (on
+// 2020-04-01).
+func Generate() (*uls.Database, error) {
+	g := &generator{db: uls.NewDatabase(), nextID: 1000001}
+	for _, spec := range HFTNetworks() {
+		if err := g.network(spec); err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", spec.Name, err)
+		}
+	}
+	for _, p := range PartialLicensees() {
+		if err := g.partial(p); err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", p.Name, err)
+		}
+	}
+	for _, s := range SmallLicensees() {
+		if err := g.small(s); err != nil {
+			return nil, fmt.Errorf("synth: %s: %w", s.Name, err)
+		}
+	}
+	return g.db, nil
+}
+
+// network generates one HFT network's full license history.
+func (g *generator) network(spec NetworkSpec) error {
+	if len(spec.Tranches) == 0 {
+		return fmt.Errorf("no build tranches")
+	}
+	rngGeo := newRNG(spec.Name, "geo")
+
+	// Gateways sit on the corridor geodesic at the spec'd fiber-tail
+	// distance from each data center.
+	cme, ny4 := sites.CME.Location, sites.NY4.Location
+	gwCME := geo.Destination(cme, geo.InitialBearing(cme, ny4), spec.FiberCMEKM*1000)
+	gwNJ := geo.Destination(ny4, geo.InitialBearing(ny4, cme), spec.FiberNY4KM*1000)
+	fiberNY4 := (spec.FiberCMEKM + spec.FiberNY4KM) * 1000
+
+	trunk := newChain(gwCME, gwNJ, spec.TrunkTowers, rngGeo)
+
+	// Phase tower sets, with branch towers excluded and inter-phase gaps
+	// enforced.
+	phaseSets, err := phaseTowerSets(trunk, spec.Phases)
+	if err != nil {
+		return err
+	}
+	inPhase := make(map[int]bool)
+	for _, set := range phaseSets {
+		for _, i := range set {
+			inPhase[i] = true
+		}
+	}
+	idxN := branchIndex(trunk, spec.BranchNASDAQ, inPhase)
+	idxY := branchIndex(trunk, spec.BranchNYSE, inPhase)
+	if spec.TargetNASDAQ > 0 && spec.TargetNYSE > 0 && idxN >= idxY {
+		return fmt.Errorf("branch order: NASDAQ idx %d >= NYSE idx %d", idxN, idxY)
+	}
+
+	// Calibrate the trunk: residual base jitter west of the NASDAQ
+	// branch, solved amplitude east of it to hit the CME–NY4 target.
+	eastStart := 1
+	if spec.TargetNASDAQ > 0 {
+		trunk.applyAmplitude(1, idxN, spec.BaseJitterKM*1000)
+		eastStart = idxN + 1
+	}
+	ny4Latency := func(ampEast float64) float64 {
+		trunk.applyAmplitude(eastStart, spec.TrunkTowers-2, ampEast)
+		return latencySeconds(trunk.lengthWith(nil), fiberNY4)
+	}
+	ampEast, err := bisect(0, 120e3, ny4Latency, msToSeconds(spec.TargetNY4),
+		calibrationTolSeconds, "CME-NY4 trunk amplitude")
+	if err != nil {
+		return err
+	}
+	trunk.applyAmplitude(eastStart, spec.TrunkTowers-2, ampEast)
+	finalNY4 := latencySeconds(trunk.lengthWith(nil), fiberNY4)
+
+	// Spurs.
+	var spurN, spurY *chain
+	if spec.TargetNASDAQ > 0 {
+		spurN, err = g.buildSpur(spec, trunk, idxN, sites.NASDAQ.Location,
+			spec.FiberNASDAQKM, spec.SpurTowersNASDAQ, spec.TargetNASDAQ,
+			newRNG(spec.Name, "spur-nasdaq"))
+		if err != nil {
+			return fmt.Errorf("NASDAQ spur: %w", err)
+		}
+	}
+	if spec.TargetNYSE > 0 {
+		spurY, err = g.buildSpur(spec, trunk, idxY, sites.NYSE.Location,
+			spec.FiberNYSEKM, spec.SpurTowersNYSE, spec.TargetNYSE,
+			newRNG(spec.Name, "spur-nyse"))
+		if err != nil {
+			return fmt.Errorf("NYSE spur: %w", err)
+		}
+	}
+
+	// Phase amplitude calibration: each phase's worse pre-upgrade
+	// alignment must have cost DeltaMicros on the CME–NY4 path.
+	phaseExtras := make([]map[int]float64, len(spec.Phases))
+	for pi, phase := range spec.Phases {
+		set := phaseSets[pi]
+		if len(set) == 0 {
+			return fmt.Errorf("phase %d (%s) covers no towers", pi, phase.Date)
+		}
+		pj := phaseJitter(trunk, set, newRNG(spec.Name, fmt.Sprintf("phase-%d", pi)))
+		f := func(amp float64) float64 {
+			extras := make([]float64, spec.TrunkTowers)
+			for _, i := range set {
+				extras[i] = amp * pj[i]
+			}
+			return latencySeconds(trunk.lengthWith(extras), fiberNY4) - finalNY4
+		}
+		amp, err := bisect(0, 200e3, f, phase.DeltaMicros*1e-6,
+			calibrationTolSeconds, fmt.Sprintf("phase %d delta", pi))
+		if err != nil {
+			return err
+		}
+		extras := make(map[int]float64, len(set))
+		for _, i := range set {
+			extras[i] = amp * pj[i]
+		}
+		phaseExtras[pi] = extras
+	}
+
+	// Assemble pending links.
+	var links []pendingLink
+
+	// Trunk links, split into pre/post-upgrade intervals.
+	for i := 0; i < spec.TrunkTowers-1; i++ {
+		mid := (trunk.fracs[i] + trunk.fracs[i+1]) / 2
+		grant := trancheFor(spec.Tranches, mid)
+		pi := phaseOfLink(phaseSets, i)
+		if pi >= 0 && grant.Before(spec.Phases[pi].Date) {
+			ph := spec.Phases[pi]
+			links = append(links, pendingLink{
+				a:     trunk.pos(i, phaseExtras[pi][i]),
+				b:     trunk.pos(i+1, phaseExtras[pi][i+1]),
+				grant: grant, cancel: ph.Date, kind: kindTrunk,
+			})
+			links = append(links, pendingLink{
+				a: trunk.pos(i, 0), b: trunk.pos(i+1, 0),
+				grant: ph.Date, kind: kindTrunk,
+			})
+			continue
+		}
+		links = append(links, pendingLink{
+			a: trunk.pos(i, 0), b: trunk.pos(i+1, 0),
+			grant: grant, kind: kindTrunk,
+		})
+	}
+
+	// Spur links.
+	spurGrantN := spec.SpurGrantNASDAQ
+	if spurGrantN.IsZero() {
+		spurGrantN = spec.Tranches[0].Date
+	}
+	spurGrantY := spec.SpurGrantNYSE
+	if spurGrantY.IsZero() {
+		spurGrantY = spec.Tranches[len(spec.Tranches)-1].Date
+	}
+	if spurN != nil {
+		links = append(links, chainLinks(spurN, spurGrantN, kindSpur)...)
+	}
+	if spurY != nil {
+		links = append(links, chainLinks(spurY, spurGrantY, kindSpur)...)
+	}
+
+	// Trunk ladders (validated against phase dates first).
+	if err := validateLadderDates(spec.Phases, spec.Ladders); err != nil {
+		return err
+	}
+	for li, lad := range spec.Ladders {
+		rng := newRNG(spec.Name, fmt.Sprintf("ladder-%d", li))
+		links = append(links, g.ladderLinks(trunk,
+			lad.From, lad.To, lad.Density, lad.RungEvery, lad.LateralKM,
+			lad.Uniform, lad.Date, inPhase, rng)...)
+	}
+	// Spur ladders (spur chains have no phases).
+	for li, lad := range spec.LaddersNYSE {
+		if spurY == nil {
+			break
+		}
+		rng := newRNG(spec.Name, fmt.Sprintf("nyse-ladder-%d", li))
+		links = append(links, g.ladderLinks(spurY,
+			lad.From, lad.To, lad.Density, lad.RungEvery, lad.LateralKM,
+			lad.Uniform, lad.Date, nil, rng)...)
+	}
+	for li, lad := range spec.LaddersNASDAQ {
+		if spurN == nil {
+			break
+		}
+		rng := newRNG(spec.Name, fmt.Sprintf("nasdaq-ladder-%d", li))
+		links = append(links, g.ladderLinks(spurN,
+			lad.From, lad.To, lad.Density, lad.RungEvery, lad.LateralKM,
+			lad.Uniform, lad.Date, nil, rng)...)
+	}
+
+	// Stray off-corridor links (Fig 3's disconnected filings).
+	strayGrant := spec.StrayGrant
+	if strayGrant.IsZero() {
+		strayGrant = spec.Tranches[0].Date
+	}
+	rngStray := newRNG(spec.Name, "stray")
+	for s := 0; s < spec.Strays; s++ {
+		frac := 0.15 + 0.7*rngStray.Float64()
+		lateral := (25 + 35*rngStray.Float64()) * 1000
+		if rngStray.IntN(2) == 0 {
+			lateral = -lateral
+		}
+		base := geo.Interpolate(gwCME, gwNJ, frac)
+		brg := geo.InitialBearing(base, gwNJ)
+		a := geo.Offset(base, brg, 0, lateral)
+		b := geo.Offset(base, brg, (10+20*rngStray.Float64())*1000, lateral)
+		links = append(links, pendingLink{a: a, b: b, grant: strayGrant, kind: kindStray})
+	}
+
+	// Death: cancel everything still open across the exit window.
+	if !spec.DeathFrom.IsZero() {
+		rngDeath := newRNG(spec.Name, "death")
+		span := int(spec.DeathTo.Time().Sub(spec.DeathFrom.Time()).Hours() / 24)
+		if span < 1 {
+			span = 1
+		}
+		for i := range links {
+			if links[i].cancel.IsZero() {
+				links[i].cancel = spec.DeathFrom.AddDays(rngDeath.IntN(span))
+			}
+		}
+	}
+
+	// Emit licenses. A joint-filing network alternates ownership between
+	// the two entities in runs of JointRun links, so neither entity's
+	// filings alone form an end-to-end path.
+	lpl := spec.LicensesPerLink
+	if lpl <= 0 {
+		lpl = 2
+	}
+	rngEmit := newRNG(spec.Name, "emit")
+	run := spec.JointRun
+	if run <= 0 {
+		run = 3
+	}
+	for li, lk := range links {
+		owner, prefix := spec.Name, spec.CallPrefix
+		if spec.JointPartner != "" && (li/run)%2 == 1 {
+			owner, prefix = spec.JointPartner, spec.JointPartnerPrefix
+		}
+		g.emitLink(owner, prefix, spec.FRN, lk, lpl, spec.Freq, rngEmit)
+	}
+	if spec.JointPartner != "" {
+		// The partner needs its own site near CME to surface in the
+		// §2.2 geographic search: one short targeted-service link.
+		brg := geo.InitialBearing(cme, ny4)
+		a := geo.Destination(cme, brg+25, 3e3)
+		b := geo.Destination(a, brg+25, 12e3)
+		g.emitLink(spec.JointPartner, spec.JointPartnerPrefix, spec.FRN,
+			pendingLink{a: a, b: b, grant: spec.Tranches[0].Date, kind: kindStray},
+			lpl, spec.Freq, rngEmit)
+	}
+	return nil
+}
+
+// buildSpur constructs and calibrates one spur chain; tower 0 coincides
+// with the trunk branch tower so reconstruction stitches them.
+func (g *generator) buildSpur(spec NetworkSpec, trunk *chain, branchIdx int,
+	dcLoc geo.Point, fiberKM float64, towers int, targetMs float64,
+	rng *rand.Rand) (*chain, error) {
+	branchPos := trunk.pos(branchIdx, 0)
+	gw := geo.Destination(dcLoc, geo.InitialBearing(dcLoc, branchPos), fiberKM*1000)
+	spur := newChain(branchPos, gw, towers+1, rng)
+	trunkLen := trunk.lengthRange(0, branchIdx)
+	fiber := (spec.FiberCMEKM + fiberKM) * 1000
+	f := func(amp float64) float64 {
+		spur.applyAmplitude(1, towers-1, amp)
+		return latencySeconds(trunkLen+spur.lengthWith(nil), fiber)
+	}
+	amp, err := bisect(0, 120e3, f, msToSeconds(targetMs),
+		calibrationTolSeconds, "spur amplitude")
+	if err != nil {
+		return nil, err
+	}
+	spur.applyAmplitude(1, towers-1, amp)
+	return spur, nil
+}
+
+// chainLinks converts a chain into pending links granted at one date.
+func chainLinks(c *chain, grant uls.Date, kind linkKind) []pendingLink {
+	out := make([]pendingLink, 0, len(c.base)-1)
+	for i := 0; i < len(c.base)-1; i++ {
+		out = append(out, pendingLink{
+			a: c.pos(i, 0), b: c.pos(i+1, 0), grant: grant, kind: kind,
+		})
+	}
+	return out
+}
+
+// ladderLinks builds a redundancy rail over chain fraction range
+// [from, to]. The rail parallels the chain's *final polyline* — each
+// rail tower is a perpendicular offset of a point on the chain — so the
+// rail never undercuts the calibrated trunk length: the lowest-latency
+// route stays on the trunk (entering the rail costs two rungs), which
+// keeps Table 1's tower counts and latencies intact.
+//
+// Rail towers sit at every chain vertex in range plus, for density > 1,
+// extra samples inside the chain segments (inserting points on a
+// straight segment leaves the rail's length unchanged while shortening
+// its links — Webline's short-link profile). Rungs tie the rail to the
+// chain at the range ends and every rungEvery chain vertices, skipping
+// vertices a later upgrade phase will move (their filings must stay
+// coordinate-stable).
+func (g *generator) ladderLinks(c *chain,
+	from, to, density float64, rungEvery int, lateralKM float64,
+	uniform bool, grant uls.Date, inPhase map[int]bool, rng *rand.Rand) []pendingLink {
+
+	iFrom := nearestOutside(c, from, inPhase)
+	iTo := nearestOutside(c, to, inPhase)
+	if iFrom < 0 || iTo < 0 || iTo <= iFrom {
+		return nil
+	}
+	side := 1.0
+	if rng.IntN(2) == 0 {
+		side = -1
+	}
+	if uniform {
+		return g.uniformRail(c, iFrom, iTo, density, rungEvery,
+			side*lateralKM*1000, grant, inPhase, rng)
+	}
+	extraPerSegment := 0
+	if density > 1 {
+		extraPerSegment = int(math.Round(density - 1))
+		if extraPerSegment < 1 {
+			extraPerSegment = 1
+		}
+	}
+
+	var rail []geo.Point
+	railVertexOf := make(map[int]int) // chain index -> rail index
+	for i := iFrom; i <= iTo; i++ {
+		a := c.pos(i, 0)
+		var segBrg float64
+		if i < iTo {
+			segBrg = geo.InitialBearing(a, c.pos(i+1, 0))
+		} else {
+			segBrg = geo.InitialBearing(c.pos(i-1, 0), a)
+		}
+		jitter := (rng.Float64() - 0.5) * 500
+		railVertexOf[i] = len(rail)
+		rail = append(rail, geo.Offset(a, segBrg, 0, side*lateralKM*1000+jitter))
+		if i == iTo {
+			break
+		}
+		b := c.pos(i+1, 0)
+		for k := 1; k <= extraPerSegment; k++ {
+			t := float64(k) / float64(extraPerSegment+1)
+			mid := geo.Interpolate(a, b, t)
+			jit := (rng.Float64() - 0.5) * 500
+			rail = append(rail, geo.Offset(mid, segBrg, 0, side*lateralKM*1000+jit))
+		}
+	}
+
+	var out []pendingLink
+	for r := 0; r+1 < len(rail); r++ {
+		out = append(out, pendingLink{a: rail[r], b: rail[r+1], grant: grant, kind: kindRail})
+	}
+	if rungEvery < 1 {
+		rungEvery = 2
+	}
+	for i := iFrom; i <= iTo; i++ {
+		if i != iFrom && i != iTo && (i-iFrom)%rungEvery != 0 {
+			continue
+		}
+		if inPhase[i] {
+			continue
+		}
+		out = append(out, pendingLink{
+			a: rail[railVertexOf[i]], b: c.pos(i, 0), grant: grant, kind: kindRung,
+		})
+	}
+	return out
+}
+
+// uniformRail builds a rail with towers at uniform arc spacing along the
+// chain subpolyline — link lengths decoupled from the chain's tower
+// spacing. Safe only where the chain is straight (see Ladder.Uniform).
+func (g *generator) uniformRail(c *chain, iFrom, iTo int, density float64,
+	rungEvery int, lateral float64, grant uls.Date,
+	inPhase map[int]bool, rng *rand.Rand) []pendingLink {
+
+	span := iTo - iFrom
+	railN := int(math.Round(density*float64(span))) + 1
+	if railN < 2 {
+		railN = 2
+	}
+	// Cumulative arc lengths of the subpolyline.
+	arc := make([]float64, span+1)
+	for k := 1; k <= span; k++ {
+		arc[k] = arc[k-1] + geo.Distance(c.pos(iFrom+k-1, 0), c.pos(iFrom+k, 0))
+	}
+	total := arc[span]
+	at := func(s float64) (geo.Point, float64) {
+		k := 0
+		for k < span-1 && arc[k+1] < s {
+			k++
+		}
+		a, b := c.pos(iFrom+k, 0), c.pos(iFrom+k+1, 0)
+		seg := arc[k+1] - arc[k]
+		t := 0.0
+		if seg > 0 {
+			t = (s - arc[k]) / seg
+		}
+		return geo.Interpolate(a, b, t), geo.InitialBearing(a, b)
+	}
+	rail := make([]geo.Point, railN)
+	railArc := make([]float64, railN)
+	for r := 0; r < railN; r++ {
+		s := total * float64(r) / float64(railN-1)
+		p, brg := at(s)
+		jit := (rng.Float64() - 0.5) * 500
+		rail[r] = geo.Offset(p, brg, 0, lateral+jit)
+		railArc[r] = s
+	}
+	var out []pendingLink
+	for r := 0; r+1 < railN; r++ {
+		out = append(out, pendingLink{a: rail[r], b: rail[r+1], grant: grant, kind: kindRail})
+	}
+	if rungEvery < 1 {
+		rungEvery = 2
+	}
+	for i := iFrom; i <= iTo; i++ {
+		if i != iFrom && i != iTo && (i-iFrom)%rungEvery != 0 {
+			continue
+		}
+		if inPhase[i] {
+			continue
+		}
+		// Nearest rail sample by arc position.
+		s := arc[i-iFrom]
+		best, bestD := 0, math.Inf(1)
+		for r := 0; r < railN; r++ {
+			if d := math.Abs(railArc[r] - s); d < bestD {
+				best, bestD = r, d
+			}
+		}
+		out = append(out, pendingLink{
+			a: rail[best], b: c.pos(i, 0), grant: grant, kind: kindRung,
+		})
+	}
+	return out
+}
+
+// validateLadderDates rejects a ladder whose range overlaps a phase
+// segment but whose grant predates that phase: the rail would parallel
+// the final alignment while the trunk still sat on the old one, letting
+// the shortest path bypass the historical detour the phase encodes.
+func validateLadderDates(phases []Phase, ladders []Ladder) error {
+	for li, lad := range ladders {
+		for pi, ph := range phases {
+			if lad.To < ph.From || lad.From > ph.To {
+				continue
+			}
+			if lad.Date.Before(ph.Date) {
+				return fmt.Errorf("ladder %d [%v,%v] granted %v predates overlapping phase %d (%v)",
+					li, lad.From, lad.To, lad.Date, pi, ph.Date)
+			}
+		}
+	}
+	return nil
+}
+
+// nearestOutside returns the chain index nearest to fraction f that is
+// not scheduled for replacement by an upgrade phase.
+func nearestOutside(c *chain, f float64, inPhase map[int]bool) int {
+	best, bestD := -1, math.Inf(1)
+	for i, fr := range c.fracs {
+		if inPhase[i] {
+			continue
+		}
+		if d := math.Abs(fr - f); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// branchIndex picks the trunk tower nearest the requested fraction,
+// skipping towers an upgrade phase will move (their coordinates must
+// stay stable for the spur licenses filed against them).
+func branchIndex(c *chain, f float64, inPhase map[int]bool) int {
+	return nearestOutside(c, f, inPhase)
+}
+
+// phaseTowerSets resolves each phase's interior tower indices and
+// enforces disjointness with ≥1 untouched tower between consecutive
+// phases (which keeps the phases' latency deltas exactly additive).
+func phaseTowerSets(c *chain, phases []Phase) ([][]int, error) {
+	sets := make([][]int, len(phases))
+	order := make([]int, len(phases))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return phases[order[a]].From < phases[order[b]].From })
+	lastUsed := 0 // gateway tower 0 never moves
+	for _, pi := range order {
+		ph := phases[pi]
+		var set []int
+		for i := 1; i < len(c.fracs)-1; i++ {
+			if c.fracs[i] >= ph.From && c.fracs[i] <= ph.To && i > lastUsed+1 {
+				set = append(set, i)
+			}
+		}
+		if len(set) == 0 {
+			return nil, fmt.Errorf("phase %v [%v,%v] covers no usable towers",
+				ph.Date, ph.From, ph.To)
+		}
+		lastUsed = set[len(set)-1]
+		sets[pi] = set
+	}
+	return sets, nil
+}
+
+// phaseJitter builds the pre-upgrade lateral jitter shape for a phase's
+// towers, signed to stack with the final jitter so length grows
+// monotonically with amplitude.
+func phaseJitter(c *chain, set []int, rng *rand.Rand) map[int]float64 {
+	out := make(map[int]float64, len(set))
+	sign := 1.0
+	for _, i := range set {
+		if c.jitter[i] != 0 {
+			// Align with the final jitter's sign so offsets add up.
+			sign = math.Copysign(1, c.jitter[i])
+		}
+		out[i] = sign * (0.6 + 0.4*rng.Float64())
+		sign = -sign
+	}
+	return out
+}
+
+// phaseOfLink returns the index of the phase affecting trunk link
+// (i, i+1), or -1. Phase sets are disjoint with gaps, so at most one
+// phase touches a link.
+func phaseOfLink(sets [][]int, link int) int {
+	for pi, set := range sets {
+		for _, t := range set {
+			if t == link || t == link+1 {
+				return pi
+			}
+		}
+	}
+	return -1
+}
+
+// trancheFor returns the grant date of a trunk link by its midpoint
+// fraction.
+func trancheFor(tranches []Tranche, mid float64) uls.Date {
+	for _, t := range tranches {
+		if mid <= t.UpTo {
+			return t.Date
+		}
+	}
+	return tranches[len(tranches)-1].Date
+}
+
+// emitLink files the licenses for one physical hop: lpl licenses (one
+// per direction when lpl = 2) with band-weighted frequencies.
+func (g *generator) emitLink(licensee, prefix, frn string, lk pendingLink,
+	lpl int, plan FrequencyPlan, rng *rand.Rand) {
+	ends := [][2]geo.Point{{lk.a, lk.b}}
+	if lpl >= 2 {
+		ends = append(ends, [2]geo.Point{lk.b, lk.a})
+	}
+	for _, e := range ends {
+		freqs := drawFrequencies(plan, lk.kind, rng)
+		g.addLicense(licensee, prefix, frn, e[0], e[1], lk.grant, lk.cancel, freqs, rng)
+	}
+}
+
+// drawFrequencies picks 1–2 channel frequencies by the plan's band
+// weights.
+func drawFrequencies(plan FrequencyPlan, kind linkKind, rng *rand.Rand) []float64 {
+	w6, w11, w18 := plan.Trunk6, plan.Trunk11, plan.Trunk18
+	if kind.alt() {
+		w6, w11, w18 = plan.Alt6, plan.Alt11, plan.Alt18
+	}
+	total := w6 + w11 + w18
+	if total <= 0 {
+		w6, w11, w18, total = 1, 1, 1, 3
+	}
+	pick := func() float64 {
+		r := rng.Float64() * total
+		switch {
+		case r < w6:
+			return band6[rng.IntN(len(band6))]
+		case r < w6+w11:
+			return band11[rng.IntN(len(band11))]
+		default:
+			return band18[rng.IntN(len(band18))]
+		}
+	}
+	n := 1
+	if rng.Float64() < 0.4 {
+		n = 2
+	}
+	out := make([]float64, 0, n)
+	seen := make(map[float64]bool)
+	for len(out) < n {
+		f := pick()
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// addLicense files one TX→RX license. Tower heights are engineered
+// against the synthetic terrain: the filed support structures clear the
+// Earth bulge, 0.6 F1 at 6 GHz (the widest Fresnel zone in use), and
+// every ridge the hop crosses.
+func (g *generator) addLicense(licensee, prefix, frn string, tx, rx geo.Point,
+	grant, cancel uls.Date, freqs []float64, rng *rand.Rand) {
+	status := uls.StatusActive
+	if !cancel.IsZero() {
+		status = uls.StatusCancelled
+	}
+	prof := fresnel.NewPathProfile(tx, rx, terrain.Elevation, 12)
+	base := prof.RequiredEqualHeight(6, fresnel.StandardK, 420) + 6
+	if base < 65 {
+		base = 65
+	}
+	l := &uls.License{
+		CallSign:     g.callSign(prefix),
+		LicenseID:    g.nextID,
+		Licensee:     licensee,
+		FRN:          frn,
+		ContactEmail: contactEmailFor(licensee),
+		RadioService: uls.ServiceMG,
+		Status:       status,
+		Grant:        grant,
+		Cancellation: cancel,
+		Locations: []uls.Location{
+			{Number: 1, Point: tx, GroundElevation: terrain.Elevation(tx),
+				SupportHeight: base + 50*rng.Float64()},
+			{Number: 2, Point: rx, GroundElevation: terrain.Elevation(rx),
+				SupportHeight: base + 50*rng.Float64()},
+		},
+		Paths: []uls.Path{{
+			Number: 1, TXLocation: 1, RXLocation: 2,
+			StationClass: uls.ClassFXO, FrequenciesMHz: freqs,
+			TXAzimuthDeg:   geo.InitialBearing(tx, rx),
+			RXAzimuthDeg:   geo.InitialBearing(rx, tx),
+			AntennaGainDBi: antennaGain(freqs),
+		}},
+	}
+	g.nextID++
+	if err := g.db.Add(l); err != nil {
+		// Call signs and ids are generated uniquely and geometry is
+		// validated upstream; a failure here is a generator bug.
+		panic(err)
+	}
+}
+
+// callSign allocates the next call sign under a licensee prefix.
+// Counters are per-generator, keeping Generate deterministic and
+// re-entrant.
+func (g *generator) callSign(prefix string) string {
+	if g.counters == nil {
+		g.counters = make(map[string]int)
+	}
+	g.counters[prefix]++
+	return fmt.Sprintf("WQ%s%03d", prefix, g.counters[prefix])
+}
+
+// partial generates a shortlisted-but-incomplete licensee: a chain from
+// near CME that stops partway along the corridor.
+func (g *generator) partial(spec PartialSpec) error {
+	rng := newRNG(spec.Name, "partial")
+	cme, ny4 := sites.CME.Location, sites.NY4.Location
+	start := geo.Destination(cme, geo.InitialBearing(cme, ny4)+10*(rng.Float64()-0.5),
+		(1+7*rng.Float64())*1000)
+	// Cap the chain's reach so no tower-to-tower hop exceeds the ~50 km
+	// practical microwave limit (§2.2 uses 100 km as the hard bound).
+	extent := spec.Extent
+	if maxExtent := float64(spec.Towers-1) * 48e3 / geo.Distance(cme, ny4); extent > maxExtent {
+		extent = maxExtent
+	}
+	end := geo.Interpolate(cme, ny4, extent)
+	c := newChain(start, end, spec.Towers, rng)
+	c.applyAmplitude(1, spec.Towers-2, (2+6*rng.Float64())*1000)
+	grant := uls.NewDate(spec.GrantYear, time.Month(1+rng.IntN(12)), 1+rng.IntN(28))
+	var cancel uls.Date
+	if spec.CancelYear > 0 {
+		cancel = uls.NewDate(spec.CancelYear, time.Month(1+rng.IntN(12)), 1+rng.IntN(28))
+	}
+	plan := FrequencyPlan{Trunk6: 0.4, Trunk11: 0.5, Trunk18: 0.1,
+		Alt6: 0.4, Alt11: 0.5, Alt18: 0.1}
+	for _, lk := range chainLinks(c, grant, kindTrunk) {
+		lk.cancel = cancel
+		g.emitLink(spec.Name, spec.CallPrefix, partialFRN(spec.Name), lk, 2, plan, rng)
+	}
+	return nil
+}
+
+// small generates a sub-threshold local licensee near CME.
+func (g *generator) small(spec SmallSpec) error {
+	rng := newRNG(spec.Name, "small")
+	cme := sites.CME.Location
+	start := geo.Destination(cme, 360*rng.Float64(), (2+7*rng.Float64())*1000)
+	end := geo.Destination(start, 360*rng.Float64(), (8+25*rng.Float64())*1000)
+	c := newChain(start, end, spec.Towers, rng)
+	c.applyAmplitude(1, spec.Towers-2, 2000*rng.Float64())
+	grant := uls.NewDate(spec.GrantYear, time.Month(1+rng.IntN(12)), 1+rng.IntN(28))
+	plan := FrequencyPlan{Trunk6: 0.7, Trunk11: 0.2, Trunk18: 0.1,
+		Alt6: 0.7, Alt11: 0.2, Alt18: 0.1}
+	for _, lk := range chainLinks(c, grant, kindTrunk) {
+		g.emitLink(spec.Name, spec.CallPrefix, partialFRN(spec.Name), lk, 2, plan, rng)
+	}
+	return nil
+}
+
+// antennaGain files a plausible dish gain by band: larger apertures in
+// the low bands, per corridor practice (6 GHz ~ 38-40 dBi, 11 GHz ~
+// 41-43, 18 GHz ~ 44-46 for equivalent dish sizes).
+func antennaGain(freqsMHz []float64) float64 {
+	if len(freqsMHz) == 0 {
+		return 40
+	}
+	switch f := freqsMHz[0]; {
+	case f < 7000:
+		return 38.5
+	case f < 12000:
+		return 41.8
+	default:
+		return 44.6
+	}
+}
+
+// contactEmailFor derives the filing contact address for a licensee.
+// The joint-filing pair shares one operations inbox — the §6 "licensee
+// email addresses" identification signal.
+func contactEmailFor(licensee string) string {
+	switch licensee {
+	case JointA, JointB:
+		return "noc@rivercrest-ops.example"
+	}
+	var b []byte
+	for i := 0; i < len(licensee); i++ {
+		c := licensee[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		}
+	}
+	return "licensing@" + string(b) + ".example"
+}
+
+// partialFRN derives a stable 10-digit FRN from a licensee name.
+func partialFRN(name string) string {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return fmt.Sprintf("%010d", h%10000000000)
+}

@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/units"
+)
+
+// newRNG returns a deterministic RNG for a licensee/purpose pair so that
+// regeneration is stable and independent of generation order.
+func newRNG(name, purpose string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(purpose))
+	return rand.New(rand.NewPCG(h.Sum64(), 0x9e3779b97f4a7c15))
+}
+
+// chain is a tower chain: on-geodesic base points plus lateral offsets.
+type chain struct {
+	fracs   []float64   // position along the base geodesic, 0..1
+	base    []geo.Point // on-geodesic positions
+	bearing []float64   // local corridor bearing at each base point
+	jitter  []float64   // unit lateral jitter shape, in [-1, 1]
+	lateral []float64   // final lateral offset in meters
+}
+
+// newChain builds an n-tower chain between from and to with mildly
+// jittered spacing; endpoints are pinned (zero jitter).
+func newChain(from, to geo.Point, n int, rng *rand.Rand) *chain {
+	if n < 2 {
+		panic("synth: chain needs >= 2 towers")
+	}
+	c := &chain{
+		fracs:   make([]float64, n),
+		base:    make([]geo.Point, n),
+		bearing: make([]float64, n),
+		jitter:  make([]float64, n),
+		lateral: make([]float64, n),
+	}
+	// Spacing: cumulative weights 1 ± 0.18.
+	weights := make([]float64, n-1)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 + 0.36*(rng.Float64()-0.5)
+		sum += weights[i]
+	}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		c.fracs[i] = acc / sum
+		if i < n-1 {
+			acc += weights[i]
+		}
+	}
+	c.fracs[n-1] = 1
+	for i := 0; i < n; i++ {
+		c.base[i] = geo.Interpolate(from, to, c.fracs[i])
+		if i < n-1 {
+			c.bearing[i] = geo.InitialBearing(c.base[i], to)
+		} else {
+			c.bearing[i] = geo.InitialBearing(from, to)
+		}
+	}
+	// Alternating-sign unit jitter maximizes the length added per meter
+	// of amplitude, which keeps calibrated amplitudes small.
+	sign := 1.0
+	for i := 1; i < n-1; i++ {
+		c.jitter[i] = sign * (0.6 + 0.4*rng.Float64())
+		sign = -sign
+	}
+	return c
+}
+
+// pos returns tower i displaced laterally by extra meters beyond its
+// final offset.
+func (c *chain) pos(i int, extra float64) geo.Point {
+	off := c.lateral[i] + extra
+	if off == 0 {
+		return c.base[i]
+	}
+	return geo.Offset(c.base[i], c.bearing[i], 0, off)
+}
+
+// points materializes the full chain at its final offsets.
+func (c *chain) points() []geo.Point {
+	pts := make([]geo.Point, len(c.base))
+	for i := range pts {
+		pts[i] = c.pos(i, 0)
+	}
+	return pts
+}
+
+// lengthWith returns the chain's polyline length with per-tower extra
+// lateral offsets (nil = final geometry).
+func (c *chain) lengthWith(extras []float64) float64 {
+	var total float64
+	prev := c.pos(0, extraAt(extras, 0))
+	for i := 1; i < len(c.base); i++ {
+		cur := c.pos(i, extraAt(extras, i))
+		total += geo.Distance(prev, cur)
+		prev = cur
+	}
+	return total
+}
+
+// lengthRange returns the polyline length of towers [from, to] at final
+// offsets.
+func (c *chain) lengthRange(from, to int) float64 {
+	var total float64
+	prev := c.pos(from, 0)
+	for i := from + 1; i <= to; i++ {
+		cur := c.pos(i, 0)
+		total += geo.Distance(prev, cur)
+		prev = cur
+	}
+	return total
+}
+
+func extraAt(extras []float64, i int) float64 {
+	if extras == nil {
+		return 0
+	}
+	return extras[i]
+}
+
+// applyAmplitude sets the final lateral offsets of towers in [from, to]
+// (inclusive) to amp × jitter.
+func (c *chain) applyAmplitude(from, to int, amp float64) {
+	for i := from; i <= to && i < len(c.lateral); i++ {
+		if i <= 0 || i >= len(c.lateral)-1 {
+			continue // endpoints stay pinned
+		}
+		c.lateral[i] = amp * c.jitter[i]
+	}
+}
+
+// nearestIndex returns the chain index whose fraction is closest to f.
+func (c *chain) nearestIndex(f float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, fr := range c.fracs {
+		if d := math.Abs(fr - f); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// bisect solves f(x) = target for monotonically increasing f on [lo, hi]
+// to within tol (in f's units). It errors when the target is outside
+// [f(lo), f(hi)] — i.e. the spec's latency target is infeasible for the
+// geometry.
+func bisect(lo, hi float64, f func(float64) float64, target, tol float64, what string) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if target < flo-tol {
+		return 0, fmt.Errorf("synth: %s: target %.9f below minimum %.9f", what, target, flo)
+	}
+	if target <= flo {
+		return lo, nil
+	}
+	if target > fhi {
+		return 0, fmt.Errorf("synth: %s: target %.9f above maximum %.9f", what, target, fhi)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if math.Abs(fm-target) <= tol {
+			return mid, nil
+		}
+		if fm < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// latencySeconds converts a mixed path (microwave meters + fiber meters)
+// into one-way seconds.
+func latencySeconds(mwMeters, fiberMeters float64) float64 {
+	return units.MicrowaveLatency(mwMeters).Seconds() +
+		units.FiberLatency(fiberMeters).Seconds()
+}
+
+// msToSeconds converts the spec's millisecond targets.
+func msToSeconds(ms float64) float64 { return ms / 1000 }
+
+// calibrationTolSeconds is the bisection tolerance: 1 ns one-way, i.e.
+// ~0.3 m of path — far below the 0.4 µs gaps the tables report.
+const calibrationTolSeconds = 1e-9

@@ -1,0 +1,574 @@
+// Package synth generates the synthetic Chicago–New Jersey corridor
+// license database this reproduction substitutes for the live FCC ULS
+// corpus (see DESIGN.md). The generator emits license filings — towers,
+// paths, frequencies, grant/cancellation dates — for the ten HFT
+// networks the paper names, plus the non-HFT licensees that make the
+// §2.2 candidate-discovery funnel (57 → 29 → 9) come out right.
+//
+// Everything is deterministic: per-licensee seeded RNG, and geometric
+// calibration by bisection against the paper's reported end-to-end
+// latencies. The generator controls only where towers stand and when
+// licenses were filed; every published number is then *measured* by the
+// reconstruction pipeline, exactly as the paper measures the real corpus.
+package synth
+
+import (
+	"time"
+
+	"hftnetview/internal/uls"
+)
+
+// FrequencyPlan weights a network's draw over the three corridor bands.
+// HFT corridor licenses cluster in the 6, 11 and 18 GHz common-carrier
+// bands; §5 shows networks differ sharply in band strategy.
+type FrequencyPlan struct {
+	// Trunk6, Trunk11, Trunk18 weight the band choice for trunk and spur
+	// links; Alt6, Alt11, Alt18 weight redundancy (rail/rung) links.
+	Trunk6, Trunk11, Trunk18 float64
+	Alt6, Alt11, Alt18       float64
+}
+
+// Phase is a historical trunk upgrade (§4): before Date, the towers in
+// trunk-fraction range [From, To] sat on a worse alignment that cost
+// DeltaMicros extra one-way latency on the CME–NY4 path; at Date the
+// licensee cancelled those filings and granted replacements on the final
+// alignment. Phases of one network must not overlap and must leave at
+// least one untouched tower between their ranges.
+type Phase struct {
+	Date        uls.Date
+	From, To    float64
+	DeltaMicros float64
+}
+
+// Tranche staggers the initial trunk build: links whose midpoint lies at
+// trunk fraction ≤ UpTo (and after the previous tranche's UpTo) are
+// granted at Date.
+type Tranche struct {
+	Date uls.Date
+	UpTo float64
+}
+
+// Ladder adds a redundancy rail parallel to the trunk over fraction
+// range [From, To], granted at Date. Rail links and rungs draw from the
+// Alt frequency pools.
+type Ladder struct {
+	From, To float64
+	// Density is rail towers per spanned trunk link (>1 = shorter rail
+	// links, as Webline's 36 km vs 48.5 km medians require).
+	Density float64
+	// RungEvery adds a rail↔trunk rung every that many rail towers (the
+	// rail's two ends are always tied to the trunk).
+	RungEvery int
+	// LateralKM is the rail's lateral offset from the trunk.
+	LateralKM float64
+	// Uniform samples rail towers at uniform arc spacing instead of
+	// aligning them to trunk vertices. Only safe over straight trunk
+	// sections (a uniform rail beside a zigzag trunk would cut its
+	// corners and undercut the calibrated latency).
+	Uniform bool
+	Date    uls.Date
+}
+
+// SpurLadder mirrors Ladder for a spur (NYSE / NASDAQ legs), expressed
+// over the spur's own 0..1 fraction range.
+type SpurLadder struct {
+	From, To  float64
+	Density   float64
+	RungEvery int
+	LateralKM float64
+	Uniform   bool
+	Date      uls.Date
+}
+
+// NetworkSpec describes one HFT network to generate.
+type NetworkSpec struct {
+	Name       string
+	CallPrefix string // two letters, unique per licensee
+	FRN        string
+
+	// TrunkTowers is the tower count of the CME–NY4 shortest path
+	// (Table 1's #Towers column), gateways included.
+	TrunkTowers int
+
+	// TargetNY4/NYSE/NASDAQ are the calibration targets in one-way ms
+	// (Table 2). Zero disables that leg.
+	TargetNY4, TargetNYSE, TargetNASDAQ float64
+
+	// BranchNASDAQ and BranchNYSE are the trunk fractions where the legs
+	// leave the trunk; BranchNASDAQ must be ≤ BranchNYSE.
+	BranchNASDAQ, BranchNYSE float64
+
+	// SpurTowersNYSE/NASDAQ are tower counts of each leg beyond the
+	// branch tower (gateway included).
+	SpurTowersNYSE, SpurTowersNASDAQ int
+
+	// FiberKM are the data-center-to-gateway fiber tail lengths.
+	FiberCMEKM, FiberNY4KM, FiberNYSEKM, FiberNASDAQKM float64
+
+	// BaseJitterKM is the residual lateral jitter of the trunk west of
+	// the NASDAQ branch (the "straight" part); the east part and the
+	// spurs get amplitudes solved by bisection.
+	BaseJitterKM float64
+
+	Tranches                   []Tranche // initial build schedule; at least one required
+	Phases                     []Phase   // §4 upgrade history
+	Ladders                    []Ladder  // §5 redundancy
+	LaddersNYSE, LaddersNASDAQ []SpurLadder
+
+	// SpurGrantNYSE/NASDAQ date the legs' filings (zero = last/first
+	// tranche respectively); StrayGrant dates the stray filings (zero =
+	// first tranche).
+	SpurGrantNYSE, SpurGrantNASDAQ uls.Date
+	StrayGrant                     uls.Date
+
+	// LicensesPerLink is 2 for networks that file each hop direction
+	// separately (doubling their Fig 2 footprint), 1 otherwise; 0 means
+	// the default of 2.
+	LicensesPerLink int
+
+	// JointPartner, when set, splits the network's filings between
+	// Name and this second entity in alternating runs of JointRun links
+	// — the "multiple entities filing on one network's behalf" blind
+	// spot of §2.4. Both entities share the FRN; the partner also files
+	// one stray link near CME (so it surfaces in the geographic search)
+	// under JointPartnerPrefix call signs.
+	JointPartner       string
+	JointPartnerPrefix string
+	JointRun           int
+
+	// Strays adds that many detached off-corridor links at the first
+	// tranche date (the disconnected filings visible in Fig 3).
+	Strays int
+
+	// DeathFrom/DeathTo, when set, cancel every license still active
+	// over that window (National Tower Company's 2017–18 exit).
+	DeathFrom, DeathTo uls.Date
+
+	Freq FrequencyPlan
+}
+
+// d is a date-literal helper.
+func d(y int, m time.Month, day int) uls.Date { return uls.NewDate(y, m, day) }
+
+// Canonical licensee names (Table 1 plus the §4 casualty).
+const (
+	NLN   = "New Line Networks"
+	PB    = "Pierce Broadband"
+	JM    = "Jefferson Microwave"
+	BC    = "Blueline Comm"
+	WH    = "Webline Holdings"
+	AQ2AT = "AQ2AT"
+	WI    = "Wireless Internetwork"
+	GTT   = "GTT Americas"
+	SW    = "SW Networks"
+	NTC   = "National Tower Company"
+)
+
+// JointPair names the hidden shared network split across two filing
+// entities (§2.4's blind spot, resolvable by internal/entity).
+const (
+	JointA = "Fox River Relay"
+	JointB = "Laurel Highlands Comm"
+)
+
+// HFTNetworks returns the corridor HFT network specs: the ten networks
+// of Tables 1–2 plus the hidden joint-filing pair, calibrated to the
+// paper's Tables 1–3 and Figs 1–2 (see DESIGN.md for the targets).
+func HFTNetworks() []NetworkSpec {
+	return []NetworkSpec{
+		{
+			// The §2.4 case: one physical network filed under two
+			// entities. Neither alone is end-to-end connected; their
+			// union is (≈4.055 ms), discoverable only by joint analysis.
+			Name: JointA, CallPrefix: "FR", FRN: "0031415926",
+			JointPartner: JointB, JointPartnerPrefix: "LH", JointRun: 4,
+			TrunkTowers: 26,
+			TargetNY4:   4.05500,
+			FiberCMEKM:  1.0, FiberNY4KM: 1.0,
+			BaseJitterKM:    1.0,
+			Tranches:        []Tranche{{Date: d(2016, time.May, 11), UpTo: 1.01}},
+			LicensesPerLink: 2,
+			Freq: FrequencyPlan{
+				Trunk6: 0.30, Trunk11: 0.60, Trunk18: 0.10,
+				Alt6: 0.30, Alt11: 0.60, Alt18: 0.10,
+			},
+		},
+		{
+			Name: NLN, CallPrefix: "NL", FRN: "0024218701",
+			TrunkTowers: 25,
+			TargetNY4:   3.96171, TargetNYSE: 3.93209, TargetNASDAQ: 3.92728,
+			BranchNASDAQ: 0.44, BranchNYSE: 0.85,
+			SpurTowersNYSE: 6, SpurTowersNASDAQ: 13,
+			FiberCMEKM: 0.3, FiberNY4KM: 0.3, FiberNYSEKM: 0.3, FiberNASDAQKM: 0.3,
+			BaseJitterKM: 0.15,
+			Tranches: []Tranche{
+				{Date: d(2014, time.September, 10), UpTo: 0.40},
+				{Date: d(2015, time.April, 20), UpTo: 0.78},
+				{Date: d(2015, time.October, 6), UpTo: 1.01},
+			},
+			Phases: []Phase{
+				{Date: d(2016, time.July, 12), From: 0.10, To: 0.22, DeltaMicros: 8},
+				{Date: d(2017, time.June, 8), From: 0.28, To: 0.40, DeltaMicros: 11},
+				{Date: d(2018, time.August, 21), From: 0.48, To: 0.56, DeltaMicros: 3.29},
+			},
+			Ladders: []Ladder{
+				{From: 0.60, To: 0.74, Density: 1.1, RungEvery: 3, LateralKM: 3.5,
+					Date: d(2016, time.May, 17)},
+				{From: 0.78, To: 0.93, Density: 1.1, RungEvery: 3, LateralKM: 3.0,
+					Date: d(2017, time.March, 9)},
+			},
+			LaddersNYSE: []SpurLadder{
+				{From: 0.1, To: 0.9, Density: 1.2, RungEvery: 2, LateralKM: 2.5,
+					Date: d(2017, time.September, 14)},
+			},
+			LaddersNASDAQ: []SpurLadder{
+				{From: 0.30, To: 0.55, Density: 1.0, RungEvery: 3, LateralKM: 2.5,
+					Date: d(2017, time.November, 15)},
+			},
+			Strays:          4,
+			SpurGrantNASDAQ: d(2014, time.November, 12),
+			SpurGrantNYSE:   d(2015, time.August, 19),
+			StrayGrant:      d(2015, time.June, 10),
+			LicensesPerLink: 2,
+			Freq: FrequencyPlan{
+				Trunk6: 0.05, Trunk11: 0.90, Trunk18: 0.05,
+				Alt6: 0.40, Alt11: 0.50, Alt18: 0.10,
+			},
+		},
+		{
+			Name: PB, CallPrefix: "PB", FRN: "0028779011",
+			TrunkTowers: 29,
+			TargetNY4:   3.96209, TargetNYSE: 3.97000, TargetNASDAQ: 3.94000,
+			BranchNASDAQ: 0.60, BranchNYSE: 0.88,
+			SpurTowersNYSE: 5, SpurTowersNASDAQ: 11,
+			FiberCMEKM: 0.3, FiberNY4KM: 0.3, FiberNYSEKM: 0.4, FiberNASDAQKM: 0.4,
+			BaseJitterKM: 0.15,
+			Tranches: []Tranche{
+				{Date: d(2019, time.August, 13), UpTo: 0.55},
+				{Date: d(2020, time.January, 21), UpTo: 1.01},
+			},
+			Ladders: []Ladder{
+				// One short laddered section: Table 1 reports 7% APA.
+				{From: 0.44, To: 0.48, Density: 1.0, RungEvery: 1, LateralKM: 3.0,
+					Date: d(2020, time.February, 11)},
+			},
+			SpurGrantNASDAQ: d(2020, time.February, 4),
+			SpurGrantNYSE:   d(2020, time.February, 18),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.10, Trunk11: 0.80, Trunk18: 0.10,
+				Alt6: 0.30, Alt11: 0.60, Alt18: 0.10,
+			},
+		},
+		{
+			Name: JM, CallPrefix: "JM", FRN: "0022663130",
+			TrunkTowers: 22,
+			TargetNY4:   3.96597, TargetNYSE: 3.94021, TargetNASDAQ: 3.92828,
+			BranchNASDAQ: 0.58, BranchNYSE: 0.85,
+			SpurTowersNYSE: 6, SpurTowersNASDAQ: 12,
+			FiberCMEKM: 0.4, FiberNY4KM: 0.3, FiberNYSEKM: 0.3, FiberNASDAQKM: 0.3,
+			BaseJitterKM: 0.15,
+			Tranches:     []Tranche{{Date: d(2013, time.October, 2), UpTo: 1.01}},
+			Phases: []Phase{
+				{Date: d(2014, time.June, 11), From: 0.08, To: 0.20, DeltaMicros: 17},
+				{Date: d(2015, time.July, 7), From: 0.26, To: 0.38, DeltaMicros: 15},
+				{Date: d(2016, time.June, 22), From: 0.44, To: 0.54, DeltaMicros: 9},
+				{Date: d(2017, time.August, 15), From: 0.62, To: 0.72, DeltaMicros: 7},
+				{Date: d(2018, time.July, 3), From: 0.745, To: 0.815, DeltaMicros: 6.03},
+			},
+			Ladders: []Ladder{
+				{From: 0.12, To: 0.40, Density: 1.0, RungEvery: 3, LateralKM: 3.5,
+					Date: d(2015, time.November, 18)},
+				{From: 0.44, To: 0.54, Density: 1.0, RungEvery: 3, LateralKM: 3.0,
+					Date: d(2016, time.August, 17)},
+				{From: 0.62, To: 0.72, Density: 1.0, RungEvery: 3, LateralKM: 3.0,
+					Date: d(2017, time.October, 11)},
+			},
+			Strays:          2,
+			SpurGrantNASDAQ: d(2013, time.October, 2),
+			SpurGrantNYSE:   d(2013, time.December, 4),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.20, Trunk11: 0.70, Trunk18: 0.10,
+				Alt6: 0.45, Alt11: 0.45, Alt18: 0.10,
+			},
+		},
+		{
+			Name: BC, CallPrefix: "BC", FRN: "0019275412",
+			TrunkTowers: 29,
+			TargetNY4:   3.96940, TargetNYSE: 3.95866, TargetNASDAQ: 3.94500,
+			BranchNASDAQ: 0.55, BranchNYSE: 0.86,
+			SpurTowersNYSE: 6, SpurTowersNASDAQ: 12,
+			FiberCMEKM: 0.4, FiberNY4KM: 0.4, FiberNYSEKM: 0.4, FiberNASDAQKM: 0.5,
+			BaseJitterKM: 0.2,
+			Tranches: []Tranche{
+				{Date: d(2015, time.March, 17), UpTo: 0.6},
+				{Date: d(2015, time.December, 2), UpTo: 1.01},
+			},
+			Phases: []Phase{
+				{Date: d(2017, time.May, 16), From: 0.2, To: 0.34, DeltaMicros: 14},
+				{Date: d(2018, time.September, 12), From: 0.64, To: 0.76, DeltaMicros: 9},
+			},
+			Strays:          1,
+			SpurGrantNASDAQ: d(2015, time.December, 2),
+			SpurGrantNYSE:   d(2016, time.February, 10),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.25, Trunk11: 0.65, Trunk18: 0.10,
+				Alt6: 0.40, Alt11: 0.50, Alt18: 0.10,
+			},
+		},
+		{
+			Name: WH, CallPrefix: "WH", FRN: "0017544123",
+			TrunkTowers: 27,
+			TargetNY4:   3.97157, TargetNYSE: 4.04909, TargetNASDAQ: 3.92805,
+			BranchNASDAQ: 0.55, BranchNYSE: 0.80,
+			SpurTowersNYSE: 7, SpurTowersNASDAQ: 13,
+			// WH's CME–NY4 surplus over the c-bound lives in a long NY4
+			// fiber tail, keeping the trunk essentially straight so its
+			// uniform (short-link) redundancy rails cannot undercut it.
+			FiberCMEKM: 0.3, FiberNY4KM: 8.0, FiberNYSEKM: 0.3, FiberNASDAQKM: 0.3,
+			BaseJitterKM: 0.1,
+			Tranches:     []Tranche{{Date: d(2012, time.August, 8), UpTo: 1.01}},
+			Phases: []Phase{
+				{Date: d(2014, time.July, 23), From: 0.08, To: 0.20, DeltaMicros: 13.5},
+				{Date: d(2016, time.August, 3), From: 0.34, To: 0.46, DeltaMicros: 13.5},
+				{Date: d(2018, time.September, 5), From: 0.60, To: 0.72, DeltaMicros: 13.43},
+			},
+			Ladders: []Ladder{
+				// Braided coverage over ~2/3 of the trunk with a
+				// short-link uniform rail: this is what gives WH its high
+				// APA and low link-length median (Fig 4a). Sections over
+				// upgrade areas are re-built just after each upgrade
+				// completes.
+				{From: 0.24, To: 0.325, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2013, time.March, 20)},
+				{From: 0.50, To: 0.585, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2013, time.May, 15)},
+				{From: 0.76, To: 0.96, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2013, time.September, 18)},
+				{From: 0.08, To: 0.20, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2014, time.September, 10)},
+				{From: 0.36, To: 0.46, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2016, time.October, 12)},
+				{From: 0.62, To: 0.72, Density: 1.27, RungEvery: 2, LateralKM: 2.6,
+					Uniform: true, Date: d(2018, time.November, 7)},
+			},
+			LaddersNYSE: []SpurLadder{
+				{From: 0.05, To: 0.95, Density: 1.3, RungEvery: 2, LateralKM: 2.2,
+					Date: d(2015, time.March, 25)},
+			},
+			LaddersNASDAQ: []SpurLadder{
+				{From: 0.25, To: 0.75, Density: 1.3, RungEvery: 2, LateralKM: 2.2,
+					Date: d(2015, time.September, 30)},
+			},
+			Strays:          2,
+			SpurGrantNASDAQ: d(2012, time.September, 26),
+			SpurGrantNYSE:   d(2012, time.November, 14),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.96, Trunk11: 0.02, Trunk18: 0.02,
+				Alt6: 0.95, Alt11: 0.03, Alt18: 0.02,
+			},
+		},
+		{
+			Name: AQ2AT, CallPrefix: "AQ", FRN: "0026112448",
+			TrunkTowers: 29,
+			TargetNY4:   4.01101, TargetNYSE: 4.02000, TargetNASDAQ: 4.01500,
+			BranchNASDAQ: 0.60, BranchNYSE: 0.87,
+			SpurTowersNYSE: 5, SpurTowersNASDAQ: 11,
+			FiberCMEKM: 0.6, FiberNY4KM: 0.6, FiberNYSEKM: 0.7, FiberNASDAQKM: 0.7,
+			BaseJitterKM: 0.6,
+			Tranches:     []Tranche{{Date: d(2016, time.February, 24), UpTo: 1.01}},
+			Phases: []Phase{
+				{Date: d(2018, time.April, 18), From: 0.3, To: 0.45, DeltaMicros: 12},
+			},
+			SpurGrantNASDAQ: d(2016, time.March, 16),
+			SpurGrantNYSE:   d(2016, time.April, 6),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.35, Trunk11: 0.55, Trunk18: 0.10,
+				Alt6: 0.40, Alt11: 0.50, Alt18: 0.10,
+			},
+		},
+		{
+			Name: WI, CallPrefix: "WI", FRN: "0015630918",
+			TrunkTowers: 33,
+			TargetNY4:   4.12246, TargetNYSE: 4.13000, TargetNASDAQ: 4.13000,
+			BranchNASDAQ: 0.55, BranchNYSE: 0.85,
+			SpurTowersNYSE: 6, SpurTowersNASDAQ: 12,
+			FiberCMEKM: 1.2, FiberNY4KM: 1.0, FiberNYSEKM: 1.0, FiberNASDAQKM: 1.0,
+			BaseJitterKM:    1.5,
+			Tranches:        []Tranche{{Date: d(2013, time.May, 29), UpTo: 1.01}},
+			Strays:          1,
+			SpurGrantNASDAQ: d(2013, time.June, 19),
+			SpurGrantNYSE:   d(2013, time.July, 17),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.50, Trunk11: 0.40, Trunk18: 0.10,
+				Alt6: 0.50, Alt11: 0.40, Alt18: 0.10,
+			},
+		},
+		{
+			Name: GTT, CallPrefix: "GT", FRN: "0013443714",
+			TrunkTowers: 28,
+			TargetNY4:   4.24241, TargetNYSE: 4.25000, TargetNASDAQ: 4.25000,
+			BranchNASDAQ: 0.55, BranchNYSE: 0.85,
+			SpurTowersNYSE: 5, SpurTowersNASDAQ: 11,
+			FiberCMEKM: 1.5, FiberNY4KM: 1.5, FiberNYSEKM: 1.5, FiberNASDAQKM: 1.5,
+			BaseJitterKM:    2.5,
+			Tranches:        []Tranche{{Date: d(2014, time.November, 5), UpTo: 1.01}},
+			SpurGrantNASDAQ: d(2014, time.December, 3),
+			SpurGrantNYSE:   d(2015, time.January, 14),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.40, Trunk11: 0.45, Trunk18: 0.15,
+				Alt6: 0.40, Alt11: 0.45, Alt18: 0.15,
+			},
+		},
+		{
+			Name: SW, CallPrefix: "SW", FRN: "0011198122",
+			TrunkTowers: 74,
+			TargetNY4:   4.44530, TargetNYSE: 4.46000, TargetNASDAQ: 4.45500,
+			BranchNASDAQ: 0.55, BranchNYSE: 0.85,
+			SpurTowersNYSE: 8, SpurTowersNASDAQ: 16,
+			FiberCMEKM: 2.0, FiberNY4KM: 2.0, FiberNYSEKM: 2.0, FiberNASDAQKM: 2.0,
+			BaseJitterKM:    3.0,
+			Tranches:        []Tranche{{Date: d(2012, time.June, 13), UpTo: 1.01}},
+			Strays:          2,
+			SpurGrantNASDAQ: d(2012, time.July, 11),
+			SpurGrantNYSE:   d(2012, time.August, 15),
+			LicensesPerLink: 1,
+			Freq: FrequencyPlan{
+				Trunk6: 0.45, Trunk11: 0.35, Trunk18: 0.20,
+				Alt6: 0.45, Alt11: 0.35, Alt18: 0.20,
+			},
+		},
+		{
+			// The §4 casualty: connected through 2017, gone in 2018.
+			Name: NTC, CallPrefix: "NT", FRN: "0009935612",
+			TrunkTowers: 30,
+			TargetNY4:   3.98600, TargetNYSE: 3.99500, TargetNASDAQ: 3.99000,
+			BranchNASDAQ: 0.58, BranchNYSE: 0.86,
+			SpurTowersNYSE: 5, SpurTowersNASDAQ: 11,
+			FiberCMEKM: 0.5, FiberNY4KM: 0.5, FiberNYSEKM: 0.6, FiberNASDAQKM: 0.6,
+			BaseJitterKM: 0.3,
+			Tranches:     []Tranche{{Date: d(2012, time.October, 17), UpTo: 1.01}},
+			Phases: []Phase{
+				{Date: d(2013, time.July, 10), From: 0.12, To: 0.24, DeltaMicros: 7},
+				{Date: d(2014, time.August, 6), From: 0.34, To: 0.48, DeltaMicros: 10.5},
+				{Date: d(2015, time.September, 2), From: 0.62, To: 0.74, DeltaMicros: 1.5},
+			},
+			DeathFrom: d(2017, time.February, 14),
+			DeathTo:   d(2018, time.October, 24),
+			// The NJ legs land in 2013 — the aggressive acquisition year
+			// §4 describes — while the NY4 trunk is live from late 2012.
+			SpurGrantNASDAQ: d(2013, time.March, 13),
+			SpurGrantNYSE:   d(2013, time.June, 5),
+			LicensesPerLink: 2,
+			Freq: FrequencyPlan{
+				Trunk6: 0.30, Trunk11: 0.60, Trunk18: 0.10,
+				Alt6: 0.40, Alt11: 0.50, Alt18: 0.10,
+			},
+		},
+	}
+}
+
+// PartialSpec is a shortlisted-but-never-connected licensee (§3: "not
+// all have an end-to-end network ... various states of setting up or
+// bringing down").
+type PartialSpec struct {
+	Name       string
+	CallPrefix string
+	Towers     int     // ≥7 so the filing count clears the ≥11 threshold
+	Extent     float64 // how far along the corridor the chain reaches
+	GrantYear  int
+	CancelYear int // 0 = still active
+}
+
+// PartialLicensees returns the 17 shortlisted licensees without
+// end-to-end networks. Together with the 10 single-entity HFT specs and
+// the 2 joint-filing entities they make the paper's 29 shortlisted
+// licensees (57 candidates − 28 small).
+func PartialLicensees() []PartialSpec {
+	names := []struct {
+		name   string
+		prefix string
+	}{
+		{"Great Lakes Relay", "GL"},
+		{"Prairie State Wireless", "PS"},
+		{"Heartland Comm Partners", "HC"},
+		{"Fox Valley Microwave", "FV"},
+		{"Midwest Latency Labs", "ML"},
+		{"Allegheny Ridge Radio", "AR"},
+		{"Tri-State Backhaul", "TS"},
+		{"Keystone Wave", "KW"},
+		{"Illinois Valley Networks", "IV"},
+		{"Calumet Wireless Trust", "CW"},
+		{"Appalachian Crossing", "AC"},
+		{"Lakeshore Link", "LL"},
+		{"Mohawk Corridor Comm", "MC"},
+		{"Susquehanna Radio Group", "SR"},
+		{"Du Page Relay Co", "DP"},
+		{"Pocono Ridge Networks", "PR"},
+		{"Wabash Line", "WL"},
+		// Two former list slots are taken by the joint-filing pair
+		// (JointA/JointB), keeping the §2.2 funnel at 57 candidates and
+		// 29 shortlisted.
+	}
+	out := make([]PartialSpec, 0, len(names))
+	for i, n := range names {
+		out = append(out, PartialSpec{
+			Name:       n.name,
+			CallPrefix: n.prefix,
+			Towers:     7 + (i*3)%12,               // 7..18
+			Extent:     0.18 + 0.035*float64(i%16), // 0.18..0.71
+			GrantYear:  2013 + i%7,
+			CancelYear: map[bool]int{true: 2017 + i%3, false: 0}[i%4 == 3],
+		})
+	}
+	return out
+}
+
+// SmallSpec is a local non-HFT MG/FXO licensee near CME with fewer than
+// 11 filings — the chaff the §2.2 filter removes.
+type SmallSpec struct {
+	Name       string
+	CallPrefix string
+	Towers     int // 2..5 → 2..8 filings, always < 11
+	GrantYear  int
+}
+
+// SmallLicensees returns the 28 sub-threshold licensees (57 − 29).
+func SmallLicensees() []SmallSpec {
+	base := []string{
+		"Aurora Utility District", "Kane County Public Safety",
+		"Fermilab Site Comm", "DuPage Water Commission",
+		"Naperville SCADA", "Oswego Pipeline Telemetry",
+		"Com Grid West", "Batavia Municipal Radio",
+		"Sugar Grove Telecom", "Plainfield Data Services",
+		"Fox Metro Reclamation", "Illinois Tollway Radio",
+		"Montgomery Rail Signal", "Yorkville Broadband Co-op",
+		"Eola Switching", "Kendall Grain Exchange Comm",
+		"Prairie Path Paging", "Waubonsee Campus Net",
+		"Bristol Township Works", "Geneva Substation Link",
+		"North Aurora Transit", "Mooseheart Relay",
+		"Elburn Cold Storage", "Kaneville Telemetry",
+		"Big Rock Quarry Comm", "Sandwich Fairgrounds Net",
+		"Hinckley Irrigation District", "Somonauk Valley Wireless",
+	}
+	out := make([]SmallSpec, 0, len(base))
+	for i, n := range base {
+		out = append(out, SmallSpec{
+			Name:       n,
+			CallPrefix: smallPrefix(i),
+			Towers:     2 + i%4,
+			GrantYear:  2010 + i%10,
+		})
+	}
+	return out
+}
+
+func smallPrefix(i int) string {
+	return string([]byte{'Z', byte('A' + i%26)})
+}

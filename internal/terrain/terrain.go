@@ -1,0 +1,90 @@
+// Package terrain provides a deterministic synthetic elevation model of
+// the Chicago–New Jersey corridor: the flat Midwest falling gently
+// eastward, the Appalachian ridge-and-valley belt in central
+// Pennsylvania, and coastal lowlands — the relief that decides where
+// towers must stand tall (see internal/fresnel). The model is smooth,
+// seed-free and pure, so every package sees the same ground.
+package terrain
+
+import (
+	"math"
+
+	"hftnetview/internal/geo"
+)
+
+// Elevation returns the model terrain height in meters above sea level.
+// Values are clamped to [0, ∞) and stay under ~900 m on the corridor.
+func Elevation(p geo.Point) float64 {
+	// Base west→east gradient: ~205 m at the CME longitude to ~25 m at
+	// the coast.
+	t := (p.Lon + 88.2) / 14.2
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	elev := 205 - 180*t
+
+	// Appalachian ridge-and-valley belt: parallel ridges at fixed
+	// longitudes, each a Gaussian in longitude whose crest undulates
+	// with latitude.
+	for _, ridge := range []struct {
+		lon, amp, width float64
+	}{
+		{-80.1, 260, 0.30},
+		{-79.0, 360, 0.35},
+		{-77.9, 310, 0.30},
+		{-76.8, 220, 0.28},
+	} {
+		dx := (p.Lon - ridge.lon) / ridge.width
+		crest := 0.85 + 0.15*math.Sin(p.Lat*9+ridge.lon)
+		elev += ridge.amp * crest * math.Exp(-dx*dx)
+	}
+
+	// Rolling local relief: two octaves of smooth value noise.
+	elev += 45 * valueNoise(p.Lat*7, p.Lon*7)
+	elev += 18 * valueNoise(p.Lat*29+100, p.Lon*29)
+
+	if elev < 0 {
+		return 0
+	}
+	return elev
+}
+
+// Profile samples the terrain along the geodesic a→b at n evenly spaced
+// interior points, returning the elevations in order from a to b.
+func Profile(a, b geo.Point, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := (float64(i) + 0.5) / float64(n)
+		out[i] = Elevation(geo.Interpolate(a, b, t))
+	}
+	return out
+}
+
+// valueNoise is deterministic 2-D value noise in [-1, 1]: hashed lattice
+// values with smoothstep bilinear interpolation.
+func valueNoise(x, y float64) float64 {
+	x0, y0 := math.Floor(x), math.Floor(y)
+	fx, fy := x-x0, y-y0
+	sx, sy := smooth(fx), smooth(fy)
+	v00 := lattice(int64(x0), int64(y0))
+	v10 := lattice(int64(x0)+1, int64(y0))
+	v01 := lattice(int64(x0), int64(y0)+1)
+	v11 := lattice(int64(x0)+1, int64(y0)+1)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// lattice hashes integer grid coordinates to a stable value in [-1, 1].
+func lattice(x, y int64) float64 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return float64(h%2000001)/1000000 - 1
+}

@@ -1,0 +1,113 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+)
+
+func TestElevationDeterministic(t *testing.T) {
+	p := geo.Point{Lat: 40.9, Lon: -78.8}
+	if Elevation(p) != Elevation(p) {
+		t.Error("elevation not deterministic")
+	}
+}
+
+func TestElevationRange(t *testing.T) {
+	f := func(latSeed, lonSeed float64) bool {
+		lat := 38 + math.Mod(math.Abs(latSeed), 6)
+		lon := -89 + math.Mod(math.Abs(lonSeed), 16)
+		if math.IsNaN(lat) || math.IsNaN(lon) {
+			return true
+		}
+		e := Elevation(geo.Point{Lat: lat, Lon: lon})
+		return e >= 0 && e < 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWestHigherThanCoast(t *testing.T) {
+	west := Elevation(sites.CME.Location)
+	coast := Elevation(sites.NY4.Location)
+	if west <= coast {
+		t.Errorf("CME %f should sit above the coast %f", west, coast)
+	}
+	if west < 120 || west > 320 {
+		t.Errorf("CME elevation = %.0f m, want Midwest ~200", west)
+	}
+	if coast > 120 {
+		t.Errorf("NY4 elevation = %.0f m, want coastal lowland", coast)
+	}
+}
+
+func TestAppalachianRidgesPresent(t *testing.T) {
+	// Sample along the corridor: the central-Pennsylvania stretch must
+	// rise well above both ends.
+	a, b := sites.CME.Location, sites.NY4.Location
+	maxRidge := 0.0
+	for frac := 0.55; frac <= 0.85; frac += 0.01 {
+		if e := Elevation(geo.Interpolate(a, b, frac)); e > maxRidge {
+			maxRidge = e
+		}
+	}
+	if maxRidge < 350 {
+		t.Errorf("Appalachian max = %.0f m, want > 350", maxRidge)
+	}
+}
+
+func TestElevationSmoothness(t *testing.T) {
+	// 100 m steps change elevation by a bounded amount (no cliffs that
+	// would make Fresnel sampling unreliable).
+	a := geo.Point{Lat: 40.8, Lon: -79.0}
+	prev := Elevation(a)
+	brg := 95.0
+	for i := 1; i <= 200; i++ {
+		p := geo.Destination(a, brg, float64(i)*100)
+		e := Elevation(p)
+		if d := math.Abs(e - prev); d > 60 {
+			t.Fatalf("elevation jumped %.0f m over 100 m at step %d", d, i)
+		}
+		prev = e
+	}
+}
+
+func TestProfile(t *testing.T) {
+	a, b := sites.CME.Location, sites.NY4.Location
+	prof := Profile(a, b, 64)
+	if len(prof) != 64 {
+		t.Fatalf("profile samples = %d", len(prof))
+	}
+	for i, e := range prof {
+		if e < 0 || e > 1000 {
+			t.Errorf("sample %d = %v out of range", i, e)
+		}
+	}
+	// The corridor profile must include the ridge belt.
+	max := 0.0
+	for _, e := range prof {
+		if e > max {
+			max = e
+		}
+	}
+	if max < 300 {
+		t.Errorf("corridor max = %.0f m, want ridge crossings", max)
+	}
+}
+
+func TestValueNoiseBounds(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		v := valueNoise(math.Mod(x, 1e6), math.Mod(y, 1e6))
+		return v >= -1.0001 && v <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

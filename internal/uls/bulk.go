@@ -1,0 +1,310 @@
+package uls
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hftnetview/internal/geo"
+)
+
+// Bulk interchange format.
+//
+// FCC ULS publishes its licensing database as pipe-delimited record
+// files, one record per line, where the first field is a two-letter
+// record type (HD = header, EN = entity, LO = location, PA = path,
+// FR = frequency) and records for one license are keyed by call sign.
+// This file implements a faithful subset of that format with the fields
+// this study uses:
+//
+//	HD|call_sign|license_id|radio_service|status|grant|expiration|cancellation
+//	EN|call_sign|licensee_name|frn|contact_email
+//	LO|call_sign|location_number|lat_dms|lon_dms|ground_elev_m|support_height_m
+//	PA|call_sign|path_number|tx_location|rx_location|station_class|tx_azimuth|rx_azimuth|gain_dbi
+//	FR|call_sign|path_number|frequency_mhz
+//
+// Dates are MM/DD/YYYY (empty = not on file); coordinates are in the
+// DMS form of geo.ParseDMS. Records for a license may appear in any
+// order after its HD record; licenses may interleave. Lines beginning
+// with '#' and blank lines are ignored.
+
+// WriteBulk writes the database in bulk format, licenses sorted by call
+// sign and records grouped per license, so output is deterministic and
+// diff-friendly.
+func WriteBulk(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range db.All() {
+		if err := writeLicense(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLicense(w io.Writer, l *License) error {
+	if _, err := fmt.Fprintf(w, "HD|%s|%d|%s|%s|%s|%s|%s\n",
+		l.CallSign, l.LicenseID, l.RadioService, l.Status,
+		l.Grant, l.Expiration, l.Cancellation); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "EN|%s|%s|%s|%s\n",
+		l.CallSign, l.Licensee, l.FRN, l.ContactEmail); err != nil {
+		return err
+	}
+	for _, loc := range l.Locations {
+		lat, lon := geo.PointToDMS(loc.Point)
+		if _, err := fmt.Fprintf(w, "LO|%s|%d|%s|%s|%.1f|%.1f\n",
+			l.CallSign, loc.Number, lat, lon, loc.GroundElevation, loc.SupportHeight); err != nil {
+			return err
+		}
+	}
+	for _, p := range l.Paths {
+		if _, err := fmt.Fprintf(w, "PA|%s|%d|%d|%d|%s|%.1f|%.1f|%.1f\n",
+			l.CallSign, p.Number, p.TXLocation, p.RXLocation, p.StationClass,
+			p.TXAzimuthDeg, p.RXAzimuthDeg, p.AntennaGainDBi); err != nil {
+			return err
+		}
+		for _, f := range p.FrequenciesMHz {
+			if _, err := fmt.Fprintf(w, "FR|%s|%d|%.1f\n", l.CallSign, p.Number, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParseError describes a malformed bulk record.
+type ParseError struct {
+	Line int    // 1-based line number
+	Text string // offending line
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("uls: bulk line %d: %v (%q)", e.Line, e.Err, e.Text)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ReadBulk parses a bulk stream into a fresh Database. Parsing is
+// streaming (constant memory per license beyond the database itself) and
+// strict: any malformed record aborts with a *ParseError carrying the
+// line number.
+func ReadBulk(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	// open tracks licenses being assembled; they are validated and added
+	// once the whole stream is read (records may interleave).
+	open := make(map[string]*License)
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseBulkLine(line, open, &order); err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Err: err}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("uls: reading bulk stream: %w", err)
+	}
+	for _, cs := range order {
+		if err := db.Add(open[cs]); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func parseBulkLine(line string, open map[string]*License, order *[]string) error {
+	fields := strings.Split(line, "|")
+	if len(fields) < 2 {
+		return fmt.Errorf("too few fields")
+	}
+	typ, cs := fields[0], fields[1]
+	if cs == "" {
+		return fmt.Errorf("empty call sign")
+	}
+	if typ == "HD" {
+		if _, dup := open[cs]; dup {
+			return fmt.Errorf("duplicate HD for %s", cs)
+		}
+		l, err := parseHD(fields)
+		if err != nil {
+			return err
+		}
+		open[cs] = l
+		*order = append(*order, cs)
+		return nil
+	}
+	l, ok := open[cs]
+	if !ok {
+		return fmt.Errorf("%s record for %s precedes its HD record", typ, cs)
+	}
+	switch typ {
+	case "EN":
+		return parseEN(fields, l)
+	case "LO":
+		return parseLO(fields, l)
+	case "PA":
+		return parsePA(fields, l)
+	case "FR":
+		return parseFR(fields, l)
+	default:
+		return fmt.Errorf("unknown record type %q", typ)
+	}
+}
+
+func wantFields(fields []string, n int) error {
+	if len(fields) != n {
+		return fmt.Errorf("want %d fields, got %d", n, len(fields))
+	}
+	return nil
+}
+
+func parseHD(f []string) (*License, error) {
+	if err := wantFields(f, 8); err != nil {
+		return nil, err
+	}
+	id, err := strconv.Atoi(f[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad license id %q", f[2])
+	}
+	grant, err := ParseDate(f[5])
+	if err != nil {
+		return nil, err
+	}
+	exp, err := ParseDate(f[6])
+	if err != nil {
+		return nil, err
+	}
+	cancel, err := ParseDate(f[7])
+	if err != nil {
+		return nil, err
+	}
+	switch Status(f[4]) {
+	case StatusActive, StatusCancelled, StatusExpired, StatusTerminated:
+	default:
+		return nil, fmt.Errorf("unknown status %q", f[4])
+	}
+	return &License{
+		CallSign:     f[1],
+		LicenseID:    id,
+		RadioService: f[3],
+		Status:       Status(f[4]),
+		Grant:        grant,
+		Expiration:   exp,
+		Cancellation: cancel,
+	}, nil
+}
+
+func parseEN(f []string, l *License) error {
+	if err := wantFields(f, 5); err != nil {
+		return err
+	}
+	if l.Licensee != "" {
+		return fmt.Errorf("duplicate EN record")
+	}
+	if f[2] == "" {
+		return fmt.Errorf("empty licensee name")
+	}
+	l.Licensee, l.FRN, l.ContactEmail = f[2], f[3], f[4]
+	return nil
+}
+
+func parseLO(f []string, l *License) error {
+	if err := wantFields(f, 7); err != nil {
+		return err
+	}
+	num, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad location number %q", f[2])
+	}
+	lat, err := geo.ParseDMS(f[3])
+	if err != nil {
+		return err
+	}
+	lon, err := geo.ParseDMS(f[4])
+	if err != nil {
+		return err
+	}
+	pt, err := geo.PointFromDMS(lat, lon)
+	if err != nil {
+		return err
+	}
+	elev, err := strconv.ParseFloat(f[5], 64)
+	if err != nil {
+		return fmt.Errorf("bad ground elevation %q", f[5])
+	}
+	height, err := strconv.ParseFloat(f[6], 64)
+	if err != nil {
+		return fmt.Errorf("bad support height %q", f[6])
+	}
+	l.Locations = append(l.Locations, Location{
+		Number: num, Point: pt, GroundElevation: elev, SupportHeight: height,
+	})
+	return nil
+}
+
+func parsePA(f []string, l *License) error {
+	if err := wantFields(f, 9); err != nil {
+		return err
+	}
+	num, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad path number %q", f[2])
+	}
+	tx, err := strconv.Atoi(f[3])
+	if err != nil {
+		return fmt.Errorf("bad tx location %q", f[3])
+	}
+	rx, err := strconv.Atoi(f[4])
+	if err != nil {
+		return fmt.Errorf("bad rx location %q", f[4])
+	}
+	txAz, err := strconv.ParseFloat(f[6], 64)
+	if err != nil {
+		return fmt.Errorf("bad tx azimuth %q", f[6])
+	}
+	rxAz, err := strconv.ParseFloat(f[7], 64)
+	if err != nil {
+		return fmt.Errorf("bad rx azimuth %q", f[7])
+	}
+	gain, err := strconv.ParseFloat(f[8], 64)
+	if err != nil {
+		return fmt.Errorf("bad antenna gain %q", f[8])
+	}
+	l.Paths = append(l.Paths, Path{
+		Number: num, TXLocation: tx, RXLocation: rx, StationClass: f[5],
+		TXAzimuthDeg: txAz, RXAzimuthDeg: rxAz, AntennaGainDBi: gain,
+	})
+	return nil
+}
+
+func parseFR(f []string, l *License) error {
+	if err := wantFields(f, 4); err != nil {
+		return err
+	}
+	num, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad path number %q", f[2])
+	}
+	freq, err := strconv.ParseFloat(f[3], 64)
+	if err != nil || freq <= 0 {
+		return fmt.Errorf("bad frequency %q", f[3])
+	}
+	for i := range l.Paths {
+		if l.Paths[i].Number == num {
+			l.Paths[i].FrequenciesMHz = append(l.Paths[i].FrequenciesMHz, freq)
+			return nil
+		}
+	}
+	return fmt.Errorf("FR record for unknown path %d", num)
+}

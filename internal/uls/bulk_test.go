@@ -1,0 +1,258 @@
+package uls
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hftnetview/internal/geo"
+)
+
+func TestBulkRoundTrip(t *testing.T) {
+	db := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBulk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), db.Len())
+	}
+	for _, want := range db.All() {
+		l, ok := got.ByCallSign(want.CallSign)
+		if !ok {
+			t.Fatalf("lost license %s", want.CallSign)
+		}
+		if l.Licensee != want.Licensee || l.FRN != want.FRN ||
+			l.ContactEmail != want.ContactEmail ||
+			l.RadioService != want.RadioService || l.Status != want.Status {
+			t.Errorf("%s header mismatch: %+v vs %+v", want.CallSign, l, want)
+		}
+		if l.Grant != want.Grant || l.Expiration != want.Expiration ||
+			l.Cancellation != want.Cancellation {
+			t.Errorf("%s dates mismatch", want.CallSign)
+		}
+		if len(l.Locations) != len(want.Locations) {
+			t.Fatalf("%s locations = %d, want %d", want.CallSign, len(l.Locations), len(want.Locations))
+		}
+		for i := range l.Locations {
+			// DMS has 0.1" (~3 m) resolution.
+			if geo.Distance(l.Locations[i].Point, want.Locations[i].Point) > 5 {
+				t.Errorf("%s location %d moved", want.CallSign, i)
+			}
+			if l.Locations[i].SupportHeight != want.Locations[i].SupportHeight {
+				t.Errorf("%s location %d height mismatch", want.CallSign, i)
+			}
+		}
+		if len(l.Paths) != len(want.Paths) {
+			t.Fatalf("%s paths = %d, want %d", want.CallSign, len(l.Paths), len(want.Paths))
+		}
+		for i := range l.Paths {
+			if len(l.Paths[i].FrequenciesMHz) != len(want.Paths[i].FrequenciesMHz) {
+				t.Errorf("%s path %d frequencies = %d, want %d", want.CallSign, i,
+					len(l.Paths[i].FrequenciesMHz), len(want.Paths[i].FrequenciesMHz))
+			}
+			if l.Paths[i].StationClass != want.Paths[i].StationClass {
+				t.Errorf("%s path %d class mismatch", want.CallSign, i)
+			}
+		}
+	}
+}
+
+func TestBulkDeterministicOutput(t *testing.T) {
+	db := buildTestDB(t)
+	var a, b bytes.Buffer
+	if err := WriteBulk(&a, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBulk(&b, db); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteBulk output not deterministic")
+	}
+}
+
+func TestBulkCommentsAndBlankLines(t *testing.T) {
+	db := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	decorated := "# ULS bulk extract\n\n" + strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	got, err := ReadBulk(strings.NewReader(decorated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("Len = %d, want %d", got.Len(), db.Len())
+	}
+}
+
+func TestBulkCRLF(t *testing.T) {
+	db := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(buf.String(), "\n", "\r\n")
+	got, err := ReadBulk(strings.NewReader(crlf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("Len = %d, want %d", got.Len(), db.Len())
+	}
+}
+
+func TestBulkInterleavedRecords(t *testing.T) {
+	// Records for two licenses interleaved after their HD records.
+	in := strings.Join([]string{
+		"HD|WQXX001|1|MG|A|06/01/2015||",
+		"HD|WQXX002|2|MG|A|07/01/2015||",
+		"EN|WQXX002|Net Two|0002|ops@nettwo.example",
+		"EN|WQXX001|Net One|0001|noc@netone.example",
+		"LO|WQXX001|1|41-45-00.0 N|88-12-00.0 W|200.0|100.0",
+		"LO|WQXX002|1|41-45-00.0 N|88-12-00.0 W|200.0|90.0",
+		"LO|WQXX001|2|41-42-00.0 N|87-42-00.0 W|190.0|100.0",
+		"LO|WQXX002|2|41-42-00.0 N|87-42-00.0 W|190.0|90.0",
+		"PA|WQXX001|1|1|2|FXO|96.5|276.5|41.8",
+		"PA|WQXX002|1|1|2|FXO|96.5|276.5|38.5",
+		"FR|WQXX001|1|10995.0",
+		"FR|WQXX002|1|6004.5",
+	}, "\n")
+	db, err := ReadBulk(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	l1, _ := db.ByCallSign("WQXX001")
+	if l1.Licensee != "Net One" || l1.Paths[0].FrequenciesMHz[0] != 10995.0 {
+		t.Errorf("WQXX001 parsed wrong: %+v", l1)
+	}
+}
+
+func TestBulkParseErrors(t *testing.T) {
+	hd := "HD|WQER001|1|MG|A|06/01/2015||"
+	en := "EN|WQER001|Err Net|0001|x@err.example"
+	lo1 := "LO|WQER001|1|41-45-00.0 N|88-12-00.0 W|200.0|100.0"
+	lo2 := "LO|WQER001|2|41-42-00.0 N|87-42-00.0 W|190.0|100.0"
+	pa := "PA|WQER001|1|1|2|FXO|96.5|276.5|41.8"
+
+	cases := []struct {
+		name    string
+		lines   []string
+		wantSub string
+	}{
+		{"record before HD", []string{en}, "precedes its HD"},
+		{"duplicate HD", []string{hd, hd}, "duplicate HD"},
+		{"unknown type", []string{hd, "ZZ|WQER001|x"}, "unknown record type"},
+		{"short line", []string{"HD"}, "too few fields"},
+		{"empty call sign", []string{"HD||1|MG|A|06/01/2015||"}, "empty call sign"},
+		{"bad license id", []string{"HD|WQER001|xx|MG|A|06/01/2015||"}, "bad license id"},
+		{"bad status", []string{"HD|WQER001|1|MG|Q|06/01/2015||"}, "unknown status"},
+		{"bad grant date", []string{"HD|WQER001|1|MG|A|13/45/2015||"}, "date"},
+		{"HD wrong arity", []string{"HD|WQER001|1|MG|A|06/01/2015|"}, "want 8 fields"},
+		{"duplicate EN", []string{hd, en, en}, "duplicate EN"},
+		{"empty licensee", []string{hd, "EN|WQER001||0001|x@err.example"}, "empty licensee"},
+		{"bad location number", []string{hd, en, "LO|WQER001|x|41-45-00.0 N|88-12-00.0 W|200.0|100.0"}, "bad location number"},
+		{"bad latitude", []string{hd, en, "LO|WQER001|1|garbage|88-12-00.0 W|200.0|100.0"}, "DMS"},
+		{"swapped axes", []string{hd, en, "LO|WQER001|1|88-12-00.0 W|41-45-00.0 N|200.0|100.0"}, "latitude"},
+		{"bad elevation", []string{hd, en, "LO|WQER001|1|41-45-00.0 N|88-12-00.0 W|x|100.0"}, "ground elevation"},
+		{"bad height", []string{hd, en, "LO|WQER001|1|41-45-00.0 N|88-12-00.0 W|200.0|x"}, "support height"},
+		{"bad path tx", []string{hd, en, lo1, lo2, "PA|WQER001|1|x|2|FXO|96.5|276.5|41.8"}, "bad tx"},
+		{"bad azimuth", []string{hd, en, lo1, lo2, "PA|WQER001|1|1|2|FXO|x|276.5|41.8"}, "bad tx azimuth"},
+		{"bad gain", []string{hd, en, lo1, lo2, "PA|WQER001|1|1|2|FXO|96.5|276.5|x"}, "bad antenna gain"},
+		{"PA wrong arity", []string{hd, en, lo1, lo2, "PA|WQER001|1|1|2|FXO"}, "want 9 fields"},
+		{"bad frequency", []string{hd, en, lo1, lo2, pa, "FR|WQER001|1|-5"}, "bad frequency"},
+		{"FR unknown path", []string{hd, en, lo1, lo2, pa, "FR|WQER001|7|6000.0"}, "unknown path"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadBulk(strings.NewReader(strings.Join(c.lines, "\n")))
+			if err == nil {
+				t.Fatal("ReadBulk succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestBulkParseErrorLineNumber(t *testing.T) {
+	in := "# comment\nHD|WQER001|1|MG|A|06/01/2015||\nEN|WQER001|Err Net|0001|x@err.example\nZZ|WQER001|x\n"
+	_, err := ReadBulk(strings.NewReader(in))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("ParseError.Line = %d, want 4", pe.Line)
+	}
+}
+
+// TestBulkRoundTripQuick fuzzes license shapes through the bulk format.
+func TestBulkRoundTripQuick(t *testing.T) {
+	f := func(id uint16, nLocs, nFreqs uint8, cancelOffset uint16) bool {
+		locs := int(nLocs%5) + 2   // 2..6 towers
+		freqs := int(nFreqs%3) + 1 // 1..3 frequencies
+		l := &License{
+			CallSign:     "WQQK001",
+			LicenseID:    int(id),
+			Licensee:     "Quick Net",
+			FRN:          "0099",
+			RadioService: ServiceMG,
+			Status:       StatusActive,
+			Grant:        NewDate(2014, time.March, 1),
+		}
+		if cancelOffset%2 == 0 {
+			l.Cancellation = l.Grant.AddDays(int(cancelOffset) + 1)
+		}
+		for i := 0; i < locs; i++ {
+			l.Locations = append(l.Locations, Location{
+				Number: i + 1,
+				Point: geo.Point{
+					Lat: 41 + float64(i)*0.05,
+					Lon: -88 + float64(i)*0.3,
+				},
+				GroundElevation: 200,
+				SupportHeight:   100,
+			})
+		}
+		for i := 0; i < locs-1; i++ {
+			p := Path{Number: i + 1, TXLocation: i + 1, RXLocation: i + 2, StationClass: ClassFXO}
+			for j := 0; j < freqs; j++ {
+				p.FrequenciesMHz = append(p.FrequenciesMHz, 6000+float64(j)*29.65)
+			}
+			l.Paths = append(l.Paths, p)
+		}
+		db := NewDatabase()
+		if err := db.Add(l); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBulk(&buf, db); err != nil {
+			return false
+		}
+		got, err := ReadBulk(&buf)
+		if err != nil {
+			return false
+		}
+		rl, ok := got.ByCallSign("WQQK001")
+		return ok && len(rl.Locations) == locs && len(rl.Paths) == locs-1 &&
+			rl.Cancellation == l.Cancellation &&
+			len(rl.Paths[0].FrequenciesMHz) == freqs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

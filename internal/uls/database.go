@@ -1,0 +1,204 @@
+package uls
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hftnetview/internal/geo"
+)
+
+// Database is an in-memory license store with the query surface the
+// paper's methodology needs: lookup by call sign, grouping by licensee,
+// geographic search around a point, and date-scoped activity queries.
+// It is the backing store for both the simulated FCC portal and the
+// offline analyses.
+//
+// A Database is safe for concurrent readers after loading; mutation
+// (Add) is not synchronized.
+type Database struct {
+	licenses   []*License
+	byCallSign map[string]*License
+
+	spatialMu sync.Mutex
+	spatial   *spatialIndex // lazy; guarded by spatialMu; invalidated by Add
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{byCallSign: make(map[string]*License)}
+}
+
+// Add inserts a license. It rejects duplicate call signs and licenses
+// that fail Validate.
+func (db *Database) Add(l *License) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if _, dup := db.byCallSign[l.CallSign]; dup {
+		return fmt.Errorf("uls: duplicate call sign %s", l.CallSign)
+	}
+	db.licenses = append(db.licenses, l)
+	db.byCallSign[l.CallSign] = l
+	db.spatialMu.Lock()
+	db.spatial = nil // geographic index is stale now
+	db.spatialMu.Unlock()
+	return nil
+}
+
+// Len returns the number of licenses in the database.
+func (db *Database) Len() int { return len(db.licenses) }
+
+// ByCallSign returns the license with the given call sign, if any.
+func (db *Database) ByCallSign(cs string) (*License, bool) {
+	l, ok := db.byCallSign[cs]
+	return l, ok
+}
+
+// All returns the licenses sorted by call sign. The returned slice is
+// fresh; the licenses it points to are shared.
+func (db *Database) All() []*License {
+	out := append([]*License(nil), db.licenses...)
+	SortLicenses(out)
+	return out
+}
+
+// Licensees returns the distinct licensee names, sorted.
+func (db *Database) Licensees() []string {
+	set := make(map[string]bool)
+	for _, l := range db.licenses {
+		set[l.Licensee] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByLicensee returns the licenses filed under the given entity name,
+// sorted by call sign.
+func (db *Database) ByLicensee(name string) []*License {
+	var out []*License
+	for _, l := range db.licenses {
+		if l.Licensee == name {
+			out = append(out, l)
+		}
+	}
+	SortLicenses(out)
+	return out
+}
+
+// WithinRadius returns licenses that have any location within radius
+// meters of center — the portal's geographic search (§2.1). Results are
+// sorted by call sign.
+func (db *Database) WithinRadius(center geo.Point, radius float64) []*License {
+	var out []*License
+	for _, l := range db.licenses {
+		for _, loc := range l.Locations {
+			if geo.Distance(center, loc.Point) <= radius {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	SortLicenses(out)
+	return out
+}
+
+// FilterService keeps licenses matching the radio service code and, when
+// stationClass is non-empty, having at least one path with that station
+// class — the portal's site-based search (§2.1).
+func FilterService(ls []*License, service, stationClass string) []*License {
+	var out []*License
+	for _, l := range ls {
+		if service != "" && l.RadioService != service {
+			continue
+		}
+		if stationClass != "" {
+			found := false
+			for _, p := range l.Paths {
+				if p.StationClass == stationClass {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// ActiveAt returns the licenses in force on the given date, sorted by
+// call sign.
+func (db *Database) ActiveAt(d Date) []*License {
+	var out []*License
+	for _, l := range db.licenses {
+		if l.ActiveAt(d) {
+			out = append(out, l)
+		}
+	}
+	SortLicenses(out)
+	return out
+}
+
+// ActiveCountByLicensee returns, per licensee, the number of licenses in
+// force on the given date — the quantity plotted in Fig 2.
+func (db *Database) ActiveCountByLicensee(d Date) map[string]int {
+	out := make(map[string]int)
+	for _, l := range db.licenses {
+		if l.ActiveAt(d) {
+			out[l.Licensee]++
+		}
+	}
+	return out
+}
+
+// ActiveLinks returns every materialized link of every license in force
+// on the given date for the named licensee ("" = all licensees).
+func (db *Database) ActiveLinks(licensee string, d Date) []Link {
+	var out []Link
+	for _, l := range db.licenses {
+		if licensee != "" && l.Licensee != licensee {
+			continue
+		}
+		if !l.ActiveAt(d) {
+			continue
+		}
+		out = append(out, l.Links()...)
+	}
+	return out
+}
+
+// GrantsCancellationsInYear counts, for a licensee, how many licenses
+// were granted and how many cancelled during the given calendar year —
+// used for the §4 narrative (e.g. NLN's 55 grants in 2015, NTC's 71
+// cancellations in 2017–18).
+func (db *Database) GrantsCancellationsInYear(licensee string, year int) (grants, cancels int) {
+	for _, l := range db.licenses {
+		if l.Licensee != licensee {
+			continue
+		}
+		if l.Grant.Year == year {
+			grants++
+		}
+		if !l.Cancellation.IsZero() && l.Cancellation.Year == year {
+			cancels++
+		}
+	}
+	return grants, cancels
+}
+
+// Merge adds every license in other, failing on the first error.
+func (db *Database) Merge(other *Database) error {
+	for _, l := range other.licenses {
+		if err := db.Add(l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package uls
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising the writers' error paths.
+type failWriter struct {
+	budget int
+}
+
+var errSink = errors.New("sink full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errSink
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+		f.budget = 0
+		return n, errSink
+	}
+	f.budget -= n
+	return n, nil
+}
+
+func TestWriteBulkPropagatesWriterErrors(t *testing.T) {
+	db := buildTestDB(t)
+	for _, budget := range []int{0, 1, 10, 50, 200} {
+		if err := WriteBulk(&failWriter{budget: budget}, db); err == nil {
+			t.Errorf("budget %d: WriteBulk succeeded, want error", budget)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package uls
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBulk asserts the bulk parser never panics on arbitrary input,
+// and that anything it accepts survives a write/re-read round trip.
+func FuzzReadBulk(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"HD|WQAA001|1|MG|A|06/01/2015||\nEN|WQAA001|Net|0001|x@n.example\n",
+		strings.Join([]string{
+			"HD|WQAA001|1|MG|A|06/01/2015||",
+			"EN|WQAA001|Net One|0001|noc@netone.example",
+			"LO|WQAA001|1|41-45-00.0 N|88-12-00.0 W|200.0|100.0",
+			"LO|WQAA001|2|41-42-00.0 N|87-42-00.0 W|190.0|100.0",
+			"PA|WQAA001|1|1|2|FXO",
+			"FR|WQAA001|1|11245.0",
+		}, "\n"),
+		"HD|X|x|MG|A|06/01/2015||\n",
+		"ZZ|WQAA001|garbage\n",
+		"HD|WQAA001|1|MG|A|99/99/9999||\n",
+		"LO|WQAA001|1|junk|junk|x|y\n",
+		"HD|WQAA001|1|MG|A|06/01/2015||\nHD|WQAA001|1|MG|A|06/01/2015||\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadBulk(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBulk(&buf, db); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		back, err := ReadBulk(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded output failed to parse: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip lost licenses: %d vs %d", back.Len(), db.Len())
+		}
+	})
+}
+
+// FuzzParseDate asserts the date parser never panics and that accepted
+// dates re-render to a string that parses back to the same value.
+func FuzzParseDate(f *testing.F) {
+	for _, s := range []string{"", "04/01/2020", "2020-04-01", "02/29/2016",
+		"13/01/2020", "garbage", "00/00/0000", "12/31/9999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDate(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseDate(d.String())
+		if err != nil {
+			t.Fatalf("rendered date %q failed to parse: %v", d.String(), err)
+		}
+		if back != d {
+			t.Fatalf("round trip changed %v to %v", d, back)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package uls
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestBulkGolden pins the bulk interchange format byte-for-byte: the
+// format is the repository's published data interface.
+func TestBulkGolden(t *testing.T) {
+	db := buildTestDB(t)
+	var buf bytes.Buffer
+	if err := WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bulk_golden.uls")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("bulk output changed; if intentional, rerun with -update.\ngot:\n%s\nwant:\n%s",
+			buf.String(), want)
+	}
+}

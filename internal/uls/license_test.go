@@ -1,0 +1,209 @@
+package uls
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/geo"
+)
+
+// testLicense builds a minimal valid two-location license.
+func testLicense(cs, licensee string, grant, cancel Date) *License {
+	return &License{
+		CallSign:     cs,
+		LicenseID:    1000,
+		Licensee:     licensee,
+		FRN:          "0012345678",
+		RadioService: ServiceMG,
+		Status:       StatusActive,
+		Grant:        grant,
+		Cancellation: cancel,
+		Locations: []Location{
+			{Number: 1, Point: geo.Point{Lat: 41.76, Lon: -88.20}, GroundElevation: 200, SupportHeight: 100},
+			{Number: 2, Point: geo.Point{Lat: 41.70, Lon: -87.70}, GroundElevation: 190, SupportHeight: 110},
+		},
+		Paths: []Path{
+			{Number: 1, TXLocation: 1, RXLocation: 2, StationClass: ClassFXO,
+				FrequenciesMHz: []float64{11245.0, 10995.0}},
+		},
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	grant := NewDate(2015, time.June, 1)
+	cancel := NewDate(2018, time.March, 15)
+	l := testLicense("WQAA001", "Test Net", grant, cancel)
+
+	cases := []struct {
+		date string
+		want bool
+	}{
+		{"05/31/2015", false}, // day before grant
+		{"06/01/2015", true},  // grant day counts
+		{"01/01/2016", true},
+		{"03/14/2018", true},  // day before cancellation
+		{"03/15/2018", false}, // cancellation day does not count
+		{"01/01/2020", false},
+	}
+	for _, c := range cases {
+		if got := l.ActiveAt(MustParseDate(c.date)); got != c.want {
+			t.Errorf("ActiveAt(%s) = %v, want %v", c.date, got, c.want)
+		}
+	}
+}
+
+func TestActiveAtNoCancellation(t *testing.T) {
+	l := testLicense("WQAA002", "Test Net", NewDate(2015, time.June, 1), Date{})
+	if !l.ActiveAt(MustParseDate("04/01/2020")) {
+		t.Error("license without cancellation should stay active")
+	}
+}
+
+func TestActiveAtExpiration(t *testing.T) {
+	l := testLicense("WQAA003", "Test Net", NewDate(2015, time.June, 1), Date{})
+	l.Expiration = NewDate(2019, time.June, 1)
+	if l.ActiveAt(MustParseDate("06/01/2019")) {
+		t.Error("license should be inactive on expiration day")
+	}
+	if !l.ActiveAt(MustParseDate("05/31/2019")) {
+		t.Error("license should be active the day before expiration")
+	}
+}
+
+func TestActiveAtNeverGranted(t *testing.T) {
+	l := testLicense("WQAA004", "Test Net", Date{}, Date{})
+	if l.ActiveAt(MustParseDate("01/01/2020")) {
+		t.Error("ungranted license should never be active")
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	l := testLicense("WQAA005", "Test Net", NewDate(2015, time.June, 1), Date{})
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() *License {
+		return testLicense("WQAA006", "Test Net", NewDate(2015, time.June, 1), Date{})
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*License)
+		wantSub string
+	}{
+		{"missing call sign", func(l *License) { l.CallSign = "" }, "call sign"},
+		{"missing licensee", func(l *License) { l.Licensee = "" }, "licensee"},
+		{"missing grant", func(l *License) { l.Grant = Date{} }, "grant"},
+		{"cancel before grant", func(l *License) {
+			l.Cancellation = NewDate(2014, time.January, 1)
+		}, "precedes grant"},
+		{"bad location number", func(l *License) { l.Locations[0].Number = 0 }, "location number"},
+		{"duplicate location", func(l *License) { l.Locations[1].Number = 1 }, "duplicate location"},
+		{"invalid coordinates", func(l *License) {
+			l.Locations[0].Point = geo.Point{Lat: 95, Lon: 0}
+		}, "invalid coordinates"},
+		{"bad path number", func(l *License) { l.Paths[0].Number = -1 }, "path number"},
+		{"missing tx", func(l *License) { l.Paths[0].TXLocation = 9 }, "missing TX"},
+		{"missing rx", func(l *License) { l.Paths[0].RXLocation = 9 }, "missing RX"},
+		{"self loop", func(l *License) { l.Paths[0].RXLocation = 1 }, "self loop"},
+		{"no frequencies", func(l *License) { l.Paths[0].FrequenciesMHz = nil }, "no frequencies"},
+		{"bad frequency", func(l *License) { l.Paths[0].FrequenciesMHz = []float64{-6000} }, "non-positive frequency"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := base()
+			c.mutate(l)
+			err := l.Validate()
+			if err == nil {
+				t.Fatal("Validate passed, want error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateAntennaFields(t *testing.T) {
+	base := func() *License {
+		return testLicense("WQAN001", "Ant Net", NewDate(2015, time.June, 1), Date{})
+	}
+	cases := []struct {
+		name   string
+		mutate func(*License)
+	}{
+		{"negative azimuth", func(l *License) { l.Paths[0].TXAzimuthDeg = -1 }},
+		{"azimuth 360", func(l *License) { l.Paths[0].RXAzimuthDeg = 360 }},
+		{"negative gain", func(l *License) { l.Paths[0].AntennaGainDBi = -3 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := base()
+			c.mutate(l)
+			if err := l.Validate(); err == nil {
+				t.Error("Validate passed, want error")
+			}
+		})
+	}
+	good := base()
+	good.Paths[0].TXAzimuthDeg = 96.5
+	good.Paths[0].RXAzimuthDeg = 276.5
+	good.Paths[0].AntennaGainDBi = 41.8
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid antenna fields rejected: %v", err)
+	}
+}
+
+func TestValidateDuplicatePathNumber(t *testing.T) {
+	l := testLicense("WQAA007", "Test Net", NewDate(2015, time.June, 1), Date{})
+	l.Paths = append(l.Paths, Path{Number: 1, TXLocation: 2, RXLocation: 1,
+		StationClass: ClassFXO, FrequenciesMHz: []float64{6000}})
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate path") {
+		t.Errorf("Validate = %v, want duplicate path error", err)
+	}
+}
+
+func TestLinks(t *testing.T) {
+	l := testLicense("WQAA008", "Test Net", NewDate(2015, time.June, 1), Date{})
+	links := l.Links()
+	if len(links) != 1 {
+		t.Fatalf("Links = %d, want 1", len(links))
+	}
+	lk := links[0]
+	if lk.CallSign != "WQAA008" || lk.Licensee != "Test Net" || lk.PathNumber != 1 {
+		t.Errorf("link metadata wrong: %+v", lk)
+	}
+	if lk.TX.Number != 1 || lk.RX.Number != 2 {
+		t.Errorf("link endpoints wrong: %+v", lk)
+	}
+	if got := lk.LengthMeters(); got < 30e3 || got > 60e3 {
+		t.Errorf("link length = %.0f m, want ~42 km", got)
+	}
+	// Frequencies are copied, not aliased.
+	lk.FrequenciesMHz[0] = 1
+	if l.Paths[0].FrequenciesMHz[0] == 1 {
+		t.Error("Links aliases license frequency slice")
+	}
+}
+
+func TestLinksSkipsDanglingPaths(t *testing.T) {
+	l := testLicense("WQAA009", "Test Net", NewDate(2015, time.June, 1), Date{})
+	l.Paths = append(l.Paths, Path{Number: 2, TXLocation: 1, RXLocation: 99,
+		StationClass: ClassFXO, FrequenciesMHz: []float64{6000}})
+	if got := len(l.Links()); got != 1 {
+		t.Errorf("Links = %d, want dangling path skipped", got)
+	}
+}
+
+func TestLocationByNumber(t *testing.T) {
+	l := testLicense("WQAA010", "Test Net", NewDate(2015, time.June, 1), Date{})
+	if loc, ok := l.LocationByNumber(2); !ok || loc.Number != 2 {
+		t.Errorf("LocationByNumber(2) = %+v, %v", loc, ok)
+	}
+	if _, ok := l.LocationByNumber(3); ok {
+		t.Error("LocationByNumber(3) should not exist")
+	}
+}

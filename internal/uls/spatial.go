@@ -1,0 +1,100 @@
+package uls
+
+import (
+	"math"
+
+	"hftnetview/internal/geo"
+)
+
+// Spatial index for the geographic search (§2.1). The portal serves
+// radius queries on every page load; a degree-cell grid over license
+// locations turns the O(licenses × locations) scan into a handful of
+// cell lookups. The index is built lazily on first use and invalidated
+// by Add.
+
+// gridCellDeg is the index cell size in degrees (~55 km of latitude) —
+// comfortably larger than typical search radii, so most queries touch
+// at most four cells.
+const gridCellDeg = 0.5
+
+type gridKey struct{ latCell, lonCell int32 }
+
+type spatialIndex struct {
+	cells map[gridKey][]*License
+}
+
+func cellOf(p geo.Point) gridKey {
+	return gridKey{
+		latCell: int32(math.Floor(p.Lat / gridCellDeg)),
+		lonCell: int32(math.Floor(p.Lon / gridCellDeg)),
+	}
+}
+
+func buildSpatialIndex(licenses []*License) *spatialIndex {
+	idx := &spatialIndex{cells: make(map[gridKey][]*License)}
+	for _, l := range licenses {
+		seen := make(map[gridKey]bool, len(l.Locations))
+		for _, loc := range l.Locations {
+			k := cellOf(loc.Point)
+			if !seen[k] {
+				seen[k] = true
+				idx.cells[k] = append(idx.cells[k], l)
+			}
+		}
+	}
+	return idx
+}
+
+// candidates returns the licenses whose locations might lie within
+// radius of center (every license in cells the search disc overlaps).
+func (idx *spatialIndex) candidates(center geo.Point, radius float64) []*License {
+	// Convert the radius to degree spans (latitude exact; longitude
+	// widened by the cos factor at the query latitude).
+	latSpan := radius / 111_000
+	cosLat := math.Cos(center.Lat * math.Pi / 180)
+	if cosLat < 0.1 {
+		cosLat = 0.1
+	}
+	lonSpan := radius / (111_000 * cosLat)
+
+	minLat := int32(math.Floor((center.Lat - latSpan) / gridCellDeg))
+	maxLat := int32(math.Floor((center.Lat + latSpan) / gridCellDeg))
+	minLon := int32(math.Floor((center.Lon - lonSpan) / gridCellDeg))
+	maxLon := int32(math.Floor((center.Lon + lonSpan) / gridCellDeg))
+
+	var out []*License
+	dedup := make(map[*License]bool)
+	for la := minLat; la <= maxLat; la++ {
+		for lo := minLon; lo <= maxLon; lo++ {
+			for _, l := range idx.cells[gridKey{la, lo}] {
+				if !dedup[l] {
+					dedup[l] = true
+					out = append(out, l)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// WithinRadiusIndexed is WithinRadius backed by the lazy grid index
+// (safe for concurrent callers). Results are identical to WithinRadius.
+func (db *Database) WithinRadiusIndexed(center geo.Point, radius float64) []*License {
+	db.spatialMu.Lock()
+	if db.spatial == nil {
+		db.spatial = buildSpatialIndex(db.licenses)
+	}
+	idx := db.spatial
+	db.spatialMu.Unlock()
+	var out []*License
+	for _, l := range idx.candidates(center, radius) {
+		for _, loc := range l.Locations {
+			if geo.Distance(center, loc.Point) <= radius {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	SortLicenses(out)
+	return out
+}

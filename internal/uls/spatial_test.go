@@ -1,0 +1,121 @@
+package uls
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"hftnetview/internal/geo"
+)
+
+// scatterDB builds a database of licenses scattered over the corridor
+// bounding box.
+func scatterDB(t testing.TB, n int) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(3, 9))
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		a := geo.Point{
+			Lat: 39 + rng.Float64()*4,
+			Lon: -89 + rng.Float64()*15,
+		}
+		b := geo.Point{Lat: a.Lat + 0.1 + 0.3*rng.Float64(), Lon: a.Lon + 0.2}
+		l := &License{
+			CallSign: fmt.Sprintf("WQSP%04d", i), LicenseID: i + 1,
+			Licensee: "Scatter Net", FRN: "0000000077",
+			RadioService: ServiceMG, Status: StatusActive,
+			Grant: NewDate(2015, time.June, 1),
+			Locations: []Location{
+				{Number: 1, Point: a, GroundElevation: 100, SupportHeight: 80},
+				{Number: 2, Point: b, GroundElevation: 100, SupportHeight: 80},
+			},
+			Paths: []Path{{Number: 1, TXLocation: 1, RXLocation: 2,
+				StationClass: ClassFXO, FrequenciesMHz: []float64{6004.5}}},
+		}
+		if err := db.Add(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestWithinRadiusIndexedMatchesScan(t *testing.T) {
+	db := scatterDB(t, 600)
+	rng := rand.New(rand.NewPCG(11, 2))
+	for trial := 0; trial < 40; trial++ {
+		center := geo.Point{
+			Lat: 39 + rng.Float64()*4,
+			Lon: -89 + rng.Float64()*15,
+		}
+		radius := 1e3 + rng.Float64()*80e3
+		scan := db.WithinRadius(center, radius)
+		indexed := db.WithinRadiusIndexed(center, radius)
+		if len(scan) != len(indexed) {
+			t.Fatalf("trial %d: scan %d vs indexed %d (radius %.0f km)",
+				trial, len(scan), len(indexed), radius/1000)
+		}
+		for i := range scan {
+			if scan[i].CallSign != indexed[i].CallSign {
+				t.Fatalf("trial %d: result %d differs: %s vs %s",
+					trial, i, scan[i].CallSign, indexed[i].CallSign)
+			}
+		}
+	}
+}
+
+func TestWithinRadiusIndexedInvalidation(t *testing.T) {
+	db := scatterDB(t, 50)
+	center := geo.Point{Lat: 41, Lon: -80}
+	before := len(db.WithinRadiusIndexed(center, 50e3))
+	// Add a license right at the center; the index must pick it up.
+	l := testLicense("WQSPNEW", "Scatter Net", NewDate(2016, time.March, 1), Date{})
+	l.Locations[0].Point = center
+	l.Locations[1].Point = geo.Point{Lat: 41.1, Lon: -80.1}
+	if err := db.Add(l); err != nil {
+		t.Fatal(err)
+	}
+	after := len(db.WithinRadiusIndexed(center, 50e3))
+	if after != before+1 {
+		t.Errorf("after Add: %d results, want %d", after, before+1)
+	}
+}
+
+func TestWithinRadiusIndexedConcurrent(t *testing.T) {
+	db := scatterDB(t, 300)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 0))
+			for i := 0; i < 50; i++ {
+				center := geo.Point{Lat: 39 + rng.Float64()*4, Lon: -89 + rng.Float64()*15}
+				db.WithinRadiusIndexed(center, 30e3)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+}
+
+func TestWithinRadiusIndexedEdgeCases(t *testing.T) {
+	db := NewDatabase()
+	if got := db.WithinRadiusIndexed(geo.Point{Lat: 41, Lon: -80}, 10e3); len(got) != 0 {
+		t.Errorf("empty db: %d results", len(got))
+	}
+	// Tiny radius finds only the exact site.
+	full := scatterDB(t, 100)
+	l, _ := full.ByCallSign("WQSP0000")
+	pt := l.Locations[0].Point
+	got := full.WithinRadiusIndexed(pt, 1)
+	found := false
+	for _, g := range got {
+		if g.CallSign == "WQSP0000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("1 m search at a site missed its license")
+	}
+}

@@ -1,0 +1,126 @@
+package ulsserver
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+// Browsable HTML views: the index page with the three search forms, and
+// paginated HTML result listings that link to the detail pages. The
+// scraper uses the JSON endpoints; these pages are for humans poking at
+// the portal, exactly as the paper's authors browsed the real ULS.
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>ULS License Search</title></head><body>
+<h1>Universal Licensing System</h1>
+<p>%d licenses on file from %d licensees.</p>
+<h2>Geographic search</h2>
+<form action="/search" method="get">
+<input type="hidden" name="type" value="geo">
+lat <input name="lat" value="41.7625">
+lon <input name="lon" value="-88.2030">
+radius (km) <input name="radius_km" value="10">
+<input type="submit" value="Search">
+</form>
+<h2>Site-based search</h2>
+<form action="/search" method="get">
+<input type="hidden" name="type" value="site">
+service <input name="service" value="MG">
+class <input name="class" value="FXO">
+<input type="submit" value="Search">
+</form>
+<h2>Licensee search</h2>
+<form action="/search" method="get">
+<input type="hidden" name="type" value="licensee">
+name <input name="name">
+<input type="submit" value="Search">
+</form>
+</body></html>
+`, s.db.Len(), len(s.db.Licensees()))
+}
+
+func (s *Server) handleSearchHTML(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var matches []*uls.License
+	switch q.Get("type") {
+	case "geo":
+		lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+		lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+		radiusKM, err3 := strconv.ParseFloat(q.Get("radius_km"), 64)
+		if err1 != nil || err2 != nil || err3 != nil || radiusKM <= 0 {
+			http.Error(w, "geographic search requires lat, lon, radius_km", http.StatusBadRequest)
+			return
+		}
+		center := geo.Point{Lat: lat, Lon: lon}
+		if !center.Valid() {
+			http.Error(w, "invalid coordinates", http.StatusBadRequest)
+			return
+		}
+		matches = s.db.WithinRadiusIndexed(center, radiusKM*1000)
+	case "site":
+		if q.Get("service") == "" && q.Get("class") == "" {
+			http.Error(w, "site search requires service and/or class", http.StatusBadRequest)
+			return
+		}
+		matches = uls.FilterService(s.db.All(), q.Get("service"), q.Get("class"))
+	case "licensee":
+		if q.Get("name") == "" {
+			http.Error(w, "licensee search requires name", http.StatusBadRequest)
+			return
+		}
+		matches = s.db.ByLicensee(q.Get("name"))
+	default:
+		http.Error(w, "unknown search type", http.StatusBadRequest)
+		return
+	}
+
+	page, perPage, err := pagination(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>ULS Search Results</title></head><body>\n")
+	fmt.Fprintf(w, "<h1>%d matching licenses</h1>\n", len(matches))
+	fmt.Fprintln(w, `<table class="results">`)
+	fmt.Fprintln(w, "<tr><th>Call Sign</th><th>Licensee</th><th>Service</th><th>Status</th></tr>")
+	start := (page - 1) * perPage
+	if start < len(matches) {
+		end := start + perPage
+		if end > len(matches) {
+			end = len(matches)
+		}
+		for _, l := range matches[start:end] {
+			fmt.Fprintf(w, `<tr><td><a href="/license/%s">%s</a></td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+				url.PathEscape(l.CallSign), html.EscapeString(l.CallSign),
+				html.EscapeString(l.Licensee), html.EscapeString(l.RadioService),
+				html.EscapeString(string(l.Status)))
+		}
+	}
+	fmt.Fprintln(w, "</table>")
+	// Pagination links.
+	if page > 1 {
+		fmt.Fprintf(w, `<a rel="prev" href="%s">prev</a> `, pageLink(r, page-1))
+	}
+	if page*perPage < len(matches) {
+		fmt.Fprintf(w, `<a rel="next" href="%s">next</a>`, pageLink(r, page+1))
+	}
+	fmt.Fprintln(w, "\n</body></html>")
+}
+
+func pageLink(r *http.Request, page int) string {
+	q := r.URL.Query()
+	q.Set("page", strconv.Itoa(page))
+	return "/search?" + q.Encode()
+}

@@ -1,0 +1,134 @@
+package ulsserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexPage(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"Universal Licensing System",
+		"7 licenses on file from 3 licensees",
+		`action="/search"`,
+		`name="radius_km"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Unknown paths under / are 404.
+	if code, _ := get(t, ts.URL+"/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestSearchHTMLGeo(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/search?type=geo&lat=41.76&lon=-88.20&radius_km=10")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "6 matching licenses") {
+		t.Errorf("geo search body:\n%s", body)
+	}
+	if !strings.Contains(body, `<a href="/license/WQAA000">WQAA000</a>`) {
+		t.Error("result rows should link to detail pages")
+	}
+	// Escaped licensee name.
+	if !strings.Contains(body, "Alpha &amp; Sons &lt;HFT&gt;") {
+		t.Error("licensee name not escaped")
+	}
+}
+
+func TestSearchHTMLPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/search?type=site&service=MG&per_page=3&page=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if strings.Count(body, "/license/") != 3 {
+		t.Errorf("page 1 rows = %d, want 3", strings.Count(body, "/license/"))
+	}
+	if !strings.Contains(body, `rel="next"`) {
+		t.Error("page 1 should link to next")
+	}
+	if strings.Contains(body, `rel="prev"`) {
+		t.Error("page 1 should not link to prev")
+	}
+	_, body3 := get(t, ts.URL+"/search?type=site&service=MG&per_page=3&page=3")
+	if strings.Count(body3, "/license/") != 1 {
+		t.Errorf("page 3 rows = %d, want 1", strings.Count(body3, "/license/"))
+	}
+	if strings.Contains(body3, `rel="next"`) {
+		t.Error("last page should not link to next")
+	}
+	if !strings.Contains(body3, `rel="prev"`) {
+		t.Error("last page should link to prev")
+	}
+}
+
+func TestSearchHTMLLicensee(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/search?type=licensee&name=Gamma+Net")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "1 matching licenses") {
+		t.Errorf("licensee search:\n%s", body)
+	}
+}
+
+func TestSearchHTMLValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []string{
+		"/search",
+		"/search?type=geo",
+		"/search?type=geo&lat=x&lon=-88&radius_km=10",
+		"/search?type=site",
+		"/search?type=licensee",
+		"/search?type=unknown",
+		"/search?type=site&service=MG&page=0",
+	}
+	for _, p := range bad {
+		if code, _ := get(t, ts.URL+p); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", p, code)
+		}
+	}
+}
+
+// TestBrowseToDetailFlow walks the human path: index → search → detail.
+func TestBrowseToDetailFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, body := get(t, ts.URL+"/search?type=geo&lat=41.76&lon=-88.20&radius_km=10")
+	idx := strings.Index(body, `href="/license/`)
+	if idx < 0 {
+		t.Fatal("no detail link found")
+	}
+	rest := body[idx+len(`href="`):]
+	link := rest[:strings.Index(rest, `"`)]
+	code, detail := get(t, ts.URL+link)
+	if code != http.StatusOK {
+		t.Fatalf("detail status %d", code)
+	}
+	if !strings.Contains(detail, "Grant Date") {
+		t.Error("detail page incomplete")
+	}
+}

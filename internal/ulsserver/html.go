@@ -1,0 +1,64 @@
+package ulsserver
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+// writeDetailHTML renders a license detail page in the portal's fixed
+// row format. The scraper relies on the "<tr><td>Label</td><td>Value
+// </td></tr>" structure and the section markers, so changes here must be
+// mirrored in internal/scrape.
+func writeDetailHTML(w io.Writer, l *uls.License) {
+	esc := html.EscapeString
+	fmt.Fprintf(w, "<html><head><title>ULS License - %s - %s</title></head><body>\n",
+		esc(l.RadioService), esc(l.CallSign))
+	fmt.Fprintf(w, "<h1>License %s</h1>\n", esc(l.CallSign))
+
+	fmt.Fprintln(w, `<table class="license">`)
+	row := func(label, value string) {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td></tr>\n", esc(label), esc(value))
+	}
+	row("Call Sign", l.CallSign)
+	row("Licensee", l.Licensee)
+	row("FRN", l.FRN)
+	row("Contact Email", l.ContactEmail)
+	row("Radio Service", l.RadioService)
+	row("Status", string(l.Status))
+	row("License ID", fmt.Sprintf("%d", l.LicenseID))
+	row("Grant Date", l.Grant.String())
+	row("Expiration Date", l.Expiration.String())
+	row("Cancellation Date", l.Cancellation.String())
+	fmt.Fprintln(w, "</table>")
+
+	fmt.Fprintln(w, "<h2>Locations</h2>")
+	fmt.Fprintln(w, `<table class="locations">`)
+	fmt.Fprintln(w, "<tr><th>Loc</th><th>Latitude</th><th>Longitude</th><th>Ground Elev (m)</th><th>Height (m)</th></tr>")
+	for _, loc := range l.Locations {
+		lat, lon := geo.PointToDMS(loc.Point)
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%.1f</td><td>%.1f</td></tr>\n",
+			loc.Number, lat, lon, loc.GroundElevation, loc.SupportHeight)
+	}
+	fmt.Fprintln(w, "</table>")
+
+	fmt.Fprintln(w, "<h2>Paths</h2>")
+	fmt.Fprintln(w, `<table class="paths">`)
+	fmt.Fprintln(w, "<tr><th>Path</th><th>TX Loc</th><th>RX Loc</th><th>Class</th><th>TX Azimuth</th><th>RX Azimuth</th><th>Gain (dBi)</th><th>Frequencies (MHz)</th></tr>")
+	for _, p := range l.Paths {
+		freqs := make([]string, 0, len(p.FrequenciesMHz))
+		for _, f := range p.FrequenciesMHz {
+			freqs = append(freqs, fmt.Sprintf("%.1f", f))
+		}
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%.1f</td><td>%.1f</td><td>%.1f</td><td>%s</td></tr>\n",
+			p.Number, p.TXLocation, p.RXLocation, esc(p.StationClass),
+			p.TXAzimuthDeg, p.RXAzimuthDeg, p.AntennaGainDBi,
+			strings.Join(freqs, ", "))
+	}
+	fmt.Fprintln(w, "</table>")
+	fmt.Fprintln(w, "</body></html>")
+}

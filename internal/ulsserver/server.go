@@ -1,0 +1,185 @@
+// Package ulsserver simulates the FCC Universal Licensing System's
+// public search portal (§2.1) over a uls.Database: the geographic,
+// site-based, and licensee search interfaces as JSON endpoints, and the
+// per-license detail page as HTML — the page the paper's scraper parses.
+//
+// Endpoints:
+//
+//	GET /api/geographic?lat=&lon=&radius_km=&page=&per_page=
+//	GET /api/site?service=&class=&page=&per_page=
+//	GET /api/licensee?name=&page=&per_page=
+//	GET /license/{callsign}
+//	GET /healthz
+//
+// Search responses are JSON SearchPage documents; the detail page is
+// HTML. The zero value is not usable; call New.
+package ulsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+// DefaultPerPage is the page size used when per_page is absent.
+const DefaultPerPage = 50
+
+// MaxPerPage caps per_page, as the real portal does.
+const MaxPerPage = 200
+
+// SearchResult is one row of a search response.
+type SearchResult struct {
+	CallSign string `json:"call_sign"`
+	Licensee string `json:"licensee"`
+	Service  string `json:"radio_service"`
+	Status   string `json:"status"`
+}
+
+// SearchPage is a page of search results.
+type SearchPage struct {
+	Total   int            `json:"total"`
+	Page    int            `json:"page"`
+	PerPage int            `json:"per_page"`
+	Results []SearchResult `json:"results"`
+}
+
+// Server serves the simulated portal.
+type Server struct {
+	db  *uls.Database
+	mux *http.ServeMux
+
+	// FailEveryN, when > 0, makes every Nth request fail with 503 —
+	// used to exercise the scraper's retry path.
+	FailEveryN int64
+	reqCount   atomic.Int64
+}
+
+// New builds a portal server over a license database.
+func New(db *uls.Database) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/geographic", s.handleGeographic)
+	s.mux.HandleFunc("GET /api/site", s.handleSite)
+	s.mux.HandleFunc("GET /api/licensee", s.handleLicensee)
+	s.mux.HandleFunc("GET /license/{callsign}", s.handleDetail)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /search", s.handleSearchHTML)
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if n := s.FailEveryN; n > 0 {
+		if c := s.reqCount.Add(1); c%n == 0 {
+			http.Error(w, "simulated overload", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleGeographic(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+	lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+	radiusKM, err3 := strconv.ParseFloat(q.Get("radius_km"), 64)
+	if err1 != nil || err2 != nil || err3 != nil || radiusKM <= 0 {
+		http.Error(w, "geographic search requires lat, lon, radius_km", http.StatusBadRequest)
+		return
+	}
+	center := geo.Point{Lat: lat, Lon: lon}
+	if !center.Valid() {
+		http.Error(w, "invalid coordinates", http.StatusBadRequest)
+		return
+	}
+	s.writePage(w, r, s.db.WithinRadiusIndexed(center, radiusKM*1000))
+}
+
+func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	service := q.Get("service")
+	class := q.Get("class")
+	if service == "" && class == "" {
+		http.Error(w, "site search requires service and/or class", http.StatusBadRequest)
+		return
+	}
+	s.writePage(w, r, uls.FilterService(s.db.All(), service, class))
+}
+
+func (s *Server) handleLicensee(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "licensee search requires name", http.StatusBadRequest)
+		return
+	}
+	s.writePage(w, r, s.db.ByLicensee(name))
+}
+
+func (s *Server) writePage(w http.ResponseWriter, r *http.Request, matches []*uls.License) {
+	page, perPage, err := pagination(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := SearchPage{Total: len(matches), Page: page, PerPage: perPage}
+	start := (page - 1) * perPage
+	if start < len(matches) {
+		end := start + perPage
+		if end > len(matches) {
+			end = len(matches)
+		}
+		for _, l := range matches[start:end] {
+			resp.Results = append(resp.Results, SearchResult{
+				CallSign: l.CallSign,
+				Licensee: l.Licensee,
+				Service:  l.RadioService,
+				Status:   string(l.Status),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+func pagination(r *http.Request) (page, perPage int, err error) {
+	page, perPage = 1, DefaultPerPage
+	q := r.URL.Query()
+	if v := q.Get("page"); v != "" {
+		page, err = strconv.Atoi(v)
+		if err != nil || page < 1 {
+			return 0, 0, fmt.Errorf("invalid page %q", v)
+		}
+	}
+	if v := q.Get("per_page"); v != "" {
+		perPage, err = strconv.Atoi(v)
+		if err != nil || perPage < 1 {
+			return 0, 0, fmt.Errorf("invalid per_page %q", v)
+		}
+		if perPage > MaxPerPage {
+			perPage = MaxPerPage
+		}
+	}
+	return page, perPage, nil
+}
+
+func (s *Server) handleDetail(w http.ResponseWriter, r *http.Request) {
+	cs := strings.ToUpper(r.PathValue("callsign"))
+	l, ok := s.db.ByCallSign(cs)
+	if !ok {
+		http.Error(w, "license not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	writeDetailHTML(w, l)
+}

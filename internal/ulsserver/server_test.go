@@ -1,0 +1,257 @@
+package ulsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+func buildDB(t *testing.T) *uls.Database {
+	t.Helper()
+	db := uls.NewDatabase()
+	mk := func(cs, licensee, service, class string, near geo.Point) *uls.License {
+		return &uls.License{
+			CallSign: cs, LicenseID: 1, Licensee: licensee, FRN: "0000000001",
+			RadioService: service, Status: uls.StatusActive,
+			Grant: uls.NewDate(2015, time.June, 1),
+			Locations: []uls.Location{
+				{Number: 1, Point: near, GroundElevation: 200, SupportHeight: 90},
+				{Number: 2, Point: geo.Point{Lat: near.Lat + 0.2, Lon: near.Lon + 0.3},
+					GroundElevation: 195, SupportHeight: 85},
+			},
+			Paths: []uls.Path{{Number: 1, TXLocation: 1, RXLocation: 2,
+				StationClass: class, FrequenciesMHz: []float64{11245.0, 6004.5}}},
+		}
+	}
+	chicago := geo.Point{Lat: 41.76, Lon: -88.20}
+	nj := geo.Point{Lat: 40.78, Lon: -74.10}
+	for i := 0; i < 5; i++ {
+		l := mk(fmt.Sprintf("WQAA%03d", i), "Alpha & Sons <HFT>", uls.ServiceMG, uls.ClassFXO, chicago)
+		if err := db.Add(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Add(mk("WQBB001", "Beta Net", uls.ServiceMG, "FB", chicago)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(mk("WQCC001", "Gamma Net", uls.ServiceMG, uls.ClassFXO, nj)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(buildDB(t))
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestGeographicSearch(t *testing.T) {
+	_, ts := newTestServer(t)
+	var page SearchPage
+	getJSON(t, ts.URL+"/api/geographic?lat=41.76&lon=-88.20&radius_km=10", &page)
+	// 5 Alpha + 1 Beta near Chicago; Gamma is in NJ.
+	if page.Total != 6 {
+		t.Errorf("Total = %d, want 6", page.Total)
+	}
+	for _, r := range page.Results {
+		if r.Licensee == "Gamma Net" {
+			t.Error("Gamma Net should be outside the radius")
+		}
+	}
+}
+
+func TestGeographicSearchValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []string{
+		"/api/geographic",
+		"/api/geographic?lat=41&lon=-88",
+		"/api/geographic?lat=41&lon=-88&radius_km=-5",
+		"/api/geographic?lat=99&lon=-88&radius_km=10",
+		"/api/geographic?lat=x&lon=-88&radius_km=10",
+	}
+	for _, p := range bad {
+		if resp := getJSON(t, ts.URL+p, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", p, resp.StatusCode)
+		}
+	}
+}
+
+func TestSiteSearch(t *testing.T) {
+	_, ts := newTestServer(t)
+	var page SearchPage
+	getJSON(t, ts.URL+"/api/site?service=MG&class=FXO", &page)
+	if page.Total != 6 { // 5 Alpha + Gamma; Beta's class is FB
+		t.Errorf("Total = %d, want 6", page.Total)
+	}
+	getJSON(t, ts.URL+"/api/site?service=MG", &page)
+	if page.Total != 7 {
+		t.Errorf("service-only Total = %d, want 7", page.Total)
+	}
+	if resp := getJSON(t, ts.URL+"/api/site", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty site search: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLicenseeSearch(t *testing.T) {
+	_, ts := newTestServer(t)
+	var page SearchPage
+	getJSON(t, ts.URL+"/api/licensee?name="+escapeQuery("Alpha & Sons <HFT>"), &page)
+	if page.Total != 5 {
+		t.Errorf("Total = %d, want 5", page.Total)
+	}
+	getJSON(t, ts.URL+"/api/licensee?name=Nobody", &page)
+	if page.Total != 0 {
+		t.Errorf("unknown licensee Total = %d, want 0", page.Total)
+	}
+	if resp := getJSON(t, ts.URL+"/api/licensee", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing name: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func escapeQuery(s string) string {
+	r := strings.NewReplacer(" ", "%20", "&", "%26", "<", "%3C", ">", "%3E")
+	return r.Replace(s)
+}
+
+func TestPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	var p1, p2, p3 SearchPage
+	getJSON(t, ts.URL+"/api/site?service=MG&page=1&per_page=3", &p1)
+	getJSON(t, ts.URL+"/api/site?service=MG&page=2&per_page=3", &p2)
+	getJSON(t, ts.URL+"/api/site?service=MG&page=3&per_page=3", &p3)
+	if len(p1.Results) != 3 || len(p2.Results) != 3 || len(p3.Results) != 1 {
+		t.Errorf("page sizes = %d, %d, %d; want 3, 3, 1",
+			len(p1.Results), len(p2.Results), len(p3.Results))
+	}
+	seen := map[string]bool{}
+	for _, page := range []SearchPage{p1, p2, p3} {
+		if page.Total != 7 {
+			t.Errorf("Total = %d, want 7", page.Total)
+		}
+		for _, r := range page.Results {
+			if seen[r.CallSign] {
+				t.Errorf("call sign %s repeated across pages", r.CallSign)
+			}
+			seen[r.CallSign] = true
+		}
+	}
+	if len(seen) != 7 {
+		t.Errorf("distinct results = %d, want 7", len(seen))
+	}
+	// Invalid pagination.
+	for _, q := range []string{"page=0", "page=x", "per_page=0", "per_page=x"} {
+		resp := getJSON(t, ts.URL+"/api/site?service=MG&"+q, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestDetailPage(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/license/WQAA001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	page := string(body)
+	for _, want := range []string{
+		"WQAA001",
+		"Alpha &amp; Sons &lt;HFT&gt;", // licensee HTML-escaped
+		"06/01/2015",
+		"11245.0, 6004.5",
+		"41-45-36.0 N",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("detail page missing %q", want)
+		}
+	}
+}
+
+func TestDetailPageCaseInsensitive(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/license/wqaa001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lowercase call sign: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDetailPageNotFound(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/license/WQZZ999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestFailEveryN(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.FailEveryN = 2
+	fails := 0
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			fails++
+		}
+	}
+	if fails != 5 {
+		t.Errorf("failures = %d of 10 with FailEveryN=2, want 5", fails)
+	}
+}

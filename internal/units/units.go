@@ -1,0 +1,67 @@
+// Package units implements the paper's propagation latency model (§2.3):
+// microwave segments traverse at (almost) the speed of light in air, while
+// the short fiber tails connecting the last towers to the data centers run
+// at roughly 2c/3. It also provides the formatting helpers used when
+// reporting the sub-microsecond differences the paper studies.
+package units
+
+import "fmt"
+
+const (
+	// C is the speed of light in vacuum, m/s.
+	C = 299792458.0
+	// AirRefractiveIndex is the mean refractive index of the troposphere
+	// at microwave frequencies; radio paths run at C/AirRefractiveIndex,
+	// which is what the paper means by "(almost) c".
+	AirRefractiveIndex = 1.0003
+	// FiberRefractiveIndex models standard single-mode fiber: light in
+	// fiber travels at roughly 2c/3.
+	FiberRefractiveIndex = 1.5
+)
+
+// MicrowaveSpeed is the propagation speed over line-of-sight radio links,
+// in m/s.
+const MicrowaveSpeed = C / AirRefractiveIndex
+
+// FiberSpeed is the propagation speed in fiber, in m/s (≈ 2c/3).
+const FiberSpeed = C / FiberRefractiveIndex
+
+// Latency is a one-way propagation delay in seconds. A dedicated type
+// keeps milliseconds/microseconds conversions explicit at call sites,
+// which matters in a domain where the interesting differences are 4e-10
+// of a second.
+type Latency float64
+
+// MicrowaveLatency returns the latency of dist meters of line-of-sight
+// radio path.
+func MicrowaveLatency(dist float64) Latency { return Latency(dist / MicrowaveSpeed) }
+
+// FiberLatency returns the latency of dist meters of fiber.
+func FiberLatency(dist float64) Latency { return Latency(dist / FiberSpeed) }
+
+// CLatency returns the latency of dist meters at exactly c — the
+// unattainable lower bound the paper compares against (e.g. the "c-speed
+// latency along the geodesic").
+func CLatency(dist float64) Latency { return Latency(dist / C) }
+
+// Milliseconds returns the latency in milliseconds.
+func (l Latency) Milliseconds() float64 { return float64(l) * 1e3 }
+
+// Microseconds returns the latency in microseconds.
+func (l Latency) Microseconds() float64 { return float64(l) * 1e6 }
+
+// Seconds returns the latency as a plain float64 in seconds.
+func (l Latency) Seconds() float64 { return float64(l) }
+
+// String renders the latency in the 5-decimal millisecond format used by
+// the paper's tables (e.g. "3.96171 ms").
+func (l Latency) String() string {
+	return fmt.Sprintf("%.5f ms", l.Milliseconds())
+}
+
+// Sub returns l - other; convenient for the microsecond gaps in §3.
+func (l Latency) Sub(other Latency) Latency { return l - other }
+
+// Stretch returns l/base, the paper's path-stretch style measure; base
+// must be non-zero.
+func (l Latency) Stretch(base Latency) float64 { return float64(l) / float64(base) }

@@ -1,0 +1,111 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedOrdering(t *testing.T) {
+	if !(FiberSpeed < MicrowaveSpeed && MicrowaveSpeed < C) {
+		t.Fatalf("want fiber < microwave < c, got %v, %v, %v",
+			FiberSpeed, MicrowaveSpeed, C)
+	}
+	// Fiber is roughly 2c/3.
+	if r := FiberSpeed / C; math.Abs(r-2.0/3.0) > 0.01 {
+		t.Errorf("fiber speed ratio = %v, want ≈2/3", r)
+	}
+	// Microwave is within 0.1% of c.
+	if r := MicrowaveSpeed / C; r < 0.999 {
+		t.Errorf("microwave speed ratio = %v, want ≈1", r)
+	}
+}
+
+func TestCorridorCLatency(t *testing.T) {
+	// 1186 km at c is the paper's 3.955-3.956 ms bound for CME-NY4 (§4).
+	l := CLatency(1186e3)
+	if ms := l.Milliseconds(); math.Abs(ms-3.956) > 0.001 {
+		t.Errorf("c-latency over 1186 km = %v ms, want ≈3.956", ms)
+	}
+}
+
+func TestMicrowaveVsFiberAdvantage(t *testing.T) {
+	// Over the corridor, fiber at the same length is ~50% slower.
+	mw := MicrowaveLatency(1186e3)
+	fb := FiberLatency(1186e3)
+	if ratio := fb.Seconds() / mw.Seconds(); math.Abs(ratio-1.4996) > 0.01 {
+		t.Errorf("fiber/mw latency ratio = %v, want ≈1.5", ratio)
+	}
+}
+
+func TestLatencyConversions(t *testing.T) {
+	l := Latency(0.00396171)
+	if got := l.Milliseconds(); math.Abs(got-3.96171) > 1e-9 {
+		t.Errorf("Milliseconds = %v", got)
+	}
+	if got := l.Microseconds(); math.Abs(got-3961.71) > 1e-6 {
+		t.Errorf("Microseconds = %v", got)
+	}
+	if got := l.Seconds(); got != 0.00396171 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if s := l.String(); s != "3.96171 ms" {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.HasSuffix(l.String(), " ms") {
+		t.Errorf("String missing unit: %q", l.String())
+	}
+}
+
+func TestSubMatchesPaperGaps(t *testing.T) {
+	nln := Latency(0.00396171)
+	pb := Latency(0.00396209)
+	gap := pb.Sub(nln)
+	// Paper: NLN leads PB by ~0.4 µs on CME-NY4.
+	if got := gap.Microseconds(); math.Abs(got-0.38) > 0.01 {
+		t.Errorf("NLN-PB gap = %v µs, want ≈0.38", got)
+	}
+}
+
+func TestLatencyMonotoneInDistance(t *testing.T) {
+	f := func(a, b float64) bool {
+		da, db := math.Abs(a), math.Abs(b)
+		if math.IsNaN(da) || math.IsInf(da, 0) || math.IsNaN(db) || math.IsInf(db, 0) {
+			return true
+		}
+		if da > db {
+			da, db = db, da
+		}
+		return MicrowaveLatency(da) <= MicrowaveLatency(db) &&
+			FiberLatency(da) <= FiberLatency(db) &&
+			CLatency(da) <= CLatency(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyAdditivity(t *testing.T) {
+	// Latency of a concatenated path is the sum of segment latencies.
+	f := func(a, b float64) bool {
+		da, db := math.Mod(math.Abs(a), 1e7), math.Mod(math.Abs(b), 1e7)
+		if math.IsNaN(da) || math.IsNaN(db) {
+			return true
+		}
+		sum := MicrowaveLatency(da) + MicrowaveLatency(db)
+		whole := MicrowaveLatency(da + db)
+		return math.Abs(float64(sum-whole)) < 1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	base := CLatency(1186e3)
+	l := Latency(base.Seconds() * 1.05)
+	if s := l.Stretch(base); math.Abs(s-1.05) > 1e-12 {
+		t.Errorf("Stretch = %v, want 1.05", s)
+	}
+}

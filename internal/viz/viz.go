@@ -1,0 +1,296 @@
+// Package viz renders reconstructed networks as GeoJSON feature
+// collections and self-contained SVG corridor maps — the reproduction's
+// stand-in for the paper's Google-Maps visualizations (Fig 3).
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+)
+
+// geoJSON types — the subset of RFC 7946 needed for points and lines.
+
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"` // [lon, lat] or [[lon, lat], ...]
+}
+
+func pointCoords(p geo.Point) []float64 { return []float64{p.Lon, p.Lat} }
+
+// NetworkGeoJSON renders the network as a GeoJSON FeatureCollection:
+// towers as Points, microwave links and fiber tails as LineStrings, and
+// the corridor data centers as Points.
+func NetworkGeoJSON(n *core.Network) ([]byte, error) {
+	fc := featureCollection{Type: "FeatureCollection"}
+	for i, tw := range n.Towers {
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: geometry{Type: "Point", Coordinates: pointCoords(tw.Point)},
+			Properties: map[string]any{
+				"kind":     "tower",
+				"id":       i,
+				"height_m": tw.HeightMeters,
+				"licensee": n.Licensee,
+			},
+		})
+	}
+	for _, l := range n.Links {
+		fc.Features = append(fc.Features, feature{
+			Type: "Feature",
+			Geometry: geometry{Type: "LineString", Coordinates: [][]float64{
+				pointCoords(n.Towers[l.From].Point),
+				pointCoords(n.Towers[l.To].Point),
+			}},
+			Properties: map[string]any{
+				"kind":      "microwave_link",
+				"call_sign": l.CallSign,
+				"length_km": l.LengthMeters / 1000,
+				"freqs_mhz": l.FrequenciesMHz,
+			},
+		})
+	}
+	for _, f := range n.Fiber {
+		fc.Features = append(fc.Features, feature{
+			Type: "Feature",
+			Geometry: geometry{Type: "LineString", Coordinates: [][]float64{
+				pointCoords(f.DataCenter.Location),
+				pointCoords(n.Towers[f.Tower].Point),
+			}},
+			Properties: map[string]any{
+				"kind":        "fiber_tail",
+				"data_center": f.DataCenter.Code,
+				"length_km":   f.LengthMeters / 1000,
+			},
+		})
+	}
+	for _, dc := range sites.All {
+		fc.Features = append(fc.Features, feature{
+			Type:     "Feature",
+			Geometry: geometry{Type: "Point", Coordinates: pointCoords(dc.Location)},
+			Properties: map[string]any{
+				"kind": "data_center",
+				"code": dc.Code,
+				"name": dc.Name,
+			},
+		})
+	}
+	return json.MarshalIndent(fc, "", "  ")
+}
+
+// projection maps lon/lat into SVG pixel space (equirectangular with a
+// cos(midLat) aspect correction, fine at corridor scale).
+type projection struct {
+	minLon, maxLon, minLat, maxLat float64
+	width, height                  float64
+	margin                         float64
+}
+
+func newProjection(pts []geo.Point, width int) projection {
+	p := projection{
+		minLon: math.Inf(1), maxLon: math.Inf(-1),
+		minLat: math.Inf(1), maxLat: math.Inf(-1),
+		width: float64(width), margin: 20,
+	}
+	for _, pt := range pts {
+		p.minLon = math.Min(p.minLon, pt.Lon)
+		p.maxLon = math.Max(p.maxLon, pt.Lon)
+		p.minLat = math.Min(p.minLat, pt.Lat)
+		p.maxLat = math.Max(p.maxLat, pt.Lat)
+	}
+	// Pad degenerate boxes.
+	if p.maxLon-p.minLon < 0.01 {
+		p.minLon -= 0.05
+		p.maxLon += 0.05
+	}
+	if p.maxLat-p.minLat < 0.01 {
+		p.minLat -= 0.05
+		p.maxLat += 0.05
+	}
+	midLat := (p.minLat + p.maxLat) / 2
+	aspect := (p.maxLat - p.minLat) / ((p.maxLon - p.minLon) * math.Cos(midLat*math.Pi/180))
+	p.height = (p.width-2*p.margin)*aspect + 2*p.margin
+	return p
+}
+
+func (p projection) xy(pt geo.Point) (x, y float64) {
+	x = p.margin + (pt.Lon-p.minLon)/(p.maxLon-p.minLon)*(p.width-2*p.margin)
+	y = p.margin + (p.maxLat-pt.Lat)/(p.maxLat-p.minLat)*(p.height-2*p.margin)
+	return x, y
+}
+
+// SVGOptions styles the corridor map.
+type SVGOptions struct {
+	// Width is the image width in pixels (height follows the bbox).
+	Width int
+	// LinkColor and TowerColor style the network; defaults are used
+	// when empty.
+	LinkColor, TowerColor string
+	// Title is drawn in the top-left corner.
+	Title string
+}
+
+// NetworkSVG renders the network as a self-contained SVG corridor map.
+func NetworkSVG(n *core.Network, opts SVGOptions) []byte {
+	if opts.Width <= 0 {
+		opts.Width = 1200
+	}
+	if opts.LinkColor == "" {
+		opts.LinkColor = "#1f77b4"
+	}
+	if opts.TowerColor == "" {
+		opts.TowerColor = "#d62728"
+	}
+
+	pts := make([]geo.Point, 0, len(n.Towers)+len(sites.All))
+	for _, tw := range n.Towers {
+		pts = append(pts, tw.Point)
+	}
+	for _, dc := range sites.All {
+		pts = append(pts, dc.Location)
+	}
+	proj := newProjection(pts, opts.Width)
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		proj.width, proj.height, proj.width, proj.height)
+	fmt.Fprintf(&buf, `<rect width="100%%" height="100%%" fill="#fbfbf8"/>`+"\n")
+
+	// Fiber tails (dashed).
+	for _, f := range n.Fiber {
+		x1, y1 := proj.xy(f.DataCenter.Location)
+		x2, y2 := proj.xy(n.Towers[f.Tower].Point)
+		fmt.Fprintf(&buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#555" stroke-width="1" stroke-dasharray="4 3"/>`+"\n",
+			x1, y1, x2, y2)
+	}
+	// Microwave links.
+	for _, l := range n.Links {
+		x1, y1 := proj.xy(n.Towers[l.From].Point)
+		x2, y2 := proj.xy(n.Towers[l.To].Point)
+		fmt.Fprintf(&buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.4"/>`+"\n",
+			x1, y1, x2, y2, opts.LinkColor)
+	}
+	// Towers.
+	for _, tw := range n.Towers {
+		x, y := proj.xy(tw.Point)
+		fmt.Fprintf(&buf, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n",
+			x, y, opts.TowerColor)
+	}
+	// Data centers.
+	for _, dc := range sites.All {
+		x, y := proj.xy(dc.Location)
+		fmt.Fprintf(&buf, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#111"/>`+"\n",
+			x-4, y-4)
+		fmt.Fprintf(&buf, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			x+6, y-5, dc.Code)
+	}
+	title := opts.Title
+	if title == "" {
+		title = fmt.Sprintf("%s — %s (%d towers, %d links)",
+			n.Licensee, n.Date, len(n.Towers), len(n.Links))
+	}
+	fmt.Fprintf(&buf, `<text x="%.0f" y="16" font-size="13" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		proj.margin, xmlEscape(title))
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}
+
+// atlasPalette colors the corridor atlas; distinct hues per network.
+var atlasPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// AtlasSVG renders several networks onto one corridor map — the "every
+// network in the race" view of the Fig 3 family. Networks are drawn in
+// palette order with a legend.
+func AtlasSVG(networks []*core.Network, opts SVGOptions) []byte {
+	if opts.Width <= 0 {
+		opts.Width = 1400
+	}
+	var pts []geo.Point
+	for _, n := range networks {
+		for _, tw := range n.Towers {
+			pts = append(pts, tw.Point)
+		}
+	}
+	for _, dc := range sites.All {
+		pts = append(pts, dc.Location)
+	}
+	if len(pts) == 0 {
+		return []byte("<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n")
+	}
+	proj := newProjection(pts, opts.Width)
+
+	var buf bytes.Buffer
+	legendH := float64(14*len(networks) + 10)
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		proj.width, proj.height+legendH, proj.width, proj.height+legendH)
+	fmt.Fprintf(&buf, `<rect width="100%%" height="100%%" fill="#fbfbf8"/>`+"\n")
+
+	for i, n := range networks {
+		color := atlasPalette[i%len(atlasPalette)]
+		for _, l := range n.Links {
+			x1, y1 := proj.xy(n.Towers[l.From].Point)
+			x2, y2 := proj.xy(n.Towers[l.To].Point)
+			fmt.Fprintf(&buf, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-opacity="0.75"/>`+"\n",
+				x1, y1, x2, y2, color)
+		}
+	}
+	for _, dc := range sites.All {
+		x, y := proj.xy(dc.Location)
+		fmt.Fprintf(&buf, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#111"/>`+"\n", x-4, y-4)
+		fmt.Fprintf(&buf, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif">%s</text>`+"\n",
+			x+6, y-5, dc.Code)
+	}
+	// Legend.
+	for i, n := range networks {
+		y := proj.height + 14*float64(i) + 12
+		color := atlasPalette[i%len(atlasPalette)]
+		fmt.Fprintf(&buf, `<rect x="%.0f" y="%.1f" width="18" height="4" fill="%s"/>`+"\n",
+			proj.margin, y-4, color)
+		fmt.Fprintf(&buf, `<text x="%.0f" y="%.1f" font-size="11" font-family="sans-serif">%s (%d links)</text>`+"\n",
+			proj.margin+24, y, xmlEscape(n.Licensee), len(n.Links))
+	}
+	title := opts.Title
+	if title == "" {
+		title = fmt.Sprintf("Chicago-New Jersey corridor: %d networks", len(networks))
+	}
+	fmt.Fprintf(&buf, `<text x="%.0f" y="16" font-size="13" font-family="sans-serif" font-weight="bold">%s</text>`+"\n",
+		proj.margin, xmlEscape(title))
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}
+
+func xmlEscape(s string) string {
+	var b bytes.Buffer
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

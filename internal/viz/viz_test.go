@@ -1,0 +1,203 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/geo"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+func testNetwork(t *testing.T) *core.Network {
+	t.Helper()
+	db := uls.NewDatabase()
+	grant := uls.NewDate(2015, time.June, 1)
+	pts := make([]geo.Point, 12)
+	for i := range pts {
+		frac := 0.002 + 0.996*float64(i)/float64(len(pts)-1)
+		pts[i] = geo.Interpolate(sites.CME.Location, sites.NY4.Location, frac)
+	}
+	for i := 0; i < len(pts)-1; i++ {
+		l := &uls.License{
+			CallSign: fmt.Sprintf("WQVZ%03d", i), LicenseID: i + 1,
+			Licensee: "Viz & Co", FRN: "0000000009",
+			RadioService: uls.ServiceMG, Status: uls.StatusActive, Grant: grant,
+			Locations: []uls.Location{
+				{Number: 1, Point: pts[i], GroundElevation: 200, SupportHeight: 90},
+				{Number: 2, Point: pts[i+1], GroundElevation: 190, SupportHeight: 95},
+			},
+			Paths: []uls.Path{{Number: 1, TXLocation: 1, RXLocation: 2,
+				StationClass: uls.ClassFXO, FrequenciesMHz: []float64{11245}}},
+		}
+		if err := db.Add(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := core.Reconstruct(db, "Viz & Co", uls.NewDate(2020, time.April, 1),
+		sites.All, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNetworkGeoJSON(t *testing.T) {
+	n := testNetwork(t)
+	data, err := NetworkGeoJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string          `json:"type"`
+				Coordinates json.RawMessage `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(data, &fc); err != nil {
+		t.Fatalf("GeoJSON does not parse: %v", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	counts := map[string]int{}
+	for _, f := range fc.Features {
+		if f.Type != "Feature" {
+			t.Errorf("feature type = %q", f.Type)
+		}
+		kind, _ := f.Properties["kind"].(string)
+		counts[kind]++
+		switch kind {
+		case "tower", "data_center":
+			if f.Geometry.Type != "Point" {
+				t.Errorf("%s geometry = %q", kind, f.Geometry.Type)
+			}
+			var c []float64
+			if err := json.Unmarshal(f.Geometry.Coordinates, &c); err != nil || len(c) != 2 {
+				t.Errorf("%s coordinates malformed: %s", kind, f.Geometry.Coordinates)
+			} else if c[0] > -70 || c[0] < -90 {
+				t.Errorf("%s lon %v out of corridor (lon/lat order wrong?)", kind, c[0])
+			}
+		case "microwave_link", "fiber_tail":
+			if f.Geometry.Type != "LineString" {
+				t.Errorf("%s geometry = %q", kind, f.Geometry.Type)
+			}
+		default:
+			t.Errorf("unknown feature kind %q", kind)
+		}
+	}
+	if counts["tower"] != 12 {
+		t.Errorf("towers = %d, want 12", counts["tower"])
+	}
+	if counts["microwave_link"] != 11 {
+		t.Errorf("links = %d, want 11", counts["microwave_link"])
+	}
+	if counts["data_center"] != len(sites.All) {
+		t.Errorf("data centers = %d, want %d", counts["data_center"], len(sites.All))
+	}
+	if counts["fiber_tail"] < 2 {
+		t.Errorf("fiber tails = %d, want >= 2", counts["fiber_tail"])
+	}
+}
+
+func TestNetworkSVG(t *testing.T) {
+	n := testNetwork(t)
+	svg := string(NetworkSVG(n, SVGOptions{Width: 1000}))
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Fatalf("not an SVG: %.60q", svg)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("SVG not closed")
+	}
+	if got := strings.Count(svg, "<circle"); got != 12 {
+		t.Errorf("tower circles = %d, want 12", got)
+	}
+	// 11 MW links + fiber tails as lines.
+	if got := strings.Count(svg, "<line"); got < 13 {
+		t.Errorf("lines = %d, want >= 13", got)
+	}
+	for _, dc := range sites.All {
+		if !strings.Contains(svg, ">"+dc.Code+"</text>") {
+			t.Errorf("missing data-center label %s", dc.Code)
+		}
+	}
+	// Licensee name must be escaped in the title.
+	if !strings.Contains(svg, "Viz &amp; Co") {
+		t.Error("title not escaped")
+	}
+	if strings.Contains(svg, "Viz & Co") {
+		t.Error("raw ampersand leaked into SVG")
+	}
+}
+
+func TestNetworkSVGDefaultsAndCustomTitle(t *testing.T) {
+	n := testNetwork(t)
+	svg := string(NetworkSVG(n, SVGOptions{Title: "Custom <Title>"}))
+	if !strings.Contains(svg, "Custom &lt;Title&gt;") {
+		t.Error("custom title not rendered/escaped")
+	}
+	if !strings.Contains(svg, `width="1200"`) {
+		t.Error("default width not applied")
+	}
+}
+
+func TestAtlasSVG(t *testing.T) {
+	n1 := testNetwork(t)
+	svg := string(AtlasSVG([]*core.Network{n1, n1}, SVGOptions{}))
+	if !strings.HasPrefix(svg, "<svg ") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an SVG")
+	}
+	// 11 links × 2 networks + legend rects.
+	if got := strings.Count(svg, "<line"); got != 22 {
+		t.Errorf("atlas lines = %d, want 22", got)
+	}
+	// Legend entries.
+	if got := strings.Count(svg, "(11 links)"); got != 2 {
+		t.Errorf("legend entries = %d, want 2", got)
+	}
+	if !strings.Contains(svg, "corridor: 2 networks") {
+		t.Error("default title missing")
+	}
+	// Empty atlas degrades gracefully.
+	if out := AtlasSVG(nil, SVGOptions{}); len(out) == 0 {
+		t.Error("empty atlas should still emit an SVG stub")
+	}
+}
+
+func TestProjectionWithinViewBox(t *testing.T) {
+	n := testNetwork(t)
+	pts := make([]geo.Point, 0, len(n.Towers))
+	for _, tw := range n.Towers {
+		pts = append(pts, tw.Point)
+	}
+	proj := newProjection(pts, 800)
+	for _, pt := range pts {
+		x, y := proj.xy(pt)
+		if x < 0 || x > proj.width || y < 0 || y > proj.height {
+			t.Errorf("point %v projects outside viewBox: (%v, %v)", pt, x, y)
+		}
+	}
+	// North must be up: the northernmost point has the smallest y.
+	_, yNorth := proj.xy(geo.Point{Lat: proj.maxLat, Lon: proj.minLon})
+	_, ySouth := proj.xy(geo.Point{Lat: proj.minLat, Lon: proj.minLon})
+	if yNorth >= ySouth {
+		t.Error("projection is upside down")
+	}
+}
+
+func TestProjectionDegenerateBBox(t *testing.T) {
+	proj := newProjection([]geo.Point{{Lat: 41, Lon: -88}}, 400)
+	x, y := proj.xy(geo.Point{Lat: 41, Lon: -88})
+	if x < 0 || x > proj.width || y < 0 || y > proj.height {
+		t.Errorf("degenerate bbox projects outside: (%v, %v)", x, y)
+	}
+}

@@ -1,0 +1,265 @@
+package yamlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unmarshal parses the YAML subset produced by Marshal: block mappings,
+// block sequences (including "- key: value" map items), and scalars.
+// Lines whose first non-space character is '#' are comments.
+func Unmarshal(data []byte) (any, error) {
+	p := &parser{}
+	for n, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := countIndent(line)
+		if indent%2 != 0 {
+			return nil, fmt.Errorf("yamlx: line %d: odd indentation %d", n+1, indent)
+		}
+		p.lines = append(p.lines, parsedLine{no: n + 1, indent: indent / 2, text: trimmed})
+	}
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("yamlx: line %d: unexpected content after document",
+			p.lines[next].no)
+	}
+	return v, nil
+}
+
+type parsedLine struct {
+	no     int
+	indent int // in 2-space units
+	text   string
+}
+
+type parser struct {
+	lines []parsedLine
+}
+
+func countIndent(line string) int {
+	n := 0
+	for n < len(line) && line[n] == ' ' {
+		n++
+	}
+	if n < len(line) && line[n] == '\t' {
+		// Tabs are illegal indentation in YAML; report as odd indent via
+		// an impossible value.
+		return -1
+	}
+	return n
+}
+
+// parseBlock parses the block starting at line index i with the given
+// indent level, returning the value and the index of the first line after
+// the block.
+func (p *parser) parseBlock(i, indent int) (any, int, error) {
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *parser) parseSequence(i, indent int) (any, int, error) {
+	var items []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			return nil, 0, fmt.Errorf("yamlx: line %d: empty sequence item", ln.no)
+		}
+		if key, val, isMap := splitKeyValue(rest); isMap {
+			// Map item: the "- " consumed one indent unit; the map body
+			// continues at indent+1.
+			m := NewMap()
+			next, err := p.parseMapEntry(m, i, indent+1, key, val, ln.no)
+			if err != nil {
+				return nil, 0, err
+			}
+			i = next
+			for i < len(p.lines) && p.lines[i].indent == indent+1 &&
+				!strings.HasPrefix(p.lines[i].text, "- ") {
+				k2, v2, ok := splitKeyValue(p.lines[i].text)
+				if !ok {
+					return nil, 0, fmt.Errorf("yamlx: line %d: expected key: value",
+						p.lines[i].no)
+				}
+				next, err := p.parseMapEntry(m, i, indent+1, k2, v2, p.lines[i].no)
+				if err != nil {
+					return nil, 0, err
+				}
+				i = next
+			}
+			items = append(items, m)
+			continue
+		}
+		sc, err := parseScalar(rest)
+		if err != nil {
+			return nil, 0, fmt.Errorf("yamlx: line %d: %v", ln.no, err)
+		}
+		items = append(items, sc)
+		i++
+	}
+	return items, i, nil
+}
+
+func (p *parser) parseMapping(i, indent int) (any, int, error) {
+	m := NewMap()
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent || strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		key, val, ok := splitKeyValue(ln.text)
+		if !ok {
+			return nil, 0, fmt.Errorf("yamlx: line %d: expected key: value, got %q",
+				ln.no, ln.text)
+		}
+		next, err := p.parseMapEntry(m, i, indent, key, val, ln.no)
+		if err != nil {
+			return nil, 0, err
+		}
+		i = next
+	}
+	return m, i, nil
+}
+
+// parseMapEntry handles one "key: value" or "key:" line at index i and
+// returns the index after the entry (including any nested block).
+func (p *parser) parseMapEntry(m *Map, i, indent int, key, val string, lineNo int) (int, error) {
+	k, err := parseKey(key)
+	if err != nil {
+		return 0, fmt.Errorf("yamlx: line %d: %v", lineNo, err)
+	}
+	if _, dup := m.Get(k); dup {
+		return 0, fmt.Errorf("yamlx: line %d: duplicate key %q", lineNo, k)
+	}
+	if val != "" {
+		sc, err := parseScalar(val)
+		if err != nil {
+			return 0, fmt.Errorf("yamlx: line %d: %v", lineNo, err)
+		}
+		m.Set(k, sc)
+		return i + 1, nil
+	}
+	// Value is a nested block (or an implicit null when nothing deeper
+	// follows). Sequence items may sit at the same indent as the key.
+	j := i + 1
+	if j >= len(p.lines) {
+		m.Set(k, nil)
+		return j, nil
+	}
+	nested := p.lines[j]
+	switch {
+	case nested.indent >= indent+1:
+		v, next, err := p.parseBlock(j, nested.indent)
+		if err != nil {
+			return 0, err
+		}
+		m.Set(k, v)
+		return next, nil
+	case nested.indent == indent && strings.HasPrefix(nested.text, "- "):
+		v, next, err := p.parseSequence(j, indent)
+		if err != nil {
+			return 0, err
+		}
+		m.Set(k, v)
+		return next, nil
+	default:
+		m.Set(k, nil)
+		return j, nil
+	}
+}
+
+// splitKeyValue splits a "key: value" or "key:" line, honoring quoted
+// keys. isMap is false when the line has no top-level ": " separator.
+func splitKeyValue(s string) (key, value string, isMap bool) {
+	if strings.HasPrefix(s, `"`) {
+		// Quoted key: find the closing quote.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", false
+		}
+		rest := s[end+1:]
+		if rest == ":" {
+			return s[:end+1], "", true
+		}
+		if strings.HasPrefix(rest, ": ") {
+			return s[:end+1], strings.TrimSpace(rest[2:]), true
+		}
+		return "", "", false
+	}
+	if idx := strings.Index(s, ": "); idx >= 0 {
+		return s[:idx], strings.TrimSpace(s[idx+2:]), true
+	}
+	if strings.HasSuffix(s, ":") {
+		return s[:len(s)-1], "", true
+	}
+	return "", "", false
+}
+
+func parseKey(s string) (string, error) {
+	if strings.HasPrefix(s, `"`) {
+		return strconv.Unquote(s)
+	}
+	return s, nil
+}
+
+func parseScalar(s string) (any, error) {
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	case "{}":
+		return NewMap(), nil
+	case "[]":
+		return []any{}, nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		return strconv.Unquote(s)
+	}
+	if strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 2 {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	switch s {
+	case ".inf", "+.inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-.inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case ".nan":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return s, nil
+}

@@ -1,0 +1,260 @@
+// Package yamlx is a small, dependency-free YAML subset codec: block
+// mappings, block sequences, and plain/quoted scalars — exactly the
+// fragment needed for the human-readable network files the paper's tool
+// publishes. It is not a general YAML implementation (no anchors, flow
+// collections, multi-document streams, or tags).
+//
+// Encoding accepts a value tree of *Map (ordered mapping), map[string]any
+// (emitted with sorted keys), []any, and scalars (string, bool, integer
+// and float types, nil). Decoding produces *Map, []any, and scalar types
+// string / bool / int64 / float64 / nil.
+package yamlx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Map is an order-preserving string-keyed mapping. The YAML files the
+// tool emits read better when fields keep their semantic order (name
+// before towers, towers before links), which sorted map keys destroy.
+type Map struct {
+	keys []string
+	vals map[string]any
+}
+
+// NewMap returns an empty ordered map.
+func NewMap() *Map {
+	return &Map{vals: make(map[string]any)}
+}
+
+// Set inserts or replaces a key, preserving first-insertion order.
+func (m *Map) Set(key string, v any) *Map {
+	if _, ok := m.vals[key]; !ok {
+		m.keys = append(m.keys, key)
+	}
+	m.vals[key] = v
+	return m
+}
+
+// Get returns the value for key and whether it is present.
+func (m *Map) Get(key string) (any, bool) {
+	v, ok := m.vals[key]
+	return v, ok
+}
+
+// Keys returns the keys in insertion order; the caller must not mutate
+// the returned slice.
+func (m *Map) Keys() []string { return m.keys }
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return len(m.keys) }
+
+// Marshal renders the value tree as YAML.
+func Marshal(v any) ([]byte, error) {
+	var sb strings.Builder
+	if err := encodeValue(&sb, v, 0, false); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+func encodeValue(sb *strings.Builder, v any, indent int, inSequenceItem bool) error {
+	switch t := v.(type) {
+	case *Map:
+		return encodeMap(sb, t.keys, t.vals, indent, inSequenceItem)
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return encodeMap(sb, keys, t, indent, inSequenceItem)
+	case []any:
+		return encodeSeq(sb, t, indent)
+	default:
+		s, err := scalarString(v)
+		if err != nil {
+			return err
+		}
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+		return nil
+	}
+}
+
+func encodeMap(sb *strings.Builder, keys []string, vals map[string]any, indent int, inSequenceItem bool) error {
+	if len(keys) == 0 {
+		sb.WriteString("{}\n")
+		return nil
+	}
+	for i, k := range keys {
+		// The first key of a map that is a sequence item shares the "- "
+		// line; later keys get full indentation.
+		if !(inSequenceItem && i == 0) {
+			sb.WriteString(strings.Repeat("  ", indent))
+		}
+		sb.WriteString(quoteKey(k))
+		sb.WriteByte(':')
+		v := vals[k]
+		switch v.(type) {
+		case *Map, map[string]any, []any:
+			if isEmptyCollection(v) {
+				sb.WriteByte(' ')
+				if err := encodeValue(sb, v, 0, false); err != nil {
+					return err
+				}
+				continue
+			}
+			sb.WriteByte('\n')
+			if err := encodeValue(sb, v, indent+1, false); err != nil {
+				return err
+			}
+		default:
+			sb.WriteByte(' ')
+			s, err := scalarString(v)
+			if err != nil {
+				return err
+			}
+			sb.WriteString(s)
+			sb.WriteByte('\n')
+		}
+	}
+	return nil
+}
+
+func encodeSeq(sb *strings.Builder, items []any, indent int) error {
+	if len(items) == 0 {
+		sb.WriteString("[]\n")
+		return nil
+	}
+	for _, it := range items {
+		sb.WriteString(strings.Repeat("  ", indent))
+		sb.WriteString("- ")
+		switch it.(type) {
+		case *Map, map[string]any:
+			if isEmptyCollection(it) {
+				sb.WriteString("{}\n")
+				continue
+			}
+			if err := encodeValue(sb, it, indent+1, true); err != nil {
+				return err
+			}
+		case []any:
+			return fmt.Errorf("yamlx: nested sequences as sequence items are not supported")
+		default:
+			s, err := scalarString(it)
+			if err != nil {
+				return err
+			}
+			sb.WriteString(s)
+			sb.WriteByte('\n')
+		}
+	}
+	return nil
+}
+
+func isEmptyCollection(v any) bool {
+	switch t := v.(type) {
+	case *Map:
+		return t.Len() == 0
+	case map[string]any:
+		return len(t) == 0
+	case []any:
+		return len(t) == 0
+	}
+	return false
+}
+
+func scalarString(v any) (string, error) {
+	switch t := v.(type) {
+	case nil:
+		return "null", nil
+	case bool:
+		if t {
+			return "true", nil
+		}
+		return "false", nil
+	case string:
+		return encodeString(t), nil
+	case int:
+		return strconv.Itoa(t), nil
+	case int32:
+		return strconv.FormatInt(int64(t), 10), nil
+	case int64:
+		return strconv.FormatInt(t, 10), nil
+	case float32:
+		return encodeFloat(float64(t)), nil
+	case float64:
+		return encodeFloat(t), nil
+	default:
+		return "", fmt.Errorf("yamlx: unsupported scalar type %T", v)
+	}
+}
+
+func encodeFloat(f float64) string {
+	if math.IsNaN(f) {
+		return ".nan"
+	}
+	if math.IsInf(f, 1) {
+		return ".inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-.inf"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Force a float-looking token so decoding keeps the type.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// needsQuoting reports whether a plain (unquoted) rendering of s would be
+// ambiguous or would re-parse as a different scalar.
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	switch s {
+	case "null", "~", "true", "false", "yes", "no", "on", "off",
+		"Null", "True", "False", "NULL", "TRUE", "FALSE":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	if strings.HasPrefix(s, ".") {
+		return true
+	}
+	first := s[0]
+	if strings.IndexByte("-?:,[]{}#&*!|>'\"%@` ", first) >= 0 {
+		return true
+	}
+	if strings.Contains(s, ": ") || strings.HasSuffix(s, ":") ||
+		strings.Contains(s, " #") {
+		return true
+	}
+	if strings.ContainsAny(s, "\n\t") {
+		return true
+	}
+	if s != strings.TrimSpace(s) {
+		return true
+	}
+	return false
+}
+
+func encodeString(s string) string {
+	if !needsQuoting(s) {
+		return s
+	}
+	return strconv.Quote(s) // YAML double-quoted style is JSON-compatible
+}
+
+func quoteKey(k string) string { return encodeString(k) }

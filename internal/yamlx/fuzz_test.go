@@ -1,0 +1,40 @@
+package yamlx
+
+import "testing"
+
+// FuzzUnmarshal asserts the YAML-subset parser never panics, and that
+// any document it accepts can be re-marshalled (the decoded tree only
+// contains supported types) and re-parsed.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1\n",
+		"a:\n  - 1\n  - two\n",
+		"a:\n  b: true\n  c: null\n",
+		"- x\n- y\n",
+		"towers:\n  - id: 1\n    lat: 41.5\n  - id: 2\n",
+		"\"quoted key\": \"quoted: value\"\n",
+		"a: .inf\nb: -.inf\n",
+		"  bad indent\n",
+		"a: 1\na: 2\n",
+		"# only comment\n",
+		"-\n",
+		"\tx: 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil || v == nil {
+			return
+		}
+		enc, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("decoded tree failed to marshal: %v", err)
+		}
+		if _, err := Unmarshal(enc); err != nil {
+			t.Fatalf("re-marshalled document failed to parse: %v\n%s", err, enc)
+		}
+	})
+}

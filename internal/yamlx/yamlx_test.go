@@ -1,0 +1,327 @@
+package yamlx
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return string(b)
+}
+
+func mustUnmarshal(t *testing.T, s string) any {
+	t.Helper()
+	v, err := Unmarshal([]byte(s))
+	if err != nil {
+		t.Fatalf("Unmarshal(%q): %v", s, err)
+	}
+	return v
+}
+
+func TestMarshalScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, "null\n"},
+		{true, "true\n"},
+		{false, "false\n"},
+		{42, "42\n"},
+		{int64(-7), "-7\n"},
+		{3.5, "3.5\n"},
+		{2.0, "2.0\n"}, // floats stay float-shaped
+		{"hello", "hello\n"},
+		{"needs quote: yes", "\"needs quote: yes\"\n"},
+		{"123", "\"123\"\n"}, // numeric-looking string must quote
+		{"true", "\"true\"\n"},
+		{"", "\"\"\n"},
+		{"- dash", "\"- dash\"\n"},
+	}
+	for _, c := range cases {
+		if got := mustMarshal(t, c.in); got != c.want {
+			t.Errorf("Marshal(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMarshalMapOrdering(t *testing.T) {
+	m := NewMap().Set("name", "NLN").Set("alpha", 1).Set("beta", 2)
+	got := mustMarshal(t, m)
+	want := "name: NLN\nalpha: 1\nbeta: 2\n"
+	if got != want {
+		t.Errorf("ordered map:\n%q\nwant\n%q", got, want)
+	}
+	// Plain maps sort keys.
+	got = mustMarshal(t, map[string]any{"b": 2, "a": 1})
+	if got != "a: 1\nb: 2\n" {
+		t.Errorf("sorted map: %q", got)
+	}
+}
+
+func TestMarshalNested(t *testing.T) {
+	doc := NewMap().
+		Set("network", "Webline Holdings").
+		Set("towers", []any{
+			NewMap().Set("id", "T1").Set("lat", 41.76).Set("lon", -88.2),
+			NewMap().Set("id", "T2").Set("lat", 41.70).Set("lon", -87.9),
+		}).
+		Set("meta", NewMap().Set("count", 2))
+	got := mustMarshal(t, doc)
+	want := strings.Join([]string{
+		"network: Webline Holdings",
+		"towers:",
+		"  - id: T1",
+		"    lat: 41.76",
+		"    lon: -88.2",
+		"  - id: T2",
+		"    lat: 41.7",
+		"    lon: -87.9",
+		"meta:",
+		"  count: 2",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("nested doc:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMarshalEmptyCollections(t *testing.T) {
+	doc := NewMap().Set("links", []any{}).Set("attrs", NewMap())
+	got := mustMarshal(t, doc)
+	if got != "links: []\nattrs: {}\n" {
+		t.Errorf("empty collections: %q", got)
+	}
+}
+
+func TestRoundTripDocument(t *testing.T) {
+	doc := NewMap().
+		Set("name", "New Line Networks").
+		Set("active", true).
+		Set("latency_ms", 3.96171).
+		Set("towers", []any{
+			NewMap().Set("id", "CME-gw").Set("height_m", 150.0).
+				Set("fiber", true),
+			NewMap().Set("id", "t-17").Set("height_m", 95.5).
+				Set("fiber", false),
+		}).
+		Set("frequencies_ghz", []any{6.2, 11.2, 18.1}).
+		Set("notes", nil)
+	enc := mustMarshal(t, doc)
+	back := mustUnmarshal(t, enc)
+	assertEqualValue(t, back, doc)
+}
+
+func assertEqualValue(t *testing.T, got, want any) {
+	t.Helper()
+	switch w := want.(type) {
+	case *Map:
+		g, ok := got.(*Map)
+		if !ok {
+			t.Fatalf("got %T, want *Map", got)
+		}
+		if !reflect.DeepEqual(g.Keys(), w.Keys()) {
+			t.Fatalf("keys = %v, want %v", g.Keys(), w.Keys())
+		}
+		for _, k := range w.Keys() {
+			gv, _ := g.Get(k)
+			wv, _ := w.Get(k)
+			assertEqualValue(t, gv, wv)
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(g) != len(w) {
+			t.Fatalf("got %#v, want sequence of %d", got, len(w))
+		}
+		for i := range w {
+			assertEqualValue(t, g[i], w[i])
+		}
+	case int:
+		if g, ok := got.(int64); !ok || g != int64(w) {
+			t.Fatalf("got %#v, want %d", got, w)
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok || math.Abs(g-w) > 1e-12 {
+			t.Fatalf("got %#v, want %v", got, w)
+		}
+	default:
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %#v, want %#v", got, want)
+		}
+	}
+}
+
+func TestUnmarshalComments(t *testing.T) {
+	in := "# header comment\nname: test\n# trailing comment\ncount: 3\n"
+	v := mustUnmarshal(t, in)
+	m := v.(*Map)
+	if n, _ := m.Get("name"); n != "test" {
+		t.Errorf("name = %v", n)
+	}
+	if c, _ := m.Get("count"); c != int64(3) {
+		t.Errorf("count = %v", c)
+	}
+}
+
+func TestUnmarshalSequenceAtKeyIndent(t *testing.T) {
+	// Both "indented" and "same-indent" sequence styles must parse.
+	same := "items:\n- a\n- b\n"
+	indented := "items:\n  - a\n  - b\n"
+	for _, in := range []string{same, indented} {
+		m := mustUnmarshal(t, in).(*Map)
+		items, _ := m.Get("items")
+		seq, ok := items.([]any)
+		if !ok || len(seq) != 2 || seq[0] != "a" || seq[1] != "b" {
+			t.Errorf("Unmarshal(%q) items = %#v", in, items)
+		}
+	}
+}
+
+func TestUnmarshalScalarTypes(t *testing.T) {
+	in := strings.Join([]string{
+		"i: 42",
+		"f: 3.25",
+		"fe: 1e-3",
+		"b1: true",
+		"b0: false",
+		"n: null",
+		"tilde: ~",
+		`qs: "quoted: str"`,
+		"plain: plain str",
+		"inf: .inf",
+		"ninf: -.inf",
+	}, "\n")
+	m := mustUnmarshal(t, in).(*Map)
+	check := func(k string, want any) {
+		t.Helper()
+		got, ok := m.Get(k)
+		if !ok {
+			t.Fatalf("missing key %q", k)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", k, got, want)
+		}
+	}
+	check("i", int64(42))
+	check("f", 3.25)
+	check("fe", 1e-3)
+	check("b1", true)
+	check("b0", false)
+	check("n", nil)
+	check("tilde", nil)
+	check("qs", "quoted: str")
+	check("plain", "plain str")
+	check("inf", math.Inf(1))
+	check("ninf", math.Inf(-1))
+}
+
+func TestUnmarshalNullValueKey(t *testing.T) {
+	m := mustUnmarshal(t, "a:\nb: 1\n").(*Map)
+	if v, ok := m.Get("a"); !ok || v != nil {
+		t.Errorf("a = %#v, %v, want nil", v, ok)
+	}
+	// Trailing bare key.
+	m = mustUnmarshal(t, "a: 1\nb:\n").(*Map)
+	if v, ok := m.Get("b"); !ok || v != nil {
+		t.Errorf("b = %#v, %v, want nil", v, ok)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		"   a: 1",    // odd indentation
+		"a: 1\na: 2", // duplicate key
+		"just a scalar line with no colon\nanother",
+		"- \n",         // empty sequence item
+		"a: 1\n\tb: 2", // tab indentation
+	}
+	for _, in := range bad {
+		if _, err := Unmarshal([]byte(in)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestUnmarshalEmpty(t *testing.T) {
+	v, err := Unmarshal(nil)
+	if err != nil || v != nil {
+		t.Errorf("Unmarshal(nil) = %#v, %v", v, err)
+	}
+	v, err = Unmarshal([]byte("# only a comment\n"))
+	if err != nil || v != nil {
+		t.Errorf("Unmarshal(comment) = %#v, %v", v, err)
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := Marshal(struct{}{}); err == nil {
+		t.Error("Marshal(struct) should fail")
+	}
+	if _, err := Marshal([]any{[]any{1}}); err == nil {
+		t.Error("Marshal(nested sequences) should fail")
+	}
+}
+
+// TestStringRoundTripQuick fuzzes strings through scalar encode/decode.
+func TestStringRoundTripQuick(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\n\r") {
+			return true // multi-line scalars unsupported by design
+		}
+		doc := NewMap().Set("v", s)
+		enc, err := Marshal(doc)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		m, ok := back.(*Map)
+		if !ok {
+			return false
+		}
+		v, _ := m.Get("v")
+		return v == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNumberRoundTripQuick fuzzes floats and ints.
+func TestNumberRoundTripQuick(t *testing.T) {
+	f := func(i int64, fl float64) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		doc := NewMap().Set("i", i).Set("f", fl)
+		enc, err := Marshal(doc)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		m := back.(*Map)
+		gi, _ := m.Get("i")
+		gf, _ := m.Get("f")
+		if gi != i {
+			return false
+		}
+		gfF, ok := gf.(float64)
+		return ok && (gfF == fl || math.Abs(gfF-fl) < math.Abs(fl)*1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
