@@ -1,0 +1,32 @@
+# Development targets. `make ci` is what a checkin must pass: vet plus
+# the full test suite under the race detector (the scrape client and
+# portal are exercised concurrently, so -race is load-bearing here).
+
+GO ?= go
+
+.PHONY: all build test short race vet soak ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast inner-loop run: skips the soak tests and the full funnel scrape.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The §2.2 soak suite alone: full funnel against a ~20%-fault portal,
+# plus interrupt/resume through the checkpoint journal.
+soak:
+	$(GO) test -race -run 'TestSoak' -v ./internal/scrape/
+
+ci: vet build race

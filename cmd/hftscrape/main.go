@@ -7,6 +7,15 @@
 //
 //	hftscrape -portal http://127.0.0.1:8080 [-out corpus.uls]
 //	          [-rate-ms 0] [-radius-km 10] [-min-filings 11]
+//	          [-workers 4] [-retries 3] [-request-timeout 30s]
+//	          [-retry-budget 0] [-checkpoint scrape.journal]
+//
+// The pipeline is built for flaky portals: 429/5xx responses, hangs,
+// and truncated pages are retried with jittered backoff (honoring
+// Retry-After); licenses that stay unscrapable are recorded and
+// skipped rather than aborting the run. With -checkpoint, completed
+// work is journaled so an interrupted scrape — ^C, crash, network
+// death — resumes where it left off when rerun with the same flags.
 package main
 
 import (
@@ -28,6 +37,14 @@ func main() {
 	rateMS := flag.Int("rate-ms", 0, "minimum milliseconds between requests")
 	radiusKM := flag.Float64("radius-km", 10, "geographic seed radius around CME")
 	minFilings := flag.Int("min-filings", 11, "shortlist cutoff")
+	workers := flag.Int("workers", 4, "concurrent detail-page fetches")
+	retries := flag.Int("retries", 3, "retries per request (0 = fail on first error)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request attempt timeout (0 = none)")
+	retryBudget := flag.Duration("retry-budget", 0,
+		"total wall-clock budget per fetch including retries (0 = unbounded)")
+	checkpoint := flag.String("checkpoint", "",
+		"journal file for resumable scrapes (rerun with identical flags to resume)")
 	flag.Parse()
 	if *portal == "" {
 		flag.Usage()
@@ -36,17 +53,34 @@ func main() {
 
 	c := scrape.NewClient(*portal)
 	c.MinInterval = time.Duration(*rateMS) * time.Millisecond
+	c.MaxRetries = *retries
+	c.RequestTimeout = *requestTimeout
+	c.RetryBudget = *retryBudget
 	opts := scrape.DefaultPipelineOptions()
 	opts.RadiusKM = *radiusKM
 	opts.MinFilings = *minFilings
+	opts.Workers = *workers
+	opts.CheckpointPath = *checkpoint
 
 	start := time.Now()
 	db, funnel, err := scrape.Run(context.Background(), c, opts)
 	if err != nil {
+		if *checkpoint != "" {
+			log.Printf("hftscrape: progress saved to %s; rerun to resume", *checkpoint)
+		}
 		log.Fatalf("hftscrape: %v", err)
 	}
 	fmt.Print(report.ScrapeFunnelTable(funnel.GeographicMatches, funnel.Candidates,
 		funnel.Shortlisted, funnel.LicensesScraped, funnel.ShortlistedNames))
+	if funnel.ResumedLicenses > 0 {
+		fmt.Printf("\nresumed %d licenses from %s\n", funnel.ResumedLicenses, *checkpoint)
+	}
+	for _, name := range funnel.FailedLicensees {
+		fmt.Fprintf(os.Stderr, "WARNING: licensee %q could not be enumerated; its filings are missing\n", name)
+	}
+	for _, f := range funnel.Failed {
+		fmt.Fprintf(os.Stderr, "WARNING: %s abandoned (%s): %s\n", f.CallSign, f.Class, f.Err)
+	}
 	fmt.Printf("\nscraped in %v\n", time.Since(start).Round(time.Millisecond))
 
 	f, err := os.Create(*out)

@@ -6,8 +6,17 @@
 // Usage:
 //
 //	ulsserver [-addr :8080] [-bulk corpus.uls]
+//	          [-chaos none|flaky|hostile|kind=prob,...] [-chaos-seed 1]
+//	          [-fail-every-n 0]
 //
 // Without -bulk, the built-in synthetic corridor corpus is served.
+//
+// -chaos turns on the fault-injection layer, which reproduces the live
+// portal's bad days: 429 throttling with Retry-After, 503 bursts,
+// request hangs, truncated bodies, and malformed payloads. Faults are
+// drawn from a seeded RNG, so a given -chaos-seed makes a failing run
+// reproducible. -fail-every-n is the legacy deterministic knob: every
+// Nth request fails with 503.
 package main
 
 import (
@@ -19,20 +28,40 @@ import (
 
 	"hftnetview"
 	"hftnetview/internal/ulsserver"
+	"hftnetview/internal/ulsserver/chaos"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	bulk := flag.String("bulk", "", "ULS bulk file to serve (default: synthetic corpus)")
+	chaosSpec := flag.String("chaos", "none",
+		"fault profile: none, flaky, hostile, or kind=prob,... "+
+			"(kinds: rate_limit, unavailable, hang, truncate, malformed)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault RNG (reproducible failures)")
+	failEveryN := flag.Int64("fail-every-n", 0, "fail every Nth request with 503 (0 = off)")
 	flag.Parse()
 
 	db, err := loadDB(*bulk)
 	if err != nil {
 		log.Fatalf("ulsserver: %v", err)
 	}
+	srv := ulsserver.New(db)
+	srv.FailEveryN.Store(*failEveryN)
+
+	profile, err := chaos.Parse(*chaosSpec, *chaosSeed)
+	if err != nil {
+		log.Fatalf("ulsserver: %v", err)
+	}
+	var handler http.Handler = srv
+	if profile.FaultRate() > 0 {
+		handler = chaos.Wrap(srv, profile)
+		log.Printf("ulsserver: chaos profile %q (%.0f%% faults, seed %d)",
+			*chaosSpec, 100*profile.FaultRate(), *chaosSeed)
+	}
+
 	log.Printf("ulsserver: serving %d licenses from %d licensees on %s",
 		db.Len(), len(db.Licensees()), *addr)
-	if err := http.ListenAndServe(*addr, ulsserver.New(db)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatalf("ulsserver: %v", err)
 	}
 }

@@ -1,0 +1,214 @@
+package scrape
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"hftnetview/internal/uls"
+)
+
+// The checkpoint journal makes a long scrape resumable: an append-only
+// file of JSON lines recording first the funnel plan (the search-phase
+// results that determine exactly which detail pages will be fetched)
+// and then one record per detail page scraped or abandoned. A run that
+// is interrupted — crash, ^C, network death — can be restarted with the
+// same options and portal and will skip straight to the unfetched
+// remainder. Records are self-delimiting lines, so a crash mid-write
+// costs at most the final, truncated line, which loading ignores.
+//
+// Journal layout:
+//
+//	{"type":"plan","portal":...,"options":{...},"geographic_matches":N,
+//	 "candidates":N,"shortlisted":[...],"licenses_by_name":{...}}
+//	{"type":"license","license":{...}}
+//	{"type":"failed","call_sign":...,"class":...,"error":...}
+//
+// "failed" records are informational; resuming retries those call
+// signs, because a fault that killed one run may be gone in the next.
+
+// ErrCheckpointMismatch reports a journal whose plan was recorded for a
+// different portal or different pipeline options — resuming it would
+// silently mix corpora.
+var ErrCheckpointMismatch = errors.New("scrape: checkpoint journal does not match this run")
+
+// planKey is the identity of a funnel run: resuming requires an exact
+// match so a journal can never graft one corpus onto another.
+type planKey struct {
+	Portal     string  `json:"portal"`
+	CenterLat  float64 `json:"center_lat"`
+	CenterLon  float64 `json:"center_lon"`
+	RadiusKM   float64 `json:"radius_km"`
+	Service    string  `json:"service"`
+	Class      string  `json:"class"`
+	MinFilings int     `json:"min_filings"`
+}
+
+func makePlanKey(baseURL string, opts PipelineOptions) planKey {
+	return planKey{
+		Portal:     baseURL,
+		CenterLat:  opts.CenterLat,
+		CenterLon:  opts.CenterLon,
+		RadiusKM:   opts.RadiusKM,
+		Service:    opts.Service,
+		Class:      opts.Class,
+		MinFilings: opts.MinFilings,
+	}
+}
+
+// journalRecord is one line of the checkpoint file.
+type journalRecord struct {
+	Type string `json:"type"`
+
+	// Plan fields.
+	Options           *planKey                  `json:"options,omitempty"`
+	GeographicMatches int                       `json:"geographic_matches,omitempty"`
+	Candidates        int                       `json:"candidates,omitempty"`
+	Shortlisted       []string                  `json:"shortlisted,omitempty"`
+	LicensesByName    map[string][]SearchResult `json:"licenses_by_name,omitempty"`
+
+	// License fields.
+	License *uls.License `json:"license,omitempty"`
+
+	// Failure fields.
+	CallSign string `json:"call_sign,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// checkpointState is what a loaded journal contributes to a resuming
+// run.
+type checkpointState struct {
+	plan      *journalRecord          // nil when the journal has no plan yet
+	completed map[string]*uls.License // call sign -> parsed license
+}
+
+// checkpoint appends journal records; it is safe for concurrent use by
+// the detail-page workers.
+type checkpoint struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openCheckpoint loads whatever a journal already holds and opens it
+// for appending. A missing file is an empty journal. The caller must
+// verify the loaded plan against its own planKey before trusting the
+// completed set.
+func openCheckpoint(path string) (*checkpoint, checkpointState, error) {
+	state := checkpointState{completed: make(map[string]*uls.License)}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := loadJournal(data, &state); err != nil {
+			return nil, state, err
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, state, fmt.Errorf("scrape: reading checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, state, fmt.Errorf("scrape: opening checkpoint %s: %w", path, err)
+	}
+	return &checkpoint{f: f, w: bufio.NewWriter(f)}, state, nil
+}
+
+// loadJournal replays journal lines into state. A truncated final line
+// (the signature of a crash mid-append) is ignored; corruption anywhere
+// else is an error, because silently dropping completed work would
+// re-scrape it but silently dropping the plan would change the corpus.
+func loadJournal(data []byte, state *checkpointState) error {
+	dec := json.NewDecoder(newLineLimitedReader(data))
+	for lineNo := 1; ; lineNo++ {
+		var rec journalRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// Partial final line from an interrupted append.
+				return nil
+			}
+			return fmt.Errorf("scrape: checkpoint line %d: %w", lineNo, err)
+		}
+		switch rec.Type {
+		case "plan":
+			r := rec
+			state.plan = &r
+		case "license":
+			if rec.License == nil {
+				return fmt.Errorf("scrape: checkpoint line %d: license record without license", lineNo)
+			}
+			if err := rec.License.Validate(); err != nil {
+				return fmt.Errorf("scrape: checkpoint line %d: %w", lineNo, err)
+			}
+			state.completed[rec.License.CallSign] = rec.License
+		case "failed":
+			// Informational only — resuming retries failures.
+		default:
+			return fmt.Errorf("scrape: checkpoint line %d: unknown record type %q", lineNo, rec.Type)
+		}
+	}
+}
+
+// newLineLimitedReader trims a trailing partial line (no final
+// newline) so the JSON decoder never sees a half-written record as
+// mid-stream corruption.
+func newLineLimitedReader(data []byte) io.Reader {
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return bytes.NewReader(data)
+	}
+	for i := len(data) - 1; i >= 0; i-- {
+		if data[i] == '\n' {
+			return bytes.NewReader(data[:i+1])
+		}
+	}
+	return bytes.NewReader(nil)
+}
+
+// append writes one record and flushes it to the OS, so a later crash
+// cannot lose it.
+func (cp *checkpoint) append(rec journalRecord) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	enc := json.NewEncoder(cp.w)
+	if err := enc.Encode(rec); err != nil {
+		return fmt.Errorf("scrape: appending checkpoint record: %w", err)
+	}
+	if err := cp.w.Flush(); err != nil {
+		return fmt.Errorf("scrape: flushing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (cp *checkpoint) writePlan(key planKey, funnel Funnel, byName map[string][]SearchResult) error {
+	return cp.append(journalRecord{
+		Type:              "plan",
+		Options:           &key,
+		GeographicMatches: funnel.GeographicMatches,
+		Candidates:        funnel.Candidates,
+		Shortlisted:       funnel.ShortlistedNames,
+		LicensesByName:    byName,
+	})
+}
+
+func (cp *checkpoint) writeLicense(l *uls.License) error {
+	return cp.append(journalRecord{Type: "license", License: l})
+}
+
+func (cp *checkpoint) writeFailure(f DetailFailure) error {
+	return cp.append(journalRecord{Type: "failed", CallSign: f.CallSign, Class: f.Class, Error: f.Err})
+}
+
+func (cp *checkpoint) close() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if err := cp.w.Flush(); err != nil {
+		cp.f.Close()
+		return err
+	}
+	return cp.f.Close()
+}

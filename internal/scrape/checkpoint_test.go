@@ -1,0 +1,161 @@
+package scrape
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/uls"
+)
+
+func testLicense(cs string) *uls.License {
+	return &uls.License{
+		CallSign: cs, LicenseID: 7, Licensee: "Alpha Net", FRN: "0000000007",
+		RadioService: uls.ServiceMG, Status: uls.StatusActive,
+		Grant: uls.NewDate(2015, time.June, 1),
+		Locations: []uls.Location{
+			{Number: 1, Point: geo.Point{Lat: 41.7, Lon: -88.2}, GroundElevation: 200, SupportHeight: 90},
+			{Number: 2, Point: geo.Point{Lat: 41.9, Lon: -87.9}, GroundElevation: 195, SupportHeight: 85},
+		},
+		Paths: []uls.Path{{Number: 1, TXLocation: 1, RXLocation: 2,
+			StationClass: uls.ClassFXO, FrequenciesMHz: []float64{11245.0},
+			TXAzimuthDeg: 45.5, RXAzimuthDeg: 225.5, AntennaGainDBi: 38.1}},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.plan != nil || len(state.completed) != 0 {
+		t.Fatalf("fresh journal not empty: %+v", state)
+	}
+	key := planKey{Portal: "http://x", RadiusKM: 10, Service: "MG", Class: "FXO", MinFilings: 11}
+	funnel := Funnel{GeographicMatches: 100, Candidates: 57,
+		ShortlistedNames: []string{"Alpha Net"}, Shortlisted: 1}
+	byName := map[string][]SearchResult{"Alpha Net": {{CallSign: "WQAA001", Licensee: "Alpha Net"}}}
+	if err := cp.writePlan(key, funnel, byName); err != nil {
+		t.Fatal(err)
+	}
+	want := testLicense("WQAA001")
+	if err := cp.writeLicense(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.writeFailure(DetailFailure{CallSign: "WQAA002", Class: "parse", Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.close()
+	if state.plan == nil || *state.plan.Options != key {
+		t.Fatalf("plan did not round trip: %+v", state.plan)
+	}
+	if state.plan.GeographicMatches != 100 || state.plan.Candidates != 57 {
+		t.Errorf("funnel counters lost: %+v", state.plan)
+	}
+	if len(state.plan.LicensesByName["Alpha Net"]) != 1 {
+		t.Errorf("licenses_by_name lost: %+v", state.plan.LicensesByName)
+	}
+	got, ok := state.completed["WQAA001"]
+	if !ok {
+		t.Fatal("completed license missing after reload")
+	}
+	if got.CallSign != want.CallSign || got.Licensee != want.Licensee ||
+		got.Grant != want.Grant || len(got.Paths) != 1 ||
+		got.Paths[0].TXAzimuthDeg != want.Paths[0].TXAzimuthDeg {
+		t.Errorf("license mangled in round trip: %+v", got)
+	}
+	// Failures are informational: they must not mark the call sign done.
+	if _, done := state.completed["WQAA002"]; done {
+		t.Error("failed call sign treated as completed")
+	}
+}
+
+func TestCheckpointIgnoresTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.writeLicense(testLicense("WQAA001"))
+	cp.close()
+	// Simulate a crash mid-append: a second record cut partway through.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := strings.Replace(string(full), "WQAA001", "WQAA002", 1)
+	partial = partial[:len(partial)-20] // drop the tail, including the newline
+	if err := os.WriteFile(path, append(full, partial...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatalf("truncated journal rejected: %v", err)
+	}
+	defer cp2.close()
+	if _, ok := state.completed["WQAA001"]; !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := state.completed["WQAA002"]; ok {
+		t.Error("truncated record surfaced as completed")
+	}
+}
+
+func TestCheckpointRejectsCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	if err := os.WriteFile(path, []byte("{\"type\":\"license\",}}}garbage\n{\"type\":\"failed\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openCheckpoint(path); err == nil {
+		t.Fatal("corrupt mid-journal accepted")
+	}
+}
+
+func TestCheckpointRejectsInvalidLicense(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.json")
+	// A license record that parses as JSON but fails Validate (no
+	// licensee, no grant) must not be trusted.
+	if err := os.WriteFile(path,
+		[]byte("{\"type\":\"license\",\"license\":{\"CallSign\":\"WQXX001\"}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openCheckpoint(path); err == nil {
+		t.Fatal("invalid checkpointed license accepted")
+	}
+}
+
+func TestRunRejectsMismatchedCheckpoint(t *testing.T) {
+	// A journal recorded for one funnel must refuse to resume another.
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := planKey{Portal: "http://elsewhere:1", RadiusKM: 25, Service: "MG", Class: "FXO", MinFilings: 3}
+	if err := cp.writePlan(other, Funnel{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cp.close()
+
+	_, c := startPortal(t)
+	opts := DefaultPipelineOptions()
+	opts.CheckpointPath = path
+	_, _, err = Run(context.Background(), c, opts)
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+}

@@ -4,41 +4,67 @@
 // class, per-licensee license enumeration with the ≥11-filings cutoff,
 // and per-license detail-page scraping.
 //
-// The client is polite by construction — a minimum inter-request
-// interval and bounded retries with backoff — because the same code is
-// meant to be pointable at a real portal.
+// The client is polite and paranoid by construction — a minimum
+// inter-request interval, jittered exponential backoff that honors
+// Retry-After, per-request timeouts, and an overall retry budget —
+// because the same code is meant to be pointable at a real portal that
+// throttles, hangs, and serves partial pages. It is safe for concurrent
+// use by multiple goroutines.
 package scrape
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 )
 
-// Client is a rate-limited, retrying ULS portal client.
+// Client is a rate-limited, retrying ULS portal client. All exported
+// fields must be set before first use; a Client is then safe for
+// concurrent use.
 type Client struct {
 	// BaseURL is the portal root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// MinInterval is the minimum spacing between requests (0 = none).
+	// MinInterval is the minimum spacing between requests across all
+	// goroutines sharing the client (0 = none).
 	MinInterval time.Duration
-	// MaxRetries bounds retries on 5xx and transport errors (default 3).
+	// MaxRetries bounds retries on retryable failures: 429/5xx statuses,
+	// transport errors, truncated bodies, and undecodable JSON. 0 means
+	// "no retries" — fail on the first error; negative values behave
+	// like 0. NewClient defaults it to 3.
 	MaxRetries int
-	// RetryBackoff is the base backoff, doubled per attempt (default
-	// 50 ms).
+	// RetryBackoff is the base backoff, doubled per attempt and jittered
+	// into [½, 1]× of the nominal value (default 50 ms). A Retry-After
+	// header on a 429/503 overrides the computed backoff when longer.
 	RetryBackoff time.Duration
+	// MaxBackoff caps a single backoff sleep (default 5 s).
+	MaxBackoff time.Duration
+	// RequestTimeout bounds each individual request attempt, so a portal
+	// that hangs mid-response costs one attempt, not the whole scrape
+	// (0 = no per-attempt bound).
+	RequestTimeout time.Duration
+	// RetryBudget bounds the total wall-clock time one logical fetch may
+	// spend across attempts and backoffs (0 = unbounded). When the
+	// budget would be exceeded by the next backoff, the fetch fails with
+	// an error wrapping ErrBudgetExhausted.
+	RetryBudget time.Duration
 
+	mu          sync.Mutex
 	lastRequest time.Time
+	rng         *rand.Rand
 }
 
 // NewClient returns a client with sane defaults for a local simulated
-// portal (no rate limit, 3 retries).
+// portal (no rate limit, 3 retries, no per-request timeout).
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:      baseURL,
@@ -63,69 +89,12 @@ type searchPage struct {
 	Results []SearchResult `json:"results"`
 }
 
-// get fetches a URL with rate limiting and retries; it returns the body.
-func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
-	client := c.HTTPClient
-	if client == nil {
-		client = http.DefaultClient
-	}
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 3
-	}
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-time.After(backoff << (attempt - 1)):
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		if c.MinInterval > 0 {
-			if wait := c.MinInterval - time.Since(c.lastRequest); wait > 0 {
-				select {
-				case <-time.After(wait):
-				case <-ctx.Done():
-					return nil, ctx.Err()
-				}
-			}
-		}
-		c.lastRequest = time.Now()
+// ErrBudgetExhausted marks a fetch abandoned because RetryBudget ran
+// out before a retryable failure resolved.
+var ErrBudgetExhausted = errors.New("scrape: retry budget exhausted")
 
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return nil, fmt.Errorf("scrape: building request: %w", err)
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		switch {
-		case resp.StatusCode == http.StatusOK:
-			return body, nil
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("scrape: %s: server error %d", u, resp.StatusCode)
-			continue // retryable
-		default:
-			return nil, &HTTPError{URL: u, StatusCode: resp.StatusCode}
-		}
-	}
-	return nil, fmt.Errorf("scrape: %s: retries exhausted: %w", u, lastErr)
-}
-
-// HTTPError is a non-retryable HTTP failure (4xx).
+// HTTPError is an HTTP-status failure. 4xx (other than 429) statuses
+// are terminal; 429 and 5xx are retried.
 type HTTPError struct {
 	URL        string
 	StatusCode int
@@ -135,31 +104,268 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("scrape: %s: status %d", e.URL, e.StatusCode)
 }
 
+// MalformedResponseError is a 200 response whose body failed
+// validation (e.g. undecodable JSON from a portal mid-deploy). It is
+// retried like a 5xx: the next attempt usually gets a good copy.
+type MalformedResponseError struct {
+	URL    string
+	Reason string
+}
+
+func (e *MalformedResponseError) Error() string {
+	return fmt.Sprintf("scrape: %s: malformed response: %s", e.URL, e.Reason)
+}
+
+// reserveSlot blocks until this request's MinInterval slot arrives,
+// spacing requests across all goroutines sharing the client.
+func (c *Client) reserveSlot(ctx context.Context) error {
+	if c.MinInterval <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	now := time.Now()
+	slot := c.lastRequest.Add(c.MinInterval)
+	if slot.Before(now) {
+		slot = now
+	}
+	c.lastRequest = slot
+	c.mu.Unlock()
+	if wait := time.Until(slot); wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// jitter maps a nominal backoff into [½, 1]× of itself so synchronized
+// clients don't stampede a recovering portal in lockstep.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	j := c.rng.Int63n(int64(d) / 2)
+	c.mu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// backoffFor computes the sleep before the given retry attempt
+// (attempt >= 1), honoring a server-provided Retry-After when longer.
+func (c *Client) backoffFor(attempt int, retryAfter time.Duration) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	d = c.jitter(d)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header: integer seconds or an
+// HTTP date. Returns 0 when absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// get fetches a URL with rate limiting and retries; it returns the body.
+func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
+	return c.getChecked(ctx, u, nil)
+}
+
+// getChecked is get with an optional body validator: a 200 whose body
+// fails check is treated as a retryable MalformedResponseError, which
+// is how truncated-but-complete-looking and garbage payloads from a
+// flaky portal get healed by the retry loop.
+func (c *Client) getChecked(ctx context.Context, u string, check func([]byte) error) ([]byte, error) {
+	client := c.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	start := time.Now()
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			wait := c.backoffFor(attempt, retryAfter)
+			if c.RetryBudget > 0 && time.Since(start)+wait > c.RetryBudget {
+				return nil, fmt.Errorf("scrape: %s: %w after %d attempts: %w",
+					u, ErrBudgetExhausted, attempt, lastErr)
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		retryAfter = 0
+		if err := c.reserveSlot(ctx); err != nil {
+			return nil, err
+		}
+
+		body, status, header, err := c.do(ctx, client, u)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		switch {
+		case status == http.StatusOK:
+			if check != nil {
+				if cerr := check(body); cerr != nil {
+					lastErr = &MalformedResponseError{URL: u, Reason: cerr.Error()}
+					continue
+				}
+			}
+			return body, nil
+		case status == http.StatusTooManyRequests || status >= 500:
+			lastErr = &HTTPError{URL: u, StatusCode: status}
+			retryAfter = parseRetryAfter(header)
+			continue
+		default:
+			return nil, &HTTPError{URL: u, StatusCode: status}
+		}
+	}
+	return nil, fmt.Errorf("scrape: %s: retries exhausted: %w", u, lastErr)
+}
+
+// do performs one request attempt under RequestTimeout.
+func (c *Client) do(ctx context.Context, client *http.Client, u string) (body []byte, status int, header http.Header, err error) {
+	attemptCtx := ctx
+	if c.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("scrape: building request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		// Truncated mid-body (short write against Content-Length, reset
+		// connection, ...): retryable transport failure.
+		return nil, 0, nil, err
+	}
+	return body, resp.StatusCode, resp.Header, nil
+}
+
+// getJSON fetches u and decodes it into v, retrying undecodable bodies.
+func (c *Client) getJSON(ctx context.Context, u string, v any) error {
+	body, err := c.getChecked(ctx, u, func(b []byte) error {
+		if !json.Valid(b) {
+			return errors.New("invalid JSON")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// TruncatedResultsError reports a search whose portal claimed more
+// results than it ultimately served — a lying, mutating, or endlessly
+// paginating portal. The partial results accompany the error.
+type TruncatedResultsError struct {
+	Path     string
+	Reported int // the portal's final Total claim
+	Got      int // distinct results actually collected
+}
+
+func (e *TruncatedResultsError) Error() string {
+	return fmt.Sprintf("scrape: %s: portal reported %d results but served %d",
+		e.Path, e.Reported, e.Got)
+}
+
+// maxSearchPages is a hard ceiling on pages fetched per search,
+// independent of whatever Total the portal claims. At 200 rows per
+// page this allows two million results — far beyond any plausible
+// corpus, but finite when a portal's Total field lies or drifts.
+const maxSearchPages = 10_000
+
 // searchAll pages through one search endpoint until all results are
-// collected.
+// collected. The page loop is capped, repeated call signs across pages
+// are deduplicated (overlapping pages happen when the corpus shifts
+// under the crawl), and a portal that reports more results than it
+// serves yields the partial results plus a *TruncatedResultsError.
 func (c *Client) searchAll(ctx context.Context, path string, params url.Values) ([]SearchResult, error) {
 	var out []SearchResult
+	seen := make(map[string]bool)
 	perPage := 200
-	for page := 1; ; page++ {
+	reported := 0
+	for page := 1; page <= maxSearchPages; page++ {
 		p := url.Values{}
 		for k, vs := range params {
 			p[k] = vs
 		}
 		p.Set("page", strconv.Itoa(page))
 		p.Set("per_page", strconv.Itoa(perPage))
-		body, err := c.get(ctx, c.BaseURL+path+"?"+p.Encode())
-		if err != nil {
-			return nil, err
-		}
 		var sp searchPage
-		if err := json.Unmarshal(body, &sp); err != nil {
-			return nil, fmt.Errorf("scrape: decoding %s page %d: %w", path, page, err)
+		if err := c.getJSON(ctx, c.BaseURL+path+"?"+p.Encode(), &sp); err != nil {
+			return out, fmt.Errorf("scrape: %s page %d: %w", path, page, err)
 		}
-		out = append(out, sp.Results...)
-		if len(out) >= sp.Total || len(sp.Results) == 0 {
+		reported = sp.Total
+		for _, r := range sp.Results {
+			if seen[r.CallSign] {
+				continue
+			}
+			seen[r.CallSign] = true
+			out = append(out, r)
+		}
+		if len(out) >= sp.Total {
 			return out, nil
 		}
+		if len(sp.Results) == 0 {
+			// Portal claims more results but has no more pages to give.
+			return out, &TruncatedResultsError{Path: path, Reported: sp.Total, Got: len(out)}
+		}
 	}
+	return out, &TruncatedResultsError{Path: path, Reported: reported, Got: len(out)}
 }
 
 // GeographicSearch finds licenses with any site within radiusKM of the

@@ -1,0 +1,336 @@
+package scrape
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hftnetview/internal/uls"
+)
+
+// countingHandler wraps a handler and counts requests.
+type countingHandler struct {
+	n    atomic.Int64
+	next http.HandlerFunc
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.n.Add(1)
+	h.next(w, r)
+}
+
+func TestMaxRetriesZeroMeansNoRetries(t *testing.T) {
+	h := &countingHandler{next: func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.MaxRetries = 0
+	c.RetryBackoff = time.Millisecond
+	if _, err := c.get(context.Background(), ts.URL+"/x"); err == nil {
+		t.Fatal("get succeeded against a dead server")
+	}
+	if got := h.n.Load(); got != 1 {
+		t.Errorf("server saw %d requests with MaxRetries=0, want exactly 1", got)
+	}
+	// Negative values behave like 0, not like the default.
+	h.n.Store(0)
+	c.MaxRetries = -5
+	c.get(context.Background(), ts.URL+"/x")
+	if got := h.n.Load(); got != 1 {
+		t.Errorf("server saw %d requests with MaxRetries=-5, want exactly 1", got)
+	}
+}
+
+func TestNewClientDefaultStillRetries(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) < 3 {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	body, err := c.get(context.Background(), ts.URL+"/x")
+	if err != nil {
+		t.Fatalf("default client gave up: %v", err)
+	}
+	if string(body) != "ok" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond // would retry almost instantly on its own
+	start := time.Now()
+	if _, err := c.get(context.Background(), ts.URL+"/x"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s from Retry-After", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	if d := parseRetryAfter(mk("7")); d != 7*time.Second {
+		t.Errorf("seconds form = %v, want 7s", d)
+	}
+	if d := parseRetryAfter(mk("")); d != 0 {
+		t.Errorf("absent header = %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("-3")); d != 0 {
+		t.Errorf("negative = %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("garbage")); d != 0 {
+		t.Errorf("garbage = %v, want 0", d)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(mk(future)); d < 25*time.Second || d > 31*time.Second {
+		t.Errorf("HTTP-date form = %v, want ~30s", d)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.MaxRetries = 1000
+	c.RetryBackoff = 20 * time.Millisecond
+	c.RetryBudget = 100 * time.Millisecond
+	start := time.Now()
+	_, err := c.get(context.Background(), ts.URL+"/x")
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// The underlying failure must still be visible for diagnosis.
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != 503 {
+		t.Errorf("budget error does not wrap the last HTTP failure: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("budget of 100ms took %v to trip", elapsed)
+	}
+}
+
+func TestRequestTimeoutBoundsHangs(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			select { // hang well past the client's patience
+			case <-time.After(5 * time.Second):
+			case <-r.Context().Done():
+			}
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RequestTimeout = 50 * time.Millisecond
+	c.RetryBackoff = time.Millisecond
+	start := time.Now()
+	body, err := c.get(context.Background(), ts.URL+"/x")
+	if err != nil {
+		t.Fatalf("hang was not retried: %v", err)
+	}
+	if string(body) != "ok" {
+		t.Errorf("body = %q", body)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("recovery from hang took %v", elapsed)
+	}
+}
+
+func TestMalformedJSONRetried(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 1 {
+			fmt.Fprint(w, `{"total": 1, "results": [{"call_si`) // cut mid-token
+			return
+		}
+		json.NewEncoder(w).Encode(searchPage{Total: 1, Results: []SearchResult{{CallSign: "WQAA001"}}})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	var sp searchPage
+	if err := c.getJSON(context.Background(), ts.URL+"/x", &sp); err != nil {
+		t.Fatalf("malformed body not retried: %v", err)
+	}
+	if len(sp.Results) != 1 || sp.Results[0].CallSign != "WQAA001" {
+		t.Errorf("decoded page = %+v", sp)
+	}
+}
+
+// lyingPortal claims totalClaim results but serves only the given pages.
+func lyingPortal(t *testing.T, totalClaim int, pages ...[]SearchResult) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		page := 1
+		fmt.Sscan(r.URL.Query().Get("page"), &page)
+		sp := searchPage{Total: totalClaim, Page: page, PerPage: 200}
+		if page-1 < len(pages) {
+			sp.Results = pages[page-1]
+		}
+		json.NewEncoder(w).Encode(sp)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSearchAllLyingTotal(t *testing.T) {
+	ts := lyingPortal(t, 50, []SearchResult{{CallSign: "WQAA001"}, {CallSign: "WQAA002"}})
+	c := NewClient(ts.URL)
+	got, err := c.SiteSearch(context.Background(), uls.ServiceMG, uls.ClassFXO)
+	var te *TruncatedResultsError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TruncatedResultsError", err)
+	}
+	if te.Reported != 50 || te.Got != 2 {
+		t.Errorf("error = %+v, want Reported=50 Got=2", te)
+	}
+	// The partial results come back with the error.
+	if len(got) != 2 {
+		t.Errorf("partial results = %d, want 2", len(got))
+	}
+}
+
+func TestSearchAllDeduplicatesAcrossPages(t *testing.T) {
+	// A corpus shifting under the crawl can repeat rows across pages;
+	// the client must not double-count them. Here pages 1 and 2 overlap
+	// and together carry the claimed 3 distinct results.
+	ts := lyingPortal(t, 3,
+		[]SearchResult{{CallSign: "WQAA001"}, {CallSign: "WQAA002"}},
+		[]SearchResult{{CallSign: "WQAA002"}, {CallSign: "WQAA003"}},
+	)
+	c := NewClient(ts.URL)
+	got, err := c.SiteSearch(context.Background(), uls.ServiceMG, uls.ClassFXO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("results = %d, want 3 after dedup", len(got))
+	}
+	seen := map[string]bool{}
+	for _, r := range got {
+		if seen[r.CallSign] {
+			t.Errorf("duplicate %s survived dedup", r.CallSign)
+		}
+		seen[r.CallSign] = true
+	}
+}
+
+func TestSearchAllCapsEndlessPagination(t *testing.T) {
+	// A portal that always has "one more page" of already-seen rows and
+	// a Total that can never be reached: the pager must terminate with
+	// a typed error instead of looping forever.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(searchPage{
+			Total:   1_000_000,
+			Results: []SearchResult{{CallSign: "WQAA001"}},
+		})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.SiteSearch(context.Background(), uls.ServiceMG, uls.ClassFXO)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var te *TruncatedResultsError
+		if !errors.As(err, &te) {
+			t.Fatalf("err = %v, want TruncatedResultsError", err)
+		}
+		if te.Got != 1 {
+			t.Errorf("Got = %d, want 1 distinct result", te.Got)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("endless pagination was not capped")
+	}
+}
+
+func TestClientConcurrentUse(t *testing.T) {
+	// One client, many goroutines, a portal failing every third request:
+	// exercised under -race this validates the lastRequest lock, the
+	// jitter RNG lock, and the server's atomic FailEveryN.
+	srv, c := startPortal(t)
+	srv.FailEveryN.Store(3)
+	// Under concurrency every third request globally fails, so any one
+	// request's retries keep a ~1/3 failure chance each attempt; give
+	// them enough attempts that 64 requests all but surely succeed.
+	c.MaxRetries = 12
+	c.RetryBackoff = time.Millisecond
+	c.MinInterval = 100 * time.Microsecond
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := c.FetchDetailHTML(context.Background(), "WQNL001"); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent fetch failed: %v", err)
+	}
+}
+
+func TestMinIntervalSpacesConcurrentRequests(t *testing.T) {
+	_, c := startPortal(t)
+	c.MinInterval = 10 * time.Millisecond
+	const requests = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.FetchDetailHTML(context.Background(), "WQNL001")
+		}()
+	}
+	wg.Wait()
+	// 8 requests spaced 10ms apart need >= 70ms regardless of which
+	// goroutine issues them.
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Errorf("%d concurrent requests took %v, want >= 70ms", requests, elapsed)
+	}
+}

@@ -2,8 +2,10 @@ package scrape
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"hftnetview/internal/sites"
 	"hftnetview/internal/uls"
@@ -21,6 +23,13 @@ type PipelineOptions struct {
 	// filings cannot span the ~1,100 km corridor with ≤100 km hops
 	// (11 in the paper).
 	MinFilings int
+	// Workers bounds the concurrent detail-page fetches (default 4).
+	Workers int
+	// CheckpointPath, when set, appends a JSON journal of completed work
+	// so an interrupted run can resume where it left off. The journal
+	// records the portal and funnel parameters; resuming with different
+	// ones fails with ErrCheckpointMismatch.
+	CheckpointPath string
 }
 
 // DefaultPipelineOptions returns the paper's parameters.
@@ -32,7 +41,22 @@ func DefaultPipelineOptions() PipelineOptions {
 		Service:    uls.ServiceMG,
 		Class:      uls.ClassFXO,
 		MinFilings: 11,
+		Workers:    4,
 	}
+}
+
+// DetailFailure records one license whose detail page could not be
+// scraped after the client's full retry schedule.
+type DetailFailure struct {
+	// CallSign names the license.
+	CallSign string
+	// Class is the failure class: "http_NNN" for a terminal status,
+	// "parse" for an unparseable page, "malformed" for an undecodable
+	// body, "budget" for an exhausted retry budget, "store" for a
+	// database rejection, or "transport" for connection-level errors.
+	Class string
+	// Err is the final error message.
+	Err string
 }
 
 // Funnel reports the §2.2 discovery statistics.
@@ -46,23 +70,178 @@ type Funnel struct {
 	// Shortlisted is the number of candidates meeting MinFilings (29 in
 	// the paper).
 	Shortlisted int
-	// LicensesScraped is the number of detail pages fetched and parsed.
+	// LicensesScraped is the number of detail pages fetched and parsed
+	// by this run (resumed licenses are counted separately).
 	LicensesScraped int
+	// ResumedLicenses is the number of licenses restored from the
+	// checkpoint journal instead of scraped.
+	ResumedLicenses int
 	// ShortlistedNames lists the shortlisted licensees, sorted.
 	ShortlistedNames []string
+	// Failed lists licenses whose detail pages were abandoned after
+	// retries; the run carries on without them rather than aborting.
+	Failed []DetailFailure
+	// FailedLicensees lists candidates whose filing enumeration failed;
+	// their licenses are absent from the result.
+	FailedLicensees []string
+}
+
+// errorClass buckets an error for DetailFailure.Class.
+func errorClass(err error) string {
+	var he *HTTPError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, ErrBudgetExhausted):
+		return "budget"
+	case errors.As(err, &he):
+		return fmt.Sprintf("http_%d", he.StatusCode)
+	default:
+		var me *MalformedResponseError
+		if errors.As(err, &me) {
+			return "malformed"
+		}
+		return "transport"
+	}
+}
+
+// detailTask is one planned detail-page fetch.
+type detailTask struct {
+	callSign string
+}
+
+// detailResult is a detailTask's outcome: exactly one field is set.
+type detailResult struct {
+	license *uls.License
+	failure *DetailFailure
 }
 
 // Run executes the full §2.2 pipeline against the portal: geographic
 // seed search, service/class candidate filter, per-licensee license
 // enumeration, shortlist cutoff, and detail scraping of every
 // shortlisted license into a fresh database.
+//
+// Run is built for flaky portals: individual detail-page failures are
+// recorded in the Funnel and do not abort the run; licensee
+// enumerations that fail are recorded in Funnel.FailedLicensees; and
+// with PipelineOptions.CheckpointPath set, completed work is journaled
+// so an interrupted run resumes instead of restarting. Run returns an
+// error only for failures that invalidate the whole funnel: a failed
+// geographic or site search, a cancelled context, or an unusable
+// checkpoint. Even then the returned Funnel carries whatever stages
+// completed, so callers can report partial progress.
 func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, Funnel, error) {
 	var funnel Funnel
 
+	// Open the checkpoint journal first: a resumable run may not need
+	// the search phases at all.
+	var cp *checkpoint
+	var resumed checkpointState
+	if opts.CheckpointPath != "" {
+		var err error
+		cp, resumed, err = openCheckpoint(opts.CheckpointPath)
+		if err != nil {
+			return nil, funnel, err
+		}
+		defer cp.close()
+	}
+
+	key := makePlanKey(c.BaseURL, opts)
+	var licensesByName map[string][]SearchResult
+	if resumed.plan != nil {
+		if *resumed.plan.Options != key {
+			return nil, funnel, fmt.Errorf("%w: journal is for portal %s (%s/%s, %.0f km, >=%d filings)",
+				ErrCheckpointMismatch, resumed.plan.Options.Portal,
+				resumed.plan.Options.Service, resumed.plan.Options.Class,
+				resumed.plan.Options.RadiusKM, resumed.plan.Options.MinFilings)
+		}
+		funnel.GeographicMatches = resumed.plan.GeographicMatches
+		funnel.Candidates = resumed.plan.Candidates
+		funnel.ShortlistedNames = resumed.plan.Shortlisted
+		funnel.Shortlisted = len(resumed.plan.Shortlisted)
+		licensesByName = resumed.plan.LicensesByName
+	} else {
+		var err error
+		licensesByName, err = runSearches(ctx, c, opts, &funnel)
+		if err != nil {
+			return nil, funnel, err
+		}
+		// Journal the plan only when the search phase is complete: a
+		// plan missing failed licensees must not become permanent.
+		if cp != nil && len(funnel.FailedLicensees) == 0 {
+			if err := cp.writePlan(key, funnel, licensesByName); err != nil {
+				return nil, funnel, err
+			}
+		}
+	}
+
+	// Plan the detail fetches in deterministic order, splitting off work
+	// the journal already holds.
+	var tasks []detailTask
+	for _, name := range funnel.ShortlistedNames {
+		for _, m := range licensesByName[name] {
+			if _, done := resumed.completed[m.CallSign]; done {
+				funnel.ResumedLicenses++
+				continue
+			}
+			tasks = append(tasks, detailTask{callSign: m.CallSign})
+		}
+	}
+
+	results := scrapeDetails(ctx, c, opts, cp, tasks)
+
+	// Assemble the database: journaled licenses first, then this run's,
+	// all in plan order. WriteBulk sorts by call sign, so the on-disk
+	// corpus is independent of fetch interleaving anyway.
+	db := uls.NewDatabase()
+	for _, name := range funnel.ShortlistedNames {
+		for _, m := range licensesByName[name] {
+			if l, done := resumed.completed[m.CallSign]; done {
+				if err := db.Add(l); err != nil {
+					return nil, funnel, fmt.Errorf("scrape: restoring %s from checkpoint: %w", m.CallSign, err)
+				}
+			}
+		}
+	}
+	for i, r := range results {
+		switch {
+		case r.license != nil:
+			if err := db.Add(r.license); err != nil {
+				f := DetailFailure{CallSign: tasks[i].callSign, Class: "store", Err: err.Error()}
+				funnel.Failed = append(funnel.Failed, f)
+				if cp != nil {
+					if jerr := cp.writeFailure(f); jerr != nil {
+						return nil, funnel, jerr
+					}
+				}
+				continue
+			}
+			funnel.LicensesScraped++
+		case r.failure != nil:
+			funnel.Failed = append(funnel.Failed, *r.failure)
+			if cp != nil {
+				if jerr := cp.writeFailure(*r.failure); jerr != nil {
+					return nil, funnel, jerr
+				}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Interrupted mid-scrape: the journal holds the completed part;
+		// report partial progress alongside the cancellation.
+		return nil, funnel, err
+	}
+	return db, funnel, nil
+}
+
+// runSearches executes funnel stages 1–3 (geographic seed,
+// service/class filter, per-licensee enumeration with the shortlist
+// cutoff), filling the funnel as it goes.
+func runSearches(ctx context.Context, c *Client, opts PipelineOptions, funnel *Funnel) (map[string][]SearchResult, error) {
 	// 1. Geographic seed: everything licensed near the western anchor.
 	nearby, err := c.GeographicSearch(ctx, opts.CenterLat, opts.CenterLon, opts.RadiusKM)
 	if err != nil {
-		return nil, funnel, fmt.Errorf("geographic search: %w", err)
+		return nil, fmt.Errorf("geographic search: %w", err)
 	}
 	funnel.GeographicMatches = len(nearby)
 
@@ -70,7 +249,7 @@ func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, F
 	// call sign.
 	siteMatches, err := c.SiteSearch(ctx, opts.Service, opts.Class)
 	if err != nil {
-		return nil, funnel, fmt.Errorf("site search: %w", err)
+		return nil, fmt.Errorf("site search: %w", err)
 	}
 	inService := make(map[string]bool, len(siteMatches))
 	for _, m := range siteMatches {
@@ -85,13 +264,23 @@ func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, F
 	funnel.Candidates = len(candidates)
 
 	// 3. Shortlist: enumerate each candidate's full filing list and
-	// apply the MinFilings cutoff.
+	// apply the MinFilings cutoff. One candidate's failure costs that
+	// candidate, not the run — unless the context itself died.
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var shortlisted []string
 	licensesByName := make(map[string][]SearchResult)
-	for name := range candidates {
+	for _, name := range names {
 		all, err := c.LicenseeSearch(ctx, name)
 		if err != nil {
-			return nil, funnel, fmt.Errorf("licensee search %q: %w", name, err)
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("licensee search %q: %w", name, err)
+			}
+			funnel.FailedLicensees = append(funnel.FailedLicensees, name)
+			continue
 		}
 		if len(all) >= opts.MinFilings {
 			shortlisted = append(shortlisted, name)
@@ -101,24 +290,84 @@ func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, F
 	sort.Strings(shortlisted)
 	funnel.Shortlisted = len(shortlisted)
 	funnel.ShortlistedNames = shortlisted
+	return licensesByName, nil
+}
 
-	// 4. Scrape every shortlisted license's detail page.
-	db := uls.NewDatabase()
-	for _, name := range shortlisted {
-		for _, m := range licensesByName[name] {
-			page, err := c.FetchDetailHTML(ctx, m.CallSign)
-			if err != nil {
-				return nil, funnel, fmt.Errorf("detail %s: %w", m.CallSign, err)
+// scrapeDetails fetches and parses the planned detail pages with a
+// bounded worker pool. Each completed license is journaled immediately,
+// so an interruption preserves everything already fetched. The returned
+// slice is indexed like tasks; cancelled tasks are left zero.
+func scrapeDetails(ctx context.Context, c *Client, opts PipelineOptions, cp *checkpoint, tasks []detailTask) []detailResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]detailResult, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = fetchDetail(ctx, c, cp, tasks[i].callSign)
 			}
-			l, err := ParseDetailHTML(page)
-			if err != nil {
-				return nil, funnel, fmt.Errorf("parsing %s: %w", m.CallSign, err)
-			}
-			if err := db.Add(l); err != nil {
-				return nil, funnel, fmt.Errorf("storing %s: %w", m.CallSign, err)
-			}
-			funnel.LicensesScraped++
+		}()
+	}
+feeding:
+	for i := range tasks {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feeding
 		}
 	}
-	return db, funnel, nil
+	close(feed)
+	wg.Wait()
+	return results
+}
+
+// fetchDetail retrieves and parses one detail page. Transport and
+// status failures are retried inside Client.get; an unparseable page
+// (e.g. a truncated or garbage body served with a 200) is retried here
+// under the same MaxRetries, because the next copy is usually clean.
+func fetchDetail(ctx context.Context, c *Client, cp *checkpoint, callSign string) detailResult {
+	attempts := 1 + max(c.MaxRetries, 0)
+	var lastErr error
+	var lastClass string
+	for attempt := 0; attempt < attempts; attempt++ {
+		if ctx.Err() != nil {
+			return detailResult{} // cancelled: not a portal failure
+		}
+		page, err := c.FetchDetailHTML(ctx, callSign)
+		if err != nil {
+			if ctx.Err() != nil {
+				return detailResult{}
+			}
+			lastErr, lastClass = err, errorClass(err)
+			var he *HTTPError
+			if errors.As(err, &he) && he.StatusCode < 500 && he.StatusCode != 429 {
+				break // terminal status: the page is simply not there
+			}
+			continue
+		}
+		l, err := ParseDetailHTML(page)
+		if err != nil {
+			lastErr, lastClass = err, "parse"
+			continue
+		}
+		if cp != nil {
+			if err := cp.writeLicense(l); err != nil {
+				return detailResult{failure: &DetailFailure{CallSign: callSign, Class: "journal", Err: err.Error()}}
+			}
+		}
+		return detailResult{license: l}
+	}
+	return detailResult{failure: &DetailFailure{CallSign: callSign, Class: lastClass, Err: lastErr.Error()}}
 }

@@ -182,10 +182,11 @@ func TestPipelineFunnel(t *testing.T) {
 	}
 }
 
-func TestPipelineSurfacesCorruptDetailPage(t *testing.T) {
-	// A portal that serves one corrupted detail page mid-pipeline: the
-	// pipeline must fail with a parse error naming the license, not
-	// panic or silently skip.
+func TestPipelineRecordsCorruptDetailPage(t *testing.T) {
+	// A portal that persistently serves one corrupted detail page
+	// mid-pipeline: the pipeline must finish, record the failure with
+	// the license's call sign and a "parse" class, and leave only that
+	// license out of the database.
 	inner := ulsserver.New(corpusDB(t))
 	corrupt := "WQNL001"
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -199,18 +200,100 @@ func TestPipelineSurfacesCorruptDetailPage(t *testing.T) {
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 	c := NewClient(ts.URL)
-	_, _, err := Run(context.Background(), c, DefaultPipelineOptions())
-	if err == nil {
-		t.Fatal("pipeline accepted a corrupt detail page")
+	c.RetryBackoff = time.Millisecond
+	db, funnel, err := Run(context.Background(), c, DefaultPipelineOptions())
+	if err != nil {
+		t.Fatalf("pipeline aborted on a single corrupt page: %v", err)
 	}
-	if !strings.Contains(err.Error(), corrupt) {
-		t.Errorf("error %q does not name the corrupt license", err)
+	if len(funnel.Failed) != 1 {
+		t.Fatalf("Failed = %+v, want exactly one entry", funnel.Failed)
+	}
+	f := funnel.Failed[0]
+	if f.CallSign != corrupt || f.Class != "parse" {
+		t.Errorf("failure = %+v, want call sign %s class parse", f, corrupt)
+	}
+	if _, ok := db.ByCallSign(corrupt); ok {
+		t.Errorf("corrupt license %s stored anyway", corrupt)
+	}
+	if funnel.LicensesScraped != db.Len() {
+		t.Errorf("scraped %d but stored %d", funnel.LicensesScraped, db.Len())
+	}
+}
+
+func TestPipelineReportsPartialFunnelWhenPortalDies(t *testing.T) {
+	// The portal serves the geographic search, then dies: Run must
+	// return an error AND a funnel that still carries the completed
+	// stage — not a zero value — so operators can see how far it got.
+	inner := ulsserver.New(corpusDB(t))
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/site") {
+			http.Error(w, "portal died", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.MaxRetries = 1
+	c.RetryBackoff = time.Millisecond
+	db, funnel, err := Run(context.Background(), c, DefaultPipelineOptions())
+	if err == nil {
+		t.Fatal("pipeline succeeded against a dying portal")
+	}
+	if db != nil {
+		t.Error("dying portal produced a database")
+	}
+	if funnel.GeographicMatches == 0 {
+		t.Error("partial funnel lost GeographicMatches; got a zero value")
+	}
+	if funnel.Candidates != 0 || funnel.Shortlisted != 0 {
+		t.Errorf("stages after the failure look complete: %+v", funnel)
+	}
+}
+
+func TestPipelineRecordsFailedLicensee(t *testing.T) {
+	// One licensee's enumeration fails persistently: the run finishes
+	// without that licensee and names it in FailedLicensees.
+	inner := ulsserver.New(corpusDB(t))
+	broken := synth.PB // one of the ten HFT networks, normally shortlisted
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/api/licensee") &&
+			r.URL.Query().Get("name") == broken {
+			http.Error(w, "flaked", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.MaxRetries = 1
+	c.RetryBackoff = time.Millisecond
+	db, funnel, err := Run(context.Background(), c, DefaultPipelineOptions())
+	if err != nil {
+		t.Fatalf("pipeline aborted on one licensee: %v", err)
+	}
+	found := false
+	for _, name := range funnel.FailedLicensees {
+		if name == broken {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("FailedLicensees = %v, want %q recorded", funnel.FailedLicensees, broken)
+	}
+	if got := len(db.ByLicensee(broken)); got != 0 {
+		t.Errorf("broken licensee still contributed %d licenses", got)
+	}
+	if funnel.Shortlisted != 28 { // 29 in the paper, minus the broken one
+		t.Errorf("shortlisted = %d, want 28", funnel.Shortlisted)
 	}
 }
 
 func TestRetryOn5xx(t *testing.T) {
 	srv, c := startPortal(t)
-	srv.FailEveryN = 3 // every third request fails
+	srv.FailEveryN.Store(3) // every third request fails
 	c.RetryBackoff = time.Millisecond
 	// With retries, repeated searches must all succeed.
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,205 @@
+package scrape
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hftnetview/internal/uls"
+	"hftnetview/internal/ulsserver"
+	"hftnetview/internal/ulsserver/chaos"
+)
+
+// bulkBytes serializes a database in the canonical bulk form, the
+// byte-identity yardstick for soak runs.
+func bulkBytes(t *testing.T, db *uls.Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := uls.WriteBulk(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// soakClient returns a client tuned for fast test runs: aggressive
+// retries, millisecond backoffs, and a per-request timeout big enough
+// for the chaos profile's hangs but small enough to not stall the
+// suite.
+func soakClient(baseURL string) *Client {
+	c := NewClient(baseURL)
+	c.MaxRetries = 12
+	c.RetryBackoff = time.Millisecond
+	c.MaxBackoff = 20 * time.Millisecond
+	c.RequestTimeout = 2 * time.Second
+	return c
+}
+
+// faultFreeReference runs the funnel against a clean portal once and
+// caches the canonical bulk bytes.
+var faultFreeRef []byte
+
+func referenceBulk(t *testing.T) []byte {
+	t.Helper()
+	if faultFreeRef != nil {
+		return faultFreeRef
+	}
+	ts := httptest.NewServer(ulsserver.New(corpusDB(t)))
+	defer ts.Close()
+	db, funnel, err := Run(context.Background(), soakClient(ts.URL), DefaultPipelineOptions())
+	if err != nil {
+		t.Fatalf("fault-free reference run: %v", err)
+	}
+	if len(funnel.Failed) != 0 || len(funnel.FailedLicensees) != 0 {
+		t.Fatalf("fault-free run recorded failures: %+v", funnel)
+	}
+	faultFreeRef = bulkBytes(t, db)
+	return faultFreeRef
+}
+
+func TestSoakFunnelUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow in -short mode")
+	}
+	want := referenceBulk(t)
+
+	// The full §2.2 funnel against a portal injecting ~20% mixed faults
+	// (429/503 bursts/hangs/truncation/garbage). With retries, backoff,
+	// and per-license fault tolerance the scraped corpus must come out
+	// byte-identical to the fault-free run — no missing licenses, no
+	// corrupted fields, no duplicates.
+	profile := chaos.Flaky(20260806)
+	if profile.FaultRate() < 0.20 {
+		t.Fatalf("flaky profile injects %.0f%%, soak wants >= 20%%", 100*profile.FaultRate())
+	}
+	inj := chaos.Wrap(ulsserver.New(corpusDB(t)), profile)
+	ts := httptest.NewServer(inj)
+	defer ts.Close()
+
+	db, funnel, err := Run(context.Background(), soakClient(ts.URL), DefaultPipelineOptions())
+	if err != nil {
+		t.Fatalf("soak run failed outright: %v", err)
+	}
+	if len(funnel.Failed) != 0 {
+		t.Fatalf("licenses abandoned despite retries: %+v", funnel.Failed)
+	}
+	if len(funnel.FailedLicensees) != 0 {
+		t.Fatalf("licensees abandoned despite retries: %v", funnel.FailedLicensees)
+	}
+	stats := inj.Stats()
+	if stats.Faults() == 0 {
+		t.Fatal("chaos injected nothing; soak proved nothing")
+	}
+	t.Logf("chaos: %s", stats)
+	if got := bulkBytes(t, db); !bytes.Equal(got, want) {
+		t.Errorf("scraped corpus differs from fault-free run: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+func TestSoakInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow in -short mode")
+	}
+	want := referenceBulk(t)
+	journal := filepath.Join(t.TempDir(), "scrape.journal")
+
+	// Phase 1: run against a chaotic portal and kill the run mid-scrape
+	// by cancelling the context after a fixed number of detail-page
+	// requests have been answered.
+	inj := chaos.Wrap(ulsserver.New(corpusDB(t)), chaos.Flaky(7))
+	ctx, cancel := context.WithCancel(context.Background())
+	var detailServed atomic.Int64
+	killer := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inj.ServeHTTP(w, r)
+		if strings.HasPrefix(r.URL.Path, "/license/") && detailServed.Add(1) == 40 {
+			cancel() // forced mid-run interruption
+		}
+	})
+	ts := httptest.NewServer(killer)
+	defer ts.Close()
+
+	opts := DefaultPipelineOptions()
+	opts.CheckpointPath = journal
+	_, funnel1, err := Run(ctx, soakClient(ts.URL), opts)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	// The interruption must not zero out progress already made.
+	if funnel1.GeographicMatches == 0 || funnel1.Shortlisted == 0 {
+		t.Fatalf("interrupted funnel lost its progress: %+v", funnel1)
+	}
+
+	// Phase 2: resume with the same options. The journal supplies the
+	// plan and the completed licenses; only the remainder is scraped.
+	db, funnel2, err := Run(context.Background(), soakClient(ts.URL), opts)
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	if funnel2.ResumedLicenses == 0 {
+		t.Error("resume scraped everything from scratch; journal unused")
+	}
+	if funnel2.ResumedLicenses+funnel2.LicensesScraped != db.Len() {
+		t.Errorf("resumed %d + scraped %d != stored %d",
+			funnel2.ResumedLicenses, funnel2.LicensesScraped, db.Len())
+	}
+	if len(funnel2.Failed) != 0 {
+		t.Fatalf("resumed run abandoned licenses: %+v", funnel2.Failed)
+	}
+	// The decisive assertion: interrupted-then-resumed equals fault-free,
+	// byte for byte.
+	if got := bulkBytes(t, db); !bytes.Equal(got, want) {
+		t.Errorf("resumed corpus differs from fault-free run: %d vs %d bytes", len(got), len(want))
+	}
+	// And the funnel counters must match the §2.2 ground truth.
+	if funnel2.Candidates != 57 || funnel2.Shortlisted != 29 {
+		t.Errorf("funnel = %d candidates / %d shortlisted, want 57 / 29",
+			funnel2.Candidates, funnel2.Shortlisted)
+	}
+}
+
+func TestSoakResumeAfterSearchPhaseFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow in -short mode")
+	}
+	want := referenceBulk(t)
+	journal := filepath.Join(t.TempDir(), "scrape.journal")
+
+	// A portal that dies entirely before the plan is complete: the run
+	// fails, the journal holds no plan, and a later run against a
+	// healthy portal starts clean and still converges.
+	inner := ulsserver.New(corpusDB(t))
+	var alive atomic.Bool
+	gate := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !alive.Load() {
+			http.Error(w, "gone", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	opts := DefaultPipelineOptions()
+	opts.CheckpointPath = journal
+	c := soakClient(ts.URL)
+	c.MaxRetries = 1
+	if _, _, err := Run(context.Background(), c, opts); err == nil {
+		t.Fatal("run against a dead portal succeeded")
+	}
+	alive.Store(true)
+	db, funnel, err := Run(context.Background(), soakClient(ts.URL), opts)
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if funnel.ResumedLicenses != 0 {
+		t.Errorf("resumed %d licenses from a journal that never had a plan", funnel.ResumedLicenses)
+	}
+	if got := bulkBytes(t, db); !bytes.Equal(got, want) {
+		t.Error("recovery corpus differs from fault-free run")
+	}
+}

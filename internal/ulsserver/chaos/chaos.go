@@ -1,0 +1,391 @@
+// Package chaos is a composable fault-injection layer for the simulated
+// ULS portal. The paper's data collection (§2.2) ran for months against
+// the live FCC portal, which throttles, times out, and serves partial
+// pages; this package reproduces those failure modes deterministically
+// so the scrape pipeline's retry, backoff, and resume machinery can be
+// exercised in tests and examples.
+//
+// An Injector wraps any http.Handler and, per request, draws from a
+// seeded RNG to decide whether to inject one of five fault kinds:
+//
+//   - KindRateLimit: 429 Too Many Requests with a Retry-After header
+//   - KindUnavailable: 503 Service Unavailable, optionally in bursts of
+//     consecutive requests (an overloaded portal rarely fails just once)
+//   - KindHang: a latency spike before the request is served normally
+//   - KindTruncate: the response advertises its full Content-Length but
+//     the body is cut short, so clients see an unexpected EOF
+//   - KindMalformed: HTTP 200 with a garbage body that is neither valid
+//     JSON nor a parseable detail page
+//
+// Fault decisions depend only on the profile's Seed and the request
+// arrival order, so a failing run is reproducible bit-for-bit.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind names one injected fault type.
+type Kind string
+
+// The supported fault kinds.
+const (
+	KindRateLimit   Kind = "rate_limit"
+	KindUnavailable Kind = "unavailable"
+	KindHang        Kind = "hang"
+	KindTruncate    Kind = "truncate"
+	KindMalformed   Kind = "malformed"
+)
+
+// Kinds lists all fault kinds in stable order.
+var Kinds = []Kind{KindRateLimit, KindUnavailable, KindHang, KindTruncate, KindMalformed}
+
+// Profile configures an Injector: one probability per fault kind plus
+// the fault parameters. Probabilities are evaluated in the order of
+// Kinds against a single uniform draw, so their sum must be <= 1; the
+// remainder is the pass-through probability.
+type Profile struct {
+	// Seed seeds the fault RNG; runs with equal seeds and equal request
+	// orders inject identical faults.
+	Seed int64
+
+	// RateLimitP is the probability of a 429 response.
+	RateLimitP float64
+	// RetryAfter is the duration advertised in the Retry-After header of
+	// 429 responses, rounded up to whole seconds (the header's unit).
+	// Zero advertises "Retry-After: 0".
+	RetryAfter time.Duration
+
+	// UnavailableP is the probability of starting a 503 burst.
+	UnavailableP float64
+	// BurstLen is the total number of consecutive 503s per burst
+	// (minimum 1).
+	BurstLen int
+
+	// HangP is the probability of a latency spike of HangFor before the
+	// request is served normally.
+	HangP float64
+	// HangFor is the injected delay; it is cut short if the client goes
+	// away.
+	HangFor time.Duration
+
+	// TruncateP is the probability of a truncated response body.
+	TruncateP float64
+
+	// MalformedP is the probability of a 200 response with a garbage
+	// body.
+	MalformedP float64
+}
+
+// Validate checks that the probabilities are sane.
+func (p Profile) Validate() error {
+	sum := 0.0
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"rate_limit", p.RateLimitP},
+		{"unavailable", p.UnavailableP},
+		{"hang", p.HangP},
+		{"truncate", p.TruncateP},
+		{"malformed", p.MalformedP},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+		sum += pr.v
+	}
+	if sum > 1 {
+		return fmt.Errorf("chaos: fault probabilities sum to %v > 1", sum)
+	}
+	return nil
+}
+
+// FaultRate returns the total per-request fault probability.
+func (p Profile) FaultRate() float64 {
+	return p.RateLimitP + p.UnavailableP + p.HangP + p.TruncateP + p.MalformedP
+}
+
+// None is the profile that injects nothing.
+func None() Profile { return Profile{} }
+
+// Flaky models the live portal on a bad day: ~20% of requests fail
+// across all five kinds. Hangs and Retry-After are kept short so test
+// runs stay fast; scale them up when pointing real tooling at it.
+func Flaky(seed int64) Profile {
+	return Profile{
+		Seed:         seed,
+		RateLimitP:   0.06,
+		RetryAfter:   0,
+		UnavailableP: 0.05,
+		BurstLen:     2,
+		HangP:        0.03,
+		HangFor:      20 * time.Millisecond,
+		TruncateP:    0.03,
+		MalformedP:   0.03,
+	}
+}
+
+// Hostile is a harsher profile (~40% faults, longer bursts) for soak
+// testing retry budgets.
+func Hostile(seed int64) Profile {
+	return Profile{
+		Seed:         seed,
+		RateLimitP:   0.12,
+		RetryAfter:   time.Second,
+		UnavailableP: 0.10,
+		BurstLen:     3,
+		HangP:        0.06,
+		HangFor:      50 * time.Millisecond,
+		TruncateP:    0.06,
+		MalformedP:   0.06,
+	}
+}
+
+// Parse builds a Profile from a flag-friendly spec: either a preset
+// name ("none", "flaky", "hostile") or a comma-separated list of
+// kind=probability pairs, e.g.
+//
+//	rate_limit=0.1,unavailable=0.05,hang=0.02,truncate=0.03,malformed=0.02
+//
+// The seed is applied to whichever profile results.
+func Parse(spec string, seed int64) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "none", "off":
+		p := None()
+		p.Seed = seed
+		return p, nil
+	case "flaky":
+		return Flaky(seed), nil
+	case "hostile":
+		return Hostile(seed), nil
+	}
+	p := Profile{
+		Seed:       seed,
+		RetryAfter: 0,
+		BurstLen:   2,
+		HangFor:    20 * time.Millisecond,
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: bad spec element %q (want kind=prob)", part)
+		}
+		prob, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("chaos: bad probability in %q: %v", part, err)
+		}
+		switch Kind(strings.TrimSpace(k)) {
+		case KindRateLimit:
+			p.RateLimitP = prob
+		case KindUnavailable:
+			p.UnavailableP = prob
+		case KindHang:
+			p.HangP = prob
+		case KindTruncate:
+			p.TruncateP = prob
+		case KindMalformed:
+			p.MalformedP = prob
+		default:
+			return Profile{}, fmt.Errorf("chaos: unknown fault kind %q", k)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// Stats summarizes what an Injector has done so far.
+type Stats struct {
+	// Requests is the total number of requests seen.
+	Requests int64
+	// Passed is the number served untouched.
+	Passed int64
+	// Injected counts injected faults by kind. Hangs count as injected
+	// even though the request is ultimately served.
+	Injected map[Kind]int64
+}
+
+// Faults returns the total number of injected faults.
+func (s Stats) Faults() int64 {
+	var n int64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// String renders the stats on one line, kinds in stable order.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests, %d passed, %d faults", s.Requests, s.Passed, s.Faults())
+	kinds := make([]string, 0, len(s.Injected))
+	for k := range s.Injected {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, s.Injected[Kind(k)])
+	}
+	return b.String()
+}
+
+// Injector is fault-injecting middleware around an http.Handler. It is
+// safe for concurrent use.
+type Injector struct {
+	next    http.Handler
+	profile Profile
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	burstLeft int
+	stats     Stats
+}
+
+// Wrap builds an Injector serving next under the given profile. It
+// panics if the profile does not Validate, mirroring http.HandleFunc's
+// treatment of programmer error.
+func Wrap(next http.Handler, p Profile) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{
+		next:    next,
+		profile: p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+	}
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := in.stats
+	out.Injected = make(map[Kind]int64, len(in.stats.Injected))
+	for k, v := range in.stats.Injected {
+		out.Injected[k] = v
+	}
+	return out
+}
+
+// decide consumes one RNG draw and returns the fault to inject, or ""
+// to pass the request through.
+func (in *Injector) decide() Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Requests++
+	if in.stats.Injected == nil {
+		in.stats.Injected = make(map[Kind]int64)
+	}
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		in.stats.Injected[KindUnavailable]++
+		return KindUnavailable
+	}
+	u := in.rng.Float64()
+	p := in.profile
+	for _, c := range []struct {
+		kind Kind
+		prob float64
+	}{
+		{KindRateLimit, p.RateLimitP},
+		{KindUnavailable, p.UnavailableP},
+		{KindHang, p.HangP},
+		{KindTruncate, p.TruncateP},
+		{KindMalformed, p.MalformedP},
+	} {
+		if u < c.prob {
+			if c.kind == KindUnavailable {
+				burst := p.BurstLen
+				if burst < 1 {
+					burst = 1
+				}
+				in.burstLeft = burst - 1
+			}
+			in.stats.Injected[c.kind]++
+			return c.kind
+		}
+		u -= c.prob
+	}
+	in.stats.Passed++
+	return ""
+}
+
+// ServeHTTP implements http.Handler.
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch in.decide() {
+	case KindRateLimit:
+		secs := int(in.profile.RetryAfter.Round(time.Second) / time.Second)
+		if in.profile.RetryAfter > 0 && secs == 0 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "simulated throttling", http.StatusTooManyRequests)
+	case KindUnavailable:
+		http.Error(w, "simulated overload", http.StatusServiceUnavailable)
+	case KindHang:
+		select {
+		case <-time.After(in.profile.HangFor):
+		case <-r.Context().Done():
+			return
+		}
+		in.next.ServeHTTP(w, r)
+	case KindTruncate:
+		in.truncate(w, r)
+	case KindMalformed:
+		// Looks enough like a search page to tempt a sloppy decoder, but
+		// is cut mid-token: invalid JSON and an unparseable detail page.
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"total": 9999, "results": [{"call_sign": "WQ`)
+	default:
+		in.next.ServeHTTP(w, r)
+	}
+}
+
+// truncate runs the inner handler against a buffer, then replays the
+// response with the full Content-Length but only the first half of the
+// body, so the client's read fails with an unexpected EOF.
+func (in *Injector) truncate(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferingWriter{header: make(http.Header), status: http.StatusOK}
+	in.next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if len(rec.body) < 2 {
+		// Nothing worth truncating; fall back to a 503 so the request
+		// still fails.
+		http.Error(w, "simulated overload", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(rec.body)))
+	w.WriteHeader(rec.status)
+	w.Write(rec.body[:len(rec.body)/2])
+	// The handler returns without writing the rest; net/http notices the
+	// short write and severs the connection.
+}
+
+// bufferingWriter captures a handler's response for later replay.
+type bufferingWriter struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferingWriter) Header() http.Header { return b.header }
+
+func (b *bufferingWriter) WriteHeader(status int) { b.status = status }
+
+func (b *bufferingWriter) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}

@@ -1,0 +1,265 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// okHandler serves a fixed JSON-ish body so truncation has something to
+// cut.
+var okHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"total":1,"results":[{"call_sign":"WQAA001"}]}`)
+})
+
+func TestValidate(t *testing.T) {
+	bad := []Profile{
+		{RateLimitP: -0.1},
+		{MalformedP: 1.5},
+		{RateLimitP: 0.5, UnavailableP: 0.3, TruncateP: 0.3},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("profile %d validated, want error", i)
+		}
+	}
+	for _, p := range []Profile{None(), Flaky(1), Hostile(1)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset failed validation: %v", err)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("flaky", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.FaultRate() < 0.19 {
+		t.Errorf("flaky preset: seed=%d rate=%v", p.Seed, p.FaultRate())
+	}
+	p, err = Parse("rate_limit=0.1,truncate=0.05", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RateLimitP != 0.1 || p.TruncateP != 0.05 || p.MalformedP != 0 {
+		t.Errorf("custom spec parsed wrong: %+v", p)
+	}
+	for _, bad := range []string{"nope=0.1", "rate_limit", "rate_limit=x", "rate_limit=0.9,unavailable=0.9"} {
+		if _, err := Parse(bad, 0); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	if p, err := Parse("none", 3); err != nil || p.FaultRate() != 0 {
+		t.Errorf("Parse(none) = %+v, %v", p, err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	// Two injectors with the same seed must fault the same requests.
+	run := func() []int {
+		in := Wrap(okHandler, Flaky(99))
+		ts := httptest.NewServer(in)
+		defer ts.Close()
+		var faulted []int
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get(ts.URL + "/")
+			if err != nil {
+				faulted = append(faulted, i)
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK ||
+				!strings.Contains(string(body), `"total":1`) {
+				faulted = append(faulted, i)
+			}
+		}
+		return faulted
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("flaky profile injected no faults in 100 requests")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault positions differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRateLimitSetsRetryAfter(t *testing.T) {
+	p := Profile{Seed: 1, RateLimitP: 1, RetryAfter: 2 * time.Second}
+	ts := httptest.NewServer(Wrap(okHandler, p))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+}
+
+func TestUnavailableBursts(t *testing.T) {
+	// With UnavailableP=1 every request starts or continues a burst; all
+	// responses are 503 and the burst counter must not leak negative.
+	p := Profile{Seed: 1, UnavailableP: 1, BurstLen: 3}
+	ts := httptest.NewServer(Wrap(okHandler, p))
+	defer ts.Close()
+	for i := 0; i < 7; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want 503", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestBurstContinuesAcrossPassProbability(t *testing.T) {
+	// A burst, once started, must serve 503s even on draws that would
+	// otherwise pass: probability ~0 after the first forced trigger.
+	in := Wrap(okHandler, Profile{Seed: 5, UnavailableP: 1e-12, BurstLen: 3})
+	in.mu.Lock()
+	in.burstLeft = 2 // as if a burst just started
+	in.mu.Unlock()
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	codes := []int{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	if codes[0] != 503 || codes[1] != 503 || codes[2] != 200 {
+		t.Errorf("burst continuation codes = %v, want [503 503 200]", codes)
+	}
+}
+
+func TestTruncateBreaksBody(t *testing.T) {
+	p := Profile{Seed: 1, TruncateP: 1}
+	ts := httptest.NewServer(Wrap(okHandler, p))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err) // truncation severs mid-body, not at connect
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("read %d bytes without error, want unexpected EOF", len(body))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") {
+		t.Errorf("read error = %v, want unexpected EOF", err)
+	}
+}
+
+func TestMalformedServesGarbage(t *testing.T) {
+	p := Profile{Seed: 1, MalformedP: 1}
+	ts := httptest.NewServer(Wrap(okHandler, p))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if strings.Contains(string(body), `"results": [{"call_sign": "WQAA001"}]`) {
+		t.Error("malformed fault served the real body")
+	}
+}
+
+func TestHangDelaysThenServes(t *testing.T) {
+	p := Profile{Seed: 1, HangP: 1, HangFor: 50 * time.Millisecond}
+	ts := httptest.NewServer(Wrap(okHandler, p))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("hang served in %v, want >= 40ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"total":1`) {
+		t.Errorf("hung request not served normally: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	in := Wrap(okHandler, Flaky(3))
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	s := in.Stats()
+	if s.Requests != n {
+		t.Errorf("Requests = %d, want %d", s.Requests, n)
+	}
+	if s.Passed+s.Faults() != n {
+		t.Errorf("passed %d + faults %d != %d", s.Passed, s.Faults(), n)
+	}
+	// ~20% fault rate: expect a healthy spread, not exact numbers.
+	if s.Faults() < n/10 || s.Faults() > n/2 {
+		t.Errorf("faults = %d of %d, want roughly 20%%", s.Faults(), n)
+	}
+	if !strings.Contains(s.String(), "requests") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+}
+
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := Wrap(okHandler, Flaky(7))
+	ts := httptest.NewServer(in)
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(ts.URL)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Stats().Requests; got != 200 {
+		t.Errorf("Requests = %d, want 200", got)
+	}
+}

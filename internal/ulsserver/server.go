@@ -55,8 +55,11 @@ type Server struct {
 	mux *http.ServeMux
 
 	// FailEveryN, when > 0, makes every Nth request fail with 503 —
-	// used to exercise the scraper's retry path.
-	FailEveryN int64
+	// the simplest knob for exercising the scraper's retry path. For
+	// richer, probabilistic failure modes wrap the server with the
+	// chaos package instead. It is safe to adjust while requests are in
+	// flight.
+	FailEveryN atomic.Int64
 	reqCount   atomic.Int64
 }
 
@@ -77,7 +80,7 @@ func New(db *uls.Database) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if n := s.FailEveryN; n > 0 {
+	if n := s.FailEveryN.Load(); n > 0 {
 		if c := s.reqCount.Add(1); c%n == 0 {
 			http.Error(w, "simulated overload", http.StatusServiceUnavailable)
 			return

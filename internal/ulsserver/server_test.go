@@ -173,6 +173,60 @@ func TestPagination(t *testing.T) {
 	}
 }
 
+func TestPaginationPastLastPage(t *testing.T) {
+	// Paging beyond the results is not an error: the portal returns an
+	// empty page with the true Total, which is how clients detect the
+	// end under a shifting corpus.
+	_, ts := newTestServer(t)
+	var page SearchPage
+	resp := getJSON(t, ts.URL+"/api/site?service=MG&page=99&per_page=3", &page)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if page.Total != 7 {
+		t.Errorf("Total = %d, want 7", page.Total)
+	}
+	if len(page.Results) != 0 {
+		t.Errorf("page 99 served %d results, want 0", len(page.Results))
+	}
+	if page.Page != 99 {
+		t.Errorf("Page = %d, want 99 echoed back", page.Page)
+	}
+}
+
+func TestPerPageClampedAtMax(t *testing.T) {
+	_, ts := newTestServer(t)
+	var page SearchPage
+	getJSON(t, ts.URL+"/api/site?service=MG&per_page=100000", &page)
+	if page.PerPage != MaxPerPage {
+		t.Errorf("PerPage = %d, want clamped to %d", page.PerPage, MaxPerPage)
+	}
+	if len(page.Results) != 7 { // whole corpus fits under the clamp
+		t.Errorf("results = %d, want 7", len(page.Results))
+	}
+}
+
+func TestSearchesOverEmptyDatabase(t *testing.T) {
+	s := New(uls.NewDatabase())
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	for _, p := range []string{
+		"/api/geographic?lat=41.76&lon=-88.20&radius_km=10",
+		"/api/site?service=MG&class=FXO",
+		"/api/licensee?name=Anybody",
+	} {
+		var page SearchPage
+		resp := getJSON(t, ts.URL+p, &page)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", p, resp.StatusCode)
+			continue
+		}
+		if page.Total != 0 || len(page.Results) != 0 {
+			t.Errorf("%s: Total=%d Results=%d over empty db", p, page.Total, len(page.Results))
+		}
+	}
+}
+
 func TestDetailPage(t *testing.T) {
 	_, ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/license/WQAA001")
@@ -239,7 +293,7 @@ func TestHealthz(t *testing.T) {
 
 func TestFailEveryN(t *testing.T) {
 	s, ts := newTestServer(t)
-	s.FailEveryN = 2
+	s.FailEveryN.Store(2)
 	fails := 0
 	for i := 0; i < 10; i++ {
 		resp, err := http.Get(ts.URL + "/healthz")
