@@ -1,10 +1,11 @@
-# Development targets. `make ci` is what a checkin must pass: vet plus
-# the full test suite under the race detector (the scrape client and
-# portal are exercised concurrently, so -race is load-bearing here).
+# Development targets. `make ci` is what a checkin must pass: vet, the
+# full test suite under the race detector (the scrape client, portal,
+# and snapshot engine are exercised concurrently, so -race is
+# load-bearing here), and the engine benchmarks in short mode.
 
 GO ?= go
 
-.PHONY: all build test short race vet soak ci
+.PHONY: all build test short race vet soak bench bench-short ci
 
 all: build
 
@@ -29,4 +30,14 @@ vet:
 soak:
 	$(GO) test -race -run 'TestSoak' -v ./internal/scrape/
 
-ci: vet build race
+# Full benchmark suite (E1–E17, ablations, engine), machine-readable.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json .
+
+# Engine benchmarks only, one iteration each under the race detector:
+# a smoke test that the memoized snapshot path stays correct and
+# race-free, cheap enough for ci.
+bench-short:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
+
+ci: vet build race bench-short

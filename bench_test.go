@@ -59,7 +59,7 @@ func BenchmarkTable1ConnectedNetworks(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Table1(db, Snapshot()); err != nil {
+		if _, err := report.Table1(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +70,7 @@ func BenchmarkTable2Rankings(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Table2(db, Snapshot()); err != nil {
+		if _, err := report.Table2(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func BenchmarkTable3APA(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Table3(db, Snapshot()); err != nil {
+		if _, err := report.Table3(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func BenchmarkFig1Evolution(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Fig1(db, 2013, 2020); err != nil {
+		if _, err := report.Fig1(NewEngine(db), 2013, 2020); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +103,7 @@ func BenchmarkFig2ActiveLicenses(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Fig2(db, 2013, 2020); err != nil {
+		if _, err := report.Fig2(NewEngine(db), 2013, 2020); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func BenchmarkFig3Visualization(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Fig3(db, "New Line Networks", dates); err != nil {
+		if _, err := report.Fig3(NewEngine(db), "New Line Networks", dates); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,7 +129,7 @@ func BenchmarkFig4aLinkLengths(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Fig4a(db, Snapshot()); err != nil {
+		if _, err := report.Fig4a(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +140,7 @@ func BenchmarkFig4bFrequencies(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Fig4b(db, Snapshot()); err != nil {
+		if _, err := report.Fig4b(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -176,7 +176,7 @@ func BenchmarkWeatherReliability(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.Weather(db, Snapshot(), 10,
+		if _, err := report.Weather(NewEngine(db), Snapshot(), 10,
 			radio.DefaultFadeMarginDB); err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func BenchmarkOverheadSweep(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.OverheadSweep(db, Snapshot()); err != nil {
+		if _, err := report.OverheadSweep(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -200,7 +200,7 @@ func BenchmarkEntityResolution(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.EntityResolution(db, Snapshot()); err != nil {
+		if _, err := report.EntityResolution(NewEngine(db), Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +212,7 @@ func BenchmarkRaceStrategies(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.RaceStrategies(db, Snapshot(), 5, 40, 2e-6); err != nil {
+		if _, err := report.RaceStrategies(NewEngine(db), Snapshot(), 5, 40, 2e-6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -234,7 +234,7 @@ func BenchmarkAvailabilityBudget(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.AvailabilityBudget(db, Snapshot(), 40); err != nil {
+		if _, err := report.AvailabilityBudget(NewEngine(db), Snapshot(), 40); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -245,7 +245,74 @@ func BenchmarkDiverseRoutes(b *testing.B) {
 	db := corpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := report.DiverseRoutes(db, Snapshot(), 3); err != nil {
+		if _, err := report.DiverseRoutes(NewEngine(db), Snapshot(), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The report benchmarks above construct a fresh engine per iteration
+// on purpose: they measure the uncached cost of regenerating each
+// table. The engine benchmarks below measure what the shared memo
+// store buys when analyses repeat.
+
+// evolutionSweep regenerates the full Fig 1 workload — every tracked
+// network across every sample date — through one engine.
+func evolutionSweep(b *testing.B, eng *Engine) {
+	path := PathNY4()
+	dates := PaperSampleDates(2013, 2020)
+	for _, name := range report.Fig1Networks {
+		if _, err := eng.Evolution(name, path, dates, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvolutionUncached is the Fig 1 workload with a cold
+// engine every iteration: every snapshot is reconstructed from
+// licenses.
+func BenchmarkEngineEvolutionUncached(b *testing.B) {
+	db := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evolutionSweep(b, NewEngine(db))
+	}
+}
+
+// BenchmarkEngineEvolutionCached is the same workload through one
+// primed engine: every snapshot is a memo hit served as a clone. The
+// reported hits/rebuilds metrics prove the reuse.
+func BenchmarkEngineEvolutionCached(b *testing.B) {
+	db := corpus(b)
+	eng := NewEngine(db)
+	evolutionSweep(b, eng) // prime the memo store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evolutionSweep(b, eng)
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(float64(st.Hits), "hits")
+	b.ReportMetric(float64(st.Rebuilds), "rebuilds")
+}
+
+// BenchmarkEngineSnapshotHit measures a single cache-hit snapshot —
+// the memo lookup plus the clone-on-return deep copy.
+func BenchmarkEngineSnapshotHit(b *testing.B) {
+	db := corpus(b)
+	eng := NewEngine(db)
+	req := SnapshotRequest{
+		Licensees: []string{"Webline Holdings"},
+		Date:      Snapshot(),
+		DCs:       sites.All,
+		Opts:      DefaultOptions(),
+	}
+	if _, err := eng.Snapshot(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Snapshot(req); err != nil {
 			b.Fatal(err)
 		}
 	}

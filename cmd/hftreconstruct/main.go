@@ -51,10 +51,15 @@ func main() {
 		log.Fatalf("hftreconstruct: %v", err)
 	}
 
+	// One engine serves both the -all connectivity scan and the
+	// per-licensee emission; the scan fans its reconstructions out
+	// across the engine's worker pool.
+	eng := hftnetview.NewEngine(db)
+
 	var names []string
 	switch {
 	case *all:
-		rows, err := hftnetview.ConnectedNetworks(db, date, hftnetview.PathNY4(),
+		rows, err := eng.ConnectedNetworks(date, hftnetview.PathNY4(),
 			hftnetview.DefaultOptions())
 		if err != nil {
 			log.Fatalf("hftreconstruct: %v", err)
@@ -72,7 +77,7 @@ func main() {
 
 	var nets []*core.Network
 	for _, name := range names {
-		n, err := emit(db, name, date, *outDir)
+		n, err := emit(eng, name, date, *outDir)
 		if err != nil {
 			log.Fatalf("hftreconstruct: %s: %v", name, err)
 		}
@@ -99,8 +104,13 @@ func loadDB(bulkPath string) (*hftnetview.Database, error) {
 	return hftnetview.ReadBulk(f)
 }
 
-func emit(db *hftnetview.Database, name string, date hftnetview.Date, outDir string) (*core.Network, error) {
-	n, err := core.Reconstruct(db, name, date, sites.All, core.DefaultOptions())
+func emit(eng *hftnetview.Engine, name string, date hftnetview.Date, outDir string) (*core.Network, error) {
+	n, err := eng.Snapshot(hftnetview.SnapshotRequest{
+		Licensees: []string{name},
+		Date:      date,
+		DCs:       sites.All,
+		Opts:      core.DefaultOptions(),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -58,7 +58,7 @@ func TestEmitAndAnalyzeYAML(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	n, err := emit(db, "Pierce Broadband", hftnetview.Snapshot(), dir)
+	n, err := emit(hftnetview.NewEngine(db), "Pierce Broadband", hftnetview.Snapshot(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

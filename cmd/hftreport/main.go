@@ -45,42 +45,47 @@ func main() {
 	}
 	date := hftnetview.Snapshot()
 
+	// One snapshot engine backs every experiment: networks reconstructed
+	// for Table 1 are served from cache to the weather, availability,
+	// race, and entity runs instead of being rebuilt per table.
+	eng := hftnetview.NewEngine(db)
+
 	run := func(name string) error {
 		var t *report.Table
 		var err error
 		switch name {
 		case "table1":
-			t, err = report.Table1(db, date)
+			t, err = report.Table1(eng, date)
 		case "table2":
-			t, err = report.Table2(db, date)
+			t, err = report.Table2(eng, date)
 		case "table3":
-			t, err = report.Table3(db, date)
+			t, err = report.Table3(eng, date)
 		case "fig1":
-			t, err = report.Fig1(db, 2013, 2020)
+			t, err = report.Fig1(eng, 2013, 2020)
 		case "fig2":
-			t, err = report.Fig2(db, 2013, 2020)
+			t, err = report.Fig2(eng, 2013, 2020)
 		case "fig3":
-			return fig3(db, *outDir)
+			return fig3(eng, *outDir)
 		case "fig4a":
-			t, err = report.Fig4a(db, date)
+			t, err = report.Fig4a(eng, date)
 		case "fig4b":
-			t, err = report.Fig4b(db, date)
+			t, err = report.Fig4b(eng, date)
 		case "fig5":
 			t, err = report.Fig5()
 		case "weather":
-			t, err = report.Weather(db, date, *storms, *marginDB)
+			t, err = report.Weather(eng, date, *storms, *marginDB)
 		case "overhead":
-			t, err = report.OverheadSweep(db, date)
+			t, err = report.OverheadSweep(eng, date)
 		case "entity":
-			t, err = report.EntityResolution(db, date)
+			t, err = report.EntityResolution(eng, date)
 		case "race":
-			t, err = report.RaceStrategies(db, date, *storms, *marginDB, 2e-6)
+			t, err = report.RaceStrategies(eng, date, *storms, *marginDB, 2e-6)
 		case "design":
 			t, err = report.DesignSweep()
 		case "diverse":
-			t, err = report.DiverseRoutes(db, date, 3)
+			t, err = report.DiverseRoutes(eng, date, 3)
 		case "availability":
-			t, err = report.AvailabilityBudget(db, date, *marginDB)
+			t, err = report.AvailabilityBudget(eng, date, *marginDB)
 		case "scrape":
 			return runScrape(db)
 		default:
@@ -117,6 +122,10 @@ func main() {
 			log.Fatalf("hftreport: %s: %v", name, err)
 		}
 	}
+
+	st := eng.Stats()
+	fmt.Printf("snapshot engine: %d distinct snapshots, %d rebuilds, %d hits, %d coalesced\n",
+		st.Entries, st.Rebuilds, st.Hits, st.Coalesced)
 }
 
 func loadDB(bulkPath string) (*hftnetview.Database, error) {
@@ -131,7 +140,7 @@ func loadDB(bulkPath string) (*hftnetview.Database, error) {
 	return hftnetview.ReadBulk(f)
 }
 
-func fig3(db *hftnetview.Database, outDir string) error {
+func fig3(eng *hftnetview.Engine, outDir string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -139,7 +148,7 @@ func fig3(db *hftnetview.Database, outDir string) error {
 		uls.NewDate(2016, time.January, 1),
 		uls.NewDate(2020, time.April, 1),
 	}
-	files, err := report.Fig3(db, "New Line Networks", dates)
+	files, err := report.Fig3(eng, "New Line Networks", dates)
 	if err != nil {
 		return err
 	}
@@ -151,7 +160,7 @@ func fig3(db *hftnetview.Database, outDir string) error {
 		fmt.Printf("fig3: wrote %s (%d bytes)\n", path, len(data))
 	}
 	fmt.Println()
-	diff, err := report.Fig3Diff(db, "New Line Networks", dates[0], dates[1])
+	diff, err := report.Fig3Diff(eng, "New Line Networks", dates[0], dates[1])
 	if err != nil {
 		return err
 	}

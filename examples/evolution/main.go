@@ -15,24 +15,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng := hftnetview.NewEngine(db)
 
-	fig1, err := report.Fig1(db, 2013, 2020)
+	fig1, err := report.Fig1(eng, 2013, 2020)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(fig1.String())
 
-	fig2, err := report.Fig2(db, 2013, 2020)
+	fig2, err := report.Fig2(eng, 2013, 2020)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(fig2.String())
 
-	// The §4 narrative beats, computed rather than asserted.
+	// The §4 narrative beats, computed rather than asserted. The NTC
+	// sweep repeats Fig 1's reconstructions, so it runs entirely from
+	// the engine's memo store.
 	dates := hftnetview.PaperSampleDates(2013, 2020)
 	opts := hftnetview.DefaultOptions()
 
-	ntc, err := hftnetview.Evolution(db, "National Tower Company",
+	ntc, err := eng.Evolution("National Tower Company",
 		hftnetview.PathNY4(), dates, opts)
 	if err != nil {
 		log.Fatal(err)

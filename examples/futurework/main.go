@@ -20,10 +20,11 @@ func main() {
 		log.Fatal(err)
 	}
 	date := hftnetview.Snapshot()
+	eng := hftnetview.NewEngine(db)
 
 	// §3: "if the per-tower added latency was higher than 1.4 µs, JM
 	// would offer lower end-end latency" — find the exact crossover.
-	rows, err := hftnetview.ConnectedNetworks(db, date, hftnetview.PathNY4(),
+	rows, err := eng.ConnectedNetworks(date, hftnetview.PathNY4(),
 		hftnetview.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
@@ -41,7 +42,7 @@ func main() {
 		fmt.Printf("JM (%d towers) overtakes NLN (%d towers) above %.2f µs per tower.\n\n",
 			jm.TowerCount, nln.TowerCount, o.Microseconds())
 	}
-	sweep, err := report.OverheadSweep(db, date)
+	sweep, err := report.OverheadSweep(eng, date)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,14 +53,16 @@ func main() {
 	for _, cluster := range entity.ClustersByFRN(db) {
 		fmt.Printf("  shared FRN: %v\n", cluster)
 	}
-	pairs, err := entity.ComplementaryPairs(db, date, hftnetview.PathNY4(),
+	pairs, err := entity.ComplementaryPairsVia(eng, date, hftnetview.PathNY4(),
 		nil, hftnetview.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, p := range pairs {
-		u, err := core.ReconstructUnion(db, []string{p.A, p.B}, date,
-			sites.All, core.DefaultOptions())
+		u, err := eng.Snapshot(hftnetview.SnapshotRequest{
+			Licensees: []string{p.A, p.B}, Date: date,
+			DCs: sites.All, Opts: core.DefaultOptions(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +74,7 @@ func main() {
 	fmt.Println()
 
 	// §5 closing: subscription strategies under weather.
-	strat, err := report.RaceStrategies(db, date, 20, 40, 2e-6)
+	strat, err := report.RaceStrategies(eng, date, 20, 40, 2e-6)
 	if err != nil {
 		log.Fatal(err)
 	}

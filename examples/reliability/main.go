@@ -31,21 +31,23 @@ func main() {
 		log.Fatal(err)
 	}
 	date := hftnetview.Snapshot()
+	eng := hftnetview.NewEngine(db)
 
 	// Table 3: alternate path availability.
-	t3, err := report.Table3(db, date)
+	t3, err := report.Table3(eng, date)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(t3.String())
 
-	// Fig 4a/4b: link lengths and operating frequencies.
-	f4a, err := report.Fig4a(db, date)
+	// Fig 4a/4b: link lengths and operating frequencies — the same NLN
+	// and WH snapshots Table 3 built, served from the engine's cache.
+	f4a, err := report.Fig4a(eng, date)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(f4a.String())
-	f4b, err := report.Fig4b(db, date)
+	f4b, err := report.Fig4b(eng, date)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,14 +55,17 @@ func main() {
 
 	// A single illustrative storm: a violent cell mid-corridor.
 	opts := hftnetview.DefaultOptions()
-	nln, err := core.Reconstruct(db, "New Line Networks", date, sites.All, opts)
-	if err != nil {
-		log.Fatal(err)
+	snap := func(name string) *core.Network {
+		n, err := eng.Snapshot(hftnetview.SnapshotRequest{
+			Licensees: []string{name}, Date: date, DCs: sites.All, Opts: opts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
 	}
-	wh, err := core.Reconstruct(db, "Webline Holdings", date, sites.All, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	nln := snap("New Line Networks")
+	wh := snap("Webline Holdings")
 	storm := radio.GenerateStorm(2020, sites.CME.Location, sites.NY4.Location,
 		radio.DefaultStormConfig())
 	path := hftnetview.PathNY4()
@@ -79,7 +84,7 @@ func main() {
 	fmt.Println()
 
 	// The full Monte-Carlo sweep.
-	weather, err := report.Weather(db, date, 25, radio.DefaultFadeMarginDB)
+	weather, err := report.Weather(eng, date, 25, radio.DefaultFadeMarginDB)
 	if err != nil {
 		log.Fatal(err)
 	}

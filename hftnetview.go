@@ -10,14 +10,20 @@
 // exposes the corpus, reconstruction, and analysis workflow that the
 // examples, tools, and benchmarks build on.
 //
-// A typical session:
+// A typical session runs everything through one snapshot engine, so
+// reconstructions repeated across analyses are built once and served
+// from its memo store thereafter:
 //
 //	db, _ := hftnetview.GenerateCorpus()
-//	rows, _ := hftnetview.ConnectedNetworks(db, hftnetview.Snapshot(),
+//	eng := hftnetview.NewEngine(db)
+//	rows, _ := eng.ConnectedNetworks(hftnetview.Snapshot(),
 //		hftnetview.PathNY4(), hftnetview.DefaultOptions())
 //	for _, r := range rows {
 //		fmt.Printf("%-24s %s\n", r.Licensee, r.Latency)
 //	}
+//
+// The one-shot functions (ConnectedNetworks, RankNetworks, Evolution)
+// remain for single-analysis use; they reconstruct uncached.
 package hftnetview
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"hftnetview/internal/core"
+	"hftnetview/internal/engine"
 	"hftnetview/internal/sites"
 	"hftnetview/internal/synth"
 	"hftnetview/internal/uls"
@@ -58,7 +65,24 @@ type (
 	Path = sites.Path
 	// Latency is a one-way propagation delay in seconds.
 	Latency = units.Latency
+	// Engine is the shared, concurrent, memoized snapshot layer: it
+	// reconstructs each distinct (licensee set, date, data-center set,
+	// options) snapshot at most once per database generation and serves
+	// deep clones from its memo store. Create one with NewEngine.
+	Engine = engine.Engine
+	// EngineStats are the engine's hit/miss/coalesce/rebuild counters.
+	EngineStats = engine.Stats
+	// SnapshotRequest identifies one snapshot an Engine can resolve.
+	SnapshotRequest = core.SnapshotRequest
+	// SnapshotProvider is the interface between analyses and snapshot
+	// sources; both an Engine and the uncached direct provider satisfy it.
+	SnapshotProvider = core.SnapshotProvider
 )
+
+// NewEngine returns a snapshot engine over db. Share one engine across
+// all analyses of a database: concurrent requests for the same snapshot
+// coalesce onto a single reconstruction, and repeats are cache hits.
+func NewEngine(db *Database) *Engine { return engine.New(db) }
 
 // Corridor anchors (§2.2).
 var (

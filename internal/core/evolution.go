@@ -22,19 +22,34 @@ type EvolutionPoint struct {
 }
 
 // Evolution reconstructs the licensee's network at each date and reports
-// the trajectory — the data behind Figs 1 and 2.
+// the trajectory — the data behind Figs 1 and 2. It is the one-shot form
+// of EvolutionVia over an uncached provider.
 func Evolution(db *uls.Database, licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error) {
-	counts := func(d uls.Date) int {
-		return db.ActiveCountByLicensee(d)[licensee]
-	}
-	out := make([]EvolutionPoint, 0, len(dates))
-	for _, d := range dates {
-		n, err := Reconstruct(db, licensee, d, []sites.DataCenter{path.From, path.To}, opts)
-		if err != nil {
-			return nil, err
+	return EvolutionVia(DirectProvider(db), licensee, path, dates, opts)
+}
+
+// EvolutionVia is Evolution over a SnapshotProvider: the per-date
+// reconstructions are independent, so the provider may resolve the
+// sweep in parallel (and, with the snapshot engine, from cache).
+func EvolutionVia(p SnapshotProvider, licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error) {
+	reqs := make([]SnapshotRequest, len(dates))
+	for i, d := range dates {
+		reqs[i] = SnapshotRequest{
+			Licensees: []string{licensee},
+			Date:      d,
+			DCs:       []sites.DataCenter{path.From, path.To},
+			Opts:      opts,
 		}
-		pt := EvolutionPoint{Date: d, ActiveLicenses: counts(d)}
-		if r, ok := n.BestRoute(path); ok {
+	}
+	nets, err := p.Snapshots(reqs)
+	if err != nil {
+		return nil, err
+	}
+	db := p.DB()
+	out := make([]EvolutionPoint, 0, len(dates))
+	for i, d := range dates {
+		pt := EvolutionPoint{Date: d, ActiveLicenses: db.ActiveCountByLicensee(d)[licensee]}
+		if r, ok := nets[i].BestRoute(path); ok {
 			pt.Connected = true
 			pt.Latency = r.Latency
 		}

@@ -49,6 +49,16 @@ func DefaultOptions() Options {
 	}
 }
 
+// Fingerprint returns a canonical encoding of the options, stable
+// across processes, for use as a cache-key component: two Options
+// values produce the same fingerprint iff every reconstruction-relevant
+// field is equal. %g normalizes float formatting (1.05 and 1.0500
+// literal styles collapse to one encoding).
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("tmd=%d;mfm=%g;ftd=%d;sb=%g",
+		o.TowerMergeDecimals, o.MaxFiberMeters, o.FiberTailsPerDC, o.StretchBound)
+}
+
 // Tower is a deduplicated antenna site in a reconstructed network.
 type Tower struct {
 	// Key is the canonical rounded-coordinate identity of the site.
@@ -99,11 +109,24 @@ type Network struct {
 	fbEdge    map[graph.EdgeID]int    // graph edge -> Fiber index
 }
 
-// towerKey canonicalizes a coordinate for tower deduplication.
+// towerKey canonicalizes a coordinate for tower deduplication. The
+// quantization is floor(x·scale + 0.5): round-half-up is translation
+// invariant, so a tower on a cell boundary and one just east of it land
+// in the same cell in both hemispheres. (math.Round's half-away-from-zero
+// would put the boundary point in the western cell for negative
+// longitudes — the corridor's — but the eastern cell for positive ones,
+// silently splitting co-located towers depending on sign.) Formatting
+// from the integer cell also avoids a distinct "-0.0000" key.
 func towerKey(p geo.Point, decimals int) string {
 	scale := math.Pow(10, float64(decimals))
-	lat := math.Round(p.Lat*scale) / scale
-	lon := math.Round(p.Lon*scale) / scale
+	lat := math.Floor(p.Lat*scale+0.5) / scale
+	lon := math.Floor(p.Lon*scale+0.5) / scale
+	if lat == 0 {
+		lat = 0 // normalize -0
+	}
+	if lon == 0 {
+		lon = 0
+	}
 	return fmt.Sprintf("%.*f,%.*f", decimals, lat, decimals, lon)
 }
 
@@ -277,6 +300,40 @@ func mergeFrequencies(a, b []float64) []float64 {
 		}
 	}
 	return dedup
+}
+
+// Clone returns a deep copy of the network: mutating the clone's
+// towers, links, fiber tails, or graph (directly or through analyses
+// that temporarily disable edges, like APA and storm routing) leaves
+// the receiver untouched. The snapshot engine hands out clones so its
+// cached reconstructions stay pristine.
+func (n *Network) Clone() *Network {
+	c := *n
+	c.Towers = append([]Tower(nil), n.Towers...)
+	c.Links = append([]Link(nil), n.Links...)
+	for i := range c.Links {
+		c.Links[i].FrequenciesMHz = append([]float64(nil), n.Links[i].FrequenciesMHz...)
+	}
+	c.Fiber = append([]FiberTail(nil), n.Fiber...)
+	c.g = n.g.Clone()
+	c.towerID = append([]graph.NodeID(nil), n.towerID...)
+	c.nodeTower = make(map[graph.NodeID]int, len(n.nodeTower))
+	for k, v := range n.nodeTower {
+		c.nodeTower[k] = v
+	}
+	c.dcID = make(map[string]graph.NodeID, len(n.dcID))
+	for k, v := range n.dcID {
+		c.dcID[k] = v
+	}
+	c.mwEdge = make(map[graph.EdgeID]int, len(n.mwEdge))
+	for k, v := range n.mwEdge {
+		c.mwEdge[k] = v
+	}
+	c.fbEdge = make(map[graph.EdgeID]int, len(n.fbEdge))
+	for k, v := range n.fbEdge {
+		c.fbEdge[k] = v
+	}
+	return &c
 }
 
 // Route is an end-to-end lowest-latency path through a network.

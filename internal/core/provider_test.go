@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"hftnetview/internal/geo"
+	"hftnetview/internal/graph"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+// providerDB builds a small two-network database: a laddered licensee
+// (connected, alternates) and a chain licensee.
+func providerDB(t testing.TB) *uls.Database {
+	t.Helper()
+	db := uls.NewDatabase()
+	buildLadderNetwork(t, db, "Ladder Net", 12, 2000, grant15, 11000, 6000)
+	buildChainNetwork(t, db, "Chain Net", 10, grant15, uls.Date{}, 11000)
+	return db
+}
+
+// TestTowerKeyBoundarySignConsistency is the regression test for the
+// quantization fix: a tower exactly on a cell boundary and one just
+// east of it (well within co-location tolerance) must merge into the
+// same cell in both hemispheres. With round-half-away-from-zero they
+// merged at +87.125° but split at -87.125° — the corridor's hemisphere.
+func TestTowerKeyBoundarySignConsistency(t *testing.T) {
+	// 87.125 is exactly representable in binary and ×100 lands exactly
+	// on the .5 quantization boundary at two decimals.
+	for _, lon := range []float64{87.125, -87.125} {
+		onBoundary := towerKey(geo.Point{Lat: 40, Lon: lon}, 2)
+		justEast := towerKey(geo.Point{Lat: 40, Lon: lon + 0.0001}, 2)
+		if onBoundary != justEast {
+			t.Errorf("lon %v: boundary key %q != just-east key %q (sign-dependent split)",
+				lon, onBoundary, justEast)
+		}
+	}
+}
+
+// TestTowerKeyNoNegativeZero: coordinates rounding to zero must not
+// produce a distinct "-0" key.
+func TestTowerKeyNoNegativeZero(t *testing.T) {
+	neg := towerKey(geo.Point{Lat: -0.00001, Lon: -0.00001}, 4)
+	pos := towerKey(geo.Point{Lat: 0.00001, Lon: 0.00001}, 4)
+	if neg != pos {
+		t.Errorf("negative-zero key %q != positive key %q", neg, pos)
+	}
+	if neg != "0.0000,0.0000" {
+		t.Errorf("zero-cell key = %q, want 0.0000,0.0000", neg)
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := DefaultOptions()
+	if base.Fingerprint() != DefaultOptions().Fingerprint() {
+		t.Fatal("equal options produced different fingerprints")
+	}
+	variants := []Options{
+		{TowerMergeDecimals: 5, MaxFiberMeters: 50e3, FiberTailsPerDC: 1, StretchBound: 1.05},
+		{TowerMergeDecimals: 4, MaxFiberMeters: 40e3, FiberTailsPerDC: 1, StretchBound: 1.05},
+		{TowerMergeDecimals: 4, MaxFiberMeters: 50e3, FiberTailsPerDC: 0, StretchBound: 1.05},
+		{TowerMergeDecimals: 4, MaxFiberMeters: 50e3, FiberTailsPerDC: 1, StretchBound: 1.10},
+	}
+	seen := map[string]bool{base.Fingerprint(): true}
+	for _, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Errorf("options %+v collide with a previous fingerprint %q", v, fp)
+		}
+		seen[fp] = true
+	}
+}
+
+func TestNetworkCloneIndependence(t *testing.T) {
+	db := providerDB(t)
+	orig, err := Reconstruct(db, "Ladder Net", date20, sites.All, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, ok := orig.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("ladder network should be connected")
+	}
+
+	c := orig.Clone()
+	// Mutate every exported surface of the clone.
+	c.Towers[0].HeightMeters = -1
+	c.Links[0].FrequenciesMHz[0] = -1
+	c.Links[0].LengthMeters = 0
+	if len(c.Fiber) > 0 {
+		c.Fiber[0].LengthMeters = -1
+	}
+	// Disable every edge through the clone's graph.
+	for i := 0; i < c.Graph().NumEdges(); i++ {
+		c.Graph().SetDisabled(graph.EdgeID(i), true)
+	}
+
+	if orig.Towers[0].HeightMeters == -1 {
+		t.Error("clone tower mutation reached the original")
+	}
+	if orig.Links[0].FrequenciesMHz[0] == -1 {
+		t.Error("clone frequency mutation reached the original")
+	}
+	if len(orig.Fiber) > 0 && orig.Fiber[0].LengthMeters == -1 {
+		t.Error("clone fiber mutation reached the original")
+	}
+	r1, ok := orig.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("original lost connectivity after clone graph mutation")
+	}
+	if r1.Latency != r0.Latency {
+		t.Errorf("original route latency changed: %v -> %v", r0.Latency, r1.Latency)
+	}
+	if _, ok := c.BestRoute(pathNY4); ok {
+		t.Error("clone should be disconnected after disabling all edges")
+	}
+}
+
+// TestProviderVariantsAgree: the Via analyses over a DirectProvider must
+// reproduce the one-shot results exactly.
+func TestProviderVariantsAgree(t *testing.T) {
+	db := providerDB(t)
+	p := DirectProvider(db)
+	direct, err := ConnectedNetworks(db, date20, pathNY4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := ConnectedNetworksVia(p, date20, pathNY4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(via) {
+		t.Fatalf("Via rows = %d, direct rows = %d", len(via), len(direct))
+	}
+	for i := range direct {
+		if direct[i].Licensee != via[i].Licensee || direct[i].Latency != via[i].Latency ||
+			direct[i].APA != via[i].APA {
+			t.Errorf("row %d differs: %+v vs %+v", i, direct[i], via[i])
+		}
+	}
+}

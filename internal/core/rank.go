@@ -23,19 +23,37 @@ type NetworkSummary struct {
 
 // ConnectedNetworks reconstructs every licensee in the database at the
 // given date and returns those with an end-to-end route on the path,
-// ordered by increasing latency — the paper's Table 1.
-//
-// Licensees are reconstructed concurrently (the database is read-only
-// here and reconstruction is independent per licensee); the result is
-// deterministic regardless of scheduling.
+// ordered by increasing latency — the paper's Table 1. It is the
+// one-shot form of ConnectedNetworksVia over an uncached provider.
 func ConnectedNetworks(db *uls.Database, date uls.Date, path sites.Path, opts Options) ([]NetworkSummary, error) {
-	licensees := db.Licensees()
-	summaries := make([]*NetworkSummary, len(licensees))
-	errs := make([]error, len(licensees))
+	return ConnectedNetworksVia(DirectProvider(db), date, path, opts)
+}
 
+// ConnectedNetworksVia is ConnectedNetworks over a SnapshotProvider:
+// snapshots come from the provider (memoized and fanned out across a
+// worker pool when the provider is the snapshot engine), and the
+// per-licensee route/APA summaries are computed concurrently. The
+// result is deterministic regardless of scheduling.
+func ConnectedNetworksVia(p SnapshotProvider, date uls.Date, path sites.Path, opts Options) ([]NetworkSummary, error) {
+	licensees := p.DB().Licensees()
+	reqs := make([]SnapshotRequest, len(licensees))
+	for i, name := range licensees {
+		reqs[i] = SnapshotRequest{
+			Licensees: []string{name},
+			Date:      date,
+			DCs:       []sites.DataCenter{path.From, path.To},
+			Opts:      opts,
+		}
+	}
+	nets, err := p.Snapshots(reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	summaries := make([]*NetworkSummary, len(nets))
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(licensees) {
-		workers = len(licensees)
+	if workers > len(nets) {
+		workers = len(nets)
 	}
 	if workers < 1 {
 		workers = 1
@@ -47,23 +65,20 @@ func ConnectedNetworks(db *uls.Database, date uls.Date, path sites.Path, opts Op
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				summaries[i], errs[i] = summarize(db, licensees[i], date, path, opts)
+				summaries[i] = summarize(licensees[i], nets[i], path)
 			}
 		}()
 	}
-	for i := range licensees {
+	for i := range nets {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
 
 	var out []NetworkSummary
-	for i := range licensees {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		if summaries[i] != nil {
-			out = append(out, *summaries[i])
+	for _, s := range summaries {
+		if s != nil {
+			out = append(out, *s)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -77,14 +92,10 @@ func ConnectedNetworks(db *uls.Database, date uls.Date, path sites.Path, opts Op
 
 // summarize builds one licensee's Table 1 row, or nil when the licensee
 // has no end-to-end route.
-func summarize(db *uls.Database, licensee string, date uls.Date, path sites.Path, opts Options) (*NetworkSummary, error) {
-	n, err := Reconstruct(db, licensee, date, []sites.DataCenter{path.From, path.To}, opts)
-	if err != nil {
-		return nil, err
-	}
+func summarize(licensee string, n *Network, path sites.Path) *NetworkSummary {
 	r, ok := n.BestRoute(path)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	apa, _ := n.APA(path)
 	return &NetworkSummary{
@@ -94,7 +105,7 @@ func summarize(db *uls.Database, licensee string, date uls.Date, path sites.Path
 		TowerCount: r.TowerCount,
 		HopCount:   r.HopCount(),
 		Route:      r,
-	}, nil
+	}
 }
 
 // PathRanking is one row of Table 2: a corridor path with its geodesic
@@ -106,11 +117,17 @@ type PathRanking struct {
 }
 
 // RankNetworks produces Table 2: for each corridor path, the networks
-// ranked by end-to-end latency (topN > 0 truncates each ranking).
+// ranked by end-to-end latency (topN > 0 truncates each ranking). It is
+// the one-shot form of RankNetworksVia over an uncached provider.
 func RankNetworks(db *uls.Database, date uls.Date, paths []sites.Path, topN int, opts Options) ([]PathRanking, error) {
+	return RankNetworksVia(DirectProvider(db), date, paths, topN, opts)
+}
+
+// RankNetworksVia is RankNetworks over a SnapshotProvider.
+func RankNetworksVia(prov SnapshotProvider, date uls.Date, paths []sites.Path, topN int, opts Options) ([]PathRanking, error) {
 	var out []PathRanking
 	for _, p := range paths {
-		rows, err := ConnectedNetworks(db, date, p, opts)
+		rows, err := ConnectedNetworksVia(prov, date, p, opts)
 		if err != nil {
 			return nil, err
 		}

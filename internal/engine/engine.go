@@ -1,0 +1,248 @@
+// Package engine is the shared snapshot layer under every analysis:
+// a concurrency-safe, memoizing store of reconstructed networks keyed
+// by (licensee set, date, data-center set, options fingerprint).
+//
+// Every analysis in the paper starts from the same primitive —
+// "rebuild licensee X's network as of date D" (§2.3) — and the
+// longitudinal sweeps (§4) and multi-network tables (§3, §5) repeat it
+// across dates, licensees, and experiments. The engine reconstructs
+// each distinct snapshot exactly once per database generation:
+// concurrent requests for the same key coalesce onto one in-flight
+// reconstruction, independent keys fan out across a bounded worker
+// pool, and completed snapshots are served from the memo store as deep
+// clones (callers may freely mutate what they get back; the cache
+// stays pristine).
+//
+// The engine implements core.SnapshotProvider, so the core analyses
+// (ConnectedNetworksVia, RankNetworksVia, EvolutionVia) and the entity
+// layer run against it unchanged; convenience methods mirror the
+// facade's analysis surface. Stats expose hit/miss/coalesce/rebuild
+// counters for benchmarks and reports.
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+// Engine is the memoized snapshot store. Create one per database with
+// New and share it across analyses; all methods are safe for
+// concurrent use.
+type Engine struct {
+	db  *uls.Database
+	sem chan struct{} // bounds concurrent reconstructions
+
+	mu      sync.Mutex
+	gen     int64 // db generation the memo store was built against
+	entries map[string]*entry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	rebuilds      atomic.Int64
+	invalidations atomic.Int64
+}
+
+// entry is one memoized (or in-flight) reconstruction. done is closed
+// when net/err are final; goroutines that find an open entry coalesce
+// by waiting on it instead of reconstructing again.
+type entry struct {
+	done chan struct{}
+	net  *core.Network
+	err  error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the number of concurrent reconstructions (default
+// 2×GOMAXPROCS; reconstruction mixes CPU-bound geodesy with allocation).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// New returns an engine over db. The engine assumes the database is
+// mutated only between analyses (the uls.Database contract); a
+// generation change detected on the next request flushes the memo
+// store.
+func New(db *uls.Database, opts ...Option) *Engine {
+	e := &Engine{
+		db:      db,
+		gen:     db.Generation(),
+		entries: make(map[string]*entry),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.sem == nil {
+		e.sem = make(chan struct{}, 2*defaultWorkers())
+	}
+	return e
+}
+
+func defaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// DB returns the underlying license database.
+func (e *Engine) DB() *uls.Database { return e.db }
+
+// keyOf canonicalizes a request into its memo key: sorted deduplicated
+// licensees, the date, sorted data-center codes, and the options
+// fingerprint. Requests that normalize identically share one snapshot.
+func keyOf(req core.SnapshotRequest) string {
+	names := append([]string(nil), req.Licensees...)
+	sort.Strings(names)
+	dedup := names[:0]
+	for i, n := range names {
+		if i == 0 || names[i-1] != n {
+			dedup = append(dedup, n)
+		}
+	}
+	codes := make([]string, len(req.DCs))
+	for i, dc := range req.DCs {
+		codes[i] = dc.Code
+	}
+	sort.Strings(codes)
+	var b strings.Builder
+	b.WriteString(strings.Join(dedup, "\x1f"))
+	b.WriteString("\x1e")
+	b.WriteString(req.Date.String())
+	b.WriteString("\x1e")
+	b.WriteString(strings.Join(codes, "\x1f"))
+	b.WriteString("\x1e")
+	b.WriteString(req.Opts.Fingerprint())
+	return b.String()
+}
+
+// Snapshot returns the network described by the request, reconstructing
+// it at most once per key and database generation. The returned network
+// is a deep clone: mutating it (including through analyses that toggle
+// graph edges) cannot poison the cache.
+func (e *Engine) Snapshot(req core.SnapshotRequest) (*core.Network, error) {
+	key := keyOf(req)
+
+	e.mu.Lock()
+	if g := e.db.Generation(); g != e.gen {
+		// The database changed under us: every memoized snapshot is
+		// stale. Entries still in flight finish against the old data
+		// and are dropped with the map.
+		e.entries = make(map[string]*entry)
+		e.gen = g
+		e.invalidations.Add(1)
+	}
+	if ent, ok := e.entries[key]; ok {
+		select {
+		case <-ent.done:
+			e.hits.Add(1)
+		default:
+			e.coalesced.Add(1)
+		}
+		e.mu.Unlock()
+		<-ent.done
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		return ent.net.Clone(), nil
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.entries[key] = ent
+	e.misses.Add(1)
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	ent.net, ent.err = e.reconstruct(req)
+	<-e.sem
+	e.rebuilds.Add(1)
+	close(ent.done)
+
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return ent.net.Clone(), nil
+}
+
+// reconstruct performs the actual rebuild for a cache miss.
+func (e *Engine) reconstruct(req core.SnapshotRequest) (*core.Network, error) {
+	if len(req.Licensees) > 1 {
+		names := append([]string(nil), req.Licensees...)
+		sort.Strings(names)
+		return core.ReconstructUnion(e.db, names, req.Date, req.DCs, req.Opts)
+	}
+	name := ""
+	if len(req.Licensees) == 1 {
+		name = req.Licensees[0]
+	}
+	return core.Reconstruct(e.db, name, req.Date, req.DCs, req.Opts)
+}
+
+// Snapshots resolves a batch of requests in order, fanning independent
+// reconstructions out across the worker pool. Duplicate keys within the
+// batch coalesce onto one reconstruction.
+func (e *Engine) Snapshots(reqs []core.SnapshotRequest) ([]*core.Network, error) {
+	return core.SnapshotsParallel(e, reqs)
+}
+
+// ConnectedNetworks is core.ConnectedNetworksVia over this engine.
+func (e *Engine) ConnectedNetworks(date uls.Date, path sites.Path, opts core.Options) ([]core.NetworkSummary, error) {
+	return core.ConnectedNetworksVia(e, date, path, opts)
+}
+
+// RankNetworks is core.RankNetworksVia over this engine.
+func (e *Engine) RankNetworks(date uls.Date, paths []sites.Path, topN int, opts core.Options) ([]core.PathRanking, error) {
+	return core.RankNetworksVia(e, date, paths, topN, opts)
+}
+
+// Evolution is core.EvolutionVia over this engine: the per-date sweep
+// runs in parallel, and repeated sweeps are served from the memo store.
+func (e *Engine) Evolution(licensee string, path sites.Path, dates []uls.Date, opts core.Options) ([]core.EvolutionPoint, error) {
+	return core.EvolutionVia(e, licensee, path, dates, opts)
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Hits counts requests served from a completed memo entry.
+	Hits int64
+	// Misses counts requests that created a new memo entry.
+	Misses int64
+	// Coalesced counts requests that joined an in-flight
+	// reconstruction instead of starting their own.
+	Coalesced int64
+	// Rebuilds counts reconstructions actually executed; with no
+	// invalidations it equals Misses and, per key, is exactly 1.
+	Rebuilds int64
+	// Invalidations counts memo-store flushes triggered by database
+	// generation changes.
+	Invalidations int64
+	// Entries is the current memo-store size.
+	Entries int
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries := len(e.entries)
+	e.mu.Unlock()
+	return Stats{
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		Coalesced:     e.coalesced.Load(),
+		Rebuilds:      e.rebuilds.Load(),
+		Invalidations: e.invalidations.Load(),
+		Entries:       entries,
+	}
+}

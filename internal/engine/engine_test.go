@@ -1,0 +1,359 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/geo"
+	"hftnetview/internal/graph"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusDB   *uls.Database
+	corpusErr  error
+)
+
+func corpus(t testing.TB) *uls.Database {
+	t.Helper()
+	corpusOnce.Do(func() { corpusDB, corpusErr = synth.Generate() })
+	if corpusErr != nil {
+		t.Fatalf("synth.Generate: %v", corpusErr)
+	}
+	return corpusDB
+}
+
+var (
+	pathNY4  = sites.Path{From: sites.CME, To: sites.NY4}
+	snapshot = uls.NewDate(2020, time.April, 1)
+)
+
+func req(licensee string, date uls.Date, opts core.Options) core.SnapshotRequest {
+	return core.SnapshotRequest{
+		Licensees: []string{licensee},
+		Date:      date,
+		DCs:       sites.All,
+		Opts:      opts,
+	}
+}
+
+func TestSnapshotMemoization(t *testing.T) {
+	e := New(corpus(t))
+	a, err := e.Snapshot(req("Webline Holdings", snapshot, core.DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Snapshot(req("Webline Holdings", snapshot, core.DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Rebuilds != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 rebuild", st)
+	}
+	if a == b {
+		t.Error("engine returned the same *Network twice; wants clones")
+	}
+	if len(a.Links) != len(b.Links) || len(a.Towers) != len(b.Towers) {
+		t.Errorf("clone mismatch: %d/%d links, %d/%d towers",
+			len(a.Links), len(b.Links), len(a.Towers), len(b.Towers))
+	}
+}
+
+// TestCacheKeyOptions: same db+date+licensee with differing Options
+// must not share a snapshot.
+func TestCacheKeyOptions(t *testing.T) {
+	e := New(corpus(t))
+	def := core.DefaultOptions()
+	uncapped := def
+	uncapped.FiberTailsPerDC = 0 // 0 = no per-DC cap: strictly more tails
+
+	a, err := e.Snapshot(req("Webline Holdings", snapshot, def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Snapshot(req("Webline Holdings", snapshot, uncapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses, 0 hits (options must split keys)", st)
+	}
+	if len(b.Fiber) <= len(a.Fiber) {
+		t.Errorf("uncapped fiber tails = %d, capped = %d; options leaked across keys",
+			len(b.Fiber), len(a.Fiber))
+	}
+
+	// Different dates must split keys too.
+	if _, err := e.Snapshot(req("Webline Holdings",
+		uls.NewDate(2016, time.January, 1), def)); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 3 {
+		t.Errorf("misses = %d after distinct-date request, want 3", st.Misses)
+	}
+}
+
+// TestCacheKeyCanonicalization: licensee order, duplicate names, and DC
+// order must not split keys.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	e := New(corpus(t))
+	def := core.DefaultOptions()
+	reqs := []core.SnapshotRequest{
+		{Licensees: []string{"New Line Networks", "Pierce Broadband"},
+			Date: snapshot, DCs: sites.All, Opts: def},
+		{Licensees: []string{"Pierce Broadband", "New Line Networks"},
+			Date: snapshot, DCs: reversedDCs(), Opts: def},
+		{Licensees: []string{"New Line Networks", "Pierce Broadband", "New Line Networks"},
+			Date: snapshot, DCs: sites.All, Opts: def},
+	}
+	for _, r := range reqs {
+		if _, err := e.Snapshot(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss + 2 hits across equivalent requests", st)
+	}
+}
+
+func reversedDCs() []sites.DataCenter {
+	out := append([]sites.DataCenter(nil), sites.All...)
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TestMutationDoesNotPoisonCache: mutating a returned network — fields
+// and graph alike — must not leak into later cache reads.
+func TestMutationDoesNotPoisonCache(t *testing.T) {
+	e := New(corpus(t))
+	r := req("Webline Holdings", snapshot, core.DefaultOptions())
+	first, err := e.Snapshot(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route0, ok := first.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("WH should be connected")
+	}
+
+	// Vandalize the returned clone.
+	first.Towers[0].Point = geo.Point{Lat: 0, Lon: 0}
+	first.Links[0].FrequenciesMHz[0] = -1
+	for i := range first.Links {
+		first.Links[i].LengthMeters = 0
+	}
+	g := first.Graph()
+	for i := 0; i < g.NumEdges(); i++ {
+		g.SetDisabled(graph.EdgeID(i), true)
+	}
+	if _, ok := first.BestRoute(pathNY4); ok {
+		t.Fatal("sanity: vandalized clone should be disconnected")
+	}
+
+	second, err := e.Snapshot(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route1, ok := second.BestRoute(pathNY4)
+	if !ok {
+		t.Fatal("cache poisoned: second snapshot not connected")
+	}
+	if route1.Latency != route0.Latency {
+		t.Errorf("cache poisoned: latency %v, want %v", route1.Latency, route0.Latency)
+	}
+	if second.Links[0].FrequenciesMHz[0] == -1 {
+		t.Error("cache poisoned: frequency mutation visible in second snapshot")
+	}
+	if st := e.Stats(); st.Rebuilds != 1 {
+		t.Errorf("rebuilds = %d, want 1 (second read must come from cache)", st.Rebuilds)
+	}
+}
+
+// TestConcurrentExactlyOnce: 100 goroutines requesting a mix of
+// identical and distinct snapshots; every key must be reconstructed
+// exactly once and all results must agree. Run under -race.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	e := New(corpus(t))
+	def := core.DefaultOptions()
+	licensees := []string{
+		"New Line Networks", "Webline Holdings", "Pierce Broadband",
+		"Jefferson Microwave", "National Tower Company",
+	}
+	dates := []uls.Date{
+		uls.NewDate(2016, time.January, 1),
+		snapshot,
+	}
+	distinct := len(licensees) * len(dates)
+
+	const goroutines = 100
+	type result struct {
+		key     string
+		towers  int
+		links   int
+		latency string
+	}
+	results := make([]result, goroutines)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			lic := licensees[i%len(licensees)]
+			d := dates[(i/len(licensees))%len(dates)]
+			n, err := e.Snapshot(req(lic, d, def))
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			lat := "-"
+			if r, ok := n.BestRoute(pathNY4); ok {
+				lat = r.Latency.String()
+			}
+			results[i] = result{
+				key:     fmt.Sprintf("%s@%s", lic, d),
+				towers:  len(n.Towers),
+				links:   len(n.Links),
+				latency: lat,
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Rebuilds != int64(distinct) {
+		t.Errorf("rebuilds = %d, want exactly %d (one per distinct key)", st.Rebuilds, distinct)
+	}
+	if st.Misses != int64(distinct) {
+		t.Errorf("misses = %d, want %d", st.Misses, distinct)
+	}
+	if got := st.Hits + st.Coalesced + st.Misses; got != goroutines {
+		t.Errorf("hits+coalesced+misses = %d, want %d", got, goroutines)
+	}
+	byKey := make(map[string]result)
+	for _, r := range results {
+		if prev, ok := byKey[r.key]; ok && prev != r {
+			t.Errorf("divergent results for %s: %+v vs %+v", r.key, prev, r)
+		}
+		byKey[r.key] = r
+	}
+}
+
+// TestGenerationInvalidation: mutating the database flushes the memo
+// store on the next request.
+func TestGenerationInvalidation(t *testing.T) {
+	db := uls.NewDatabase()
+	grant := uls.NewDate(2015, time.June, 1)
+	lic := func(cs string, a, b geo.Point) *uls.License {
+		return &uls.License{
+			CallSign: cs, LicenseID: 1, Licensee: "Gen Net",
+			RadioService: uls.ServiceMG, Status: uls.StatusActive, Grant: grant,
+			Locations: []uls.Location{
+				{Number: 1, Point: a, SupportHeight: 100},
+				{Number: 2, Point: b, SupportHeight: 100},
+			},
+			Paths: []uls.Path{{Number: 1, TXLocation: 1, RXLocation: 2,
+				StationClass: uls.ClassFXO, FrequenciesMHz: []float64{11000}}},
+		}
+	}
+	a := geo.Point{Lat: 41.85, Lon: -87.6}
+	b := geo.Point{Lat: 41.80, Lon: -87.0}
+	c := geo.Point{Lat: 41.75, Lon: -86.4}
+	if err := db.Add(lic("WQGN001", a, b)); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(db)
+	r := req("Gen Net", snapshot, core.DefaultOptions())
+	n1, err := e.Snapshot(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n1.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(n1.Links))
+	}
+
+	if err := db.Add(lic("WQGN002", b, c)); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := e.Snapshot(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2.Links) != 2 {
+		t.Errorf("links after Add = %d, want 2 (stale cache served)", len(n2.Links))
+	}
+	if st := e.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+// TestEvolutionCachedMatchesDirect: the engine's evolution sweep must
+// match the one-shot path exactly, on cold and warm cache alike.
+func TestEvolutionCachedMatchesDirect(t *testing.T) {
+	db := corpus(t)
+	dates := core.PaperSampleDates(2013, 2020)
+	want, err := core.Evolution(db, "New Line Networks", pathNY4, dates, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(db)
+	for pass := 0; pass < 2; pass++ {
+		got, err := e.Evolution("New Line Networks", pathNY4, dates, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d points, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("pass %d point %d = %+v, want %+v", pass, i, got[i], want[i])
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Rebuilds != int64(len(dates)) {
+		t.Errorf("rebuilds = %d, want %d (second sweep fully cached)", st.Rebuilds, len(dates))
+	}
+	if st.Hits < int64(len(dates)) {
+		t.Errorf("hits = %d, want >= %d", st.Hits, len(dates))
+	}
+}
+
+// TestUnionSnapshot: multi-licensee requests reconstruct the union
+// network and memoize under the canonical (sorted) licensee set.
+func TestUnionSnapshot(t *testing.T) {
+	e := New(corpus(t))
+	def := core.DefaultOptions()
+	u, err := e.Snapshot(core.SnapshotRequest{
+		Licensees: []string{"Webline Holdings", "New Line Networks"},
+		Date:      snapshot, DCs: sites.All, Opts: def,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nln, err := e.Snapshot(req("New Line Networks", snapshot, def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh, err := e.Snapshot(req("Webline Holdings", snapshot, def))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Links) <= len(nln.Links) || len(u.Links) <= len(wh.Links) {
+		t.Errorf("union links = %d, want more than either member (%d, %d)",
+			len(u.Links), len(nln.Links), len(wh.Links))
+	}
+}

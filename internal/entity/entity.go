@@ -97,46 +97,72 @@ type Pair struct {
 // ComplementaryPairs tests every pair among candidates (nil = every
 // licensee in the database): pairs where neither member has an
 // end-to-end route on the path at the date, but their union does.
-// Pairs are returned sorted by (A, B); within a pair A < B.
+// Pairs are returned sorted by (A, B); within a pair A < B. It is the
+// one-shot form of ComplementaryPairsVia over an uncached provider.
 func ComplementaryPairs(db *uls.Database, date uls.Date, path sites.Path,
 	candidates []string, opts core.Options) ([]Pair, error) {
+	return ComplementaryPairsVia(core.DirectProvider(db), date, path, candidates, opts)
+}
+
+// ComplementaryPairsVia is ComplementaryPairs over a SnapshotProvider.
+// The O(n) per-licensee screens and the O(n²) union reconstructions are
+// both resolved as provider batches, so the snapshot engine fans them
+// out and reuses any snapshots other analyses already built.
+func ComplementaryPairsVia(p core.SnapshotProvider, date uls.Date, path sites.Path,
+	candidates []string, opts core.Options) ([]Pair, error) {
 	if candidates == nil {
-		candidates = db.Licensees()
+		candidates = p.DB().Licensees()
 	}
 	dcs := []sites.DataCenter{path.From, path.To}
 
-	// Precompute per-licensee connectivity; connected licensees cannot
-	// be part of a complementary pair (they are networks already).
-	var loners []string
-	for _, name := range candidates {
-		n, err := core.Reconstruct(db, name, date, dcs, opts)
-		if err != nil {
-			return nil, err
+	// Screen per-licensee connectivity; connected licensees cannot be
+	// part of a complementary pair (they are networks already).
+	reqs := make([]core.SnapshotRequest, len(candidates))
+	for i, name := range candidates {
+		reqs[i] = core.SnapshotRequest{
+			Licensees: []string{name}, Date: date, DCs: dcs, Opts: opts,
 		}
+	}
+	nets, err := p.Snapshots(reqs)
+	if err != nil {
+		return nil, err
+	}
+	var loners []string
+	for i, n := range nets {
 		if !n.Connected(path) && len(n.Links) > 0 {
-			loners = append(loners, name)
+			loners = append(loners, candidates[i])
 		}
 	}
 	sort.Strings(loners)
 
-	var out []Pair
+	type pairIdx struct{ a, b string }
+	var pairs []pairIdx
+	var unionReqs []core.SnapshotRequest
 	for i := 0; i < len(loners); i++ {
 		for j := i + 1; j < len(loners); j++ {
-			u, err := core.ReconstructUnion(db, []string{loners[i], loners[j]},
-				date, dcs, opts)
-			if err != nil {
-				return nil, err
-			}
-			r, ok := u.BestRoute(path)
-			if !ok {
-				continue
-			}
-			out = append(out, Pair{
-				A: loners[i], B: loners[j],
-				Latency:    r.Latency,
-				TowerCount: r.TowerCount,
+			pairs = append(pairs, pairIdx{loners[i], loners[j]})
+			unionReqs = append(unionReqs, core.SnapshotRequest{
+				Licensees: []string{loners[i], loners[j]},
+				Date:      date, DCs: dcs, Opts: opts,
 			})
 		}
+	}
+	unions, err := p.Snapshots(unionReqs)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Pair
+	for i, u := range unions {
+		r, ok := u.BestRoute(path)
+		if !ok {
+			continue
+		}
+		out = append(out, Pair{
+			A: pairs[i].a, B: pairs[i].b,
+			Latency:    r.Latency,
+			TowerCount: r.TowerCount,
+		})
 	}
 	return out, nil
 }

@@ -98,6 +98,25 @@ func (g *Graph) AddEdge(a, b NodeID, w float64) (EdgeID, error) {
 // Edge returns a copy of the edge with the given id.
 func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
+// Clone returns a deep copy of the graph sharing no mutable state with
+// the receiver. Analyses that temporarily disable edges (edge-removal
+// APA, storm routing) can run concurrently on clones of one graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		keys:  append([]string(nil), g.keys...),
+		byKey: make(map[string]NodeID, len(g.byKey)),
+		edges: append([]Edge(nil), g.edges...),
+		adj:   make([][]EdgeID, len(g.adj)),
+	}
+	for k, v := range g.byKey {
+		c.byKey[k] = v
+	}
+	for i, ids := range g.adj {
+		c.adj[i] = append([]EdgeID(nil), ids...)
+	}
+	return c
+}
+
 // SetDisabled marks an edge as excluded from (or restored to) traversal.
 func (g *Graph) SetDisabled(id EdgeID, disabled bool) {
 	g.edges[id].Disabled = disabled

@@ -24,11 +24,28 @@ var Fig1Networks = []string{
 	"New Line Networks",
 }
 
+// Every table takes a core.SnapshotProvider rather than a raw database:
+// cmd/hftreport passes one shared snapshot engine, so reconstructions
+// repeated across experiments (the same licensee at the same date shows
+// up in Table 3, Fig 4, the weather runs, ...) are built once and
+// served from the memo store thereafter.
+
+// snap fetches a single-licensee snapshot over the full site set — the
+// shape most tables want.
+func snap(p core.SnapshotProvider, licensee string, date uls.Date, opts core.Options) (*core.Network, error) {
+	return p.Snapshot(core.SnapshotRequest{
+		Licensees: []string{licensee},
+		Date:      date,
+		DCs:       sites.All,
+		Opts:      opts,
+	})
+}
+
 // Table1 reproduces Table 1: connected CME–NY4 networks at the date, in
 // latency order, with APA and shortest-path tower counts.
-func Table1(db *uls.Database, date uls.Date) (*Table, error) {
+func Table1(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
-	rows, err := core.ConnectedNetworks(db, date, path, core.DefaultOptions())
+	rows, err := core.ConnectedNetworksVia(p, date, path, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -45,8 +62,8 @@ func Table1(db *uls.Database, date uls.Date) (*Table, error) {
 
 // Table2 reproduces Table 2: per corridor path, the geodesic distance
 // and the three fastest networks.
-func Table2(db *uls.Database, date uls.Date) (*Table, error) {
-	ranks, err := core.RankNetworks(db, date, sites.CorridorPaths(), 3, core.DefaultOptions())
+func Table2(p core.SnapshotProvider, date uls.Date) (*Table, error) {
+	ranks, err := core.RankNetworksVia(p, date, sites.CorridorPaths(), 3, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -88,31 +105,31 @@ func abbreviate(name string) string {
 
 // Table3 reproduces Table 3: APA for New Line Networks vs Webline
 // Holdings on all three paths.
-func Table3(db *uls.Database, date uls.Date) (*Table, error) {
+func Table3(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Table 3: alternate path availability as of %s", date),
 		Headers: []string{"Path", "NLN", "WH"},
 	}
 	opts := core.DefaultOptions()
-	nln, err := core.Reconstruct(db, "New Line Networks", date, sites.All, opts)
+	nln, err := snap(p, "New Line Networks", date, opts)
 	if err != nil {
 		return nil, err
 	}
-	wh, err := core.Reconstruct(db, "Webline Holdings", date, sites.All, opts)
+	wh, err := snap(p, "Webline Holdings", date, opts)
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range sites.CorridorPaths() {
-		a, _ := nln.APA(p)
-		b, _ := wh.APA(p)
-		t.AddRow(p.Name(), pct(a), pct(b))
+	for _, pth := range sites.CorridorPaths() {
+		a, _ := nln.APA(pth)
+		b, _ := wh.APA(pth)
+		t.AddRow(pth.Name(), pct(a), pct(b))
 	}
 	return t, nil
 }
 
 // Fig1 reproduces Fig 1's series: end-to-end CME–NY4 latency per year
 // for the five tracked networks ("-" where not connected).
-func Fig1(db *uls.Database, firstYear, lastYear int) (*Table, error) {
+func Fig1(p core.SnapshotProvider, firstYear, lastYear int) (*Table, error) {
 	dates := core.PaperSampleDates(firstYear, lastYear)
 	t := &Table{
 		Title:   "Fig 1: CME-NY4 latency evolution (ms)",
@@ -121,7 +138,7 @@ func Fig1(db *uls.Database, firstYear, lastYear int) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	series := make(map[string][]core.EvolutionPoint, len(Fig1Networks))
 	for _, name := range Fig1Networks {
-		pts, err := core.Evolution(db, name, path, dates, core.DefaultOptions())
+		pts, err := core.EvolutionVia(p, name, path, dates, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -144,12 +161,13 @@ func Fig1(db *uls.Database, firstYear, lastYear int) (*Table, error) {
 
 // Fig2 reproduces Fig 2's series: active license counts per year for the
 // five tracked networks.
-func Fig2(db *uls.Database, firstYear, lastYear int) (*Table, error) {
+func Fig2(p core.SnapshotProvider, firstYear, lastYear int) (*Table, error) {
 	dates := core.PaperSampleDates(firstYear, lastYear)
 	t := &Table{
 		Title:   "Fig 2: active licenses over time",
 		Headers: append([]string{"Date"}, abbreviateAll(Fig1Networks)...),
 	}
+	db := p.DB()
 	for _, d := range dates {
 		counts := db.ActiveCountByLicensee(d)
 		row := []string{d.String()}
@@ -171,10 +189,10 @@ func abbreviateAll(names []string) []string {
 
 // Fig3 renders the Fig 3 map artifacts: the named network at each date,
 // as SVG and GeoJSON, keyed by file name.
-func Fig3(db *uls.Database, licensee string, dates []uls.Date) (map[string][]byte, error) {
+func Fig3(p core.SnapshotProvider, licensee string, dates []uls.Date) (map[string][]byte, error) {
 	out := make(map[string][]byte)
 	for _, d := range dates {
-		n, err := core.Reconstruct(db, licensee, d, sites.All, core.DefaultOptions())
+		n, err := snap(p, licensee, d, core.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +209,7 @@ func Fig3(db *uls.Database, licensee string, dates []uls.Date) (map[string][]byt
 
 // Fig4a reproduces Fig 4(a): deciles of the link-length CDFs (km) for
 // Webline Holdings and New Line Networks over CME–NY4 bounded paths.
-func Fig4a(db *uls.Database, date uls.Date) (*Table, error) {
+func Fig4a(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
 	t := &Table{
@@ -200,7 +218,7 @@ func Fig4a(db *uls.Database, date uls.Date) (*Table, error) {
 	}
 	cdfs := make(map[string]core.CDF)
 	for _, name := range []string{"Webline Holdings", "New Line Networks"} {
-		n, err := core.Reconstruct(db, name, date, sites.All, opts)
+		n, err := snap(p, name, date, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -210,9 +228,9 @@ func Fig4a(db *uls.Database, date uls.Date) (*Table, error) {
 		}
 		cdfs[abbreviate(name)] = core.NewCDF(lengths)
 	}
-	for p := 10; p <= 100; p += 10 {
-		q := float64(p) / 100
-		t.AddRow(fmt.Sprintf("p%d", p),
+	for pc := 10; pc <= 100; pc += 10 {
+		q := float64(pc) / 100
+		t.AddRow(fmt.Sprintf("p%d", pc),
 			fmt.Sprintf("%.1f", cdfs["WH"].Quantile(q)/1000),
 			fmt.Sprintf("%.1f", cdfs["NLN"].Quantile(q)/1000))
 	}
@@ -223,14 +241,14 @@ func Fig4a(db *uls.Database, date uls.Date) (*Table, error) {
 
 // Fig4b reproduces Fig 4(b): the operating-frequency distributions for
 // WH and NLN shortest paths and NLN's alternate paths on CME–NY4.
-func Fig4b(db *uls.Database, date uls.Date) (*Table, error) {
+func Fig4b(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
-	wh, err := core.Reconstruct(db, "Webline Holdings", date, sites.All, opts)
+	wh, err := snap(p, "Webline Holdings", date, opts)
 	if err != nil {
 		return nil, err
 	}
-	nln, err := core.Reconstruct(db, "New Line Networks", date, sites.All, opts)
+	nln, err := snap(p, "New Line Networks", date, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -318,8 +336,10 @@ func Fig5() (*Table, error) {
 
 // Weather runs the §5 reliability extension: N seeded storms over the
 // corridor, measuring survival and conditional latency for NLN vs WH on
-// CME–NY4.
-func Weather(db *uls.Database, date uls.Date, storms int, marginDB float64) (*Table, error) {
+// CME–NY4. The snapshots come from the provider; RouteUnderStorm
+// toggles graph edges, which is safe because provider snapshots are
+// private clones.
+func Weather(p core.SnapshotProvider, date uls.Date, storms int, marginDB float64) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
 	t := &Table{
@@ -329,7 +349,7 @@ func Weather(db *uls.Database, date uls.Date, storms int, marginDB float64) (*Ta
 			"Worst (ms)", "Mean links down", "Clear-air avail"},
 	}
 	for _, name := range []string{"New Line Networks", "Webline Holdings"} {
-		n, err := core.Reconstruct(db, name, date, sites.All, opts)
+		n, err := snap(p, name, date, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -378,13 +398,13 @@ func Weather(db *uls.Database, date uls.Date, storms int, marginDB float64) (*Ta
 
 // Fig3Diff quantifies the Fig 3 visual comparison: the infrastructure
 // delta between a licensee's reconstructions at two dates.
-func Fig3Diff(db *uls.Database, licensee string, before, after uls.Date) (*Table, error) {
+func Fig3Diff(p core.SnapshotProvider, licensee string, before, after uls.Date) (*Table, error) {
 	opts := core.DefaultOptions()
-	oldNet, err := core.Reconstruct(db, licensee, before, sites.All, opts)
+	oldNet, err := snap(p, licensee, before, opts)
 	if err != nil {
 		return nil, err
 	}
-	newNet, err := core.Reconstruct(db, licensee, after, sites.All, opts)
+	newNet, err := snap(p, licensee, after, opts)
 	if err != nil {
 		return nil, err
 	}

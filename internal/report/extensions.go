@@ -20,9 +20,9 @@ import (
 // re-ranked under per-tower regeneration overheads, with the exact
 // leader-change points ("if the per-tower added latency was higher than
 // 1.4 µs, JM would offer lower end-end latency").
-func OverheadSweep(db *uls.Database, date uls.Date) (*Table, error) {
+func OverheadSweep(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
-	rows, err := core.ConnectedNetworks(db, date, path, core.DefaultOptions())
+	rows, err := core.ConnectedNetworksVia(p, date, path, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -48,11 +48,12 @@ func OverheadSweep(db *uls.Database, date uls.Date) (*Table, error) {
 
 // EntityResolution reproduces the §2.4/§6 future work: registration
 // clusters and complementary-link pairs among the shortlisted entities.
-func EntityResolution(db *uls.Database, date uls.Date) (*Table, error) {
+func EntityResolution(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 	t := &Table{
 		Title:   "Entity resolution (§2.4/§6 future work)",
 		Headers: []string{"Signal", "Finding"},
 	}
+	db := p.DB()
 	for _, cluster := range entity.ClustersByFRN(db) {
 		t.AddRow("shared FRN", strings.Join(cluster, " + "))
 	}
@@ -60,14 +61,14 @@ func EntityResolution(db *uls.Database, date uls.Date) (*Table, error) {
 		t.AddRow("shared contact", strings.Join(cluster, " + "))
 	}
 	path := sites.Path{From: sites.CME, To: sites.NY4}
-	pairs, err := entity.ComplementaryPairs(db, date, path, nil, core.DefaultOptions())
+	pairs, err := entity.ComplementaryPairsVia(p, date, path, nil, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range pairs {
+	for _, pr := range pairs {
 		t.AddRow("complementary links",
 			fmt.Sprintf("%s + %s -> connected, %s over %d towers",
-				p.A, p.B, p.Latency, p.TowerCount))
+				pr.A, pr.B, pr.Latency, pr.TowerCount))
 	}
 	if len(t.Rows) == 0 {
 		t.AddRow("none", "-")
@@ -144,7 +145,7 @@ func corridorCandidates() []design.Site {
 // annual rain fading (ITU-R P.530-style) and worst-month clear-air
 // multipath (Vigants–Barnett) — into a per-network downtime budget on
 // CME–NY4: the §5 reliability comparison as an availability table.
-func AvailabilityBudget(db *uls.Database, date uls.Date, marginDB float64) (*Table, error) {
+func AvailabilityBudget(p core.SnapshotProvider, date uls.Date, marginDB float64) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
 	t := &Table{
@@ -152,12 +153,12 @@ func AvailabilityBudget(db *uls.Database, date uls.Date, marginDB float64) (*Tab
 		Headers: []string{"Network", "Rain avail", "Rain downtime (min/yr)",
 			"Multipath avail (worst month)"},
 	}
-	rows, err := core.ConnectedNetworks(db, date, path, opts)
+	rows, err := core.ConnectedNetworksVia(p, date, path, opts)
 	if err != nil {
 		return nil, err
 	}
 	for _, row := range rows {
-		n, err := core.Reconstruct(db, row.Licensee, date, sites.All, opts)
+		n, err := snap(p, row.Licensee, date, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +179,7 @@ func AvailabilityBudget(db *uls.Database, date uls.Date, marginDB float64) (*Tab
 // per network on CME–NY4 — the concrete alternates behind the APA
 // numbers (§5). A chain network shows a single route; Webline's braid
 // shows alternates microseconds apart.
-func DiverseRoutes(db *uls.Database, date uls.Date, k int) (*Table, error) {
+func DiverseRoutes(p core.SnapshotProvider, date uls.Date, k int) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
 	t := &Table{
@@ -186,7 +187,7 @@ func DiverseRoutes(db *uls.Database, date uls.Date, k int) (*Table, error) {
 		Headers: []string{"Network", "Rank", "Latency (ms)", "Towers", "vs best (µs)"},
 	}
 	for _, name := range []string{"New Line Networks", "Webline Holdings", "Blueline Comm"} {
-		n, err := core.Reconstruct(db, name, date, sites.All, opts)
+		n, err := snap(p, name, date, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -208,15 +209,15 @@ func DiverseRoutes(db *uls.Database, date uls.Date, k int) (*Table, error) {
 // RaceStrategies reproduces §5's closing speculation: season win shares
 // for single-network subscriptions versus the NLN+WH combination, over
 // seeded storms with Gaussian race jitter.
-func RaceStrategies(db *uls.Database, date uls.Date, storms int,
+func RaceStrategies(p core.SnapshotProvider, date uls.Date, storms int,
 	marginDB, sigmaSeconds float64) (*Table, error) {
 	path := sites.Path{From: sites.CME, To: sites.NY4}
 	opts := core.DefaultOptions()
-	nlnNet, err := core.Reconstruct(db, "New Line Networks", date, sites.All, opts)
+	nlnNet, err := snap(p, "New Line Networks", date, opts)
 	if err != nil {
 		return nil, err
 	}
-	whNet, err := core.Reconstruct(db, "Webline Holdings", date, sites.All, opts)
+	whNet, err := snap(p, "Webline Holdings", date, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -6,16 +6,21 @@ import (
 	"testing"
 	"time"
 
+	"hftnetview/internal/engine"
 	"hftnetview/internal/synth"
 	"hftnetview/internal/uls"
 )
 
 var (
 	corpus   *uls.Database
+	shared   *engine.Engine
 	snapshot = uls.NewDate(2020, time.April, 1)
 )
 
-func db(t *testing.T) *uls.Database {
+// db returns a snapshot engine over the shared synthetic corpus. One
+// engine serves the whole test package, so the suite also exercises
+// cross-table snapshot reuse the way cmd/hftreport does.
+func db(t *testing.T) *engine.Engine {
 	t.Helper()
 	if corpus == nil {
 		d, err := synth.Generate()
@@ -23,8 +28,9 @@ func db(t *testing.T) *uls.Database {
 			t.Fatal(err)
 		}
 		corpus = d
+		shared = engine.New(corpus)
 	}
-	return corpus
+	return shared
 }
 
 func TestTableString(t *testing.T) {

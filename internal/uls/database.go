@@ -19,9 +19,13 @@ import (
 type Database struct {
 	licenses   []*License
 	byCallSign map[string]*License
+	gen        int64 // bumped by Add; lets caches detect staleness
 
 	spatialMu sync.Mutex
 	spatial   *spatialIndex // lazy; guarded by spatialMu; invalidated by Add
+
+	dateMu  sync.Mutex
+	dateIdx *dateIndex // lazy; guarded by dateMu; invalidated by Add
 }
 
 // NewDatabase returns an empty database.
@@ -40,10 +44,29 @@ func (db *Database) Add(l *License) error {
 	}
 	db.licenses = append(db.licenses, l)
 	db.byCallSign[l.CallSign] = l
+	db.gen++
 	db.spatialMu.Lock()
 	db.spatial = nil // geographic index is stale now
 	db.spatialMu.Unlock()
+	db.dateMu.Lock()
+	db.dateIdx = nil // activity index is stale now
+	db.dateMu.Unlock()
 	return nil
+}
+
+// Generation returns a counter that changes whenever the database is
+// mutated. External caches keyed on database contents (the snapshot
+// engine's memo store) compare generations to detect staleness.
+func (db *Database) Generation() int64 { return db.gen }
+
+// dateIndex returns the lazily built date-interval index.
+func (db *Database) dateIndex() *dateIndex {
+	db.dateMu.Lock()
+	defer db.dateMu.Unlock()
+	if db.dateIdx == nil {
+		db.dateIdx = buildDateIndex(db.licenses)
+	}
+	return db.dateIdx
 }
 
 // Len returns the number of licenses in the database.
@@ -134,41 +157,42 @@ func FilterService(ls []*License, service, stationClass string) []*License {
 }
 
 // ActiveAt returns the licenses in force on the given date, sorted by
-// call sign.
+// call sign. The query is a date-interval stabbing lookup, not a scan.
 func (db *Database) ActiveAt(d Date) []*License {
 	var out []*License
-	for _, l := range db.licenses {
-		if l.ActiveAt(d) {
-			out = append(out, l)
-		}
-	}
+	db.dateIndex().all.stab(dateKey(d), func(l *License) {
+		out = append(out, l)
+	})
 	SortLicenses(out)
 	return out
 }
 
 // ActiveCountByLicensee returns, per licensee, the number of licenses in
-// force on the given date — the quantity plotted in Fig 2.
+// force on the given date — the quantity plotted in Fig 2. Licensees
+// with no active licenses are absent from the map.
 func (db *Database) ActiveCountByLicensee(d Date) map[string]int {
-	out := make(map[string]int)
-	for _, l := range db.licenses {
-		if l.ActiveAt(d) {
-			out[l.Licensee]++
+	idx := db.dateIndex()
+	out := make(map[string]int, len(idx.byLicensee))
+	key := dateKey(d)
+	for name, set := range idx.byLicensee {
+		if n := set.count(key); n > 0 {
+			out[name] = n
 		}
 	}
 	return out
 }
 
 // ActiveLinks returns every materialized link of every license in force
-// on the given date for the named licensee ("" = all licensees).
+// on the given date for the named licensee ("" = all licensees), in
+// call-sign order. The active set comes from the date-interval index.
 func (db *Database) ActiveLinks(licensee string, d Date) []Link {
+	var active []*License
+	db.dateIndex().set(licensee).stab(dateKey(d), func(l *License) {
+		active = append(active, l)
+	})
+	SortLicenses(active)
 	var out []Link
-	for _, l := range db.licenses {
-		if licensee != "" && l.Licensee != licensee {
-			continue
-		}
-		if !l.ActiveAt(d) {
-			continue
-		}
+	for _, l := range active {
 		out = append(out, l.Links()...)
 	}
 	return out

@@ -1,0 +1,147 @@
+package uls
+
+import "sort"
+
+// Date-interval index for the activity queries (§2.3/§4). Every
+// longitudinal analysis starts from "which licenses were in force on
+// date D"; a license is active over the half-open interval
+// [grant, min(cancellation, expiration)) and the queries are interval
+// stabbing queries. The index keeps, per licensee and for the whole
+// database, the licenses sorted by grant date with a segment tree of
+// subtree-maximum end dates, so a stabbing query visits O(log n + k)
+// licenses instead of scanning all n. Like the spatial index, it is
+// built lazily on first use and invalidated by Add.
+
+// dateKey encodes a Date for integer comparison; the encoding is
+// monotone in calendar order. The zero Date encodes to 0.
+func dateKey(d Date) int32 {
+	return int32(d.Year)*10000 + int32(d.Month)*100 + int32(d.Day)
+}
+
+// dateKeyMax is an end key larger than any calendar date: licenses
+// with no cancellation or expiration on file never stop being active.
+const dateKeyMax = int32(1<<31 - 1)
+
+// licInterval is one license's activity interval [start, end).
+type licInterval struct {
+	start, end int32
+	lic        *License
+}
+
+// intervalSet is a static stabbing-query structure over intervals
+// sorted by start date. maxEnd is a segment tree over the sorted
+// slice: maxEnd[node] is the maximum interval end within the node's
+// range, letting the query skip whole subtrees whose intervals have
+// all ended by the probe date.
+type intervalSet struct {
+	iv     []licInterval
+	maxEnd []int32
+}
+
+func newIntervalSet(iv []licInterval) *intervalSet {
+	sort.Slice(iv, func(i, j int) bool {
+		if iv[i].start != iv[j].start {
+			return iv[i].start < iv[j].start
+		}
+		return iv[i].lic.CallSign < iv[j].lic.CallSign
+	})
+	s := &intervalSet{iv: iv}
+	if len(iv) > 0 {
+		s.maxEnd = make([]int32, 4*len(iv))
+		s.build(1, 0, len(iv))
+	}
+	return s
+}
+
+func (s *intervalSet) build(node, lo, hi int) int32 {
+	if hi-lo == 1 {
+		s.maxEnd[node] = s.iv[lo].end
+		return s.maxEnd[node]
+	}
+	mid := (lo + hi) / 2
+	l := s.build(2*node, lo, mid)
+	r := s.build(2*node+1, mid, hi)
+	if r > l {
+		l = r
+	}
+	s.maxEnd[node] = l
+	return l
+}
+
+// stab calls visit for every license whose interval contains d, in
+// start order. Pruning: a subtree is skipped when its earliest start
+// is after d (starts are sorted) or when no interval in it ends
+// after d (segment-tree max end).
+func (s *intervalSet) stab(d int32, visit func(*License)) {
+	if len(s.iv) == 0 {
+		return
+	}
+	s.stabRange(1, 0, len(s.iv), d, visit)
+}
+
+func (s *intervalSet) stabRange(node, lo, hi int, d int32, visit func(*License)) {
+	if s.iv[lo].start > d || s.maxEnd[node] <= d {
+		return
+	}
+	if hi-lo == 1 {
+		// start <= d < end held by the two prunes above.
+		visit(s.iv[lo].lic)
+		return
+	}
+	mid := (lo + hi) / 2
+	s.stabRange(2*node, lo, mid, d, visit)
+	s.stabRange(2*node+1, mid, hi, d, visit)
+}
+
+// count returns the number of intervals containing d without visiting.
+func (s *intervalSet) count(d int32) int {
+	n := 0
+	s.stab(d, func(*License) { n++ })
+	return n
+}
+
+// dateIndex holds the per-licensee interval sets plus one over the
+// whole database.
+type dateIndex struct {
+	all        *intervalSet
+	byLicensee map[string]*intervalSet
+}
+
+func buildDateIndex(licenses []*License) *dateIndex {
+	idx := &dateIndex{byLicensee: make(map[string]*intervalSet)}
+	var all []licInterval
+	per := make(map[string][]licInterval)
+	for _, l := range licenses {
+		if l.Grant.IsZero() {
+			continue // never active (ActiveAt semantics)
+		}
+		end := dateKeyMax
+		if !l.Cancellation.IsZero() {
+			end = dateKey(l.Cancellation)
+		}
+		if !l.Expiration.IsZero() {
+			if e := dateKey(l.Expiration); e < end {
+				end = e
+			}
+		}
+		iv := licInterval{start: dateKey(l.Grant), end: end, lic: l}
+		all = append(all, iv)
+		per[l.Licensee] = append(per[l.Licensee], iv)
+	}
+	idx.all = newIntervalSet(all)
+	for name, ivs := range per {
+		idx.byLicensee[name] = newIntervalSet(ivs)
+	}
+	return idx
+}
+
+// set returns the interval set for the licensee ("" = all licensees).
+func (idx *dateIndex) set(licensee string) *intervalSet {
+	if licensee == "" {
+		return idx.all
+	}
+	if s, ok := idx.byLicensee[licensee]; ok {
+		return s
+	}
+	return &intervalSet{}
+}

@@ -1,0 +1,156 @@
+package uls
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// randomLifecycleDB builds a database of licenses with randomized but
+// reproducible lifecycles: mixed licensees, some never-ending, some
+// cancelled, some expired, some both.
+func randomLifecycleDB(t *testing.T, n int) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, 7))
+	db := NewDatabase()
+	licensees := []string{"Alpha", "Beta", "Gamma", "Delta"}
+	for i := 0; i < n; i++ {
+		grant := NewDate(2010+rng.IntN(10), time.Month(1+rng.IntN(12)), 1+rng.IntN(28))
+		l := testLicense(fmt.Sprintf("WQRL%03d", i), licensees[rng.IntN(len(licensees))],
+			grant, Date{})
+		switch rng.IntN(4) {
+		case 0: // cancelled
+			l.Cancellation = grant.AddDays(1 + rng.IntN(2000))
+		case 1: // expired
+			l.Expiration = grant.AddDays(1 + rng.IntN(2000))
+		case 2: // both on file; the earlier one ends the license
+			l.Cancellation = grant.AddDays(1 + rng.IntN(2000))
+			l.Expiration = grant.AddDays(1 + rng.IntN(2000))
+		}
+		if err := db.Add(l); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return db
+}
+
+// bruteActive is the reference implementation the index must match.
+func bruteActive(db *Database, licensee string, d Date) []*License {
+	var out []*License
+	for _, l := range db.All() {
+		if licensee != "" && l.Licensee != licensee {
+			continue
+		}
+		if l.ActiveAt(d) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func TestDateIndexMatchesBruteForce(t *testing.T) {
+	db := randomLifecycleDB(t, 200)
+	rng := rand.New(rand.NewPCG(3, 9))
+	probes := []Date{{}} // zero date: nothing active
+	for i := 0; i < 50; i++ {
+		probes = append(probes, NewDate(2009+rng.IntN(14),
+			time.Month(1+rng.IntN(12)), 1+rng.IntN(28)))
+	}
+	for _, d := range probes {
+		for _, licensee := range []string{"", "Alpha", "Beta", "NoSuch"} {
+			want := bruteActive(db, licensee, d)
+			var got []*License
+			db.dateIndex().set(licensee).stab(dateKey(d), func(l *License) {
+				got = append(got, l)
+			})
+			SortLicenses(got)
+			if len(got) != len(want) {
+				t.Fatalf("active(%q, %s) = %d licenses, want %d", licensee, d, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("active(%q, %s)[%d] = %s, want %s",
+						licensee, d, i, got[i].CallSign, want[i].CallSign)
+				}
+			}
+		}
+	}
+}
+
+func TestDateIndexLifecycleBoundaries(t *testing.T) {
+	grant := NewDate(2015, time.June, 1)
+	cancel := NewDate(2018, time.March, 15)
+	db := NewDatabase()
+	if err := db.Add(testLicense("WQBD001", "Boundary", grant, cancel)); err != nil {
+		t.Fatal(err)
+	}
+	exp := testLicense("WQBD002", "Boundary", grant, Date{})
+	exp.Expiration = NewDate(2020, time.January, 1)
+	if err := db.Add(exp); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		date string
+		want int
+	}{
+		{"05/31/2015", 0}, // day before grant
+		{"06/01/2015", 2}, // grant day: active
+		{"03/14/2018", 2}, // day before cancellation
+		{"03/15/2018", 1}, // cancellation day: first license inactive
+		{"12/31/2019", 1}, // day before expiration
+		{"01/01/2020", 0}, // expiration day: second license inactive
+	}
+	for _, c := range cases {
+		got := len(db.ActiveAt(MustParseDate(c.date)))
+		if got != c.want {
+			t.Errorf("ActiveAt(%s) = %d licenses, want %d", c.date, got, c.want)
+		}
+	}
+}
+
+func TestDateIndexInvalidatedByAdd(t *testing.T) {
+	db := NewDatabase()
+	grant := NewDate(2015, time.June, 1)
+	if err := db.Add(testLicense("WQIV001", "Inval", grant, Date{})); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDate(2016, time.January, 1)
+	if got := len(db.ActiveAt(d)); got != 1 {
+		t.Fatalf("ActiveAt before second Add = %d, want 1", got)
+	}
+	gen := db.Generation()
+	if err := db.Add(testLicense("WQIV002", "Inval", grant, Date{})); err != nil {
+		t.Fatal(err)
+	}
+	if db.Generation() == gen {
+		t.Error("Generation did not change on Add")
+	}
+	if got := len(db.ActiveAt(d)); got != 2 {
+		t.Errorf("ActiveAt after second Add = %d, want 2 (stale index?)", got)
+	}
+	if got := db.ActiveCountByLicensee(d)["Inval"]; got != 2 {
+		t.Errorf("ActiveCountByLicensee after Add = %d, want 2", got)
+	}
+}
+
+func TestActiveLinksIndexedDeterministic(t *testing.T) {
+	db := randomLifecycleDB(t, 50)
+	d := NewDate(2018, time.June, 1)
+	first := db.ActiveLinks("Alpha", d)
+	second := db.ActiveLinks("Alpha", d)
+	if len(first) == 0 {
+		t.Fatal("expected some active links")
+	}
+	for i := range first {
+		if first[i].CallSign != second[i].CallSign || first[i].PathNumber != second[i].PathNumber {
+			t.Fatalf("ActiveLinks not deterministic at %d", i)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].CallSign > first[i].CallSign {
+			t.Fatalf("ActiveLinks not in call-sign order: %s > %s",
+				first[i-1].CallSign, first[i].CallSign)
+		}
+	}
+}
