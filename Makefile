@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet soak bench bench-short ci
+.PHONY: all build test short race vet soak bench bench-short fuzz-short ci
 
 all: build
 
@@ -30,6 +30,14 @@ vet:
 soak:
 	$(GO) test -race -run 'TestSoak' -v ./internal/scrape/
 
+# Short fuzz pass over the bulk parsers. The lenient reader must never
+# panic, must always produce a report, and must only load licenses the
+# strict reader would re-accept; the strict reader must round-trip
+# whatever it takes. Cheap enough for ci.
+fuzz-short:
+	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulkLenient' -fuzztime 10s
+	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulk$$' -fuzztime 5s
+
 # Full benchmark suite (E1–E17, ablations, engine), machine-readable.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -json .
@@ -40,4 +48,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: vet build race bench-short
+ci: vet build race bench-short fuzz-short

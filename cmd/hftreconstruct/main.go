@@ -7,6 +7,11 @@
 //	hftreconstruct [-bulk corpus.uls] [-date 2020-04-01]
 //	               [-licensee "New Line Networks" | -all]
 //	               [-out out/]
+//	               [-lenient [-max-error-rate 0.5] [-quarantine-out q.tsv]]
+//
+// With -lenient, a dirty bulk file is salvaged instead of aborting the
+// run: malformed records are skipped, the rest of each license is
+// recovered, and the ingest report is printed to stderr.
 package main
 
 import (
@@ -30,6 +35,9 @@ func main() {
 	all := flag.Bool("all", false, "reconstruct every connected CME-NY4 network")
 	analyze := flag.String("analyze", "", "analyze a network YAML file instead of a license database")
 	outDir := flag.String("out", "out", "output directory")
+	lenient := flag.Bool("lenient", false, "salvage malformed bulk records instead of aborting")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "with -lenient, abort if more than this fraction of record lines is bad (0 = no budget)")
+	quarantineOut := flag.String("quarantine-out", "", "with -lenient, write quarantined call signs to this file")
 	flag.Parse()
 
 	if *analyze != "" {
@@ -39,7 +47,7 @@ func main() {
 		return
 	}
 
-	db, err := loadDB(*bulk)
+	db, err := loadDB(*bulk, *lenient, *maxErrorRate, *quarantineOut)
 	if err != nil {
 		log.Fatalf("hftreconstruct: %v", err)
 	}
@@ -92,7 +100,7 @@ func main() {
 	}
 }
 
-func loadDB(bulkPath string) (*hftnetview.Database, error) {
+func loadDB(bulkPath string, lenient bool, maxErrorRate float64, quarantineOut string) (*hftnetview.Database, error) {
 	if bulkPath == "" {
 		return hftnetview.GenerateCorpus()
 	}
@@ -101,7 +109,30 @@ func loadDB(bulkPath string) (*hftnetview.Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return hftnetview.ReadBulk(f)
+	if !lenient {
+		return hftnetview.ReadBulk(f)
+	}
+	db, rep, err := hftnetview.ReadBulkWithOptions(f, hftnetview.ReadBulkOptions{
+		Mode:         hftnetview.Lenient,
+		MaxErrorRate: maxErrorRate,
+	})
+	if rep != nil {
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if quarantineOut != "" {
+		qf, err := os.Create(quarantineOut)
+		if err != nil {
+			return nil, err
+		}
+		defer qf.Close()
+		if err := rep.WriteQuarantine(qf); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 func emit(eng *hftnetview.Engine, name string, date hftnetview.Date, outDir string) (*core.Network, error) {

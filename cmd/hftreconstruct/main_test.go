@@ -40,15 +40,49 @@ func TestLoadDBFromBulkFile(t *testing.T) {
 	}
 	f.Close()
 
-	loaded, err := loadDB(path)
+	loaded, err := loadDB(path, false, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if loaded.Len() != db.Len() {
 		t.Errorf("loaded %d licenses, want %d", loaded.Len(), db.Len())
 	}
-	if _, err := loadDB(filepath.Join(t.TempDir(), "missing.uls")); err == nil {
+	if _, err := loadDB(filepath.Join(t.TempDir(), "missing.uls"), false, 0, ""); err == nil {
 		t.Error("missing bulk file should error")
+	}
+}
+
+func TestLoadDBLenientSalvagesDirtyBulk(t *testing.T) {
+	// A bulk file with a malformed record aborts a strict load but is
+	// salvaged by -lenient, with the quarantine file written.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dirty.uls")
+	dirty := "HD|WQOK001|1|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQOK001|Good Net|0001|ops@good.example\n" +
+		"LO|WQOK001|1|41-46-00.0 N|088-12-00.0 W|200.0|90.0\n" +
+		"LO|WQOK001|2|41-52-00.0 N|087-56-00.0 W|195.0|85.0\n" +
+		"PA|WQOK001|1|1|2|FXO|45.0|225.0|38.0\n" +
+		"FR|WQOK001|1|11245.0\n" +
+		"HD|WQBAD02|not-a-number|MG|A|01/02/2015|01/02/2025|\n"
+	if err := os.WriteFile(path, []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDB(path, false, 0, ""); err == nil {
+		t.Fatal("strict load accepted a dirty bulk file")
+	}
+	qPath := filepath.Join(dir, "quarantine.tsv")
+	db, err := loadDB(path, true, 0.9, qPath)
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("salvaged %d licenses, want 1", db.Len())
+	}
+	if _, ok := db.ByCallSign("WQOK001"); !ok {
+		t.Error("clean license lost in salvage")
+	}
+	if _, err := os.Stat(qPath); err != nil {
+		t.Errorf("quarantine file not written: %v", err)
 	}
 }
 

@@ -6,6 +6,11 @@
 //	hftreport [-bulk corpus.uls] [-exp all|table1|table2|table3|fig1|
 //	          fig2|fig3|fig4a|fig4b|fig5|weather|overhead|entity|race|design|diverse|availability|
 //	          scrape] [-out out/] [-storms 25] [-margin-db 40]
+//	          [-lenient [-max-error-rate 0.5] [-quarantine-out q.tsv]]
+//
+// With -lenient, a dirty -bulk file is salvaged instead of aborting the
+// run: malformed records are skipped, the rest of each license is
+// recovered, and the ingest report is printed to stderr.
 //
 // Textual experiments print to stdout; fig3 writes SVG/GeoJSON files to
 // -out; scrape spins an in-process portal and runs the §2.2 pipeline
@@ -37,9 +42,12 @@ func main() {
 	dataDir := flag.String("data", "", "also write each table as a .dat plot file here")
 	storms := flag.Int("storms", 25, "weather experiment storm count")
 	marginDB := flag.Float64("margin-db", 40, "weather experiment fade margin")
+	lenient := flag.Bool("lenient", false, "salvage malformed bulk records instead of aborting")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "with -lenient, abort if more than this fraction of record lines is bad (0 = no budget)")
+	quarantineOut := flag.String("quarantine-out", "", "with -lenient, write quarantined call signs to this file")
 	flag.Parse()
 
-	db, err := loadDB(*bulk)
+	db, err := loadDB(*bulk, *lenient, *maxErrorRate, *quarantineOut)
 	if err != nil {
 		log.Fatalf("hftreport: %v", err)
 	}
@@ -128,7 +136,7 @@ func main() {
 		st.Entries, st.Rebuilds, st.Hits, st.Coalesced)
 }
 
-func loadDB(bulkPath string) (*hftnetview.Database, error) {
+func loadDB(bulkPath string, lenient bool, maxErrorRate float64, quarantineOut string) (*hftnetview.Database, error) {
 	if bulkPath == "" {
 		return hftnetview.GenerateCorpus()
 	}
@@ -137,7 +145,30 @@ func loadDB(bulkPath string) (*hftnetview.Database, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return hftnetview.ReadBulk(f)
+	if !lenient {
+		return hftnetview.ReadBulk(f)
+	}
+	db, rep, err := hftnetview.ReadBulkWithOptions(f, hftnetview.ReadBulkOptions{
+		Mode:         hftnetview.Lenient,
+		MaxErrorRate: maxErrorRate,
+	})
+	if rep != nil {
+		fmt.Fprint(os.Stderr, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if quarantineOut != "" {
+		qf, err := os.Create(quarantineOut)
+		if err != nil {
+			return nil, err
+		}
+		defer qf.Close()
+		if err := rep.WriteQuarantine(qf); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 func fig3(eng *hftnetview.Engine, outDir string) error {

@@ -77,6 +77,34 @@ type (
 	// SnapshotProvider is the interface between analyses and snapshot
 	// sources; both an Engine and the uncached direct provider satisfy it.
 	SnapshotProvider = core.SnapshotProvider
+	// ParseMode selects how bulk ingestion reacts to malformed records.
+	ParseMode = uls.ParseMode
+	// ReadBulkOptions configures fault-tolerant bulk ingestion.
+	ReadBulkOptions = uls.ReadBulkOptions
+	// IngestReport is the deterministic account of a fault-tolerant
+	// ingestion run: error counts by class and record type, quarantined
+	// call signs, and the first individual record errors.
+	IngestReport = uls.IngestReport
+	// RecordError is one classified record failure.
+	RecordError = uls.RecordError
+	// ErrorClass is the coarse taxonomy of record failures.
+	ErrorClass = uls.ErrorClass
+	// Bounds is a geographic bounding box for coordinate validation.
+	Bounds = uls.Bounds
+	// ValidateOptions configures the cross-record integrity pass.
+	ValidateOptions = uls.ValidateOptions
+	// ValidationReport is the outcome of Validate.
+	ValidationReport = uls.ValidationReport
+)
+
+// Bulk ingestion parse modes.
+const (
+	// Strict aborts on the first malformed record.
+	Strict = uls.Strict
+	// Lenient skips malformed records and salvages the rest.
+	Lenient = uls.Lenient
+	// DropLicense quarantines every license with a record error.
+	DropLicense = uls.DropLicense
 )
 
 // NewEngine returns a snapshot engine over db. Share one engine across
@@ -114,6 +142,27 @@ func GenerateCorpus() (*Database, error) { return synth.Generate() }
 
 // ReadBulk parses a pipe-delimited ULS bulk stream into a database.
 func ReadBulk(r io.Reader) (*Database, error) { return uls.ReadBulk(r) }
+
+// ReadBulkWithOptions parses a bulk stream under a fault-tolerance
+// policy: Strict (abort on the first malformed record), Lenient (skip
+// malformed records and salvage the rest of each license), or
+// DropLicense (quarantine whole offending licenses). The IngestReport
+// is never nil and is deterministic for identical input and options.
+func ReadBulkWithOptions(r io.Reader, opts ReadBulkOptions) (*Database, *IngestReport, error) {
+	return uls.ReadBulkWithOptions(r, opts)
+}
+
+// Validate runs the cross-record integrity pass over a database —
+// dangling location references, frequency-less paths, out-of-bounds
+// coordinates, lifecycle-date inversions — optionally repairing it in
+// place by dropping only the inconsistent sub-records.
+func Validate(db *Database, opts ValidateOptions) *ValidationReport {
+	return uls.Validate(db, opts)
+}
+
+// CorridorBounds returns the Chicago–New Jersey corridor bounding box
+// (the four data centers padded by 2°), for bounds-checked validation.
+func CorridorBounds() Bounds { return synth.CorridorBounds() }
 
 // WriteBulk writes a database in the ULS bulk interchange format.
 func WriteBulk(w io.Writer, db *Database) error { return uls.WriteBulk(w, db) }

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"sync"
 
@@ -86,6 +85,7 @@ type journalRecord struct {
 type checkpointState struct {
 	plan      *journalRecord          // nil when the journal has no plan yet
 	completed map[string]*uls.License // call sign -> parsed license
+	skipped   int                     // corrupt journal lines ignored on load
 }
 
 // checkpoint appends journal records; it is safe for concurrent use by
@@ -103,9 +103,7 @@ type checkpoint struct {
 func openCheckpoint(path string) (*checkpoint, checkpointState, error) {
 	state := checkpointState{completed: make(map[string]*uls.License)}
 	if data, err := os.ReadFile(path); err == nil {
-		if err := loadJournal(data, &state); err != nil {
-			return nil, state, err
-		}
+		loadJournal(data, &state)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, state, fmt.Errorf("scrape: reading checkpoint %s: %w", path, err)
 	}
@@ -116,57 +114,56 @@ func openCheckpoint(path string) (*checkpoint, checkpointState, error) {
 	return &checkpoint{f: f, w: bufio.NewWriter(f)}, state, nil
 }
 
-// loadJournal replays journal lines into state. A truncated final line
-// (the signature of a crash mid-append) is ignored; corruption anywhere
-// else is an error, because silently dropping completed work would
-// re-scrape it but silently dropping the plan would change the corpus.
-func loadJournal(data []byte, state *checkpointState) error {
-	dec := json.NewDecoder(newLineLimitedReader(data))
-	for lineNo := 1; ; lineNo++ {
+// loadJournal replays journal lines into state, line by line and
+// leniently — the same salvage discipline uls.ReadBulkWithOptions
+// applies to bulk corpora. A truncated final line (the signature of a
+// crash mid-append) is ignored; a corrupt line anywhere else — garbage
+// JSON, a license record that fails Validate, an unknown record type —
+// is skipped and counted in state.skipped rather than killing the
+// resume. Skipping is always safe: a lost "license" record simply gets
+// that call sign re-scraped, and a lost plan re-runs the search phase
+// against the same portal and options.
+func loadJournal(data []byte, state *checkpointState) {
+	// Drop the trailing partial line (no final newline) silently: it is
+	// an interrupted append, not corruption.
+	if n := len(data); n > 0 && data[n-1] != '\n' {
+		if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+			data = data[:i+1]
+		} else {
+			data = nil
+		}
+	}
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
 		var rec journalRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				// Partial final line from an interrupted append.
-				return nil
-			}
-			return fmt.Errorf("scrape: checkpoint line %d: %w", lineNo, err)
+		if err := json.Unmarshal(line, &rec); err != nil {
+			state.skipped++
+			continue
 		}
 		switch rec.Type {
 		case "plan":
 			r := rec
 			state.plan = &r
 		case "license":
-			if rec.License == nil {
-				return fmt.Errorf("scrape: checkpoint line %d: license record without license", lineNo)
-			}
-			if err := rec.License.Validate(); err != nil {
-				return fmt.Errorf("scrape: checkpoint line %d: %w", lineNo, err)
+			if rec.License == nil || rec.License.Validate() != nil {
+				state.skipped++
+				continue
 			}
 			state.completed[rec.License.CallSign] = rec.License
 		case "failed":
 			// Informational only — resuming retries failures.
 		default:
-			return fmt.Errorf("scrape: checkpoint line %d: unknown record type %q", lineNo, rec.Type)
+			state.skipped++
 		}
 	}
-}
-
-// newLineLimitedReader trims a trailing partial line (no final
-// newline) so the JSON decoder never sees a half-written record as
-// mid-stream corruption.
-func newLineLimitedReader(data []byte) io.Reader {
-	if len(data) == 0 || data[len(data)-1] == '\n' {
-		return bytes.NewReader(data)
-	}
-	for i := len(data) - 1; i >= 0; i-- {
-		if data[i] == '\n' {
-			return bytes.NewReader(data[:i+1])
-		}
-	}
-	return bytes.NewReader(nil)
 }
 
 // append writes one record and flushes it to the OS, so a later crash

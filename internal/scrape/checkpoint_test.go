@@ -115,26 +115,66 @@ func TestCheckpointIgnoresTruncatedFinalLine(t *testing.T) {
 	}
 }
 
-func TestCheckpointRejectsCorruptMiddle(t *testing.T) {
+func TestCheckpointSkipsCorruptMiddle(t *testing.T) {
+	// A corrupt line in the middle of a journal (a partial write that a
+	// later append ran past, or disk-level damage) must cost only that
+	// line: records after it still load, and the damage is counted so
+	// the run can report it.
 	path := filepath.Join(t.TempDir(), "journal.json")
-	if err := os.WriteFile(path, []byte("{\"type\":\"license\",}}}garbage\n{\"type\":\"failed\"}\n"), 0o644); err != nil {
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openCheckpoint(path); err == nil {
-		t.Fatal("corrupt mid-journal accepted")
+	cp.writeLicense(testLicense("WQAA001"))
+	cp.writeLicense(testLicense("WQAA002"))
+	cp.close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), "{\"type\":\"license\"",
+		"{\"type\":\"license\",}}}garbage", 1)
+	if mangled == string(data) {
+		t.Fatal("test did not mangle the journal")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatalf("corrupt mid-journal aborted the resume: %v", err)
+	}
+	defer cp2.close()
+	if _, ok := state.completed["WQAA001"]; ok {
+		t.Error("corrupted record surfaced as completed")
+	}
+	if _, ok := state.completed["WQAA002"]; !ok {
+		t.Error("record after the corruption lost")
+	}
+	if state.skipped != 1 {
+		t.Errorf("skipped = %d, want 1", state.skipped)
 	}
 }
 
-func TestCheckpointRejectsInvalidLicense(t *testing.T) {
+func TestCheckpointSkipsInvalidLicense(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.json")
 	// A license record that parses as JSON but fails Validate (no
-	// licensee, no grant) must not be trusted.
+	// licensee, no grant) must not be trusted — it is skipped (so the
+	// call sign gets re-scraped) rather than poisoning the resume.
 	if err := os.WriteFile(path,
 		[]byte("{\"type\":\"license\",\"license\":{\"CallSign\":\"WQXX001\"}}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openCheckpoint(path); err == nil {
-		t.Fatal("invalid checkpointed license accepted")
+	cp, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatalf("invalid checkpointed license aborted the resume: %v", err)
+	}
+	defer cp.close()
+	if _, ok := state.completed["WQXX001"]; ok {
+		t.Error("invalid license surfaced as completed")
+	}
+	if state.skipped != 1 {
+		t.Errorf("skipped = %d, want 1", state.skipped)
 	}
 }
 

@@ -76,6 +76,9 @@ type Funnel struct {
 	// ResumedLicenses is the number of licenses restored from the
 	// checkpoint journal instead of scraped.
 	ResumedLicenses int
+	// CheckpointSkipped is the number of corrupt journal lines the
+	// resume ignored (their call signs are simply re-scraped).
+	CheckpointSkipped int
 	// ShortlistedNames lists the shortlisted licensees, sorted.
 	ShortlistedNames []string
 	// Failed lists licenses whose detail pages were abandoned after
@@ -144,6 +147,7 @@ func Run(ctx context.Context, c *Client, opts PipelineOptions) (*uls.Database, F
 			return nil, funnel, err
 		}
 		defer cp.close()
+		funnel.CheckpointSkipped = resumed.skipped
 	}
 
 	key := makePlanKey(c.BaseURL, opts)

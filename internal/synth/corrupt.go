@@ -1,0 +1,238 @@
+package synth
+
+import (
+	"bytes"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+// Calibrated dirty corpora.
+//
+// The paper's ingestion survives real FCC extracts only because it
+// tolerates dirt: truncated downloads, contradictory filings, shredded
+// multi-license blocks. Corrupt manufactures that dirt reproducibly —
+// a seeded mutator over the bulk encoding of a clean database — so the
+// fault-tolerant reader (uls.ReadBulkWithOptions) can be tested and
+// measured against corpora with a known corruption rate and a known
+// set of untouched licenses that must survive byte-identically.
+
+// Profile is a corruption recipe: what fraction of record lines to
+// target and the relative weight of each mutation kind.
+type Profile struct {
+	// Name seeds the RNG stream (together with the seed argument) and
+	// labels the profile in reports.
+	Name string
+	// Rate is the fraction of record lines targeted by a mutation.
+	Rate float64
+	// Mutation weights; zero-weight mutations are never applied.
+	GarbleW    int // overwrite one field with junk
+	TruncateW  int // cut the line short mid-record
+	DuplicateW int // re-file a copy of the line
+	ReorderW   int // move a record ahead of its HD header
+	ShredW     int // join adjacent lines (a lost newline)
+}
+
+// Profiles returns the calibrated corruption profiles: one per
+// mutation kind plus a mixed profile, all targeting 25% of record
+// lines so salvage tests exercise the ≥20%-corrupted regime.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "garble", Rate: 0.25, GarbleW: 1},
+		{Name: "truncate", Rate: 0.25, TruncateW: 1},
+		{Name: "duplicate", Rate: 0.25, DuplicateW: 1},
+		{Name: "reorder", Rate: 0.25, ReorderW: 1},
+		{Name: "shred", Rate: 0.25, ShredW: 1},
+		{Name: "mixed", Rate: 0.25, GarbleW: 3, TruncateW: 2, DuplicateW: 2, ReorderW: 1, ShredW: 2},
+	}
+}
+
+// Corruption is the outcome of one Corrupt run.
+type Corruption struct {
+	// Clean is the bulk encoding of the pristine database; Dirty is the
+	// same corpus after mutation.
+	Clean, Dirty []byte
+	// Touched holds the call signs whose records a mutation reached
+	// (directly or via a joined neighbor). Every license NOT in Touched
+	// is bit-identical in Dirty and must be recovered exactly.
+	Touched map[string]bool
+	// RecordLines is the clean corpus's line count, Mutations how many
+	// mutations were applied.
+	RecordLines int
+	Mutations   int
+}
+
+// CorruptionRate is the fraction of clean record lines that received a
+// mutation.
+func (c *Corruption) CorruptionRate() float64 {
+	if c.RecordLines == 0 {
+		return 0
+	}
+	return float64(c.Mutations) / float64(c.RecordLines)
+}
+
+// Corrupt encodes db in bulk format and applies the profile's
+// mutations from a seeded RNG. The same (db, profile, seed) triple
+// always yields the same Corruption. The call-sign field of a record is
+// never garbled, so a mutation can only ever affect the license it is
+// attributed to (plus joined neighbors) — Touched is exact, not a
+// guess.
+func Corrupt(db *uls.Database, p Profile, seed uint64) *Corruption {
+	var buf bytes.Buffer
+	if err := uls.WriteBulk(&buf, db); err != nil {
+		// bytes.Buffer writes cannot fail; keep the signature honest.
+		panic(err)
+	}
+	clean := append([]byte(nil), buf.Bytes()...)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		lines = nil
+	}
+
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	rng := rand.New(rand.NewPCG(seed, h.Sum64()|1))
+
+	c := &Corruption{Clean: clean, Touched: make(map[string]bool), RecordLines: len(lines)}
+	n := int(p.Rate * float64(len(lines)))
+	if p.Rate > 0 && n == 0 && len(lines) > 0 {
+		n = 1
+	}
+	// Distinct target indices, applied in descending order so that a
+	// join's line removal or a duplicate's insertion never shifts a
+	// target that is still pending.
+	perm := rng.Perm(len(lines))
+	targets := append([]int(nil), perm[:n]...)
+	for i := 0; i < len(targets); i++ { // insertion-sort descending
+		for j := i; j > 0 && targets[j] > targets[j-1]; j-- {
+			targets[j], targets[j-1] = targets[j-1], targets[j]
+		}
+	}
+
+	for _, idx := range targets {
+		lines = applyMutation(rng, p, lines, idx, c)
+		c.Mutations++
+	}
+
+	c.Dirty = []byte(strings.Join(lines, "\n"))
+	if len(lines) > 0 {
+		c.Dirty = append(c.Dirty, '\n')
+	}
+	return c
+}
+
+// junk fields that no HD/EN/LO/PA/FR field parser accepts as a number,
+// date, DMS coordinate or status (they do form a "valid" licensee name,
+// which is the realistic silent-corruption case for EN records).
+var junkFields = []string{"#?~", "!!", "<corrupt>", "NaNope", "??-??-??"}
+
+func applyMutation(rng *rand.Rand, p Profile, lines []string, idx int, c *Corruption) []string {
+	touch := func(line string) {
+		f := strings.SplitN(line, "|", 3)
+		if len(f) >= 2 && f[1] != "" {
+			c.Touched[f[1]] = true
+		}
+	}
+
+	total := p.GarbleW + p.TruncateW + p.DuplicateW + p.ReorderW + p.ShredW
+	if total == 0 {
+		return lines
+	}
+	r := rng.IntN(total)
+	switch {
+	case r < p.GarbleW:
+		touch(lines[idx])
+		lines[idx] = garble(rng, lines[idx])
+	case r < p.GarbleW+p.TruncateW:
+		touch(lines[idx])
+		if len(lines[idx]) > 4 {
+			cut := 3 + rng.IntN(len(lines[idx])-4)
+			lines[idx] = lines[idx][:cut]
+		} else {
+			lines[idx] = garble(rng, lines[idx])
+		}
+	case r < p.GarbleW+p.TruncateW+p.DuplicateW:
+		touch(lines[idx])
+		lines = append(lines, "")
+		copy(lines[idx+1:], lines[idx:]) // shifts right: lines[idx+1] is now the duplicate
+	case r < p.GarbleW+p.TruncateW+p.DuplicateW+p.ReorderW:
+		touch(lines[idx])
+		// Swap the record with its license's HD line, so the record
+		// (and everything of this license in between — WriteBulk keeps
+		// licenses contiguous) now precedes its header.
+		if hd := hdIndex(lines, idx); hd >= 0 && hd != idx {
+			lines[idx], lines[hd] = lines[hd], lines[idx]
+		} else {
+			lines[idx] = garble(rng, lines[idx]) // it was the HD itself
+		}
+	default: // shred: join with the following line (lost newline)
+		j := idx + 1
+		if j >= len(lines) {
+			j = idx - 1
+		}
+		if j < 0 {
+			lines[idx] = garble(rng, lines[idx])
+			break
+		}
+		lo, hi := min(idx, j), max(idx, j)
+		touch(lines[lo])
+		touch(lines[hi])
+		lines[lo] = lines[lo] + lines[hi]
+		lines = append(lines[:hi], lines[hi+1:]...)
+	}
+	return lines
+}
+
+// garble overwrites one non-call-sign field with junk. The call-sign
+// field (index 1) is never touched: a garbled call sign could collide
+// with another license and smuggle records into it, which would make
+// Touched attribution unsound.
+func garble(rng *rand.Rand, line string) string {
+	fields := strings.Split(line, "|")
+	if len(fields) < 3 {
+		return line + "|" + junkFields[rng.IntN(len(junkFields))]
+	}
+	fi := 2 + rng.IntN(len(fields)-2)
+	fields[fi] = junkFields[rng.IntN(len(junkFields))]
+	return strings.Join(fields, "|")
+}
+
+// hdIndex locates the HD line of the license owning lines[idx],
+// searching backwards (WriteBulk emits each license contiguously,
+// header first).
+func hdIndex(lines []string, idx int) int {
+	f := strings.SplitN(lines[idx], "|", 3)
+	if len(f) < 2 || f[1] == "" {
+		return -1
+	}
+	prefix := "HD|" + f[1] + "|"
+	for i := idx; i >= 0; i-- {
+		if strings.HasPrefix(lines[i], prefix) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CorridorBounds is the Chicago–New Jersey corridor bounding box: the
+// four data centers padded by two degrees, generous enough to contain
+// every synthetic tower while still rejecting coordinates that landed
+// on another continent.
+func CorridorBounds() uls.Bounds {
+	b := uls.Bounds{MinLat: 90, MaxLat: -90, MinLon: 180, MaxLon: -180}
+	for _, dc := range sites.All {
+		b.MinLat = min(b.MinLat, dc.Location.Lat)
+		b.MaxLat = max(b.MaxLat, dc.Location.Lat)
+		b.MinLon = min(b.MinLon, dc.Location.Lon)
+		b.MaxLon = max(b.MaxLon, dc.Location.Lon)
+	}
+	const pad = 2.0
+	b.MinLat -= pad
+	b.MaxLat += pad
+	b.MinLon -= pad
+	b.MaxLon += pad
+	return b
+}

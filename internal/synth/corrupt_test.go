@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hftnetview/internal/uls"
+)
+
+// corpusDB generates the corpus once per test binary.
+var corpusDB = func() func(t *testing.T) *uls.Database {
+	var db *uls.Database
+	return func(t *testing.T) *uls.Database {
+		t.Helper()
+		if db == nil {
+			var err error
+			db, err = Generate()
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+		}
+		return db
+	}
+}()
+
+func TestCorruptDeterministic(t *testing.T) {
+	db := corpusDB(t)
+	for _, p := range Profiles() {
+		a := Corrupt(db, p, 7)
+		b := Corrupt(db, p, 7)
+		if !bytes.Equal(a.Dirty, b.Dirty) {
+			t.Errorf("%s: same seed produced different dirty corpora", p.Name)
+		}
+		c := Corrupt(db, p, 8)
+		if bytes.Equal(a.Dirty, c.Dirty) {
+			t.Errorf("%s: different seeds produced identical dirty corpora", p.Name)
+		}
+		if bytes.Equal(a.Dirty, a.Clean) {
+			t.Errorf("%s: corruption was a no-op", p.Name)
+		}
+		if got := a.CorruptionRate(); got < 0.20 {
+			t.Errorf("%s: corruption rate %.3f below the 20%% regime", p.Name, got)
+		}
+	}
+}
+
+// TestCorruptTouchedExact verifies the attribution contract Corrupt
+// documents: a license not in Touched has bit-identical lines in the
+// dirty corpus.
+func TestCorruptTouchedExact(t *testing.T) {
+	db := corpusDB(t)
+	for _, p := range Profiles() {
+		c := Corrupt(db, p, 3)
+		dirty := make(map[string]bool)
+		for _, line := range strings.Split(string(c.Dirty), "\n") {
+			dirty[line] = true
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(c.Clean), "\n"), "\n") {
+			f := strings.SplitN(line, "|", 3)
+			if len(f) < 2 || c.Touched[f[1]] {
+				continue
+			}
+			if !dirty[line] {
+				t.Fatalf("%s: line of untouched license %s missing from dirty corpus: %q",
+					p.Name, f[1], line)
+			}
+		}
+	}
+}
+
+// TestSalvageRoundTrip is the headline guarantee: lenient ingestion of
+// a ≥20%-corrupted corpus recovers every untouched license
+// byte-identically to the clean parse, for seeds 1..20 across every
+// profile, with a deterministic IngestReport.
+func TestSalvageRoundTrip(t *testing.T) {
+	db := corpusDB(t)
+	cleanDB, err := uls.ReadBulk(bytes.NewReader(Corrupt(db, Profile{}, 0).Clean))
+	if err != nil {
+		t.Fatalf("clean parse: %v", err)
+	}
+	cleanLicense := make(map[string]string) // call sign -> bulk block
+	for _, l := range cleanDB.All() {
+		var b bytes.Buffer
+		one := uls.NewDatabase()
+		if err := one.Add(l); err != nil {
+			t.Fatalf("re-add %s: %v", l.CallSign, err)
+		}
+		if err := uls.WriteBulk(&b, one); err != nil {
+			t.Fatalf("WriteBulk %s: %v", l.CallSign, err)
+		}
+		cleanLicense[l.CallSign] = b.String()
+	}
+
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= 20; seed++ {
+				c := Corrupt(db, p, seed)
+				got, rep, err := uls.ReadBulkWithOptions(bytes.NewReader(c.Dirty),
+					uls.ReadBulkOptions{Mode: uls.Lenient})
+				if err != nil {
+					t.Fatalf("seed %d: lenient parse: %v", seed, err)
+				}
+				if rep == nil {
+					t.Fatalf("seed %d: nil report", seed)
+				}
+				// Determinism of the report.
+				_, rep2, err := uls.ReadBulkWithOptions(bytes.NewReader(c.Dirty),
+					uls.ReadBulkOptions{Mode: uls.Lenient})
+				if err != nil {
+					t.Fatalf("seed %d: second lenient parse: %v", seed, err)
+				}
+				if rep.String() != rep2.String() {
+					t.Fatalf("seed %d: IngestReport not deterministic:\n%s\nvs\n%s",
+						seed, rep, rep2)
+				}
+				// Every untouched license must round-trip byte-identically.
+				recovered, missing := 0, 0
+				for cs, want := range cleanLicense {
+					if c.Touched[cs] {
+						continue
+					}
+					l, ok := got.ByCallSign(cs)
+					if !ok {
+						missing++
+						t.Errorf("seed %d: untouched license %s lost", seed, cs)
+						continue
+					}
+					var b bytes.Buffer
+					one := uls.NewDatabase()
+					if err := one.Add(l); err != nil {
+						t.Fatalf("seed %d: re-add recovered %s: %v", seed, cs, err)
+					}
+					if err := uls.WriteBulk(&b, one); err != nil {
+						t.Fatalf("seed %d: WriteBulk recovered %s: %v", seed, cs, err)
+					}
+					if b.String() != want {
+						t.Errorf("seed %d: untouched license %s not byte-identical:\n got: %q\nwant: %q",
+							seed, cs, b.String(), want)
+					} else {
+						recovered++
+					}
+				}
+				if t.Failed() {
+					t.Fatalf("seed %d profile %s: salvage failed (%d recovered, %d missing, rate %.2f)\nreport:\n%s",
+						seed, p.Name, recovered, missing, c.CorruptionRate(), rep)
+				}
+			}
+		})
+	}
+}
+
+// TestCorridorBoundsContainsCorpus guards the bounds used for
+// coordinate-range validation: every location the generator emits must
+// sit inside CorridorBounds, or bounds-based repair would eat healthy
+// towers.
+func TestCorridorBoundsContainsCorpus(t *testing.T) {
+	db := corpusDB(t)
+	b := CorridorBounds()
+	for _, l := range db.All() {
+		for _, loc := range l.Locations {
+			if !b.Contains(loc.Point) {
+				t.Errorf("%s location %d at %v outside corridor bounds %v",
+					l.CallSign, loc.Number, loc.Point, b)
+			}
+		}
+	}
+	if rep := uls.Validate(db, uls.ValidateOptions{Bounds: boundsPtr(b)}); !rep.Clean() {
+		t.Errorf("clean corpus fails bounded Validate:\n%s", rep)
+	}
+}
+
+func boundsPtr(b uls.Bounds) *uls.Bounds { return &b }
+
+// TestSalvageRateByProfile records the measured salvage behaviour the
+// EXPERIMENTS.md entry cites; it fails only if salvage degrades badly.
+func TestSalvageRateByProfile(t *testing.T) {
+	db := corpusDB(t)
+	total := db.Len()
+	for _, p := range Profiles() {
+		c := Corrupt(db, p, 1)
+		got, rep, err := uls.ReadBulkWithOptions(bytes.NewReader(c.Dirty),
+			uls.ReadBulkOptions{Mode: uls.Lenient})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if testing.Verbose() {
+			fmt.Printf("profile %-10s rate=%.2f touched=%d loaded=%d/%d quarantined=%d badlines=%d\n",
+				p.Name, c.CorruptionRate(), len(c.Touched), got.Len(), total,
+				len(rep.Quarantined), rep.BadLines)
+		}
+		untouched := total - len(c.Touched)
+		if got.Len() < untouched {
+			t.Errorf("%s: loaded %d licenses, fewer than the %d untouched ones",
+				p.Name, got.Len(), untouched)
+		}
+	}
+}

@@ -27,8 +27,13 @@ import (
 //
 // Dates are MM/DD/YYYY (empty = not on file); coordinates are in the
 // DMS form of geo.ParseDMS. Records for a license may appear in any
-// order after its HD record; licenses may interleave. Lines beginning
-// with '#' and blank lines are ignored.
+// order after its HD record (an FR may even precede the PA it names —
+// it is buffered and resolved when the stream ends); licenses may
+// interleave. Lines beginning with '#' and blank lines are ignored.
+//
+// Real extracts are dirty. ReadBulk is the strict, all-or-nothing
+// parser; ReadBulkWithOptions (ingest.go) adds the lenient modes,
+// record-level quarantine, and the IngestReport error taxonomy.
 
 // WriteBulk writes the database in bulk format, licenses sorted by call
 // sign and records grouped per license, so output is deterministic and
@@ -78,7 +83,7 @@ func writeLicense(w io.Writer, l *License) error {
 // ParseError describes a malformed bulk record.
 type ParseError struct {
 	Line int    // 1-based line number
-	Text string // offending line
+	Text string // offending line (truncated for overlong lines)
 	Err  error
 }
 
@@ -91,80 +96,167 @@ func (e *ParseError) Unwrap() error { return e.Err }
 // ReadBulk parses a bulk stream into a fresh Database. Parsing is
 // streaming (constant memory per license beyond the database itself) and
 // strict: any malformed record aborts with a *ParseError carrying the
-// line number.
+// line number. For fault-tolerant ingestion of dirty extracts, see
+// ReadBulkWithOptions.
 func ReadBulk(r io.Reader) (*Database, error) {
-	db := NewDatabase()
-	// open tracks licenses being assembled; they are validated and added
-	// once the whole stream is read (records may interleave).
-	open := make(map[string]*License)
-	var order []string
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimRight(sc.Text(), "\r")
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if err := parseBulkLine(line, open, &order); err != nil {
-			return nil, &ParseError{Line: lineNo, Text: line, Err: err}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("uls: reading bulk stream: %w", err)
-	}
-	for _, cs := range order {
-		if err := db.Add(open[cs]); err != nil {
-			return nil, err
-		}
-	}
-	return db, nil
+	db, _, err := ReadBulkWithOptions(r, ReadBulkOptions{Mode: Strict})
+	return db, err
 }
 
-func parseBulkLine(line string, open map[string]*License, order *[]string) error {
+// maxLineBytes is the longest record line the parser accepts; longer
+// lines (the signature of lost newlines in a truncated or corrupted
+// extract) are a Syntax record error rather than a valid record.
+const maxLineBytes = 1 << 20
+
+// tooLongKeep is how much of an overlong line is retained for
+// diagnostics.
+const tooLongKeep = 64
+
+// lineReader yields lines with 1-based numbering. Unlike bufio.Scanner
+// it survives lines longer than maxLineBytes: the overflowing line is
+// consumed to its newline and returned truncated with tooLong set, so
+// a caller can skip it and keep parsing.
+type lineReader struct {
+	br   *bufio.Reader
+	line int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// next returns the next line without its terminator. It returns io.EOF
+// only with no line to deliver.
+func (lr *lineReader) next() (text string, lineNo int, tooLong bool, err error) {
+	var buf []byte
+	atEOF := false
+	for {
+		chunk, rerr := lr.br.ReadSlice('\n')
+		if !tooLong {
+			buf = append(buf, chunk...)
+			n := len(buf)
+			if n > 0 && buf[n-1] == '\n' {
+				n--
+			}
+			if n > maxLineBytes {
+				tooLong = true
+				buf = buf[:tooLongKeep]
+			}
+		}
+		switch rerr {
+		case nil:
+			// Line complete.
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			atEOF = true
+		default:
+			return "", 0, false, rerr
+		}
+		if atEOF && len(buf) == 0 && !tooLong {
+			return "", 0, false, io.EOF
+		}
+		lr.line++
+		if !tooLong && len(buf) > 0 && buf[len(buf)-1] == '\n' {
+			buf = buf[:len(buf)-1]
+		}
+		return string(buf), lr.line, tooLong, nil
+	}
+}
+
+// classedError tags a record-parse error with its taxonomy class while
+// rendering exactly like the underlying error, so strict-mode messages
+// are unchanged.
+type classedError struct {
+	class ErrorClass
+	err   error
+}
+
+func (e *classedError) Error() string { return e.err.Error() }
+func (e *classedError) Unwrap() error { return e.err }
+
+func cerrf(class ErrorClass, format string, args ...any) error {
+	return &classedError{class: class, err: fmt.Errorf(format, args...)}
+}
+
+// pendingFR is an FR record whose PA had not been seen yet when the FR
+// line was read; it is resolved when the stream ends.
+type pendingFR struct {
+	line int
+	text string
+	path int
+	freq float64
+}
+
+// openLicense tracks one license being assembled across (possibly
+// interleaved) record lines.
+type openLicense struct {
+	l       *License
+	pending []pendingFR
+	erred   bool // had any record error (DropLicense quarantines on this)
+}
+
+// recordTypes are the known two-letter record type tokens. Anything
+// else is reported under the placeholder type "??" so adversarial
+// input cannot grow the report's per-type map without bound.
+var recordTypes = map[string]bool{"HD": true, "EN": true, "LO": true, "PA": true, "FR": true}
+
+func sanitizeType(typ string) string {
+	if recordTypes[typ] {
+		return typ
+	}
+	return "??"
+}
+
+// parseBulkLine parses one record line into the open-license set. It
+// returns the call sign and record type it could attribute the line to
+// (either may be empty) alongside any error, so lenient mode can file
+// the failure under the right license.
+func parseBulkLine(line string, lineNo int, open map[string]*openLicense, order *[]string) (cs, typ string, err error) {
 	fields := strings.Split(line, "|")
+	if len(fields) >= 1 {
+		typ = sanitizeType(fields[0])
+	}
 	if len(fields) < 2 {
-		return fmt.Errorf("too few fields")
+		return "", typ, cerrf(ClassSyntax, "too few fields")
 	}
-	typ, cs := fields[0], fields[1]
+	cs = fields[1]
 	if cs == "" {
-		return fmt.Errorf("empty call sign")
+		return "", typ, cerrf(ClassSyntax, "empty call sign")
 	}
-	if typ == "HD" {
+	if fields[0] == "HD" {
 		if _, dup := open[cs]; dup {
-			return fmt.Errorf("duplicate HD for %s", cs)
+			return cs, typ, cerrf(ClassDuplicate, "duplicate HD for %s", cs)
 		}
 		l, err := parseHD(fields)
 		if err != nil {
-			return err
+			return cs, typ, err
 		}
-		open[cs] = l
+		open[cs] = &openLicense{l: l}
 		*order = append(*order, cs)
-		return nil
+		return cs, typ, nil
 	}
-	l, ok := open[cs]
+	ol, ok := open[cs]
 	if !ok {
-		return fmt.Errorf("%s record for %s precedes its HD record", typ, cs)
+		return cs, typ, cerrf(ClassReferential, "%s record for %s precedes its HD record", fields[0], cs)
 	}
-	switch typ {
+	switch fields[0] {
 	case "EN":
-		return parseEN(fields, l)
+		return cs, typ, parseEN(fields, ol.l)
 	case "LO":
-		return parseLO(fields, l)
+		return cs, typ, parseLO(fields, ol.l)
 	case "PA":
-		return parsePA(fields, l)
+		return cs, typ, parsePA(fields, ol.l)
 	case "FR":
-		return parseFR(fields, l)
+		return cs, typ, parseFR(fields, lineNo, line, ol)
 	default:
-		return fmt.Errorf("unknown record type %q", typ)
+		return cs, typ, cerrf(ClassSyntax, "unknown record type %q", fields[0])
 	}
 }
 
 func wantFields(fields []string, n int) error {
 	if len(fields) != n {
-		return fmt.Errorf("want %d fields, got %d", n, len(fields))
+		return cerrf(ClassSyntax, "want %d fields, got %d", n, len(fields))
 	}
 	return nil
 }
@@ -175,24 +267,24 @@ func parseHD(f []string) (*License, error) {
 	}
 	id, err := strconv.Atoi(f[2])
 	if err != nil {
-		return nil, fmt.Errorf("bad license id %q", f[2])
+		return nil, cerrf(ClassSyntax, "bad license id %q", f[2])
 	}
 	grant, err := ParseDate(f[5])
 	if err != nil {
-		return nil, err
+		return nil, &classedError{class: ClassSyntax, err: err}
 	}
 	exp, err := ParseDate(f[6])
 	if err != nil {
-		return nil, err
+		return nil, &classedError{class: ClassSyntax, err: err}
 	}
 	cancel, err := ParseDate(f[7])
 	if err != nil {
-		return nil, err
+		return nil, &classedError{class: ClassSyntax, err: err}
 	}
 	switch Status(f[4]) {
 	case StatusActive, StatusCancelled, StatusExpired, StatusTerminated:
 	default:
-		return nil, fmt.Errorf("unknown status %q", f[4])
+		return nil, cerrf(ClassRange, "unknown status %q", f[4])
 	}
 	return &License{
 		CallSign:     f[1],
@@ -210,10 +302,10 @@ func parseEN(f []string, l *License) error {
 		return err
 	}
 	if l.Licensee != "" {
-		return fmt.Errorf("duplicate EN record")
+		return cerrf(ClassDuplicate, "duplicate EN record")
 	}
 	if f[2] == "" {
-		return fmt.Errorf("empty licensee name")
+		return cerrf(ClassSyntax, "empty licensee name")
 	}
 	l.Licensee, l.FRN, l.ContactEmail = f[2], f[3], f[4]
 	return nil
@@ -225,27 +317,27 @@ func parseLO(f []string, l *License) error {
 	}
 	num, err := strconv.Atoi(f[2])
 	if err != nil {
-		return fmt.Errorf("bad location number %q", f[2])
+		return cerrf(ClassSyntax, "bad location number %q", f[2])
 	}
 	lat, err := geo.ParseDMS(f[3])
 	if err != nil {
-		return err
+		return &classedError{class: ClassSyntax, err: err}
 	}
 	lon, err := geo.ParseDMS(f[4])
 	if err != nil {
-		return err
+		return &classedError{class: ClassSyntax, err: err}
 	}
 	pt, err := geo.PointFromDMS(lat, lon)
 	if err != nil {
-		return err
+		return &classedError{class: ClassRange, err: err}
 	}
 	elev, err := strconv.ParseFloat(f[5], 64)
 	if err != nil {
-		return fmt.Errorf("bad ground elevation %q", f[5])
+		return cerrf(ClassSyntax, "bad ground elevation %q", f[5])
 	}
 	height, err := strconv.ParseFloat(f[6], 64)
 	if err != nil {
-		return fmt.Errorf("bad support height %q", f[6])
+		return cerrf(ClassSyntax, "bad support height %q", f[6])
 	}
 	l.Locations = append(l.Locations, Location{
 		Number: num, Point: pt, GroundElevation: elev, SupportHeight: height,
@@ -259,27 +351,27 @@ func parsePA(f []string, l *License) error {
 	}
 	num, err := strconv.Atoi(f[2])
 	if err != nil {
-		return fmt.Errorf("bad path number %q", f[2])
+		return cerrf(ClassSyntax, "bad path number %q", f[2])
 	}
 	tx, err := strconv.Atoi(f[3])
 	if err != nil {
-		return fmt.Errorf("bad tx location %q", f[3])
+		return cerrf(ClassSyntax, "bad tx location %q", f[3])
 	}
 	rx, err := strconv.Atoi(f[4])
 	if err != nil {
-		return fmt.Errorf("bad rx location %q", f[4])
+		return cerrf(ClassSyntax, "bad rx location %q", f[4])
 	}
 	txAz, err := strconv.ParseFloat(f[6], 64)
 	if err != nil {
-		return fmt.Errorf("bad tx azimuth %q", f[6])
+		return cerrf(ClassSyntax, "bad tx azimuth %q", f[6])
 	}
 	rxAz, err := strconv.ParseFloat(f[7], 64)
 	if err != nil {
-		return fmt.Errorf("bad rx azimuth %q", f[7])
+		return cerrf(ClassSyntax, "bad rx azimuth %q", f[7])
 	}
 	gain, err := strconv.ParseFloat(f[8], 64)
 	if err != nil {
-		return fmt.Errorf("bad antenna gain %q", f[8])
+		return cerrf(ClassSyntax, "bad antenna gain %q", f[8])
 	}
 	l.Paths = append(l.Paths, Path{
 		Number: num, TXLocation: tx, RXLocation: rx, StationClass: f[5],
@@ -288,23 +380,39 @@ func parsePA(f []string, l *License) error {
 	return nil
 }
 
-func parseFR(f []string, l *License) error {
+// parseFR parses a frequency record. An FR whose path has not been
+// seen yet is buffered on the license (the format allows records in any
+// order after the HD) and resolved at end of stream.
+func parseFR(f []string, lineNo int, text string, ol *openLicense) error {
 	if err := wantFields(f, 4); err != nil {
 		return err
 	}
 	num, err := strconv.Atoi(f[2])
 	if err != nil {
-		return fmt.Errorf("bad path number %q", f[2])
+		return cerrf(ClassSyntax, "bad path number %q", f[2])
 	}
 	freq, err := strconv.ParseFloat(f[3], 64)
-	if err != nil || freq <= 0 {
-		return fmt.Errorf("bad frequency %q", f[3])
+	if err != nil {
+		return cerrf(ClassSyntax, "bad frequency %q", f[3])
 	}
+	if freq <= 0 {
+		return cerrf(ClassRange, "bad frequency %q", f[3])
+	}
+	if attachFR(ol.l, num, freq) {
+		return nil
+	}
+	ol.pending = append(ol.pending, pendingFR{line: lineNo, text: text, path: num, freq: freq})
+	return nil
+}
+
+// attachFR appends freq to the numbered path, reporting whether the
+// path exists.
+func attachFR(l *License, path int, freq float64) bool {
 	for i := range l.Paths {
-		if l.Paths[i].Number == num {
+		if l.Paths[i].Number == path {
 			l.Paths[i].FrequenciesMHz = append(l.Paths[i].FrequenciesMHz, freq)
-			return nil
+			return true
 		}
 	}
-	return fmt.Errorf("FR record for unknown path %d", num)
+	return false
 }

@@ -44,6 +44,14 @@ func (db *Database) Add(l *License) error {
 	}
 	db.licenses = append(db.licenses, l)
 	db.byCallSign[l.CallSign] = l
+	db.invalidate()
+	return nil
+}
+
+// invalidate bumps the generation and discards the derived indexes.
+// Every mutation — Add, or Validate repairing licenses in place — must
+// call it so caches keyed on Generation and the lazy indexes rebuild.
+func (db *Database) invalidate() {
 	db.gen++
 	db.spatialMu.Lock()
 	db.spatial = nil // geographic index is stale now
@@ -51,7 +59,6 @@ func (db *Database) Add(l *License) error {
 	db.dateMu.Lock()
 	db.dateIdx = nil // activity index is stale now
 	db.dateMu.Unlock()
-	return nil
 }
 
 // Generation returns a counter that changes whenever the database is

@@ -49,6 +49,68 @@ func FuzzReadBulk(f *testing.F) {
 	})
 }
 
+// FuzzReadBulkLenient asserts the fault-tolerant path never panics,
+// always produces a report, and only ever loads licenses that re-parse
+// cleanly under the strict reader — a salvaged database is a clean
+// database. Seeds imitate the synth corruption profiles: garbled
+// fields, truncation, duplicated records, reordering, and shredded
+// (joined) lines.
+func FuzzReadBulkLenient(f *testing.F) {
+	clean := strings.Join([]string{
+		"HD|WQAA001|1|MG|A|06/01/2015||",
+		"EN|WQAA001|Net One|0001|noc@netone.example",
+		"LO|WQAA001|1|41-45-00.0 N|88-12-00.0 W|200.0|100.0",
+		"LO|WQAA001|2|41-42-00.0 N|87-42-00.0 W|190.0|100.0",
+		"PA|WQAA001|1|1|2|FXO|45.0|225.0|38.0",
+		"FR|WQAA001|1|11245.0",
+		"",
+	}, "\n")
+	seeds := []string{
+		"",
+		clean,
+		// garble: junk fields mid-record
+		strings.Replace(clean, "200.0|100.0", "#?~|NaNope", 1),
+		// truncate: record cut mid-field
+		clean[:len(clean)/2],
+		// duplicate: a record line filed twice
+		clean + "EN|WQAA001|Net One|0001|noc@netone.example\n",
+		// reorder: FR and records before their HD
+		"FR|WQAA001|1|11245.0\nEN|WQAA001|Net|0001|x@n.example\n" + clean,
+		// shred: two records joined by a lost newline
+		strings.Replace(clean, "|0001|noc@netone.example\nLO|", "|0001|noc@netone.exampleLO|", 1),
+		"HD|WQAA001|1|MG|A|99/99/9999||\nZZ|?|\x00\xff\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, rep, err := ReadBulkWithOptions(bytes.NewReader(data), ReadBulkOptions{Mode: Lenient})
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		if rep.BadLines > rep.RecordLines || rep.RecordLines > rep.Lines {
+			t.Fatalf("impossible accounting: bad %d > records %d > lines %d",
+				rep.BadLines, rep.RecordLines, rep.Lines)
+		}
+		if err != nil {
+			return
+		}
+		if db == nil {
+			t.Fatal("nil database with nil error")
+		}
+		if db.Len() != rep.LicensesLoaded {
+			t.Fatalf("db has %d licenses, report says %d", db.Len(), rep.LicensesLoaded)
+		}
+		var buf bytes.Buffer
+		if err := WriteBulk(&buf, db); err != nil {
+			t.Fatalf("salvaged database failed to encode: %v", err)
+		}
+		if _, err := ReadBulk(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("salvaged database is not strict-clean: %v", err)
+		}
+	})
+}
+
 // FuzzParseDate asserts the date parser never panics and that accepted
 // dates re-render to a string that parses back to the same value.
 func FuzzParseDate(f *testing.F) {

@@ -1,0 +1,421 @@
+package uls
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Fault-tolerant ingestion.
+//
+// Real ULS extracts are dirty: truncated downloads lose newlines,
+// filings contradict each other, and speculative licenses reference
+// paths that were never built. ReadBulkWithOptions parses such streams
+// under an explicit policy (ParseMode), classifies every failure into a
+// small taxonomy (ErrorClass), and accounts for everything it skipped
+// or quarantined in a deterministic IngestReport — the same input under
+// the same options always yields the same report, so salvage runs are
+// reproducible and diffable.
+
+// ParseMode selects how ReadBulkWithOptions reacts to malformed input.
+type ParseMode int
+
+const (
+	// Strict aborts on the first malformed record (classic ReadBulk).
+	Strict ParseMode = iota
+	// Lenient skips malformed records and salvages the rest of each
+	// license, repairing cross-record fallout (e.g. a path whose
+	// location record was skipped) by dropping only the inconsistent
+	// sub-records.
+	Lenient
+	// DropLicense quarantines every license that produced at least one
+	// record error, keeping only licenses whose records all parsed.
+	DropLicense
+)
+
+func (m ParseMode) String() string {
+	switch m {
+	case Strict:
+		return "strict"
+	case Lenient:
+		return "lenient"
+	case DropLicense:
+		return "drop-license"
+	default:
+		return fmt.Sprintf("ParseMode(%d)", int(m))
+	}
+}
+
+// ErrorClass is the coarse taxonomy of record failures.
+type ErrorClass string
+
+const (
+	// ClassSyntax: the line or field cannot be decoded at all (wrong
+	// arity, unparsable number/date/coordinate, overlong line).
+	ClassSyntax ErrorClass = "syntax"
+	// ClassRange: the value decodes but is outside its legal domain
+	// (unknown status, non-positive frequency, coordinate off the
+	// globe or outside the configured bounds).
+	ClassRange ErrorClass = "range"
+	// ClassReferential: the record points at something that does not
+	// exist (no HD yet, FR naming a path never filed, PA naming a
+	// missing location).
+	ClassReferential ErrorClass = "referential"
+	// ClassDuplicate: the record re-files something already on record
+	// (second HD or EN for a call sign, repeated location number).
+	ClassDuplicate ErrorClass = "duplicate"
+)
+
+// classOf extracts the taxonomy class from a record error; unclassed
+// errors default to ClassSyntax (the safest "could not decode" bucket).
+func classOf(err error) ErrorClass {
+	var ce *classedError
+	if errors.As(err, &ce) {
+		return ce.class
+	}
+	return ClassSyntax
+}
+
+// RecordError is one classified record failure. Line is 0 for
+// cross-record issues found after the stream ended (audit/repair),
+// which have no single line to blame.
+type RecordError struct {
+	Line       int
+	CallSign   string // empty when the line could not be attributed
+	RecordType string // HD/EN/LO/PA/FR, or "??" when unrecognized
+	Class      ErrorClass
+	Err        error
+}
+
+func (e RecordError) Error() string {
+	where := "post-parse"
+	if e.Line > 0 {
+		where = fmt.Sprintf("line %d", e.Line)
+	}
+	cs := e.CallSign
+	if cs == "" {
+		cs = "-"
+	}
+	return fmt.Sprintf("%s: %s %s [%s]: %v", where, cs, e.RecordType, e.Class, e.Err)
+}
+
+func (e RecordError) Unwrap() error { return e.Err }
+
+// ErrBudgetExceeded is wrapped by the error ReadBulkWithOptions returns
+// when the stream blows its error budget (see ReadBulkOptions.MaxErrorRate).
+var ErrBudgetExceeded = errors.New("uls: ingest error budget exceeded")
+
+// ReadBulkOptions configures fault-tolerant parsing.
+type ReadBulkOptions struct {
+	// Mode is the malformed-record policy. The zero value is Strict.
+	Mode ParseMode
+
+	// MaxErrorRate is the error budget: if, in a non-strict mode, more
+	// than this fraction of record lines are bad, parsing aborts with
+	// an error wrapping ErrBudgetExceeded — a corpus that corrupt is
+	// more likely the wrong file than a salvage candidate. 0 disables
+	// the budget.
+	MaxErrorRate float64
+
+	// Bounds, when non-nil, makes locations outside the box a Range
+	// issue during the post-parse audit (repaired modes drop the
+	// location and everything referencing it).
+	Bounds *Bounds
+}
+
+// maxReportErrors caps how many RecordErrors the report retains
+// verbatim; counts (BadLines, ByClass, ByType) keep accumulating past
+// the cap so adversarial input cannot balloon the report.
+const maxReportErrors = 100
+
+// budgetMinSample is how many record lines must be seen before the
+// error budget can abort mid-stream (the final end-of-stream check is
+// unconditional). The window must be generous: one corrupted HD line
+// cascades into referential errors for every following record of its
+// license, so small prefixes over-estimate the corpus-wide error rate.
+const budgetMinSample = 1000
+
+// IngestReport is the deterministic account of a ReadBulkWithOptions
+// run: identical input and options produce an identical report.
+type IngestReport struct {
+	Mode        ParseMode
+	Lines       int // physical lines seen (including blanks/comments)
+	RecordLines int // lines that should have held a record
+	BadLines    int // record lines rejected
+	Repaired    int // sub-records dropped by post-parse repair
+
+	LicensesLoaded int      // licenses that made it into the database
+	Quarantined    []string // call signs dropped whole, sorted
+
+	Errors          []RecordError // first maxReportErrors failures, in order
+	ErrorsTruncated bool          // true if Errors hit the cap
+	ByClass         map[ErrorClass]int
+	ByType          map[string]int
+
+	quarantineReason map[string]string
+}
+
+func newIngestReport(mode ParseMode) *IngestReport {
+	return &IngestReport{
+		Mode:             mode,
+		ByClass:          make(map[ErrorClass]int),
+		ByType:           make(map[string]int),
+		quarantineReason: make(map[string]string),
+	}
+}
+
+// record files one failure into the report's taxonomy.
+func (r *IngestReport) record(e RecordError) {
+	if e.Line > 0 {
+		r.BadLines++
+	}
+	r.ByClass[e.Class]++
+	r.ByType[e.RecordType]++
+	if len(r.Errors) < maxReportErrors {
+		r.Errors = append(r.Errors, e)
+	} else {
+		r.ErrorsTruncated = true
+	}
+}
+
+func (r *IngestReport) quarantine(cs, reason string) {
+	if _, dup := r.quarantineReason[cs]; dup {
+		return
+	}
+	r.quarantineReason[cs] = reason
+	r.Quarantined = append(r.Quarantined, cs)
+}
+
+// ErrorRate is BadLines over RecordLines (0 for an empty stream).
+func (r *IngestReport) ErrorRate() float64 {
+	if r.RecordLines == 0 {
+		return 0
+	}
+	return float64(r.BadLines) / float64(r.RecordLines)
+}
+
+// String renders the report as a small deterministic block, suitable
+// for terminals and golden tests.
+func (r *IngestReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ingest: mode=%s lines=%d records=%d bad=%d (%.1f%%) repaired=%d loaded=%d quarantined=%d\n",
+		r.Mode, r.Lines, r.RecordLines, r.BadLines, 100*r.ErrorRate(),
+		r.Repaired, r.LicensesLoaded, len(r.Quarantined))
+	if len(r.ByClass) > 0 {
+		keys := make([]string, 0, len(r.ByClass))
+		for k := range r.ByClass {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		b.WriteString("  by class:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, r.ByClass[ErrorClass(k)])
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.ByType) > 0 {
+		keys := make([]string, 0, len(r.ByType))
+		for k := range r.ByType {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  by type:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, r.ByType[k])
+		}
+		b.WriteByte('\n')
+	}
+	const maxListed = 10
+	for i, cs := range r.Quarantined {
+		if i == maxListed {
+			fmt.Fprintf(&b, "  quarantined ... %d more (WriteQuarantine lists all)\n",
+				len(r.Quarantined)-maxListed)
+			break
+		}
+		fmt.Fprintf(&b, "  quarantined %s: %s\n", cs, r.quarantineReason[cs])
+	}
+	return b.String()
+}
+
+// WriteQuarantine writes one tab-separated "call_sign<TAB>reason" line
+// per quarantined license, sorted by call sign.
+func (r *IngestReport) WriteQuarantine(w io.Writer) error {
+	for _, cs := range r.Quarantined {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", cs, r.quarantineReason[cs]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBulkWithOptions parses a bulk stream under the given
+// fault-tolerance policy. The report is never nil. In Strict mode the
+// behaviour (and error values) match ReadBulk exactly, except that an
+// overlong line now surfaces as a located *ParseError instead of an
+// anonymous scanner failure. In Lenient and DropLicense modes the
+// returned error is non-nil only for stream I/O failures or a blown
+// error budget.
+func ReadBulkWithOptions(r io.Reader, opts ReadBulkOptions) (*Database, *IngestReport, error) {
+	rep := newIngestReport(opts.Mode)
+	db := NewDatabase()
+	// open tracks licenses being assembled; they are audited and added
+	// once the whole stream is read (records may interleave).
+	open := make(map[string]*openLicense)
+	var order []string
+	// doomed marks call signs DropLicense must quarantine even if the
+	// offending record arrived before (or instead of) their HD.
+	doomed := make(map[string]bool)
+
+	fail := func(e RecordError, line string) error {
+		rep.record(e)
+		if opts.Mode == Strict {
+			return &ParseError{Line: e.Line, Text: line, Err: e.Err}
+		}
+		if e.CallSign != "" {
+			if opts.Mode == DropLicense {
+				doomed[e.CallSign] = true
+			}
+			if ol, ok := open[e.CallSign]; ok {
+				ol.erred = true
+			}
+		}
+		if err := rep.checkBudget(opts, false); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	lr := newLineReader(r)
+	for {
+		text, lineNo, tooLong, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, rep, fmt.Errorf("uls: reading bulk stream: %w", err)
+		}
+		rep.Lines = lineNo
+		line := strings.TrimRight(text, "\r")
+		if !tooLong && (line == "" || strings.HasPrefix(line, "#")) {
+			continue
+		}
+		rep.RecordLines++
+		if tooLong {
+			e := RecordError{
+				Line: lineNo, RecordType: sanitizeType(firstField(line)),
+				Class: ClassSyntax,
+				Err:   fmt.Errorf("line exceeds %d bytes", maxLineBytes),
+			}
+			if err := fail(e, line); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+		cs, typ, perr := parseBulkLine(line, lineNo, open, &order)
+		if perr != nil {
+			e := RecordError{Line: lineNo, CallSign: cs, RecordType: typ, Class: classOf(perr), Err: perr}
+			if err := fail(e, line); err != nil {
+				return nil, rep, err
+			}
+		}
+	}
+
+	// Resolve FRs that preceded their PA record. Whatever is still
+	// unresolved references a path that never appeared: in Strict the
+	// earliest such line aborts (with the classic message); otherwise
+	// each is a Referential record error against its license.
+	var unresolved []struct {
+		cs string
+		fr pendingFR
+	}
+	for _, cs := range order {
+		ol := open[cs]
+		for _, p := range ol.pending {
+			if !attachFR(ol.l, p.path, p.freq) {
+				unresolved = append(unresolved, struct {
+					cs string
+					fr pendingFR
+				}{cs, p})
+			}
+		}
+		ol.pending = nil
+	}
+	sort.Slice(unresolved, func(i, j int) bool { return unresolved[i].fr.line < unresolved[j].fr.line })
+	for _, u := range unresolved {
+		e := RecordError{
+			Line: u.fr.line, CallSign: u.cs, RecordType: "FR", Class: ClassReferential,
+			Err: cerrf(ClassReferential, "FR record for unknown path %d", u.fr.path),
+		}
+		// Already counted in RecordLines; BadLines via record().
+		if err := fail(e, u.fr.text); err != nil {
+			return nil, rep, err
+		}
+	}
+
+	if err := rep.checkBudget(opts, true); err != nil {
+		return nil, rep, err
+	}
+
+	// Close out every license: quarantine, repair, then add.
+	for _, cs := range order {
+		ol := open[cs]
+		if opts.Mode == DropLicense && (ol.erred || doomed[cs]) {
+			rep.quarantine(cs, "license had record errors")
+			continue
+		}
+		if opts.Mode != Strict {
+			issues := auditLicense(ol.l, opts.Bounds, true)
+			for _, is := range issues {
+				rep.record(is.toRecordError(cs))
+				if is.repaired {
+					rep.Repaired++
+				}
+			}
+		}
+		if err := db.Add(ol.l); err != nil {
+			if opts.Mode == Strict {
+				return nil, rep, err
+			}
+			rep.record(RecordError{CallSign: cs, RecordType: "HD", Class: ClassReferential, Err: err})
+			rep.quarantine(cs, err.Error())
+			continue
+		}
+		rep.LicensesLoaded++
+	}
+	// DropLicense may doom call signs whose HD never parsed; surface
+	// them in the quarantine list too.
+	for cs := range doomed {
+		if _, ok := open[cs]; !ok {
+			rep.quarantine(cs, "license had record errors")
+		}
+	}
+	sort.Strings(rep.Quarantined)
+	return db, rep, nil
+}
+
+// checkBudget aborts a non-strict parse whose bad-line fraction exceeds
+// MaxErrorRate. Mid-stream (final=false) it waits for budgetMinSample
+// record lines so a single early error cannot trip it.
+func (r *IngestReport) checkBudget(opts ReadBulkOptions, final bool) error {
+	if opts.Mode == Strict || opts.MaxErrorRate <= 0 {
+		return nil
+	}
+	if !final && r.RecordLines < budgetMinSample {
+		return nil
+	}
+	if r.ErrorRate() > opts.MaxErrorRate {
+		return fmt.Errorf("%w: %d of %d record lines bad (%.1f%% > %.1f%%)",
+			ErrBudgetExceeded, r.BadLines, r.RecordLines,
+			100*r.ErrorRate(), 100*opts.MaxErrorRate)
+	}
+	return nil
+}
+
+func firstField(line string) string {
+	if i := strings.IndexByte(line, '|'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}

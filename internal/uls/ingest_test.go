@@ -1,0 +1,401 @@
+package uls
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// license returns a well-formed bulk record block for one call sign:
+// two locations, one path, one frequency. Add-able as is.
+func cleanLicense(cs string) string {
+	return strings.ReplaceAll(strings.TrimLeft(`
+HD|CS|1|MG|A|01/02/2015|01/02/2025|
+EN|CS|Good Net|0001|ops@good.example
+LO|CS|1|41-46-00.0 N|088-12-00.0 W|200.0|90.0
+LO|CS|2|41-52-00.0 N|087-56-00.0 W|195.0|85.0
+PA|CS|1|1|2|FXO|45.0|225.0|38.0
+FR|CS|1|11245.0
+`, "\n"), "CS", cs)
+}
+
+func readLenient(t *testing.T, input string, opts ReadBulkOptions) (*Database, *IngestReport) {
+	t.Helper()
+	db, rep, err := ReadBulkWithOptions(strings.NewReader(input), opts)
+	if err != nil {
+		t.Fatalf("ReadBulkWithOptions: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	return db, rep
+}
+
+func TestLenientSalvagesRestOfLicense(t *testing.T) {
+	// License B's first LO is garbled; its PA references that now-missing
+	// location, so the repair pass must also drop the path (and the FR
+	// that attached to it) while keeping everything else.
+	dirty := cleanLicense("WQAAA01") +
+		"HD|WQBBB02|2|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQBBB02|Dirty Net|0002|ops@dirty.example\n" +
+		"LO|WQBBB02|1|41-46-00.0 N|088-12-00.0 W|oops|90.0\n" +
+		"LO|WQBBB02|2|41-52-00.0 N|087-56-00.0 W|195.0|85.0\n" +
+		"PA|WQBBB02|1|1|2|FXO|45.0|225.0|38.0\n" +
+		"FR|WQBBB02|1|11245.0\n"
+
+	if _, err := ReadBulk(strings.NewReader(dirty)); err == nil {
+		t.Fatal("strict parse accepted garbled LO")
+	}
+
+	db, rep := readLenient(t, dirty, ReadBulkOptions{Mode: Lenient})
+	if db.Len() != 2 {
+		t.Fatalf("loaded %d licenses, want 2", db.Len())
+	}
+	a, _ := db.ByCallSign("WQAAA01")
+	if len(a.Locations) != 2 || len(a.Paths) != 1 {
+		t.Errorf("clean license damaged: %d locations, %d paths", len(a.Locations), len(a.Paths))
+	}
+	b, ok := db.ByCallSign("WQBBB02")
+	if !ok {
+		t.Fatal("dirty license not salvaged")
+	}
+	if len(b.Locations) != 1 || b.Locations[0].Number != 2 {
+		t.Errorf("salvaged locations = %v, want just number 2", b.Locations)
+	}
+	if len(b.Paths) != 0 {
+		t.Errorf("path referencing dropped location survived: %v", b.Paths)
+	}
+	if rep.BadLines != 1 {
+		t.Errorf("BadLines = %d, want 1 (the garbled LO)", rep.BadLines)
+	}
+	if rep.Repaired == 0 {
+		t.Error("Repaired = 0, want the dangling path dropped")
+	}
+	if rep.ByClass[ClassSyntax] == 0 || rep.ByClass[ClassReferential] == 0 {
+		t.Errorf("ByClass = %v, want syntax (bad LO) and referential (dangling PA)", rep.ByClass)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("Lenient quarantined %v, want none", rep.Quarantined)
+	}
+}
+
+func TestLenientQuarantinesUnloadableLicense(t *testing.T) {
+	// A garbled EN leaves the license with no licensee name: repair
+	// cannot invent one, Add rejects it, and the license is quarantined
+	// rather than silently dropped.
+	dirty := cleanLicense("WQAAA01") +
+		"HD|WQBBB02|2|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQBBB02||0002|ops@dirty.example\n" +
+		"LO|WQBBB02|1|41-46-00.0 N|088-12-00.0 W|200.0|90.0\n"
+
+	db, rep := readLenient(t, dirty, ReadBulkOptions{Mode: Lenient})
+	if db.Len() != 1 {
+		t.Fatalf("loaded %d licenses, want 1", db.Len())
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "WQBBB02" {
+		t.Errorf("Quarantined = %v, want [WQBBB02]", rep.Quarantined)
+	}
+	var q bytes.Buffer
+	if err := rep.WriteQuarantine(&q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(q.String(), "WQBBB02\t") {
+		t.Errorf("WriteQuarantine = %q, want call sign TAB reason", q.String())
+	}
+}
+
+func TestDropLicenseMode(t *testing.T) {
+	// One record error anywhere in a license condemns the whole license,
+	// including when the error struck the HD itself so the license never
+	// opened (the "doomed" path).
+	dirty := cleanLicense("WQAAA01") +
+		"HD|WQBBB02|2|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQBBB02|Dirty Net|0002|ops@dirty.example\n" +
+		"LO|WQBBB02|1|41-46-00.0 N|088-12-00.0 W|oops|90.0\n" +
+		"HD|WQCCC03|not-a-number|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQCCC03|Headless Net|0003|ops@headless.example\n"
+
+	db, rep := readLenient(t, dirty, ReadBulkOptions{Mode: DropLicense})
+	if db.Len() != 1 {
+		t.Fatalf("loaded %d licenses, want only the clean one", db.Len())
+	}
+	if _, ok := db.ByCallSign("WQAAA01"); !ok {
+		t.Error("clean license missing")
+	}
+	want := []string{"WQBBB02", "WQCCC03"}
+	if len(rep.Quarantined) != len(want) || rep.Quarantined[0] != want[0] || rep.Quarantined[1] != want[1] {
+		t.Errorf("Quarantined = %v, want %v", rep.Quarantined, want)
+	}
+	// Same stream in Lenient mode keeps WQBBB02's surviving records.
+	db2, _ := readLenient(t, dirty, ReadBulkOptions{Mode: Lenient})
+	if _, ok := db2.ByCallSign("WQBBB02"); !ok {
+		t.Error("Lenient dropped a salvageable license")
+	}
+}
+
+func TestErrorBudget(t *testing.T) {
+	dirty := cleanLicense("WQAAA01") +
+		"LO|WQAAA01|9|garbage dms|088-12-00.0 W|200.0|90.0\n"
+
+	// 1 bad of 7 record lines is ~14%: a 10% budget trips at EOF even
+	// below budgetMinSample.
+	_, rep, err := ReadBulkWithOptions(strings.NewReader(dirty),
+		ReadBulkOptions{Mode: Lenient, MaxErrorRate: 0.10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report alongside budget error")
+	}
+	if rep.BadLines != 1 || rep.RecordLines != 7 {
+		t.Errorf("report says %d/%d bad, want 1/7", rep.BadLines, rep.RecordLines)
+	}
+
+	// A 50% budget, or no budget at all, lets the same stream through.
+	for _, rate := range []float64{0.5, 0} {
+		if _, _, err := ReadBulkWithOptions(strings.NewReader(dirty),
+			ReadBulkOptions{Mode: Lenient, MaxErrorRate: rate}); err != nil {
+			t.Errorf("MaxErrorRate=%v: %v", rate, err)
+		}
+	}
+}
+
+func TestOverlongLine(t *testing.T) {
+	long := strings.Repeat("x", maxLineBytes+100)
+	input := long + "\n" + cleanLicense("WQAAA01")
+
+	// Strict: a located *ParseError, not an anonymous scanner failure.
+	_, err := ReadBulk(strings.NewReader(input))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("strict err = %v, want *ParseError", err)
+	}
+	if pe.Line != 1 || !strings.Contains(pe.Err.Error(), "exceeds") {
+		t.Errorf("ParseError = line %d %q, want line 1 mentioning the limit", pe.Line, pe.Err)
+	}
+	if len(pe.Text) > tooLongKeep {
+		t.Errorf("ParseError retained %d bytes of the overlong line, want <= %d", len(pe.Text), tooLongKeep)
+	}
+
+	// Lenient: the line is skipped and parsing resumes on the next line.
+	db, rep := readLenient(t, input, ReadBulkOptions{Mode: Lenient})
+	if db.Len() != 1 {
+		t.Fatalf("loaded %d licenses after overlong line, want 1", db.Len())
+	}
+	if rep.BadLines != 1 || rep.ByClass[ClassSyntax] != 1 || rep.ByType["??"] != 1 {
+		t.Errorf("report = bad %d, class %v, type %v; want 1 syntax ?? line",
+			rep.BadLines, rep.ByClass, rep.ByType)
+	}
+}
+
+func TestFRBeforePAOrdering(t *testing.T) {
+	// The FR for path 1 arrives before its PA: legal in every mode.
+	reordered := "HD|WQAAA01|1|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQAAA01|Good Net|0001|ops@good.example\n" +
+		"FR|WQAAA01|1|11245.0\n" +
+		"LO|WQAAA01|1|41-46-00.0 N|088-12-00.0 W|200.0|90.0\n" +
+		"LO|WQAAA01|2|41-52-00.0 N|087-56-00.0 W|195.0|85.0\n" +
+		"PA|WQAAA01|1|1|2|FXO|45.0|225.0|38.0\n"
+	db, err := ReadBulk(strings.NewReader(reordered))
+	if err != nil {
+		t.Fatalf("strict parse of FR-before-PA: %v", err)
+	}
+	l, _ := db.ByCallSign("WQAAA01")
+	if len(l.Paths) != 1 || len(l.Paths[0].FrequenciesMHz) != 1 {
+		t.Fatalf("buffered FR not attached: %+v", l.Paths)
+	}
+
+	// An FR naming a path that never appears errors at EOF, blaming the
+	// FR's own line; with several unresolved, the earliest line wins.
+	orphan := cleanLicense("WQAAA01") +
+		"FR|WQAAA01|7|11245.0\n" +
+		"FR|WQAAA01|8|11325.0\n"
+	_, err = ReadBulk(strings.NewReader(orphan))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != 7 || !strings.Contains(err.Error(), "unknown path 7") {
+		t.Errorf("err = line %d %v, want line 7 / unknown path 7", pe.Line, err)
+	}
+
+	// Lenient keeps the license and files both orphans as referential.
+	db2, rep := readLenient(t, orphan, ReadBulkOptions{Mode: Lenient})
+	if db2.Len() != 1 {
+		t.Fatalf("loaded %d, want 1", db2.Len())
+	}
+	if rep.BadLines != 2 || rep.ByClass[ClassReferential] != 2 {
+		t.Errorf("report = bad %d, class %v; want 2 referential", rep.BadLines, rep.ByClass)
+	}
+}
+
+func TestStrictModeMatchesReadBulk(t *testing.T) {
+	// The options path with Mode: Strict is the ReadBulk implementation;
+	// same database, same error text.
+	input := cleanLicense("WQAAA01") + cleanLicense("WQBBB02")
+	db1, err1 := ReadBulk(strings.NewReader(input))
+	db2, rep, err2 := ReadBulkWithOptions(strings.NewReader(input), ReadBulkOptions{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v / %v", err1, err2)
+	}
+	var a, b bytes.Buffer
+	if err := WriteBulk(&a, db1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBulk(&b, db2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("strict ReadBulkWithOptions output differs from ReadBulk")
+	}
+	if rep.Mode != Strict || rep.BadLines != 0 || rep.LicensesLoaded != 2 {
+		t.Errorf("strict report = %+v", rep)
+	}
+
+	bad := "HD|WQAAA01|1|MG|A|01/02/2015|01/02/2025|\nZZ|WQAAA01|what\n"
+	_, e1 := ReadBulk(strings.NewReader(bad))
+	_, _, e2 := ReadBulkWithOptions(strings.NewReader(bad), ReadBulkOptions{})
+	if e1 == nil || e2 == nil || e1.Error() != e2.Error() {
+		t.Errorf("strict error text diverged:\n  ReadBulk:            %v\n  ReadBulkWithOptions: %v", e1, e2)
+	}
+}
+
+func TestIngestReportDeterministic(t *testing.T) {
+	dirty := cleanLicense("WQAAA01") +
+		"LO|WQAAA01|9|garbage|088-12-00.0 W|200.0|90.0\n" +
+		"HD|WQBBB02|2|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQBBB02||0002|x@y\n" +
+		"FR|WQCCC03|1|11245.0\n"
+	_, rep1 := readLenient(t, dirty, ReadBulkOptions{Mode: Lenient})
+	_, rep2 := readLenient(t, dirty, ReadBulkOptions{Mode: Lenient})
+	if rep1.String() != rep2.String() {
+		t.Errorf("report not deterministic:\n%s\nvs\n%s", rep1, rep2)
+	}
+}
+
+// TestIngestReportGolden pins the exact report rendering — header,
+// by-class/by-type breakdowns, and quarantine lines — against
+// testdata/ingest_report.golden. Refresh with: go test -run Golden -update
+func TestIngestReportGolden(t *testing.T) {
+	dirty := cleanLicense("WQAAA01") +
+		"# comment lines do not count as records\n" +
+		"\n" +
+		"HD|WQBBB02|2|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQBBB02||0002|ops@dirty.example\n" +
+		"LO|WQBBB02|1|41-46-00.0 N|088-12-00.0 W|oops|90.0\n" +
+		"PA|WQBBB02|1|1|2|FXO|45.0|225.0|38.0\n" +
+		"HD|WQCCC03|3|MG|A|01/02/2015|01/02/2025|\n" +
+		"EN|WQCCC03|Far Net|0003|ops@far.example\n" +
+		"LO|WQCCC03|1|10-00-00.0 N|088-12-00.0 W|200.0|90.0\n" +
+		"FR|WQDDD04|1|11245.0\n" +
+		"ZZ|WQAAA01|not a record\n"
+	bounds := &Bounds{MinLat: 38, MaxLat: 44, MinLon: -92, MaxLon: -72}
+	_, rep, err := ReadBulkWithOptions(strings.NewReader(dirty),
+		ReadBulkOptions{Mode: Lenient, Bounds: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.WriteString(rep.String())
+	got.WriteString("--- quarantine ---\n")
+	if err := rep.WriteQuarantine(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "ingest_report.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("ingest report drifted from golden file (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", got.Bytes(), want)
+	}
+}
+
+func TestValidateRepair(t *testing.T) {
+	db, err := ReadBulk(strings.NewReader(cleanLicense("WQAAA01")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := Validate(db, ValidateOptions{}); !rep.Clean() {
+		t.Fatalf("clean corpus reported issues:\n%s", rep)
+	}
+
+	// Wound the license behind the database's back: a path to a missing
+	// location, a negative frequency, and a date inversion.
+	l, _ := db.ByCallSign("WQAAA01")
+	l.Paths = append(l.Paths, Path{
+		Number: 2, TXLocation: 1, RXLocation: 9, StationClass: "FXO",
+		FrequenciesMHz: []float64{6200}, TXAzimuthDeg: 10, RXAzimuthDeg: 190,
+	})
+	l.Paths[0].FrequenciesMHz = append(l.Paths[0].FrequenciesMHz, -5)
+	l.Grant, l.Expiration = l.Expiration, l.Grant
+
+	// Report-only: issues found, nothing removed, second run identical.
+	rep1 := Validate(db, ValidateOptions{})
+	if rep1.Clean() || rep1.Repaired != 0 {
+		t.Fatalf("report-only pass: %+v", rep1)
+	}
+	rep2 := Validate(db, ValidateOptions{})
+	if rep1.String() != rep2.String() {
+		t.Error("report-only Validate mutated the database")
+	}
+	if rep1.ByClass[ClassReferential] != 1 || rep1.ByClass[ClassRange] != 2 {
+		t.Errorf("ByClass = %v, want 1 referential (dangling path) + 2 range (freq, dates)", rep1.ByClass)
+	}
+
+	// Repair: the droppable issues go, the date inversion stays.
+	gen := db.gen
+	rep3 := Validate(db, ValidateOptions{Repair: true})
+	if rep3.Repaired != 2 {
+		t.Errorf("Repaired = %d, want 2 (path, frequency)", rep3.Repaired)
+	}
+	if db.gen == gen {
+		t.Error("repair did not invalidate the database's derived indexes")
+	}
+	if len(l.Paths) != 1 || len(l.Paths[0].FrequenciesMHz) != 1 {
+		t.Errorf("repair left %d paths / %v freqs", len(l.Paths), l.Paths[0].FrequenciesMHz)
+	}
+	rep4 := Validate(db, ValidateOptions{Repair: true})
+	if rep4.Repaired != 0 || rep4.ByClass[ClassRange] != 1 {
+		t.Errorf("second repair = %+v, want only the report-only date inversion", rep4)
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	db, err := ReadBulk(strings.NewReader(cleanLicense("WQAAA01")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A box that excludes location 2: the location goes, and the path
+	// referencing it follows.
+	tight := &Bounds{MinLat: 41.7, MaxLat: 41.8, MinLon: -88.3, MaxLon: -88.1}
+	if !tight.Contains(mustLicense(t, db).Locations[0].Point) {
+		t.Fatal("test bounds exclude location 1 too")
+	}
+	rep := Validate(db, ValidateOptions{Bounds: tight, Repair: true})
+	if rep.Repaired != 2 {
+		t.Fatalf("Repaired = %d, want 2 (location 2 + its path):\n%s", rep.Repaired, rep)
+	}
+	l := mustLicense(t, db)
+	if len(l.Locations) != 1 || len(l.Paths) != 0 {
+		t.Errorf("after bounds repair: %d locations, %d paths", len(l.Locations), len(l.Paths))
+	}
+}
+
+func mustLicense(t *testing.T, db *Database) *License {
+	t.Helper()
+	l, ok := db.ByCallSign("WQAAA01")
+	if !ok {
+		t.Fatal("WQAAA01 missing")
+	}
+	return l
+}

@@ -1,0 +1,229 @@
+package uls
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hftnetview/internal/geo"
+)
+
+// Cross-record integrity validation.
+//
+// License.Validate guards single filings at Add time; this file checks
+// the kinds of inconsistency a salvaged or hand-assembled corpus can
+// carry *across* records — paths pointing at locations that were
+// dropped, paths with no surviving frequencies, towers far outside the
+// corridor, lifecycle-date inversions — and can optionally repair a
+// database in place by removing only the inconsistent sub-records.
+
+// Bounds is a geographic bounding box (degrees).
+type Bounds struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+// Contains reports whether the point lies inside the box (inclusive).
+func (b Bounds) Contains(p geo.Point) bool {
+	return p.Lat >= b.MinLat && p.Lat <= b.MaxLat &&
+		p.Lon >= b.MinLon && p.Lon <= b.MaxLon
+}
+
+func (b Bounds) String() string {
+	return fmt.Sprintf("[%.3f,%.3f]x[%.3f,%.3f]", b.MinLat, b.MaxLat, b.MinLon, b.MaxLon)
+}
+
+// ValidateOptions configures the integrity pass.
+type ValidateOptions struct {
+	// Bounds, when non-nil, flags locations outside the box.
+	Bounds *Bounds
+	// Repair removes the inconsistent sub-records (bad locations, the
+	// paths referencing them, non-positive frequencies, frequency-less
+	// paths) instead of just reporting them. Issues that have no
+	// droppable sub-record (date inversions, missing licensee) are
+	// always report-only.
+	Repair bool
+}
+
+// ValidationReport is the deterministic outcome of Validate.
+type ValidationReport struct {
+	Licenses int           // licenses examined
+	Issues   []RecordError // in call-sign order, Line always 0
+	Repaired int           // sub-records removed (0 unless Repair)
+	ByClass  map[ErrorClass]int
+}
+
+// Clean reports whether no issues were found.
+func (r *ValidationReport) Clean() bool { return len(r.Issues) == 0 }
+
+// String renders a compact deterministic summary.
+func (r *ValidationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "validate: licenses=%d issues=%d repaired=%d\n",
+		r.Licenses, len(r.Issues), r.Repaired)
+	keys := make([]string, 0, len(r.ByClass))
+	for k := range r.ByClass {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		b.WriteString("  by class:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, r.ByClass[ErrorClass(k)])
+		}
+		b.WriteByte('\n')
+	}
+	for _, is := range r.Issues {
+		fmt.Fprintf(&b, "  %s\n", is.Error())
+	}
+	return b.String()
+}
+
+// Validate runs the cross-record integrity pass over every license in
+// the database. With opts.Repair it drops the inconsistent sub-records
+// in place (and invalidates the database's derived indexes); without it
+// the database is left untouched. The report lists issues in call-sign
+// order and is identical across runs on identical input.
+func Validate(db *Database, opts ValidateOptions) *ValidationReport {
+	rep := &ValidationReport{ByClass: make(map[ErrorClass]int)}
+	for _, l := range db.All() {
+		rep.Licenses++
+		for _, is := range auditLicense(l, opts.Bounds, opts.Repair) {
+			e := is.toRecordError(l.CallSign)
+			rep.Issues = append(rep.Issues, e)
+			rep.ByClass[e.Class]++
+			if is.repaired {
+				rep.Repaired++
+			}
+		}
+	}
+	if rep.Repaired > 0 {
+		db.invalidate()
+	}
+	return rep
+}
+
+// auditIssue is one cross-record inconsistency found in a license.
+type auditIssue struct {
+	recordType string
+	class      ErrorClass
+	err        error
+	repaired   bool // the offending sub-record was removed
+}
+
+func (is auditIssue) toRecordError(cs string) RecordError {
+	return RecordError{CallSign: cs, RecordType: is.recordType, Class: is.class, Err: is.err}
+}
+
+// auditLicense checks one license for cross-record inconsistencies,
+// mirroring License.Validate's structural rules plus the corpus-level
+// ones (bounds, grant/expiration ordering). With repair it removes the
+// offending sub-records — dropping a location also condemns the paths
+// that reference it — leaving the license as close to Add-able as its
+// surviving records allow. Issues are reported in record order.
+func auditLicense(l *License, bounds *Bounds, repair bool) []auditIssue {
+	var issues []auditIssue
+	report := func(typ string, class ErrorClass, format string, args ...any) *auditIssue {
+		issues = append(issues, auditIssue{
+			recordType: typ, class: class,
+			err: fmt.Errorf(format, args...),
+		})
+		return &issues[len(issues)-1]
+	}
+
+	// Locations first: structural checks, then bounds. Paths are
+	// audited against the surviving location set.
+	locSeen := make(map[int]bool, len(l.Locations))
+	keptLocs := l.Locations[:0:0]
+	for _, loc := range l.Locations {
+		var is *auditIssue
+		switch {
+		case loc.Number <= 0:
+			is = report("LO", ClassRange, "non-positive location number %d", loc.Number)
+		case locSeen[loc.Number]:
+			is = report("LO", ClassDuplicate, "duplicate location number %d", loc.Number)
+		case !loc.Point.Valid():
+			is = report("LO", ClassRange, "location %d has invalid coordinates %v", loc.Number, loc.Point)
+		case bounds != nil && !bounds.Contains(loc.Point):
+			is = report("LO", ClassRange, "location %d at %v outside bounds %v", loc.Number, loc.Point, *bounds)
+		}
+		if is == nil {
+			locSeen[loc.Number] = true
+			keptLocs = append(keptLocs, loc)
+			continue
+		}
+		if repair {
+			is.repaired = true
+		} else if loc.Number > 0 && !locSeen[loc.Number] {
+			// Report-only pass: later references to this location are
+			// still resolvable, so count it as present.
+			locSeen[loc.Number] = true
+		}
+	}
+	if repair {
+		l.Locations = keptLocs
+	}
+
+	pathSeen := make(map[int]bool, len(l.Paths))
+	keptPaths := l.Paths[:0:0]
+	for pi := range l.Paths {
+		p := &l.Paths[pi]
+		// Frequencies are sub-records of the path: drop the bad ones
+		// before judging the path itself.
+		keptFreqs := p.FrequenciesMHz[:0:0]
+		for _, f := range p.FrequenciesMHz {
+			if f <= 0 {
+				is := report("FR", ClassRange, "path %d has non-positive frequency %v", p.Number, f)
+				is.repaired = repair
+				continue
+			}
+			keptFreqs = append(keptFreqs, f)
+		}
+		if repair {
+			p.FrequenciesMHz = keptFreqs
+		}
+		nFreq := len(keptFreqs)
+		if !repair {
+			nFreq = len(p.FrequenciesMHz)
+		}
+
+		var is *auditIssue
+		switch {
+		case p.Number <= 0:
+			is = report("PA", ClassRange, "non-positive path number %d", p.Number)
+		case pathSeen[p.Number]:
+			is = report("PA", ClassDuplicate, "duplicate path number %d", p.Number)
+		case !locSeen[p.TXLocation]:
+			is = report("PA", ClassReferential, "path %d references missing TX location %d", p.Number, p.TXLocation)
+		case !locSeen[p.RXLocation]:
+			is = report("PA", ClassReferential, "path %d references missing RX location %d", p.Number, p.RXLocation)
+		case p.TXLocation == p.RXLocation:
+			is = report("PA", ClassRange, "path %d is a self loop at location %d", p.Number, p.TXLocation)
+		case nFreq == 0:
+			is = report("PA", ClassRange, "path %d has no frequencies", p.Number)
+		case p.TXAzimuthDeg < 0 || p.TXAzimuthDeg >= 360 || p.RXAzimuthDeg < 0 || p.RXAzimuthDeg >= 360:
+			is = report("PA", ClassRange, "path %d azimuth out of [0,360)", p.Number)
+		case p.AntennaGainDBi < 0:
+			is = report("PA", ClassRange, "path %d negative antenna gain", p.Number)
+		}
+		if is == nil {
+			pathSeen[p.Number] = true
+			keptPaths = append(keptPaths, *p)
+			continue
+		}
+		if repair {
+			is.repaired = true
+		} else if p.Number > 0 && !pathSeen[p.Number] {
+			pathSeen[p.Number] = true
+		}
+	}
+	if repair {
+		l.Paths = keptPaths
+	}
+
+	// Lifecycle checks have no droppable sub-record: report-only.
+	if !l.Grant.IsZero() && !l.Expiration.IsZero() && l.Expiration.Before(l.Grant) {
+		report("HD", ClassRange, "grant %s after expiration %s", l.Grant, l.Expiration)
+	}
+	return issues
+}
