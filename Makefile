@@ -1,11 +1,12 @@
 # Development targets. `make ci` is what a checkin must pass: vet, the
 # full test suite under the race detector (the scrape client, portal,
-# and snapshot engine are exercised concurrently, so -race is
-# load-bearing here), and the engine benchmarks in short mode.
+# snapshot engine, and query service are exercised concurrently, so
+# -race is load-bearing here), the query-service signal soak, and the
+# engine benchmarks in short mode.
 
 GO ?= go
 
-.PHONY: all build test short race vet soak bench bench-short fuzz-short ci
+.PHONY: all build test short race vet soak serve-soak bench bench-short fuzz-short ci
 
 all: build
 
@@ -30,6 +31,13 @@ vet:
 soak:
 	$(GO) test -race -run 'TestSoak' -v ./internal/scrape/
 
+# Query-service soak: concurrent clients saturate the admission limit
+# while the corpus file is corrupted + SIGHUP'd (reload refused, old
+# generation keeps serving), repaired + SIGHUP'd (atomic swap), then
+# SIGTERM'd — asserting zero dropped in-flight requests throughout.
+serve-soak:
+	$(GO) test -race -run 'TestServeSoak' -v ./internal/serve/
+
 # Short fuzz pass over the bulk parsers. The lenient reader must never
 # panic, must always produce a report, and must only load licenses the
 # strict reader would re-accept; the strict reader must round-trip
@@ -38,9 +46,10 @@ fuzz-short:
 	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulkLenient' -fuzztime 10s
 	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulk$$' -fuzztime 5s
 
-# Full benchmark suite (E1–E17, ablations, engine), machine-readable.
+# Full benchmark suite (E1–E17, ablations, engine, serving
+# middleware), machine-readable.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json .
+	$(GO) test -run '^$$' -bench . -benchmem -json . ./internal/serve/
 
 # Engine benchmarks only, one iteration each under the race detector:
 # a smoke test that the memoized snapshot path stays correct and
@@ -48,4 +57,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: vet build race bench-short fuzz-short
+ci: vet build race serve-soak bench-short fuzz-short

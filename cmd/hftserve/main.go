@@ -1,0 +1,121 @@
+// Command hftserve is the always-on query service over the snapshot
+// engine: the paper's analyses served as an HTTP API that sheds load
+// instead of collapsing, breaks the circuit around a failing engine,
+// hot-reloads its corpus without dropping a request, and drains
+// cleanly on shutdown.
+//
+// Usage:
+//
+//	hftserve [-addr :8090] [-bulk corpus.uls]
+//	         [-watch 0] [-max-error-rate 0.05] [-drop-license]
+//	         [-max-inflight 64] [-queue-wait 100ms] [-retry-after 1s]
+//	         [-request-timeout 10s]
+//	         [-breaker-failures 5] [-breaker-cooldown 5s]
+//	         [-drain-timeout 15s]
+//
+// Endpoints:
+//
+//	/v1/snapshot   networks active on a path at a date (Table 1)
+//	/v1/rank       fastest networks per corridor path (Table 2)
+//	/v1/evolution  one licensee's longitudinal trajectory (Figs 1–2)
+//	/v1/apa        alternate-path availability + complementary pairs (§5, §2.4)
+//	/healthz       liveness
+//	/readyz        readiness + reload health
+//	/statsz        engine/breaker/admission counters
+//
+// Without -bulk the synthetic corridor corpus is served and reloads
+// are disabled. With -bulk, SIGHUP re-ingests the file (and -watch N
+// polls it every N); a reload that fails the ingestion error budget or
+// empties the corpus is refused — the old generation keeps serving and
+// the failure is surfaced on /readyz.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hftnetview"
+	"hftnetview/internal/serve"
+	"hftnetview/internal/uls"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	bulk := flag.String("bulk", "", "ULS bulk file to serve (default: synthetic corpus; enables SIGHUP reload)")
+	watch := flag.Duration("watch", 0, "poll the bulk file for changes this often (0 = SIGHUP only)")
+	maxErrorRate := flag.Float64("max-error-rate", 0.05, "ingestion error budget for loads and reloads")
+	dropLicense := flag.Bool("drop-license", false, "quarantine whole licenses on record errors instead of salvaging")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing queries")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "max admission-queue wait before shedding with 503")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive engine failures that trip the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker rejects before probing")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:      *maxInflight,
+		MaxQueueWait:     *queueWait,
+		RetryAfter:       *retryAfter,
+		RequestTimeout:   *requestTimeout,
+		BreakerThreshold: *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
+	})
+
+	reloadOpts := serve.ReloadOptions{MaxErrorRate: *maxErrorRate}
+	if *dropLicense {
+		reloadOpts.Mode = uls.DropLicense
+	}
+
+	if *bulk == "" {
+		db, err := hftnetview.GenerateCorpus()
+		if err != nil {
+			log.Fatalf("hftserve: generating corpus: %v", err)
+		}
+		srv.SetCorpus(db, "synthetic corpus")
+	} else if err := srv.LoadCorpusFile(*bulk, reloadOpts); err != nil {
+		log.Fatalf("hftserve: loading %s: %v", *bulk, err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	opts := serve.GracefulOptions{DrainTimeout: *drainTimeout}
+
+	if *bulk != "" {
+		// Hot reload: SIGHUP (via the graceful runner) and, with
+		// -watch, an mtime poller; both feed the same watcher.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		hup := make(chan struct{}, 1)
+		opts.OnHUP = func() {
+			select {
+			case hup <- struct{}{}:
+			default: // a reload is already pending
+			}
+		}
+		go srv.Watch(ctx, *bulk, *watch, hup, reloadOpts)
+	} else {
+		// No file to reload, but SIGHUP must not kill the process.
+		hupC := make(chan os.Signal, 1)
+		signal.Notify(hupC, syscall.SIGHUP)
+		defer signal.Stop(hupC)
+		go func() {
+			for range hupC {
+				log.Printf("hftserve: SIGHUP ignored (no -bulk file to reload)")
+			}
+		}()
+	}
+
+	log.Printf("hftserve: serving on %s (inflight %d, queue wait %v, breaker %d/%v)",
+		*addr, *maxInflight, *queueWait, *breakerFailures, *breakerCooldown)
+	if err := serve.ListenAndServeGraceful(httpSrv, opts); err != nil {
+		log.Fatalf("hftserve: %v", err)
+	}
+	log.Printf("hftserve: drained cleanly")
+}

@@ -7,9 +7,14 @@
 //
 //	ulsserver [-addr :8080] [-bulk corpus.uls]
 //	          [-chaos none|flaky|hostile|kind=prob,...] [-chaos-seed 1]
-//	          [-fail-every-n 0]
+//	          [-fail-every-n 0] [-drain-timeout 10s]
 //
 // Without -bulk, the built-in synthetic corridor corpus is served.
+//
+// SIGTERM/SIGINT shut down gracefully: the listener closes, in-flight
+// responses get -drain-timeout to complete, and the process exits
+// cleanly — so chaos soak tests can restart the portal mid-scrape
+// without truncating whatever it was sending.
 //
 // -chaos turns on the fault-injection layer, which reproduces the live
 // portal's bad days: 429 throttling with Retry-After, 503 bursts,
@@ -25,8 +30,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"hftnetview"
+	"hftnetview/internal/serve"
 	"hftnetview/internal/ulsserver"
 	"hftnetview/internal/ulsserver/chaos"
 )
@@ -39,6 +46,7 @@ func main() {
 			"(kinds: rate_limit, unavailable, hang, truncate, malformed)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault RNG (reproducible failures)")
 	failEveryN := flag.Int64("fail-every-n", 0, "fail every Nth request with 503 (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
 	flag.Parse()
 
 	db, err := loadDB(*bulk)
@@ -61,9 +69,13 @@ func main() {
 
 	log.Printf("ulsserver: serving %d licenses from %d licensees on %s",
 		db.Len(), len(db.Licensees()), *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	if err := serve.ListenAndServeGraceful(httpSrv, serve.GracefulOptions{
+		DrainTimeout: *drainTimeout,
+	}); err != nil {
 		log.Fatalf("ulsserver: %v", err)
 	}
+	log.Printf("ulsserver: drained cleanly")
 }
 
 func loadDB(bulkPath string) (*hftnetview.Database, error) {

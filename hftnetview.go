@@ -32,6 +32,7 @@ import (
 
 	"hftnetview/internal/core"
 	"hftnetview/internal/engine"
+	"hftnetview/internal/serve"
 	"hftnetview/internal/sites"
 	"hftnetview/internal/synth"
 	"hftnetview/internal/uls"
@@ -95,6 +96,15 @@ type (
 	ValidateOptions = uls.ValidateOptions
 	// ValidationReport is the outcome of Validate.
 	ValidationReport = uls.ValidationReport
+	// Server is the resilient always-on query service over the snapshot
+	// engine: load shedding, circuit breaking, per-request deadlines,
+	// and hot corpus reload. Create one with NewServer and serve its
+	// Handler(); cmd/hftserve is the packaged binary.
+	Server = serve.Server
+	// ServeConfig tunes the query service's resilience envelope.
+	ServeConfig = serve.Config
+	// ReloadOptions governs hot corpus reload ingestion.
+	ReloadOptions = serve.ReloadOptions
 )
 
 // Bulk ingestion parse modes.
@@ -111,6 +121,16 @@ const (
 // all analyses of a database: concurrent requests for the same snapshot
 // coalesce onto a single reconstruction, and repeats are cache hits.
 func NewEngine(db *Database) *Engine { return engine.New(db) }
+
+// NewServer returns the resilient query service serving db under cfg
+// (zero value = production defaults). The corpus is installed as the
+// first generation; swap in replacements with Server.SetCorpus or
+// Server.LoadCorpusFile without dropping in-flight requests.
+func NewServer(db *Database, cfg ServeConfig) *Server {
+	s := serve.New(cfg)
+	s.SetCorpus(db, "facade")
+	return s
+}
 
 // Corridor anchors (§2.2).
 var (

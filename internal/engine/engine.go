@@ -21,11 +21,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"hftnetview/internal/core"
 	"hftnetview/internal/sites"
@@ -36,18 +39,18 @@ import (
 // New and share it across analyses; all methods are safe for
 // concurrent use.
 type Engine struct {
-	db  *uls.Database
-	sem chan struct{} // bounds concurrent reconstructions
+	db             *uls.Database
+	sem            chan struct{} // bounds concurrent reconstructions
+	rebuildTimeout time.Duration // 0 = wait forever
 
 	mu      sync.Mutex
 	gen     int64 // db generation the memo store was built against
 	entries map[string]*entry
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	coalesced     atomic.Int64
-	rebuilds      atomic.Int64
-	invalidations atomic.Int64
+	// Counters live under mu so Stats returns one consistent snapshot
+	// (rebuilds can never be observed ahead of the misses that caused
+	// them) — /statsz scrapes these concurrently with query traffic.
+	stats Stats
 }
 
 // entry is one memoized (or in-flight) reconstruction. done is closed
@@ -70,6 +73,15 @@ func WithWorkers(n int) Option {
 			e.sem = make(chan struct{}, n)
 		}
 	}
+}
+
+// WithRebuildTimeout caps how long any single SnapshotContext call
+// waits for its reconstruction (queueing included). A request that
+// exceeds the cap fails with an error classified as FailureTimeout;
+// the rebuild itself keeps running and, on success, primes the memo
+// store for the next attempt. 0 (the default) waits forever.
+func WithRebuildTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.rebuildTimeout = d }
 }
 
 // New returns an engine over db. The engine assumes the database is
@@ -134,6 +146,24 @@ func keyOf(req core.SnapshotRequest) string {
 // is a deep clone: mutating it (including through analyses that toggle
 // graph edges) cannot poison the cache.
 func (e *Engine) Snapshot(req core.SnapshotRequest) (*core.Network, error) {
+	return e.SnapshotContext(context.Background(), req)
+}
+
+// SnapshotContext is Snapshot with a caller-supplied deadline: the wait
+// for the reconstruction (in-flight or newly started) is bounded by ctx
+// and by the engine's rebuild timeout, whichever is shorter. An expired
+// wait abandons only the wait — the rebuild keeps running in the
+// background and memoizes its result for later requests, so a retry
+// after a transient overload is likely a cache hit. Failed rebuilds are
+// NOT memoized: concurrent waiters coalesced onto the attempt all see
+// the error, but the next request retries from scratch. Classify the
+// returned error with Classify to drive circuit-breaker policy.
+func (e *Engine) SnapshotContext(ctx context.Context, req core.SnapshotRequest) (*core.Network, error) {
+	if e.rebuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.rebuildTimeout)
+		defer cancel()
+	}
 	key := keyOf(req)
 
 	e.mu.Lock()
@@ -143,37 +173,56 @@ func (e *Engine) Snapshot(req core.SnapshotRequest) (*core.Network, error) {
 		// and are dropped with the map.
 		e.entries = make(map[string]*entry)
 		e.gen = g
-		e.invalidations.Add(1)
+		e.stats.Invalidations++
 	}
-	if ent, ok := e.entries[key]; ok {
+	ent, ok := e.entries[key]
+	if ok {
 		select {
 		case <-ent.done:
-			e.hits.Add(1)
+			e.stats.Hits++
 		default:
-			e.coalesced.Add(1)
+			e.stats.Coalesced++
 		}
-		e.mu.Unlock()
-		<-ent.done
-		if ent.err != nil {
-			return nil, ent.err
-		}
-		return ent.net.Clone(), nil
+	} else {
+		ent = &entry{done: make(chan struct{})}
+		e.entries[key] = ent
+		e.stats.Misses++
+		go e.fill(key, ent, req)
 	}
-	ent := &entry{done: make(chan struct{})}
-	e.entries[key] = ent
-	e.misses.Add(1)
 	e.mu.Unlock()
 
-	e.sem <- struct{}{}
-	ent.net, ent.err = e.reconstruct(req)
-	<-e.sem
-	e.rebuilds.Add(1)
-	close(ent.done)
-
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		// A result that arrived together with the deadline still
+		// counts: never turn a ready snapshot into a timeout.
+		select {
+		case <-ent.done:
+		default:
+			return nil, fmt.Errorf("engine: waiting for snapshot rebuild: %w", ctx.Err())
+		}
+	}
 	if ent.err != nil {
 		return nil, ent.err
 	}
 	return ent.net.Clone(), nil
+}
+
+// fill runs the reconstruction for a freshly created entry and
+// publishes the result. Error entries are evicted so failures are
+// retried rather than served from the memo store.
+func (e *Engine) fill(key string, ent *entry, req core.SnapshotRequest) {
+	e.sem <- struct{}{}
+	ent.net, ent.err = e.reconstruct(req)
+	<-e.sem
+
+	e.mu.Lock()
+	e.stats.Rebuilds++
+	if ent.err != nil && e.entries[key] == ent {
+		delete(e.entries, key)
+	}
+	e.mu.Unlock()
+	close(ent.done)
 }
 
 // reconstruct performs the actual rebuild for a cache miss.
@@ -213,7 +262,11 @@ func (e *Engine) Evolution(licensee string, path sites.Path, dates []uls.Date, o
 	return core.EvolutionVia(e, licensee, path, dates, opts)
 }
 
-// Stats is a point-in-time snapshot of the engine's counters.
+// Stats is a point-in-time snapshot of the engine's counters. The
+// snapshot is internally consistent: all fields are captured under one
+// lock, so cross-field invariants (Rebuilds ≤ Misses, one rebuild per
+// miss absent invalidations) hold in every snapshot even while query
+// traffic is mutating the counters.
 type Stats struct {
 	// Hits counts requests served from a completed memo entry.
 	Hits int64
@@ -232,17 +285,58 @@ type Stats struct {
 	Entries int
 }
 
-// Stats returns the engine's counters.
+// Stats returns a consistent snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	entries := len(e.entries)
+	st := e.stats
+	st.Entries = len(e.entries)
 	e.mu.Unlock()
-	return Stats{
-		Hits:          e.hits.Load(),
-		Misses:        e.misses.Load(),
-		Coalesced:     e.coalesced.Load(),
-		Rebuilds:      e.rebuilds.Load(),
-		Invalidations: e.invalidations.Load(),
-		Entries:       entries,
+	return st
+}
+
+// FailureClass buckets the errors SnapshotContext can return, for
+// circuit-breaker policy: only FailureTimeout and FailureRebuild count
+// against the engine's health; FailureCanceled is the caller's doing
+// and FailureNone is success.
+type FailureClass int
+
+const (
+	// FailureNone: no error.
+	FailureNone FailureClass = iota
+	// FailureTimeout: the wait for a rebuild exceeded its deadline
+	// (the engine's rebuild timeout or the request deadline).
+	FailureTimeout
+	// FailureCanceled: the caller canceled the request.
+	FailureCanceled
+	// FailureRebuild: the reconstruction itself failed.
+	FailureRebuild
+)
+
+// String renders the class for logs and status endpoints.
+func (c FailureClass) String() string {
+	switch c {
+	case FailureNone:
+		return "none"
+	case FailureTimeout:
+		return "timeout"
+	case FailureCanceled:
+		return "canceled"
+	default:
+		return "rebuild"
+	}
+}
+
+// Classify buckets an error returned by SnapshotContext (or by an
+// analysis running over the engine).
+func Classify(err error) FailureClass {
+	switch {
+	case err == nil:
+		return FailureNone
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailureTimeout
+	case errors.Is(err, context.Canceled):
+		return FailureCanceled
+	default:
+		return FailureRebuild
 	}
 }

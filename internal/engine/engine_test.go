@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -355,5 +356,137 @@ func TestUnionSnapshot(t *testing.T) {
 	if len(u.Links) <= len(nln.Links) || len(u.Links) <= len(wh.Links) {
 		t.Errorf("union links = %d, want more than either member (%d, %d)",
 			len(u.Links), len(nln.Links), len(wh.Links))
+	}
+}
+
+// TestStatsConsistentSnapshot: Stats must be one coherent snapshot
+// while query traffic mutates the counters — the /statsz scrape runs
+// concurrently with serving. Run under -race. Before counters moved
+// under the engine mutex, field-by-field atomic reads could observe a
+// rebuild ahead of the miss that caused it.
+func TestStatsConsistentSnapshot(t *testing.T) {
+	e := New(corpus(t))
+	def := core.DefaultOptions()
+	licensees := []string{
+		"New Line Networks", "Webline Holdings", "Pierce Broadband",
+		"Jefferson Microwave", "National Tower Company",
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lic := licensees[(w+i)%len(licensees)]
+				d := uls.NewDate(2013+(w+i)%8, time.April, 1)
+				if _, err := e.Snapshot(req(lic, d, def)); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	var prev Stats
+	for i := 0; i < 200; i++ {
+		st := e.Stats()
+		if st.Rebuilds > st.Misses {
+			t.Fatalf("inconsistent snapshot: rebuilds %d > misses %d", st.Rebuilds, st.Misses)
+		}
+		if tot, ptot := st.Hits+st.Misses+st.Coalesced, prev.Hits+prev.Misses+prev.Coalesced; tot < ptot {
+			t.Fatalf("request total went backwards: %d -> %d", ptot, tot)
+		}
+		if st.Hits < prev.Hits || st.Misses < prev.Misses || st.Rebuilds < prev.Rebuilds {
+			t.Fatalf("counter went backwards: %+v -> %+v", prev, st)
+		}
+		prev = st
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotContextTimeout: an expired wait returns a
+// FailureTimeout-classified error, the abandoned rebuild still primes
+// the memo store, and a later request is served from it.
+func TestSnapshotContextTimeout(t *testing.T) {
+	e := New(corpus(t), WithRebuildTimeout(time.Nanosecond))
+	r := req("New Line Networks", snapshot, core.DefaultOptions())
+	_, err := e.SnapshotContext(context.Background(), r)
+	if err == nil {
+		t.Fatal("want timeout error from 1ns rebuild budget")
+	}
+	if c := Classify(err); c != FailureTimeout {
+		t.Fatalf("Classify(%v) = %v, want FailureTimeout", err, c)
+	}
+
+	// The background rebuild finishes and memoizes; once done, even the
+	// 1ns budget serves it (ready results are never turned into
+	// timeouts).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := e.Stats(); st.Rebuilds == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned rebuild never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n, err := e.SnapshotContext(context.Background(), r)
+	if err != nil {
+		t.Fatalf("post-rebuild request: %v", err)
+	}
+	if len(n.Links) == 0 {
+		t.Error("post-rebuild request returned empty network")
+	}
+	if st := e.Stats(); st.Rebuilds != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 rebuild, 1 hit", st)
+	}
+}
+
+// TestSnapshotContextCanceled: caller cancellation classifies as
+// FailureCanceled, not as an engine failure.
+func TestSnapshotContextCanceled(t *testing.T) {
+	e := New(corpus(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.SnapshotContext(ctx, req("Webline Holdings", snapshot, core.DefaultOptions()))
+	if err == nil {
+		t.Fatal("want error from canceled context")
+	}
+	if c := Classify(err); c != FailureCanceled {
+		t.Fatalf("Classify(%v) = %v, want FailureCanceled", err, c)
+	}
+}
+
+// TestRebuildErrorNotMemoized: failed rebuilds must be retried, not
+// served from the memo store — the circuit breaker's half-open probe
+// depends on the retry actually re-executing.
+func TestRebuildErrorNotMemoized(t *testing.T) {
+	e := New(corpus(t))
+	var bad core.Options // zero options fail reconstruction
+	r := req("Webline Holdings", snapshot, bad)
+	for i := 1; i <= 2; i++ {
+		_, err := e.Snapshot(r)
+		if err == nil {
+			t.Fatalf("attempt %d: want reconstruction error", i)
+		}
+		if c := Classify(err); c != FailureRebuild {
+			t.Fatalf("Classify(%v) = %v, want FailureRebuild", err, c)
+		}
+		if st := e.Stats(); st.Rebuilds != int64(i) {
+			t.Fatalf("rebuilds after attempt %d = %d, want %d (errors must not be memoized)",
+				i, st.Rebuilds, i)
+		}
+	}
+	if st := e.Stats(); st.Entries != 0 {
+		t.Errorf("entries = %d, want 0 (error entries must be evicted)", st.Entries)
 	}
 }

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The admission queue and circuit breaker sit on every request, so
+// their no-contention fast paths must cost nanoseconds, not
+// microseconds. `make bench` emits these as JSON alongside the E1–E18
+// suite.
+
+// BenchmarkAdmissionFastPath: Acquire+Release with a free slot (the
+// overload-free common case; no timer may be allocated here).
+func BenchmarkAdmissionFastPath(b *testing.B) {
+	l := NewLimiter(64, 100*time.Millisecond)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Acquire(ctx); err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+	}
+}
+
+// BenchmarkAdmissionFastPathParallel: the same fast path under
+// GOMAXPROCS-way contention on the slot channel.
+func BenchmarkAdmissionFastPathParallel(b *testing.B) {
+	l := NewLimiter(64, 100*time.Millisecond)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := l.Acquire(ctx); err != nil {
+				b.Fatal(err)
+			}
+			l.Release()
+		}
+	})
+}
+
+// BenchmarkBreakerFastPath: Allow+done(success) on a closed breaker
+// (every healthy request pays this).
+func BenchmarkBreakerFastPath(b *testing.B) {
+	br := NewBreaker(5, 5*time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, err := br.Allow()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done(false)
+	}
+}
+
+// BenchmarkBreakerOpenRejection: the shed path while the breaker is
+// open — rejections must be at least as cheap as admissions.
+func BenchmarkBreakerOpenRejection(b *testing.B) {
+	br := NewBreaker(1, time.Hour)
+	done, err := br.Allow()
+	if err != nil {
+		b.Fatal(err)
+	}
+	done(true) // trip
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Allow(); err == nil {
+			b.Fatal("breaker unexpectedly closed")
+		}
+	}
+}
+
+// BenchmarkMiddlewareStack: one request through the full resilience
+// stack (recovery → counting → admission → deadline) to a no-op
+// handler — the serving overhead on top of handler work.
+func BenchmarkMiddlewareStack(b *testing.B) {
+	s := New(Config{})
+	noop := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := s.withRecovery(s.withCounting(s.withAdmission(s.withDeadline(noop))))
+	req := httptest.NewRequest("GET", "/v1/snapshot", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

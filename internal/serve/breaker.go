@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker is
+// rejecting work: the engine has failed repeatedly and is being given
+// time to recover. Handlers translate it into 503 + Retry-After.
+var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: all work is rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is admitted; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String renders the state for /statsz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is a circuit breaker around engine rebuilds. It trips after
+// `threshold` consecutive failures (rebuild errors or timeouts, as
+// classified by the caller), rejects everything for `cooldown`, then
+// admits exactly one half-open probe: a successful probe closes the
+// breaker, a failed one re-opens it for another cooldown. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last tripped
+	probing     bool      // a half-open probe is in flight
+	trips       int64
+	rejections  int64
+}
+
+// NewBreaker returns a closed breaker that trips after threshold
+// consecutive failures and stays open for cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow asks to run one unit of work. On nil error the caller MUST
+// invoke the returned done function exactly once with whether the work
+// failed (in the breaker's sense — timeouts and engine errors, not
+// client errors). ErrBreakerOpen means the work is rejected.
+func (b *Breaker) Allow() (done func(failure bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	if b.state == BreakerOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejections++
+			return nil, ErrBreakerOpen
+		}
+		// Cooldown over: move to half-open and admit one probe.
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+	if b.state == BreakerHalfOpen {
+		if b.probing {
+			b.rejections++
+			return nil, ErrBreakerOpen
+		}
+		b.probing = true
+		return b.probeDone, nil
+	}
+	return b.closedDone, nil
+}
+
+// closedDone settles one closed-state unit of work.
+func (b *Breaker) closedDone(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		// A probe already settled the state while this request was in
+		// flight; stale outcomes must not flap the automaton.
+		return
+	}
+	if !failure {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.trip()
+	}
+}
+
+// probeDone settles the half-open probe.
+func (b *Breaker) probeDone(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	b.probing = false
+	if failure {
+		b.trip()
+		return
+	}
+	b.state = BreakerClosed
+	b.consecutive = 0
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.consecutive = 0
+	b.trips++
+}
+
+// State returns the breaker's current state, advancing open → half-open
+// when the cooldown has elapsed (so status endpoints report "half-open"
+// as soon as a probe would be admitted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// BreakerStats is a consistent snapshot of the breaker's counters.
+type BreakerStats struct {
+	State       string `json:"state"`
+	Consecutive int    `json:"consecutive_failures"`
+	Trips       int64  `json:"trips"`
+	Rejections  int64  `json:"rejections"`
+}
+
+// Stats returns the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	state := b.State().String()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:       state,
+		Consecutive: b.consecutive,
+		Trips:       b.trips,
+		Rejections:  b.rejections,
+	}
+}

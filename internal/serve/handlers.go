@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hftnetview/internal/core"
+	"hftnetview/internal/engine"
+	"hftnetview/internal/entity"
+	"hftnetview/internal/sites"
+	"hftnetview/internal/uls"
+)
+
+// Handler returns the service's HTTP surface. Query endpoints run the
+// full resilience stack (recovery → counting → admission → deadline);
+// the health/status endpoints bypass admission so they answer even
+// while the query surface is saturated.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	query := func(h http.HandlerFunc) http.Handler {
+		return s.withCounting(s.withAdmission(s.withDeadline(h)))
+	}
+	mux.Handle("/v1/snapshot", query(s.handleSnapshot))
+	mux.Handle("/v1/rank", query(s.handleRank))
+	mux.Handle("/v1/evolution", query(s.handleEvolution))
+	mux.Handle("/v1/apa", query(s.handleAPA))
+
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+
+	return s.withRecovery(mux)
+}
+
+// ctxProvider adapts a generation's engine to core.SnapshotProvider
+// with every snapshot wait bounded by the request context, so the
+// per-request deadline reaches into each reconstruction the analyses
+// fan out.
+type ctxProvider struct {
+	ctx context.Context
+	eng *engine.Engine
+}
+
+func (p ctxProvider) DB() *uls.Database { return p.eng.DB() }
+
+func (p ctxProvider) Snapshot(req core.SnapshotRequest) (*core.Network, error) {
+	return p.eng.SnapshotContext(p.ctx, req)
+}
+
+func (p ctxProvider) Snapshots(reqs []core.SnapshotRequest) ([]*core.Network, error) {
+	return core.SnapshotsParallel(p, reqs)
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// runQuery wraps one engine-backed analysis in the circuit breaker and
+// failure accounting: engine failures (timeouts, rebuild errors) count
+// against the breaker; client-side cancellation does not. It writes the
+// error response on failure and reports whether the caller should
+// proceed to render results.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, f func(p core.SnapshotProvider, g *generation) error) bool {
+	g := s.gen.Load()
+	if g == nil {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, "no corpus loaded")
+		return false
+	}
+	done, err := s.breaker.Allow()
+	if err != nil {
+		s.counters.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.BreakerCooldown))
+		writeError(w, http.StatusServiceUnavailable, "engine circuit breaker open")
+		return false
+	}
+	err = f(ctxProvider{ctx: r.Context(), eng: g.eng}, g)
+	switch engine.Classify(err) {
+	case engine.FailureNone:
+		done(false)
+		return true
+	case engine.FailureCanceled:
+		// The client hung up; the engine is fine.
+		done(false)
+		writeError(w, statusClientClosedRequest, "client canceled")
+	case engine.FailureTimeout:
+		s.counters.failures.Add(1)
+		done(true)
+		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("query deadline exceeded: %v", err))
+	default: // FailureRebuild
+		s.counters.failures.Add(1)
+		done(true)
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reconstruction failed: %v", err))
+	}
+	return false
+}
+
+// --- query parameter parsing ---
+
+// paperSnapshot is the default as-of date, the paper's 1 April 2020.
+func paperSnapshot() uls.Date { return uls.NewDate(2020, time.April, 1) }
+
+func parseDate(r *http.Request) (uls.Date, error) {
+	q := r.URL.Query().Get("date")
+	if q == "" {
+		return paperSnapshot(), nil
+	}
+	d, err := uls.ParseDate(q)
+	if err != nil || d.IsZero() {
+		return uls.Date{}, fmt.Errorf("bad date %q (want YYYY-MM-DD or MM/DD/YYYY)", q)
+	}
+	return d, nil
+}
+
+func parsePath(r *http.Request) (sites.Path, error) {
+	q := r.URL.Query().Get("path")
+	if q == "" {
+		return sites.Path{From: sites.CME, To: sites.NY4}, nil
+	}
+	from, to, ok := strings.Cut(q, "-")
+	if !ok {
+		return sites.Path{}, fmt.Errorf("bad path %q (want FROM-TO, e.g. CME-NY4)", q)
+	}
+	a, okA := sites.ByCode(strings.ToUpper(from))
+	b, okB := sites.ByCode(strings.ToUpper(to))
+	if !okA || !okB {
+		return sites.Path{}, fmt.Errorf("unknown data center in path %q (codes: CME, NY4, NYSE, NASDAQ)", q)
+	}
+	return sites.Path{From: a, To: b}, nil
+}
+
+func parseInt(r *http.Request, name string, def int) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q (want an integer)", name, q)
+	}
+	return n, nil
+}
+
+// --- response DTOs ---
+
+// networkRow is one connected network: the Table 1 row shape.
+type networkRow struct {
+	Licensee      string  `json:"licensee"`
+	LatencyMicros float64 `json:"latency_us"`
+	APA           float64 `json:"apa"`
+	Towers        int     `json:"towers"`
+	Hops          int     `json:"hops"`
+}
+
+func toRow(s core.NetworkSummary) networkRow {
+	return networkRow{
+		Licensee:      s.Licensee,
+		LatencyMicros: s.Latency.Microseconds(),
+		APA:           s.APA,
+		Towers:        s.TowerCount,
+		Hops:          s.HopCount,
+	}
+}
+
+// --- endpoints ---
+
+// handleSnapshot serves /v1/snapshot: the networks with an end-to-end
+// route on the path at the date, in latency order (Table 1).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	date, err := parseDate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	path, err := parsePath(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	type resp struct {
+		Date       string       `json:"date"`
+		Path       string       `json:"path"`
+		Generation int64        `json:"generation"`
+		Networks   []networkRow `json:"networks"`
+	}
+	var out resp
+	if !s.runQuery(w, r, func(p core.SnapshotProvider, g *generation) error {
+		rows, err := core.ConnectedNetworksVia(p, date, path, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		out = resp{Date: date.String(), Path: path.Name(), Generation: g.id,
+			Networks: make([]networkRow, 0, len(rows))}
+		for _, row := range rows {
+			out.Networks = append(out.Networks, toRow(row))
+		}
+		return nil
+	}) {
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleRank serves /v1/rank: the fastest networks per corridor path
+// (Table 2), optionally truncated with ?top=N.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	date, err := parseDate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	top, err := parseInt(r, "top", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	type ranking struct {
+		Path         string       `json:"path"`
+		GeodesicKM   float64      `json:"geodesic_km"`
+		Ranked       []networkRow `json:"ranked"`
+		GeodesicRTTu float64      `json:"geodesic_rtt_us"`
+	}
+	type resp struct {
+		Date       string    `json:"date"`
+		Generation int64     `json:"generation"`
+		Paths      []ranking `json:"paths"`
+	}
+	var out resp
+	if !s.runQuery(w, r, func(p core.SnapshotProvider, g *generation) error {
+		ranks, err := core.RankNetworksVia(p, date, sites.CorridorPaths(), top, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		out = resp{Date: date.String(), Generation: g.id}
+		for _, pr := range ranks {
+			rk := ranking{
+				Path:         pr.Path.Name(),
+				GeodesicKM:   pr.GeodesicMeters / 1e3,
+				GeodesicRTTu: 2 * pr.GeodesicMeters / 299792458.0 * 1e6,
+				Ranked:       make([]networkRow, 0, len(pr.Ranked)),
+			}
+			for _, row := range pr.Ranked {
+				rk.Ranked = append(rk.Ranked, toRow(row))
+			}
+			out.Paths = append(out.Paths, rk)
+		}
+		return nil
+	}) {
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleEvolution serves /v1/evolution: one licensee's longitudinal
+// trajectory (Figs 1–2) over ?from/?to years of paper sample dates.
+func (s *Server) handleEvolution(w http.ResponseWriter, r *http.Request) {
+	licensee := r.URL.Query().Get("licensee")
+	if licensee == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter: licensee")
+		return
+	}
+	path, err := parsePath(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	from, err := parseInt(r, "from", 2013)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	to, err := parseInt(r, "to", 2020)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if from > to {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("from=%d after to=%d", from, to))
+		return
+	}
+	type point struct {
+		Date           string  `json:"date"`
+		Connected      bool    `json:"connected"`
+		LatencyMicros  float64 `json:"latency_us,omitempty"`
+		ActiveLicenses int     `json:"active_licenses"`
+	}
+	type resp struct {
+		Licensee   string  `json:"licensee"`
+		Path       string  `json:"path"`
+		Generation int64   `json:"generation"`
+		Points     []point `json:"points"`
+	}
+	var out resp
+	if !s.runQuery(w, r, func(p core.SnapshotProvider, g *generation) error {
+		pts, err := core.EvolutionVia(p, licensee, path, core.PaperSampleDates(from, to), core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		out = resp{Licensee: licensee, Path: path.Name(), Generation: g.id,
+			Points: make([]point, 0, len(pts))}
+		for _, pt := range pts {
+			jp := point{Date: pt.Date.String(), Connected: pt.Connected,
+				ActiveLicenses: pt.ActiveLicenses}
+			if pt.Connected {
+				jp.LatencyMicros = pt.Latency.Microseconds()
+			}
+			out.Points = append(out.Points, jp)
+		}
+		return nil
+	}) {
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleAPA serves /v1/apa: per-network alternate-path availability on
+// the path at the date (§5), plus the complementary licensee pairs
+// whose union closes an end-to-end route (§2.4).
+func (s *Server) handleAPA(w http.ResponseWriter, r *http.Request) {
+	date, err := parseDate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	path, err := parsePath(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	type apaRow struct {
+		Licensee      string  `json:"licensee"`
+		APA           float64 `json:"apa"`
+		LatencyMicros float64 `json:"latency_us"`
+	}
+	type pairRow struct {
+		A, B          string  `json:"-"`
+		Pair          string  `json:"pair"`
+		LatencyMicros float64 `json:"latency_us"`
+	}
+	type resp struct {
+		Date          string    `json:"date"`
+		Path          string    `json:"path"`
+		Generation    int64     `json:"generation"`
+		Networks      []apaRow  `json:"networks"`
+		Complementary []pairRow `json:"complementary_pairs"`
+	}
+	var out resp
+	if !s.runQuery(w, r, func(p core.SnapshotProvider, g *generation) error {
+		rows, err := core.ConnectedNetworksVia(p, date, path, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		pairs, err := entity.ComplementaryPairsVia(p, date, path, nil, core.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		out = resp{Date: date.String(), Path: path.Name(), Generation: g.id,
+			Networks: make([]apaRow, 0, len(rows)), Complementary: []pairRow{}}
+		for _, row := range rows {
+			out.Networks = append(out.Networks, apaRow{
+				Licensee: row.Licensee, APA: row.APA,
+				LatencyMicros: row.Latency.Microseconds(),
+			})
+		}
+		for _, pr := range pairs {
+			out.Complementary = append(out.Complementary, pairRow{
+				Pair:          pr.A + " + " + pr.B,
+				LatencyMicros: pr.Latency.Microseconds(),
+			})
+		}
+		return nil
+	}) {
+		return
+	}
+	writeJSON(w, out)
+}
+
+// handleHealthz is liveness: the process is up and the handler loop
+// responds. Always 200.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyzBody is the /readyz payload.
+type readyzBody struct {
+	Ready           bool            `json:"ready"`
+	Degraded        bool            `json:"degraded,omitempty"`
+	Breaker         string          `json:"breaker"`
+	Generation      *generationInfo `json:"generation,omitempty"`
+	LastReloadError string          `json:"last_reload_error,omitempty"`
+}
+
+// handleReadyz is readiness: 503 until a corpus generation is
+// installed, 200 thereafter. A failed hot reload does not flip
+// readiness (the old generation keeps serving) but surfaces here as
+// degraded with the reload error.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := readyzBody{Breaker: s.breaker.State().String()}
+	g := s.gen.Load()
+	if g != nil {
+		info := g.info()
+		body.Ready = true
+		body.Generation = &info
+	}
+	if rs := s.ReloadStatus(); rs.LastError != "" {
+		body.Degraded = true
+		body.LastReloadError = rs.LastError
+	}
+	if !body.Ready {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(body)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// handleStatsz serves the counter snapshot.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// ErrOverloaded is returned by Limiter.Acquire when a request cannot be
+// admitted: every slot is busy and none freed within the admission
+// queue's maximum wait. Handlers translate it into 503 + Retry-After.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// Limiter is a bounded concurrency limiter with a max-wait admission
+// queue: up to `slots` requests run at once, and an arriving request
+// waits at most maxWait for a slot before being shed. The zero wait
+// still performs one non-blocking try, so a limiter with maxWait 0
+// degenerates to a plain semaphore.
+type Limiter struct {
+	slots   chan struct{}
+	maxWait time.Duration
+}
+
+// NewLimiter returns a limiter admitting n concurrent requests with the
+// given maximum admission-queue wait.
+func NewLimiter(n int, maxWait time.Duration) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n), maxWait: maxWait}
+}
+
+// Acquire admits the request or sheds it. The fast path (a free slot)
+// never allocates a timer. A nil return means the caller holds a slot
+// and MUST call Release exactly once.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.maxWait <= 0 {
+		return ErrOverloaded
+	}
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees the slot held by a successful Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InFlight returns the number of currently admitted requests.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// withRecovery converts a handler panic into a 500 without killing the
+// process: the always-on service must survive any single bad request.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.counters.panics.Add(1)
+				log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				// Headers may already be out; WriteHeader after that is
+				// a no-op plus a log line, which is the best available.
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withAdmission is the load-shedding gate: a request that cannot get a
+// slot within the admission queue's max wait is shed with 503 and a
+// Retry-After hint instead of piling onto an already saturated engine.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := s.limiter.Acquire(r.Context()); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				s.counters.shed.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+				writeError(w, http.StatusServiceUnavailable, "overloaded: admission queue full")
+				return
+			}
+			// Client went away while queued.
+			writeError(w, statusClientClosedRequest, "client canceled while queued")
+			return
+		}
+		defer s.limiter.Release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline propagates the per-request deadline via the request
+// context so every engine wait downstream is bounded.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withCounting counts every request entering the query surface.
+func (s *Server) withCounting(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.counters.requests.Add(1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response; nothing useful can be sent, but the
+// status keeps the access accounting honest.
+const statusClientClosedRequest = 499
+
+// retryAfterSeconds renders a Retry-After header value, at least 1s
+// (the header is integer seconds; rounding a sub-second hint to 0 would
+// invite an immediate retry stampede).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterFastPath(t *testing.T) {
+	l := NewLimiter(2, 0)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire = %v, want ErrOverloaded (maxWait 0)", err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d, want 2", got)
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// TestLimiterQueueAdmitsWithinWait: a queued request is admitted when a
+// slot frees before maxWait.
+func TestLimiterQueueAdmitsWithinWait(t *testing.T) {
+	l := NewLimiter(1, 2*time.Second)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		l.Release()
+	}()
+	start := time.Now()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("queued acquire = %v, want admitted after release", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("waited %v, want ~20ms", waited)
+	}
+}
+
+func TestLimiterShedsAfterMaxWait(t *testing.T) {
+	l := NewLimiter(1, 20*time.Millisecond)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire = %v, want ErrOverloaded after maxWait", err)
+	}
+}
+
+func TestLimiterRespectsContext(t *testing.T) {
+	l := NewLimiter(1, time.Minute)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire = %v, want context.Canceled", err)
+	}
+}
+
+// TestAdmissionMiddlewareSheds: beyond MaxInFlight + queue, requests
+// get 503 with a Retry-After hint, and the shed counter moves.
+func TestAdmissionMiddlewareSheds(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, MaxQueueWait: 10 * time.Millisecond, RetryAfter: 3 * time.Second})
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	h := s.withAdmission(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-block
+	}))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/snapshot", nil))
+		}()
+	}
+	<-started
+	<-started
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshot", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", rec.Header().Get("Retry-After"))
+	}
+	if shed := s.counters.shed.Load(); shed != 1 {
+		t.Errorf("shed counter = %d, want 1", shed)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestRecoveryMiddleware: a panicking handler becomes a 500; the
+// process (and the next request) lives on.
+func TestRecoveryMiddleware(t *testing.T) {
+	s := New(Config{})
+	calls := 0
+	h := s.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshot", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking request status = %d, want 500", rec.Code)
+	}
+	if p := s.counters.panics.Load(); p != 1 {
+		t.Errorf("panics counter = %d, want 1", p)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshot", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after panic status = %d, want 200", rec.Code)
+	}
+}
+
+// TestDeadlineMiddleware: the per-request deadline reaches the handler
+// through the request context.
+func TestDeadlineMiddleware(t *testing.T) {
+	s := New(Config{RequestTimeout: 30 * time.Millisecond})
+	h := s.withDeadline(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dl, ok := r.Context().Deadline()
+		if !ok {
+			t.Error("handler context has no deadline")
+		}
+		if until := time.Until(dl); until > 30*time.Millisecond {
+			t.Errorf("deadline %v away, want <= 30ms", until)
+		}
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+			t.Error("context never expired")
+		}
+		w.WriteHeader(http.StatusGatewayTimeout)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/snapshot", nil))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+}

@@ -1,0 +1,213 @@
+// Package serve is the resilience-first HTTP query service over the
+// snapshot engine: the paper's analyses (§3–§5 connected-network
+// tables, rankings, longitudinal evolution, alternate-path
+// availability) exposed as an always-on API that degrades gracefully
+// instead of falling over.
+//
+// Every query flows through a composable middleware stack:
+//
+//   - panic recovery — a bad request can 500, never kill the process;
+//   - admission control — a bounded concurrency limiter with a
+//     max-wait queue sheds excess load with 503 + Retry-After;
+//   - per-request deadlines — propagated via context into every
+//     engine wait;
+//   - a circuit breaker around engine rebuilds — consecutive rebuild
+//     failures or timeouts trip it open, half-open probes decide when
+//     to close it again.
+//
+// The corpus lives in an immutable generation (database + engine pair)
+// behind one atomic pointer: a request pins its generation once at
+// entry and can never observe a half-loaded corpus, and the hot
+// reloader swaps in a replacement generation only after the candidate
+// passes ingestion's error budget and the cross-record integrity pass.
+// A failed reload keeps the old generation serving and surfaces on
+// /readyz.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hftnetview/internal/engine"
+	"hftnetview/internal/uls"
+)
+
+// Config tunes the service's resilience envelope. The zero value is
+// usable: every field falls back to the default documented on it.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default 64).
+	MaxInFlight int
+	// MaxQueueWait is how long an arriving request may wait for a slot
+	// before being shed (default 100ms).
+	MaxQueueWait time.Duration
+	// RetryAfter is the hint sent with 503 responses (default 1s).
+	RetryAfter time.Duration
+	// RequestTimeout is the per-request deadline (default 10s).
+	RequestTimeout time.Duration
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive engine failures (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects work
+	// before admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// EngineWorkers bounds each generation engine's concurrent
+	// reconstructions (default: the engine's own default).
+	EngineWorkers int
+	// RebuildTimeout caps each generation engine's snapshot waits
+	// (default: RequestTimeout; the per-request context usually fires
+	// first, this is the backstop for requests without deadlines).
+	RebuildTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 100 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.RebuildTimeout <= 0 {
+		c.RebuildTimeout = c.RequestTimeout
+	}
+	return c
+}
+
+// generation is one immutable corpus: a database and the engine built
+// over it. Requests pin a generation at entry; reloads swap the
+// pointer, never mutate a published generation.
+type generation struct {
+	id       int64
+	db       *uls.Database
+	eng      *engine.Engine
+	source   string
+	loadedAt time.Time
+}
+
+// Server is the query service. Create with New, install a corpus with
+// SetCorpus (or LoadCorpusFile), and serve Handler().
+type Server struct {
+	cfg     Config
+	limiter *Limiter
+	breaker *Breaker
+
+	gen    atomic.Pointer[generation]
+	nextID atomic.Int64
+
+	counters struct {
+		requests atomic.Int64 // queries entering the /v1 surface
+		shed     atomic.Int64 // 503s from the admission queue
+		rejected atomic.Int64 // 503s from the open breaker
+		failures atomic.Int64 // engine failures (timeouts + rebuild errors)
+		panics   atomic.Int64 // handler panics recovered
+	}
+
+	reloadMu sync.Mutex
+	reload   ReloadStatus
+
+	started time.Time
+}
+
+// New returns a server with no corpus loaded; /readyz reports 503
+// until SetCorpus or LoadCorpusFile installs one.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		limiter: NewLimiter(cfg.MaxInFlight, cfg.MaxQueueWait),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started: time.Now(),
+	}
+}
+
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// SetCorpus atomically swaps in a new corpus generation: a fresh engine
+// is built over db and published with one pointer store. In-flight
+// requests keep the generation they pinned at entry; new requests see
+// the new one. The previous generation is garbage once its last
+// request drains.
+func (s *Server) SetCorpus(db *uls.Database, source string) {
+	opts := []engine.Option{engine.WithRebuildTimeout(s.cfg.RebuildTimeout)}
+	if s.cfg.EngineWorkers > 0 {
+		opts = append(opts, engine.WithWorkers(s.cfg.EngineWorkers))
+	}
+	g := &generation{
+		id:       s.nextID.Add(1),
+		db:       db,
+		eng:      engine.New(db, opts...),
+		source:   source,
+		loadedAt: time.Now(),
+	}
+	s.gen.Store(g)
+}
+
+// generationInfo is the serialized view of the live generation.
+type generationInfo struct {
+	ID       int64  `json:"id"`
+	Source   string `json:"source"`
+	LoadedAt string `json:"loaded_at"`
+	Licenses int    `json:"licenses"`
+}
+
+func (g *generation) info() generationInfo {
+	return generationInfo{
+		ID:       g.id,
+		Source:   g.source,
+		LoadedAt: g.loadedAt.UTC().Format(time.RFC3339),
+		Licenses: g.db.Len(),
+	}
+}
+
+// ServeStats is the /statsz payload: serving counters, the live
+// generation, the engine's memo counters, breaker state, and reload
+// history.
+type ServeStats struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Requests      int64           `json:"requests"`
+	Shed          int64           `json:"shed"`
+	BreakerReject int64           `json:"breaker_rejected"`
+	Failures      int64           `json:"engine_failures"`
+	Panics        int64           `json:"panics"`
+	InFlight      int             `json:"in_flight"`
+	Generation    *generationInfo `json:"generation,omitempty"`
+	Engine        *engine.Stats   `json:"engine,omitempty"`
+	Breaker       BreakerStats    `json:"breaker"`
+	Reload        ReloadStatus    `json:"reload"`
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServeStats {
+	st := ServeStats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.counters.requests.Load(),
+		Shed:          s.counters.shed.Load(),
+		BreakerReject: s.counters.rejected.Load(),
+		Failures:      s.counters.failures.Load(),
+		Panics:        s.counters.panics.Load(),
+		InFlight:      s.limiter.InFlight(),
+		Breaker:       s.breaker.Stats(),
+		Reload:        s.ReloadStatus(),
+	}
+	if g := s.gen.Load(); g != nil {
+		info := g.info()
+		st.Generation = &info
+		est := g.eng.Stats()
+		st.Engine = &est
+	}
+	return st
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// GracefulOptions configures ListenAndServeGraceful.
+type GracefulOptions struct {
+	// DrainTimeout bounds how long shutdown waits for in-flight
+	// requests after the listener closes (default 15s).
+	DrainTimeout time.Duration
+	// OnHUP, when non-nil, runs (in its own goroutine) on every
+	// SIGHUP — the conventional "reload your config/corpus" signal.
+	OnHUP func()
+	// OnReady, when non-nil, is called with the bound address just
+	// before serving starts — how tests and callers using ":0" learn
+	// the real port.
+	OnReady func(net.Addr)
+	// Stop, when non-nil, triggers the same graceful shutdown path as
+	// SIGTERM when it becomes readable (closed or sent to).
+	Stop <-chan struct{}
+}
+
+// ListenAndServeGraceful runs srv with production signal discipline:
+//
+//   - SIGINT/SIGTERM (or Stop) begin graceful shutdown — the listener
+//     closes immediately (new connections are refused), in-flight
+//     requests get DrainTimeout to complete, then the process-level
+//     serve call returns;
+//   - SIGHUP invokes OnHUP without interrupting serving.
+//
+// It returns nil after a clean drain; a non-nil error means either the
+// listener failed or the drain deadline expired with requests still in
+// flight (srv.Close is then called to force-release them). Both
+// cmd/hftserve and cmd/ulsserver run their servers through this one
+// helper, so chaos soak tests can restart either cleanly mid-flight.
+func ListenAndServeGraceful(srv *http.Server, opts GracefulOptions) error {
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 15 * time.Second
+	}
+
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	sigs := []os.Signal{syscall.SIGINT, syscall.SIGTERM}
+	if opts.OnHUP != nil {
+		sigs = append(sigs, syscall.SIGHUP)
+	}
+	sigC := make(chan os.Signal, 4)
+	signal.Notify(sigC, sigs...)
+	defer signal.Stop(sigC)
+
+	// The signal loop owns shutdown. shutdownErr is buffered so the
+	// loop never blocks on it; abort unblocks the loop when Serve
+	// fails before any signal arrives.
+	shutdownErr := make(chan error, 1)
+	abort := make(chan struct{})
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		for {
+			var sig os.Signal
+			select {
+			case sig = <-sigC:
+			case <-opts.Stop:
+				sig = syscall.SIGTERM
+			case <-abort:
+				return
+			}
+			if sig == syscall.SIGHUP {
+				go opts.OnHUP()
+				continue
+			}
+			log.Printf("serve: %v: draining (timeout %v)", sig, opts.DrainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				// Drain deadline expired: force-close what remains so
+				// the process can exit.
+				srv.Close()
+				shutdownErr <- err
+			} else {
+				shutdownErr <- nil
+			}
+			return
+		}
+	}()
+
+	if opts.OnReady != nil {
+		opts.OnReady(ln.Addr())
+	}
+	err = srv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		// Listener-level failure, not a shutdown: report it directly.
+		close(abort)
+		srv.Close()
+		<-loopDone
+		return err
+	}
+	// Graceful path: wait for the drain verdict.
+	verdict := <-shutdownErr
+	<-loopDone
+	return verdict
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"hftnetview/internal/synth"
+)
+
+// TestServeSoak is the end-to-end resilience soak from the issue's
+// acceptance criteria, driven by real process signals:
+//
+//   - concurrent clients hammer the API well beyond the admission
+//     limit — overload must shed with 503 + Retry-After, never drop
+//     or corrupt a response;
+//   - mid-flight, the corpus file is corrupted and SIGHUP'd — the
+//     reload must be refused and the old generation keep serving;
+//   - the file is repaired and SIGHUP'd again — the new generation
+//     must go live without interrupting traffic;
+//   - finally SIGTERM — the listener closes, every in-flight request
+//     drains to a complete response, and the server exits cleanly.
+//
+// Run under -race via `make serve-soak` (wired into `make ci`).
+func TestServeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+
+	dir := t.TempDir()
+	bulk := filepath.Join(dir, "corpus.uls")
+	dbA := corpus(t)
+	dbB := withoutLicensee(t, dbA, "Webline Holdings")
+	writeBulkFile(t, bulk, dbA)
+
+	s := New(Config{
+		MaxInFlight:      4,
+		MaxQueueWait:     2 * time.Millisecond,
+		RequestTimeout:   6 * time.Second,
+		BreakerThreshold: 1 << 30, // the soak injects no engine faults; keep the breaker quiet
+	})
+	reloadOpts := ReloadOptions{MaxErrorRate: 0.02}
+	if err := s.LoadCorpusFile(bulk, reloadOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hup := make(chan struct{}, 1)
+	go s.Watch(ctx, bulk, 0, hup, reloadOpts)
+
+	httpSrv := &http.Server{Addr: "127.0.0.1:0", Handler: s.Handler()}
+	addrC := make(chan net.Addr, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- ListenAndServeGraceful(httpSrv, GracefulOptions{
+			DrainTimeout: 15 * time.Second,
+			OnHUP: func() {
+				select {
+				case hup <- struct{}{}:
+				default: // reload already pending
+				}
+			},
+			OnReady: func(a net.Addr) { addrC <- a },
+		})
+	}()
+	var base string
+	select {
+	case a := <-addrC:
+		base = "http://" + a.String()
+	case err := <-serveErr:
+		t.Fatalf("server died before ready: %v", err)
+	}
+
+	// Clients. Keep-alives are off so every request is its own
+	// connection: after SIGTERM, new dials are refused (expected and
+	// distinguishable) while accepted requests must still complete.
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   20 * time.Second,
+	}
+	urls := []string{
+		"/v1/snapshot",
+		"/v1/snapshot?date=2019-04-01",
+		"/v1/rank?top=3",
+		"/v1/evolution?licensee=New+Line+Networks&from=2016&to=2020",
+		"/v1/apa",
+		"/statsz",
+		"/healthz",
+		"/readyz",
+	}
+
+	var (
+		termSent  atomic.Bool
+		completed atomic.Int64 // requests with a fully read response
+		shed      atomic.Int64 // 503s with a Retry-After header
+		timeouts  atomic.Int64 // 504s: deadline-bounded degradation, still a complete response
+		refused   atomic.Int64 // post-SIGTERM connection refusals
+
+		problemMu sync.Mutex
+		problems  []string
+
+		latMu     sync.Mutex
+		latencies []time.Duration // completed-200 request latencies
+	)
+	recordProblem := func(format string, args ...any) {
+		problemMu.Lock()
+		defer problemMu.Unlock()
+		if len(problems) < 20 {
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+
+	stop := make(chan struct{})
+	var clients sync.WaitGroup
+	const nClients = 16 // 4× the admission limit: guaranteed overload
+	for c := 0; c < nClients; c++ {
+		clients.Add(1)
+		go func(c int) {
+			defer clients.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := base + urls[(c+i)%len(urls)]
+				reqStart := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					if termSent.Load() {
+						// Listener closed; a fresh dial being refused
+						// is the graceful-shutdown contract, not a
+						// dropped request.
+						refused.Add(1)
+						return
+					}
+					recordProblem("client %d: transport error before SIGTERM: %v", c, err)
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					recordProblem("client %d: %s: response truncated: %v", c, url, rerr)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if len(body) == 0 {
+						recordProblem("client %d: %s: empty 200 body", c, url)
+					}
+					latMu.Lock()
+					latencies = append(latencies, time.Since(reqStart))
+					latMu.Unlock()
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						recordProblem("client %d: %s: 503 without Retry-After", c, url)
+					}
+					shed.Add(1)
+				case http.StatusGatewayTimeout:
+					// The per-request deadline fired on a slow analysis
+					// (the §2.4 pair sweep is O(n²) reconstructions):
+					// a complete, well-formed 504 is graceful
+					// degradation, not a drop.
+					timeouts.Add(1)
+				default:
+					recordProblem("client %d: %s: unexpected status %d (%s)",
+						c, url, resp.StatusCode, strings.TrimSpace(string(body)))
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+
+	self := os.Getpid()
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: pure overload.
+	time.Sleep(300 * time.Millisecond)
+
+	// Phase 2: corrupt the corpus and SIGHUP. The reload must fail the
+	// error budget and generation 1 must keep serving.
+	dirty := synth.Corrupt(dbA, synth.Profile{
+		Name: "mixed", Rate: 0.6, GarbleW: 3, TruncateW: 2, DuplicateW: 2, ReorderW: 1, ShredW: 2,
+	}, 42).Dirty
+	if err := os.WriteFile(bulk, dirty, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(self, syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("corrupted reload to be refused", func() bool { return s.ReloadStatus().Failures >= 1 })
+	if g := s.Stats().Generation; g == nil || g.ID != 1 {
+		t.Fatalf("generation after corrupted reload = %+v, want ID 1 still live", g)
+	}
+
+	// Phase 3: repair the corpus (to the distinct B variant, so the
+	// swap is observable) and SIGHUP again.
+	writeBulkFile(t, bulk, dbB)
+	if err := syscall.Kill(self, syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("repaired reload to go live", func() bool {
+		g := s.Stats().Generation
+		return g != nil && g.ID == 2
+	})
+
+	// Phase 4: more load on the new generation, then SIGTERM.
+	time.Sleep(200 * time.Millisecond)
+	termSent.Store(true)
+	if err := syscall.Kill(self, syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil (all in-flight drained)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never exited after SIGTERM")
+	}
+	close(stop)
+	clients.Wait()
+
+	problemMu.Lock()
+	for _, p := range problems {
+		t.Error(p)
+	}
+	problemMu.Unlock()
+
+	st := s.Stats()
+	t.Logf("soak: %d completed (%d deadline 504s), %d shed (server counter %d), %d refused post-SIGTERM, reloads %+v, engine %+v",
+		completed.Load(), timeouts.Load(), shed.Load(), st.Shed, refused.Load(), st.Reload, st.Engine)
+	latMu.Lock()
+	if n := len(latencies); n > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		t.Logf("soak: served-200 latency p50 %v, p99 %v, max %v; shed rate %.1f%%",
+			latencies[n/2], latencies[n*99/100], latencies[n-1],
+			100*float64(st.Shed)/float64(st.Requests))
+	}
+	latMu.Unlock()
+	if completed.Load() == 0 {
+		t.Error("no client request completed")
+	}
+	if shed.Load() == 0 || st.Shed == 0 {
+		t.Errorf("no load shedding observed (client %d, server %d) — admission limit never hit?",
+			shed.Load(), st.Shed)
+	}
+	if st.Panics != 0 {
+		t.Errorf("panics recovered during soak = %d, want 0", st.Panics)
+	}
+	if st.Reload.Failures < 1 || st.Reload.Attempts < 2 {
+		t.Errorf("reload history = %+v, want >=2 attempts with >=1 failure", st.Reload)
+	}
+}
