@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet soak serve-soak bench bench-short fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash bench bench-short fuzz-short ci
 
 all: build
 
@@ -26,6 +26,11 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # The §2.2 soak suite alone: full funnel against a ~20%-fault portal,
 # plus interrupt/resume through the checkpoint journal.
 soak:
@@ -37,6 +42,14 @@ soak:
 # SIGTERM'd — asserting zero dropped in-flight requests throughout.
 serve-soak:
 	$(GO) test -race -run 'TestServeSoak' -v ./internal/serve/
+
+# Crash-consistency loop for the corpus store, under the race
+# detector: every failpoint (fsync, pre-manifest, mid-rename, post-
+# publish bit flips) across seeded kill-points, asserting recovery
+# always serves exactly generation N or N−1 with verified checksums —
+# never a hybrid, never silent corruption.
+store-crash:
+	$(GO) test -race -run 'TestCrashConsistency' -v ./internal/store/
 
 # Short fuzz pass over the bulk parsers. The lenient reader must never
 # panic, must always produce a report, and must only load licenses the
@@ -57,4 +70,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: vet build race serve-soak bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash bench-short fuzz-short

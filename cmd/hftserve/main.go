@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hftserve [-addr :8090] [-bulk corpus.uls]
+//	hftserve [-addr :8090] [-bulk corpus.uls] [-store-dir DIR]
 //	         [-watch 0] [-max-error-rate 0.05] [-drop-license]
 //	         [-max-inflight 64] [-queue-wait 100ms] [-retry-after 1s]
 //	         [-request-timeout 10s]
@@ -28,11 +28,21 @@
 // polls it every N); a reload that fails the ingestion error budget or
 // empties the corpus is refused — the old generation keeps serving and
 // the failure is surfaced on /readyz.
+//
+// With -store-dir, parsed corpora persist as crash-safe checksummed
+// generations: the service warm-starts from the newest verified
+// generation (serving within milliseconds) while the bulk file
+// re-ingests in the background and hot-swaps once validated, every
+// successful reload persists a new generation, and graceful shutdown
+// closes the store so no temp debris survives a SIGTERM mid-persist.
+// Inspect or prune the store with hftstore.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -42,12 +52,14 @@ import (
 
 	"hftnetview"
 	"hftnetview/internal/serve"
+	"hftnetview/internal/store"
 	"hftnetview/internal/uls"
 )
 
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	bulk := flag.String("bulk", "", "ULS bulk file to serve (default: synthetic corpus; enables SIGHUP reload)")
+	storeDir := flag.String("store-dir", "", "corpus store directory (enables crash-safe persistence and warm starts)")
 	watch := flag.Duration("watch", 0, "poll the bulk file for changes this often (0 = SIGHUP only)")
 	maxErrorRate := flag.Float64("max-error-rate", 0.05, "ingestion error budget for loads and reloads")
 	dropLicense := flag.Bool("drop-license", false, "quarantine whole licenses on record errors instead of salvaging")
@@ -74,18 +86,68 @@ func main() {
 		reloadOpts.Mode = uls.DropLicense
 	}
 
-	if *bulk == "" {
-		db, err := hftnetview.GenerateCorpus()
-		if err != nil {
-			log.Fatalf("hftserve: generating corpus: %v", err)
-		}
-		srv.SetCorpus(db, "synthetic corpus")
-	} else if err := srv.LoadCorpusFile(*bulk, reloadOpts); err != nil {
-		log.Fatalf("hftserve: loading %s: %v", *bulk, err)
-	}
-
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	opts := serve.GracefulOptions{DrainTimeout: *drainTimeout}
+
+	warm := false
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("hftserve: opening store %s: %v", *storeDir, err)
+		}
+		srv.AttachStore(st)
+		opts.OnShutdown = func() {
+			if err := srv.CloseStore(); err != nil {
+				log.Printf("hftserve: closing store: %v", err)
+			}
+		}
+		rep, err := srv.WarmStart()
+		switch {
+		case err == nil:
+			warm = true
+			log.Printf("hftserve: warm start: serving persisted generation %d", rep.Served)
+			if len(rep.Discarded) > 0 {
+				log.Printf("hftserve: recovery discarded %d generation(s):\n%s", len(rep.Discarded), rep)
+			}
+		case errors.Is(err, store.ErrNoGeneration):
+			log.Printf("hftserve: store %s has no verified generation, booting cold", *storeDir)
+		default:
+			log.Printf("hftserve: warm start failed, booting cold: %v", err)
+		}
+	}
+
+	// loadInitial is the cold-boot corpus source: the bulk file, or the
+	// synthetic corridor corpus without one. With a store attached the
+	// resulting generation is persisted by SetCorpus/LoadCorpusFile.
+	loadInitial := func() error {
+		if *bulk == "" {
+			db, err := hftnetview.GenerateCorpus()
+			if err != nil {
+				return fmt.Errorf("generating corpus: %w", err)
+			}
+			srv.SetCorpus(db, "synthetic corpus")
+			return nil
+		}
+		return srv.LoadCorpusFile(*bulk, reloadOpts)
+	}
+	switch {
+	case warm && *bulk != "":
+		// The persisted generation is already serving; re-ingest the
+		// bulk file in the background and hot-swap once it validates.
+		go func() {
+			if err := loadInitial(); err != nil {
+				log.Printf("hftserve: background re-ingest of %s failed; persisted generation keeps serving: %v", *bulk, err)
+				return
+			}
+			log.Printf("hftserve: background re-ingest of %s complete: generation hot-swapped", *bulk)
+		}()
+	case warm:
+		// Nothing to re-ingest; the recovered corpus serves as-is.
+	default:
+		if err := loadInitial(); err != nil {
+			log.Fatalf("hftserve: loading corpus: %v", err)
+		}
+	}
 
 	if *bulk != "" {
 		// Hot reload: SIGHUP (via the graceful runner) and, with

@@ -1,0 +1,124 @@
+// Command hftstore inspects and maintains a corpus store directory —
+// the crash-safe generation store hftserve persists parsed corpora
+// into (-store-dir).
+//
+// Usage:
+//
+//	hftstore -dir DIR ls            list generations, newest first
+//	hftstore -dir DIR fsck          verify every generation end to end
+//	hftstore -dir DIR gc [-keep K]  retain the newest K generations (default 3)
+//
+// fsck re-reads every committed generation — manifest self-checksum,
+// segment sizes and SHA-256 digests, per-block CRCs, full license
+// decode and semantic re-validation — and inventories orphan segment
+// directories and temp debris. It exits 1 unless every generation
+// verifies. gc never deletes the last recoverable corpus: when none of
+// the newest K generations verifies, the retained set extends downward
+// until one does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hftnetview/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hftstore: ")
+
+	dir := flag.String("dir", "", "store directory (required)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hftstore -dir DIR {ls | fsck | gc [-keep K]}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := store.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "ls":
+		runLs(s)
+	case "fsck":
+		runFsck(s)
+	case "gc":
+		runGC(s, flag.Args()[1:])
+	default:
+		log.Printf("unknown subcommand %q", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runLs(s *store.Store) {
+	gens, err := s.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(gens) == 0 {
+		fmt.Println("no generations")
+		return
+	}
+	fmt.Printf("%-6s %-20s %9s %10s %4s  %s\n",
+		"GEN", "CREATED", "LICENSES", "BYTES", "SEGS", "SOURCE")
+	for _, g := range gens {
+		created := ""
+		if !g.CreatedAt.IsZero() {
+			created = g.CreatedAt.UTC().Format("2006-01-02T15:04:05Z")
+		}
+		fmt.Printf("%-6d %-20s %9d %10d %4d  %s\n",
+			g.ID, created, g.Licenses, g.Bytes, len(g.Segments), g.Source)
+	}
+}
+
+func runFsck(s *store.Store) {
+	rep, err := s.Fsck()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range rep.Generations {
+		if g.OK {
+			fmt.Printf("gen %d: ok (%d licenses, %d segments, %d bytes)\n",
+				g.ID, g.Licenses, len(g.Info.Segments), g.Info.Bytes)
+		} else {
+			fmt.Printf("gen %d: CORRUPT: %s\n", g.ID, g.Err)
+		}
+	}
+	for _, o := range rep.Orphans {
+		fmt.Printf("orphan: %s\n", o)
+	}
+	if len(rep.Generations) == 0 {
+		fmt.Println("no generations")
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func runGC(s *store.Store, args []string) {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	keep := fs.Int("keep", 3, "generations to retain")
+	fs.Parse(args)
+	removed, err := s.GC(*keep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(removed) == 0 {
+		fmt.Println("nothing to remove")
+		return
+	}
+	for _, id := range removed {
+		fmt.Printf("removed gen %d\n", id)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"hftnetview/internal/engine"
 	"hftnetview/internal/serve"
 	"hftnetview/internal/sites"
+	"hftnetview/internal/store"
 	"hftnetview/internal/synth"
 	"hftnetview/internal/uls"
 	"hftnetview/internal/units"
@@ -105,6 +106,19 @@ type (
 	ServeConfig = serve.Config
 	// ReloadOptions governs hot corpus reload ingestion.
 	ReloadOptions = serve.ReloadOptions
+	// Store is the crash-safe generation store for parsed corpora:
+	// checksummed segment writes published by atomic manifest rename,
+	// with recovery that falls back to the last fully verified
+	// generation. Create one with OpenStore; cmd/hftstore is the
+	// inspection/maintenance binary.
+	Store = store.Store
+	// GenInfo describes one committed store generation.
+	GenInfo = store.GenInfo
+	// RecoveryReport accounts for what store recovery scanned, served,
+	// and had to discard.
+	RecoveryReport = store.RecoveryReport
+	// FsckReport is the outcome of a deep store verification.
+	FsckReport = store.FsckReport
 )
 
 // Bulk ingestion parse modes.
@@ -131,6 +145,12 @@ func NewServer(db *Database, cfg ServeConfig) *Server {
 	s.SetCorpus(db, "facade")
 	return s
 }
+
+// OpenStore opens (creating if necessary) a crash-safe corpus store in
+// dir. Save a parsed corpus as a verified generation, Load the newest
+// one back after a restart, and let Server.AttachStore persist every
+// published corpus automatically.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 
 // Corridor anchors (§2.2).
 var (

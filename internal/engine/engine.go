@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hftnetview/internal/core"
@@ -244,6 +245,33 @@ func (e *Engine) reconstruct(req core.SnapshotRequest) (*core.Network, error) {
 // batch coalesce onto one reconstruction.
 func (e *Engine) Snapshots(reqs []core.SnapshotRequest) ([]*core.Network, error) {
 	return core.SnapshotsParallel(e, reqs)
+}
+
+// Prewarm primes the memo store with the given requests and returns
+// how many completed successfully before ctx expired. Reconstructions
+// run through the same bounded worker pool queries use (requests
+// already memoized are free), so a warm-booted service can prewarm its
+// default query surface in the background and the first real request
+// after a restart pays a memo hit instead of a rebuild. Failures are
+// not retried: a request that fails here simply stays cold, and the
+// next real query for it retries from scratch.
+func (e *Engine) Prewarm(ctx context.Context, reqs []core.SnapshotRequest) int {
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for _, req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.SnapshotContext(ctx, req); err == nil {
+				ok.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return int(ok.Load())
 }
 
 // ConnectedNetworks is core.ConnectedNetworksVia over this engine.

@@ -490,3 +490,48 @@ func TestRebuildErrorNotMemoized(t *testing.T) {
 		t.Errorf("entries = %d, want 0 (error entries must be evicted)", st.Entries)
 	}
 }
+
+// TestPrewarm: prewarming a set of requests rebuilds each exactly
+// once, and the subsequent real queries are memo hits.
+func TestPrewarm(t *testing.T) {
+	e := New(corpus(t))
+	names := []string{"Webline Holdings", "New Line Networks", "Pierce Broadband"}
+	reqs := make([]core.SnapshotRequest, len(names))
+	for i, n := range names {
+		reqs[i] = req(n, snapshot, core.DefaultOptions())
+	}
+	// Duplicate one request: it must coalesce, not double-build.
+	reqs = append(reqs, req(names[0], snapshot, core.DefaultOptions()))
+
+	n := e.Prewarm(context.Background(), reqs)
+	if n != len(reqs) {
+		t.Fatalf("Prewarm = %d, want %d", n, len(reqs))
+	}
+	st := e.Stats()
+	if st.Rebuilds != int64(len(names)) {
+		t.Errorf("prewarm ran %d rebuilds, want %d (duplicate must coalesce)", st.Rebuilds, len(names))
+	}
+
+	for _, name := range names {
+		if _, err := e.Snapshot(req(name, snapshot, core.DefaultOptions())); err != nil {
+			t.Fatalf("query after prewarm: %v", err)
+		}
+	}
+	if after := e.Stats(); after.Rebuilds != st.Rebuilds {
+		t.Errorf("queries after prewarm rebuilt (%d -> %d rebuilds), want all memo hits",
+			st.Rebuilds, after.Rebuilds)
+	}
+}
+
+// TestPrewarmCanceled: an expired context stops the sweep early and
+// the count reflects only what finished.
+func TestPrewarmCanceled(t *testing.T) {
+	e := New(corpus(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n := e.Prewarm(ctx, []core.SnapshotRequest{
+		req("Webline Holdings", snapshot, core.DefaultOptions()),
+	}); n != 0 {
+		t.Fatalf("Prewarm under canceled ctx = %d, want 0", n)
+	}
+}

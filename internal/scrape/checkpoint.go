@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"hftnetview/internal/uls"
@@ -30,6 +32,15 @@ import (
 //
 // "failed" records are informational; resuming retries those call
 // signs, because a fault that killed one run may be gone in the next.
+//
+// Durability: every append is flushed and fsynced before the worker
+// that scraped the page moves on, so a completed detail page survives
+// not just a process crash but a machine crash. On open, a journal
+// carrying dead weight — failed records, corrupt lines, licenses
+// superseded by a later re-scrape — is compacted: the surviving state
+// (plan + completed licenses) is rewritten to a temp file in the same
+// directory, fsynced, and atomically renamed over the original, so a
+// crash mid-compaction leaves the old journal intact.
 
 // ErrCheckpointMismatch reports a journal whose plan was recorded for a
 // different portal or different pipeline options — resuming it would
@@ -86,6 +97,25 @@ type checkpointState struct {
 	plan      *journalRecord          // nil when the journal has no plan yet
 	completed map[string]*uls.License // call sign -> parsed license
 	skipped   int                     // corrupt journal lines ignored on load
+	lines     int                     // non-blank journal lines seen on load
+	truncated bool                    // journal ended in a partial line
+}
+
+// compactable reports whether rewriting the journal would shrink it:
+// any line that is not the plan or a current completed license —
+// corrupt lines, failed records, superseded duplicates — is dead
+// weight a resume no longer needs. A truncated tail also forces a
+// rewrite; appending after a partial line would otherwise weld the
+// next record onto it and lose both.
+func (st *checkpointState) compactable() bool {
+	if st.truncated {
+		return true
+	}
+	keep := len(st.completed)
+	if st.plan != nil {
+		keep++
+	}
+	return st.lines > keep
 }
 
 // checkpoint appends journal records; it is safe for concurrent use by
@@ -101,9 +131,18 @@ type checkpoint struct {
 // verify the loaded plan against its own planKey before trusting the
 // completed set.
 func openCheckpoint(path string) (*checkpoint, checkpointState, error) {
+	// Sweep a temp file stranded by a crash mid-compaction: the rename
+	// never happened, so the original journal is the truth.
+	os.Remove(path + compactSuffix)
+
 	state := checkpointState{completed: make(map[string]*uls.License)}
 	if data, err := os.ReadFile(path); err == nil {
 		loadJournal(data, &state)
+		if state.compactable() {
+			if err := compactJournal(path, &state); err != nil {
+				return nil, state, fmt.Errorf("scrape: compacting checkpoint %s: %w", path, err)
+			}
+		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, state, fmt.Errorf("scrape: reading checkpoint %s: %w", path, err)
 	}
@@ -112,6 +151,78 @@ func openCheckpoint(path string) (*checkpoint, checkpointState, error) {
 		return nil, state, fmt.Errorf("scrape: opening checkpoint %s: %w", path, err)
 	}
 	return &checkpoint{f: f, w: bufio.NewWriter(f)}, state, nil
+}
+
+// compactSuffix names the rewrite-in-progress file next to the
+// journal; same directory, so the final rename is atomic.
+const compactSuffix = ".compact.tmp"
+
+// compactJournal rewrites the journal as exactly the loaded state —
+// the plan record followed by the completed licenses in call-sign
+// order — via fsynced temp file and atomic rename. Either the old
+// journal or the new one exists at every instant; a crash anywhere in
+// here costs nothing but the cleanup openCheckpoint already does.
+func compactJournal(path string, state *checkpointState) error {
+	tmp := path + compactSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	write := func(rec *journalRecord) error { return enc.Encode(rec) }
+	if state.plan != nil {
+		if err := write(state.plan); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	signs := make([]string, 0, len(state.completed))
+	for cs := range state.completed {
+		signs = append(signs, cs)
+	}
+	sort.Strings(signs)
+	for _, cs := range signs {
+		if err := write(&journalRecord{Type: "license", License: state.completed[cs]}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	// The journal now holds exactly what the state describes; skipped
+	// stays as loaded so the run can still report the damage it healed.
+	state.lines = len(state.completed)
+	if state.plan != nil {
+		state.lines++
+	}
+	state.truncated = false
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best effort: some filesystems refuse directory fsync, and the
+// rename itself already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // loadJournal replays journal lines into state, line by line and
@@ -127,6 +238,7 @@ func loadJournal(data []byte, state *checkpointState) {
 	// Drop the trailing partial line (no final newline) silently: it is
 	// an interrupted append, not corruption.
 	if n := len(data); n > 0 && data[n-1] != '\n' {
+		state.truncated = true
 		if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
 			data = data[:i+1]
 		} else {
@@ -143,6 +255,7 @@ func loadJournal(data []byte, state *checkpointState) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
+		state.lines++
 		var rec journalRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			state.skipped++
@@ -166,8 +279,10 @@ func loadJournal(data []byte, state *checkpointState) {
 	}
 }
 
-// append writes one record and flushes it to the OS, so a later crash
-// cannot lose it.
+// append writes one record, flushes it to the OS, and fsyncs it to
+// the disk, so not even a machine crash can lose it. A scrape is
+// network-bound — one fsync per detail page is noise next to the
+// fetch that produced it.
 func (cp *checkpoint) append(rec journalRecord) error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
@@ -177,6 +292,9 @@ func (cp *checkpoint) append(rec journalRecord) error {
 	}
 	if err := cp.w.Flush(); err != nil {
 		return fmt.Errorf("scrape: flushing checkpoint: %w", err)
+	}
+	if err := cp.f.Sync(); err != nil {
+		return fmt.Errorf("scrape: syncing checkpoint: %w", err)
 	}
 	return nil
 }
@@ -204,6 +322,10 @@ func (cp *checkpoint) close() error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	if err := cp.w.Flush(); err != nil {
+		cp.f.Close()
+		return err
+	}
+	if err := cp.f.Sync(); err != nil {
 		cp.f.Close()
 		return err
 	}

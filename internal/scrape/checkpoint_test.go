@@ -178,6 +178,160 @@ func TestCheckpointSkipsInvalidLicense(t *testing.T) {
 	}
 }
 
+// countLines returns the number of newline-terminated lines in the
+// journal at path.
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+func TestCheckpointCompactsDeadWeight(t *testing.T) {
+	// A journal full of dead weight — failures that will be retried
+	// anyway, a corrupt line, a license superseded by a re-scrape — is
+	// rewritten on open to exactly plan + completed, and the rewrite
+	// changes nothing a resume can observe.
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := planKey{Portal: "http://x", RadiusKM: 10, Service: "MG", Class: "FXO", MinFilings: 11}
+	cp.writePlan(key, Funnel{GeographicMatches: 9}, nil)
+	cp.writeLicense(testLicense("WQAA001"))
+	cp.writeFailure(DetailFailure{CallSign: "WQAA002", Class: "fetch", Err: "timeout"})
+	cp.writeFailure(DetailFailure{CallSign: "WQAA003", Class: "parse", Err: "boom"})
+	stale := testLicense("WQAA004")
+	stale.Licensee = "Stale Name"
+	cp.writeLicense(stale)
+	fresh := testLicense("WQAA004") // re-scrape supersedes the record above
+	cp.writeLicense(fresh)
+	cp.close()
+	if err := os.WriteFile(path, append(mustRead(t, path), []byte("not json\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2.close()
+	if state.plan == nil || *state.plan.Options != key || state.plan.GeographicMatches != 9 {
+		t.Fatalf("plan lost in compaction: %+v", state.plan)
+	}
+	if len(state.completed) != 2 {
+		t.Fatalf("completed = %d licenses, want 2", len(state.completed))
+	}
+	if got := state.completed["WQAA004"]; got == nil || got.Licensee != fresh.Licensee {
+		t.Fatalf("compaction kept the superseded record: %+v", got)
+	}
+	// plan + 2 licenses: failures, corruption, and the stale duplicate
+	// are gone from disk, not just from memory.
+	if n := countLines(t, path); n != 3 {
+		t.Errorf("compacted journal has %d lines, want 3", n)
+	}
+	if _, err := os.Stat(path + compactSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("compaction temp file survived: %v", err)
+	}
+
+	// A third open sees a clean journal and leaves it byte-identical.
+	before := mustRead(t, path)
+	cp3, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp3.close()
+	if len(state.completed) != 2 || state.skipped != 0 {
+		t.Fatalf("clean reopen state wrong: %+v", state)
+	}
+	if after := mustRead(t, path); string(after) != string(before) {
+		t.Error("opening a clean journal rewrote it")
+	}
+}
+
+func TestCheckpointCompactsTruncatedTail(t *testing.T) {
+	// A partial final line must be cut from disk on open: appending
+	// after it would weld the next record onto the fragment and lose
+	// both. After compaction, new appends land on their own lines.
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.writeLicense(testLicense("WQAA001"))
+	cp.close()
+	full := mustRead(t, path)
+	partial := strings.Replace(string(full), "WQAA001", "WQAA002", 1)
+	partial = partial[:len(partial)-20]
+	if err := os.WriteFile(path, append(full, partial...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.completed["WQAA001"]; !ok {
+		t.Fatal("intact record lost in compaction")
+	}
+	if err := cp2.writeLicense(testLicense("WQAA003")); err != nil {
+		t.Fatal(err)
+	}
+	cp2.close()
+
+	cp3, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp3.close()
+	if _, ok := state.completed["WQAA003"]; !ok {
+		t.Error("record appended after compaction was lost — it welded onto the truncated tail")
+	}
+	if len(state.completed) != 2 || state.skipped != 0 {
+		t.Errorf("state after append-past-truncation = %+v, want 2 completed and 0 skipped", state)
+	}
+}
+
+func TestCheckpointSweepsStaleCompactionTemp(t *testing.T) {
+	// A crash between writing the temp file and renaming it leaves a
+	// *.compact.tmp next to the journal; the next open must remove it
+	// and trust the original.
+	path := filepath.Join(t.TempDir(), "journal.json")
+	cp, _, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.writeLicense(testLicense("WQAA001"))
+	cp.close()
+	if err := os.WriteFile(path+compactSuffix, []byte("half-written rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, state, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2.close()
+	if _, ok := state.completed["WQAA001"]; !ok {
+		t.Error("original journal not trusted after crashed compaction")
+	}
+	if _, err := os.Stat(path + compactSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale compaction temp not swept: %v", err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 func TestRunRejectsMismatchedCheckpoint(t *testing.T) {
 	// A journal recorded for one funnel must refuse to resume another.
 	path := filepath.Join(t.TempDir(), "journal.json")

@@ -409,6 +409,7 @@ type readyzBody struct {
 	Breaker         string          `json:"breaker"`
 	Generation      *generationInfo `json:"generation,omitempty"`
 	LastReloadError string          `json:"last_reload_error,omitempty"`
+	Persist         *PersistStatus  `json:"persist,omitempty"`
 }
 
 // handleReadyz is readiness: 503 until a corpus generation is
@@ -426,6 +427,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if rs := s.ReloadStatus(); rs.LastError != "" {
 		body.Degraded = true
 		body.LastReloadError = rs.LastError
+	}
+	if ps := s.PersistStatus(); ps.Enabled {
+		body.Persist = &ps
+		if ps.LastError != "" {
+			body.Degraded = true
+		}
 	}
 	if !body.Ready {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))

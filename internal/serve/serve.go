@@ -118,6 +118,8 @@ type Server struct {
 	reloadMu sync.Mutex
 	reload   ReloadStatus
 
+	persist persistState
+
 	started time.Time
 }
 
@@ -140,8 +142,17 @@ func (s *Server) Config() Config { return s.cfg }
 // is built over db and published with one pointer store. In-flight
 // requests keep the generation they pinned at entry; new requests see
 // the new one. The previous generation is garbage once its last
-// request drains.
+// request drains. With a store attached (AttachStore) the corpus is
+// also persisted as a new on-disk generation.
 func (s *Server) SetCorpus(db *uls.Database, source string) {
+	s.publish(db, source)
+	s.persistCorpus(db, source)
+}
+
+// publish installs the corpus as the live generation without touching
+// the persistence layer (WarmStart uses it directly: re-saving what
+// was just recovered would duplicate generations on every boot).
+func (s *Server) publish(db *uls.Database, source string) {
 	opts := []engine.Option{engine.WithRebuildTimeout(s.cfg.RebuildTimeout)}
 	if s.cfg.EngineWorkers > 0 {
 		opts = append(opts, engine.WithWorkers(s.cfg.EngineWorkers))
@@ -188,6 +199,7 @@ type ServeStats struct {
 	Engine        *engine.Stats   `json:"engine,omitempty"`
 	Breaker       BreakerStats    `json:"breaker"`
 	Reload        ReloadStatus    `json:"reload"`
+	Persist       *PersistStatus  `json:"persist,omitempty"`
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -202,6 +214,9 @@ func (s *Server) Stats() ServeStats {
 		InFlight:      s.limiter.InFlight(),
 		Breaker:       s.breaker.Stats(),
 		Reload:        s.ReloadStatus(),
+	}
+	if ps := s.PersistStatus(); ps.Enabled {
+		st.Persist = &ps
 	}
 	if g := s.gen.Load(); g != nil {
 		info := g.info()

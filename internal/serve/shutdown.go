@@ -24,6 +24,13 @@ type GracefulOptions struct {
 	// before serving starts — how tests and callers using ":0" learn
 	// the real port.
 	OnReady func(net.Addr)
+	// OnShutdown, when non-nil, runs exactly once after serving stops —
+	// clean drain, expired drain, or listener failure — and before
+	// ListenAndServeGraceful returns. It is the hook for releasing
+	// durable resources: hftserve closes its corpus store here so a
+	// terminating process never strands temp directories, even when
+	// SIGTERM lands mid-persist.
+	OnShutdown func()
 	// Stop, when non-nil, triggers the same graceful shutdown path as
 	// SIGTERM when it becomes readable (closed or sent to).
 	Stop <-chan struct{}
@@ -54,6 +61,9 @@ func ListenAndServeGraceful(srv *http.Server, opts GracefulOptions) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	if opts.OnShutdown != nil {
+		defer opts.OnShutdown()
 	}
 
 	sigs := []os.Signal{syscall.SIGINT, syscall.SIGTERM}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+// E20: warm boot (recover the checksummed binary generation from the
+// store) vs cold boot (re-ingest the dirty bulk file through lenient
+// parsing and the integrity pass — what every restart paid before the
+// store existed). See EXPERIMENTS.md E20 for recorded numbers.
+
+// BenchmarkWarmBoot measures Open+Load of the newest generation,
+// checksum verification included.
+func BenchmarkWarmBoot(b *testing.B) {
+	db := corpus(b)
+	dir := b.TempDir()
+	s := open(b, dir)
+	if _, err := s.Save(db, "bench"); err != nil {
+		b.Fatalf("save: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recovered, _, _, err := s.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if recovered.Len() != db.Len() {
+			b.Fatalf("recovered %d licenses, want %d", recovered.Len(), db.Len())
+		}
+	}
+}
+
+// BenchmarkColdBoot measures what a warm boot replaces: lenient
+// re-ingestion of a realistically dirty bulk extract plus the
+// cross-record integrity pass with repair.
+func BenchmarkColdBoot(b *testing.B) {
+	db := corpus(b)
+	c := synth.Corrupt(db, synth.Profile{
+		Name: "mixed", Rate: 0.25,
+		GarbleW: 3, TruncateW: 2, DuplicateW: 2, ReorderW: 1, ShredW: 2,
+	}, 1)
+	// The bulk file is read from disk each boot, as the warm path's
+	// segments are.
+	path := filepath.Join(b.TempDir(), "bulk.txt")
+	if err := os.WriteFile(path, c.Dirty, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, _, err := uls.ReadBulkWithOptions(bytes.NewReader(data),
+			uls.ReadBulkOptions{Mode: uls.Lenient})
+		if err != nil {
+			b.Fatal(err)
+		}
+		uls.Validate(got, uls.ValidateOptions{Repair: true})
+		if got.Len() == 0 {
+			b.Fatal("empty salvage")
+		}
+	}
+}
+
+// BenchmarkColdBootClean is the lower bound for any text-based boot:
+// strict parsing of a perfectly clean bulk file, no salvage, no
+// integrity pass.
+func BenchmarkColdBootClean(b *testing.B) {
+	db := corpus(b)
+	var buf bytes.Buffer
+	if err := uls.WriteBulk(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := uls.ReadBulk(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != db.Len() {
+			b.Fatal("lost licenses")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+// The crash-consistency contract: a store holding generation N−1 that
+// crashes anywhere inside the Save of generation N must, on recovery,
+// serve *exactly* generation N (the crash landed after the commit
+// point and the bytes survived) or *exactly* generation N−1 (it landed
+// before, or the bytes did not) — never a hybrid, never a torn corpus,
+// and always with every checksum verified. TestCrashConsistency loops
+// that contract over every failpoint × seeds 1–20, with the kill
+// instant, the torn-write prefix, and the flipped bit all drawn from
+// the seed.
+
+// crashCase is one failpoint family. arm installs seeded hooks into fp
+// and reports (via the returned func) whether recovery may legally
+// serve generation N (true) or must fall back to N−1 (false).
+type crashCase struct {
+	name string
+	arm  func(fp *Failpoints, rng *rand.Rand, seed uint64) (mayServeNew bool)
+}
+
+func crashCases() []crashCase {
+	return []crashCase{
+		{
+			// Kill before a seeded segment fsync, leaving that segment
+			// torn at a seeded prefix: no manifest ever exists, so
+			// recovery must serve N−1.
+			name: "fail-before-fsync",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				target := 1 + int(seed)%2
+				calls := 0
+				fp.BeforeFsync = func(path string) error {
+					calls++
+					if calls < target {
+						return nil
+					}
+					fi, err := os.Stat(path)
+					if err == nil && fi.Size() > 0 {
+						os.Truncate(path, rng.Int64N(fi.Size()))
+					}
+					return fmt.Errorf("%w: before fsync of %s", ErrFailpoint, filepath.Base(path))
+				}
+				return false
+			},
+		},
+		{
+			// Kill after every segment is durable but before the
+			// manifest exists in any form.
+			name: "fail-between-segment-and-manifest",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				fp.BeforeManifest = func() error {
+					return fmt.Errorf("%w: between segments and manifest", ErrFailpoint)
+				}
+				return false
+			},
+		},
+		{
+			// Kill after the manifest temp file is durable but before
+			// the atomic rename that commits it: the *.tmp manifest
+			// must be invisible to recovery.
+			name: "fail-mid-rename",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				fp.MidRename = func(tmp, final string) error {
+					return fmt.Errorf("%w: manifest rename %s", ErrFailpoint, filepath.Base(final))
+				}
+				return false
+			},
+		},
+		{
+			// The generation commits, then a seeded bit flips in one of
+			// its published segments (at-rest rot): recovery must detect
+			// the flip and fall back to N−1, reporting the discard.
+			name: "bit-flip-segment-after-publish",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				fp.AfterPublish = func(genDir, manifestPath string) error {
+					ents, err := os.ReadDir(genDir)
+					if err != nil || len(ents) == 0 {
+						return fmt.Errorf("no segments in %s: %v", genDir, err)
+					}
+					path := filepath.Join(genDir, ents[rng.IntN(len(ents))].Name())
+					data, err := os.ReadFile(path)
+					if err != nil {
+						return err
+					}
+					if err := os.WriteFile(path, synth.FlipBits(data, seed, 1), 0o644); err != nil {
+						return err
+					}
+					return fmt.Errorf("%w: after publish (segment bit flip)", ErrFailpoint)
+				}
+				return false
+			},
+		},
+		{
+			// The generation commits, then a seeded bit flips in its
+			// manifest: the manifest self-checksum must refuse it.
+			name: "bit-flip-manifest-after-publish",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				fp.AfterPublish = func(genDir, manifestPath string) error {
+					data, err := os.ReadFile(manifestPath)
+					if err != nil {
+						return err
+					}
+					if err := os.WriteFile(manifestPath, synth.FlipBits(data, seed, 1), 0o644); err != nil {
+						return err
+					}
+					return fmt.Errorf("%w: after publish (manifest bit flip)", ErrFailpoint)
+				}
+				return false
+			},
+		},
+		{
+			// Control: no failpoint fires; the Save commits and recovery
+			// must serve generation N.
+			name: "no-crash",
+			arm: func(fp *Failpoints, rng *rand.Rand, seed uint64) bool {
+				return true
+			},
+		},
+	}
+}
+
+func TestCrashConsistency(t *testing.T) {
+	clean := corpus(t)
+	cleanBulk := bulkBytes(t, clean)
+
+	for _, cc := range crashCases() {
+		t.Run(cc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 20; seed++ {
+				// Generation N−1 is a seed-distinct corpus: the salvage
+				// of a seeded-corrupt encoding of the clean one.
+				c := synth.Corrupt(clean, synth.Profile{
+					Name: "mixed", Rate: 0.25,
+					GarbleW: 3, TruncateW: 2, DuplicateW: 2, ReorderW: 1, ShredW: 2,
+				}, seed)
+				oldDB, _, err := uls.ReadBulkWithOptions(bytes.NewReader(c.Dirty),
+					uls.ReadBulkOptions{Mode: uls.Lenient})
+				if err != nil {
+					t.Fatalf("seed %d: salvaging old corpus: %v", seed, err)
+				}
+				oldBulk := bulkBytes(t, oldDB)
+				if bytes.Equal(oldBulk, cleanBulk) {
+					t.Fatalf("seed %d: old and new corpora are identical; N vs N−1 would be unobservable", seed)
+				}
+
+				dir := t.TempDir()
+				s := open(t, dir, WithSegmentTarget(16<<10), WithBlockLicenses(8))
+				giOld, err := s.Save(oldDB, "generation N-1")
+				if err != nil {
+					t.Fatalf("seed %d: saving N−1: %v", seed, err)
+				}
+
+				rng := rand.New(rand.NewPCG(seed, 0xc7a54))
+				var fp Failpoints
+				mayServeNew := cc.arm(&fp, rng, seed)
+				s.fp = fp
+
+				_, err = s.Save(clean, "generation N")
+				if mayServeNew {
+					if err != nil {
+						t.Fatalf("seed %d: clean save failed: %v", seed, err)
+					}
+				} else if !errors.Is(err, ErrFailpoint) {
+					t.Fatalf("seed %d: want injected crash, got %v", seed, err)
+				}
+
+				// "Restart": reopen the store from disk and recover.
+				s2 := open(t, dir)
+				got, gi, rep, err := s2.Load()
+				if err != nil {
+					t.Fatalf("seed %d: recovery failed: %v\n%s", seed, err, rep)
+				}
+				gotBulk := bulkBytes(t, got)
+
+				switch {
+				case bytes.Equal(gotBulk, cleanBulk):
+					if !mayServeNew {
+						t.Fatalf("seed %d: recovery served generation N after a pre-commit crash\n%s", seed, rep)
+					}
+				case bytes.Equal(gotBulk, oldBulk):
+					if gi.ID != giOld.ID {
+						t.Fatalf("seed %d: N−1 corpus served under generation id %d, want %d", seed, gi.ID, giOld.ID)
+					}
+					if mayServeNew {
+						t.Fatalf("seed %d: clean commit lost; recovery fell back to N−1\n%s", seed, rep)
+					}
+				default:
+					t.Fatalf("seed %d: recovered corpus is a hybrid — matches neither N nor N−1\n%s", seed, rep)
+				}
+
+				// Post-publish corruption must be reported, not silent.
+				if fp.AfterPublish != nil && len(rep.Discarded) == 0 {
+					t.Fatalf("seed %d: corrupted generation discarded silently\n%s", seed, rep)
+				}
+
+				// The recovered store stays writable: the next Save must
+				// pick an id above all debris and commit cleanly.
+				gi3, err := s2.Save(got, "post-recovery")
+				if err != nil {
+					t.Fatalf("seed %d: post-recovery save: %v", seed, err)
+				}
+				if gi3.ID <= giOld.ID {
+					t.Fatalf("seed %d: post-recovery id %d not above %d", seed, gi3.ID, giOld.ID)
+				}
+			}
+		})
+	}
+}

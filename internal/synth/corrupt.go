@@ -217,6 +217,33 @@ func hdIndex(lines []string, idx int) int {
 	return -1
 }
 
+// FlipBits returns a copy of data with n distinct bits flipped at
+// seeded positions — the at-rest bit-rot counterpart to the record-level
+// mutations above, used against binary artifacts (store segments,
+// manifests) whose checksums must catch silent corruption. The same
+// (data, seed, n) triple always flips the same bits. n is capped at the
+// number of bits available.
+func FlipBits(data []byte, seed uint64, n int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 || n <= 0 {
+		return out
+	}
+	if n > len(out)*8 {
+		n = len(out) * 8
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x626974666c6970)) // "bitflip"
+	seen := make(map[int]bool, n)
+	for len(seen) < n {
+		bit := rng.IntN(len(out) * 8)
+		if seen[bit] {
+			continue
+		}
+		seen[bit] = true
+		out[bit/8] ^= 1 << (bit % 8)
+	}
+	return out
+}
+
 // CorridorBounds is the Chicago–New Jersey corridor bounding box: the
 // four data centers padded by two degrees, generous enough to contain
 // every synthetic tower while still rejecting coordinates that landed

@@ -48,6 +48,48 @@ func (db *Database) Add(l *License) error {
 	return nil
 }
 
+// BulkAddOptions controls AddBulk.
+type BulkAddOptions struct {
+	// TrustValidated skips per-license semantic validation. Reserve it
+	// for loaders whose input provably round-trips an already-validated
+	// database — the persistence store's warm boot, where segment
+	// checksums guarantee the bytes are exactly what a validated
+	// Database encoded. Call signs must still be present and duplicates
+	// are still rejected.
+	TrustValidated bool
+}
+
+// AddBulk inserts a batch of licenses in one step: the call-sign index
+// is grown once, the derived indexes are invalidated once instead of
+// per insert, and validation may be skipped for checksummed sources.
+// On error the database is unchanged — a bulk insert lands whole or
+// not at all.
+func (db *Database) AddBulk(ls []*License, o BulkAddOptions) error {
+	m := make(map[string]*License, len(db.byCallSign)+len(ls))
+	for k, v := range db.byCallSign {
+		m[k] = v
+	}
+	licenses := make([]*License, len(db.licenses), len(db.licenses)+len(ls))
+	copy(licenses, db.licenses)
+	for _, l := range ls {
+		if !o.TrustValidated {
+			if err := l.Validate(); err != nil {
+				return err
+			}
+		} else if l.CallSign == "" {
+			return fmt.Errorf("uls: license missing call sign")
+		}
+		if _, dup := m[l.CallSign]; dup {
+			return fmt.Errorf("uls: duplicate call sign %s", l.CallSign)
+		}
+		m[l.CallSign] = l
+		licenses = append(licenses, l)
+	}
+	db.licenses, db.byCallSign = licenses, m
+	db.invalidate()
+	return nil
+}
+
 // invalidate bumps the generation and discards the derived indexes.
 // Every mutation — Add, or Validate repairing licenses in place — must
 // call it so caches keyed on Generation and the lazy indexes rebuild.

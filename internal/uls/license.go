@@ -145,34 +145,80 @@ func (l *License) Validate() error {
 		return fmt.Errorf("uls: %s: cancellation %s precedes grant %s",
 			l.CallSign, l.Cancellation, l.Grant)
 	}
-	seen := make(map[int]bool, len(l.Locations))
-	for _, loc := range l.Locations {
+	// Duplicate and reference checks run allocation-free over the
+	// typical handful of sub-records; a map is built only for licenses
+	// with unusually many locations (Validate sits on the hot boot path,
+	// and two map allocations per license dominated its cost).
+	const linearScanMax = 32
+	var locSeen map[int]bool
+	if len(l.Locations) > linearScanMax {
+		locSeen = make(map[int]bool, len(l.Locations))
+	}
+	hasLoc := func(num int) bool {
+		if locSeen != nil {
+			return locSeen[num]
+		}
+		for i := range l.Locations {
+			if l.Locations[i].Number == num {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range l.Locations {
+		loc := &l.Locations[i]
 		if loc.Number <= 0 {
 			return fmt.Errorf("uls: %s: non-positive location number %d", l.CallSign, loc.Number)
 		}
-		if seen[loc.Number] {
+		dup := false
+		if locSeen != nil {
+			dup = locSeen[loc.Number]
+			locSeen[loc.Number] = true
+		} else {
+			for j := 0; j < i; j++ {
+				if l.Locations[j].Number == loc.Number {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
 			return fmt.Errorf("uls: %s: duplicate location number %d", l.CallSign, loc.Number)
 		}
-		seen[loc.Number] = true
 		if !loc.Point.Valid() {
 			return fmt.Errorf("uls: %s: location %d has invalid coordinates %v",
 				l.CallSign, loc.Number, loc.Point)
 		}
 	}
-	pathSeen := make(map[int]bool, len(l.Paths))
-	for _, p := range l.Paths {
+	var pathSeen map[int]bool
+	if len(l.Paths) > linearScanMax {
+		pathSeen = make(map[int]bool, len(l.Paths))
+	}
+	for i := range l.Paths {
+		p := &l.Paths[i]
 		if p.Number <= 0 {
 			return fmt.Errorf("uls: %s: non-positive path number %d", l.CallSign, p.Number)
 		}
-		if pathSeen[p.Number] {
+		dup := false
+		if pathSeen != nil {
+			dup = pathSeen[p.Number]
+			pathSeen[p.Number] = true
+		} else {
+			for j := 0; j < i; j++ {
+				if l.Paths[j].Number == p.Number {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
 			return fmt.Errorf("uls: %s: duplicate path number %d", l.CallSign, p.Number)
 		}
-		pathSeen[p.Number] = true
-		if !seen[p.TXLocation] {
+		if !hasLoc(p.TXLocation) {
 			return fmt.Errorf("uls: %s: path %d references missing TX location %d",
 				l.CallSign, p.Number, p.TXLocation)
 		}
-		if !seen[p.RXLocation] {
+		if !hasLoc(p.RXLocation) {
 			return fmt.Errorf("uls: %s: path %d references missing RX location %d",
 				l.CallSign, p.Number, p.RXLocation)
 		}

@@ -1,0 +1,89 @@
+package uls_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+// encodeBulk renders db in bulk format.
+func encodeBulk(t *testing.T, db *uls.Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := uls.WriteBulk(&buf, db); err != nil {
+		t.Fatalf("WriteBulk: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestBulkEncodingIsFixpoint: for any database the reader accepts,
+// write → read → write must be byte-identical — the bulk encoding is a
+// fixpoint, so re-encoding a corpus any number of times (reload loops,
+// store round trips, scrape resumes) can never drift. The property is
+// checked on the clean synthetic corpus and then on every corpus the
+// lenient reader salvages from each corruption profile at seeds 1–10:
+// salvage output is exactly the kind of "weird but valid" database a
+// hand-written test would never construct.
+func TestBulkEncodingIsFixpoint(t *testing.T) {
+	db, err := synth.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFixpoint(t, "clean", encodeBulk(t, db))
+
+	profiles := synth.Profiles()
+	if testing.Short() {
+		// The mixed profile applies every mutation kind; one profile is
+		// enough coverage for a short run.
+		for _, p := range profiles {
+			if p.Name == "mixed" {
+				profiles = []synth.Profile{p}
+				break
+			}
+		}
+	}
+	for _, p := range profiles {
+		for seed := uint64(1); seed <= 10; seed++ {
+			name := fmt.Sprintf("%s/seed=%d", p.Name, seed)
+			c := synth.Corrupt(db, p, seed)
+			salvaged, rep, err := uls.ReadBulkWithOptions(
+				bytes.NewReader(c.Dirty), uls.ReadBulkOptions{Mode: uls.Lenient})
+			if err != nil {
+				t.Fatalf("%s: salvage failed: %v", name, err)
+			}
+			if salvaged.Len() == 0 {
+				t.Fatalf("%s: salvage kept nothing (report: %+v)", name, rep)
+			}
+			assertFixpoint(t, name, encodeBulk(t, salvaged))
+		}
+	}
+}
+
+// assertFixpoint reads b1 strictly, re-encodes it, and requires the
+// bytes to match exactly.
+func assertFixpoint(t *testing.T, name string, b1 []byte) {
+	t.Helper()
+	back, err := uls.ReadBulk(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatalf("%s: encoded corpus failed strict re-read: %v", name, err)
+	}
+	b2 := encodeBulk(t, back)
+	if !bytes.Equal(b1, b2) {
+		i := 0
+		for i < len(b1) && i < len(b2) && b1[i] == b2[i] {
+			i++
+		}
+		lo, hi := max(0, i-80), i+80
+		ctx := func(b []byte) string {
+			if lo >= len(b) {
+				return "<EOF>"
+			}
+			return string(b[lo:min(hi, len(b))])
+		}
+		t.Fatalf("%s: write→read→write drifted at byte %d (lens %d vs %d)\n b1: …%s…\n b2: …%s…",
+			name, i, len(b1), len(b2), ctx(b1), ctx(b2))
+	}
+}
