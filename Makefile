@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt-check soak serve-soak store-crash bench bench-short fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak bench bench-short fuzz-short ci
 
 all: build
 
@@ -51,6 +51,15 @@ serve-soak:
 store-crash:
 	$(GO) test -race -run 'TestCrashConsistency' -v ./internal/store/
 
+# Replicated-fleet chaos soak (E21), under the race detector: three
+# replicas pulling generations from a publishing primary behind the
+# failover front tier, while a seeded controller kills/restarts
+# replicas and every replica's wire corrupts segment downloads —
+# asserting zero wrong-generation responses, an error surface of
+# exactly {200, 503 + Retry-After}, and bounded staleness.
+fleet-soak:
+	$(GO) test -race -run 'TestFleetChaosSoak' -v ./internal/fleet/
+
 # Short fuzz pass over the bulk parsers. The lenient reader must never
 # panic, must always produce a report, and must only load licenses the
 # strict reader would re-accept; the strict reader must round-trip
@@ -70,4 +79,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: fmt-check vet build race serve-soak store-crash bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash fleet-soak bench-short fuzz-short

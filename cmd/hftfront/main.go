@@ -1,0 +1,106 @@
+// Command hftfront is the serving fleet's failover front tier: it
+// health-checks a set of hftserve replicas, consistent-hashes each
+// licensee's queries onto a stable replica (keeping that replica's
+// snapshot memos hot), hedges slow reads against the next replica in
+// ring order, fails over on replica errors, excludes replicas whose
+// corpus generation falls too far behind the primary's, and sheds with
+// 503 + jittered Retry-After when no replica is serviceable.
+//
+// Usage:
+//
+//	hftfront -replica r1=http://host1:8090 -replica r2=http://host2:8090 ...
+//	         [-addr :8080] [-primary http://primary:8090]
+//	         [-staleness-bound 2] [-hedge-after 150ms]
+//	         [-request-timeout 15s] [-retry-after 1s]
+//	         [-check-interval 250ms] [-fail-after 2] [-vnodes 64]
+//	         [-drain-timeout 15s]
+//
+// Endpoints:
+//
+//	/v1/*     proxied to the fleet (GET/HEAD only)
+//	/healthz  the front's own liveness
+//	/readyz   fleet readiness: routable replica count + per-replica health
+//	/statsz   routing/failover/shed counters + fleet view
+//
+// The front never serves corpus data itself; a response always comes
+// from exactly one replica (named in X-Fleet-Replica) and carries that
+// replica's X-Corpus-Generation/X-Corpus-Digest stamp.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"hftnetview/internal/fleet"
+	"hftnetview/internal/serve"
+)
+
+func main() {
+	var replicas []fleet.Replica
+	flag.Func("replica", "replica as name=URL (repeatable); bare URLs are named by host:port", func(v string) error {
+		name, url, ok := strings.Cut(v, "=")
+		if !ok {
+			url = v
+			name = strings.TrimPrefix(strings.TrimPrefix(v, "http://"), "https://")
+		}
+		if url == "" || name == "" {
+			return fmt.Errorf("bad replica %q, want name=URL", v)
+		}
+		replicas = append(replicas, fleet.Replica{Name: name, URL: strings.TrimSuffix(url, "/")})
+		return nil
+	})
+	addr := flag.String("addr", ":8080", "listen address")
+	primary := flag.String("primary", "", "primary's base URL, polled for the newest generation (enables staleness exclusion)")
+	stalenessBound := flag.Int64("staleness-bound", 2, "max generations a replica may lag the primary and still serve")
+	hedgeAfter := flag.Duration("hedge-after", 150*time.Millisecond, "hedge a slow read against the next replica after this long")
+	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "end-to-end deadline per client request, across all attempts")
+	retryAfter := flag.Duration("retry-after", time.Second, "base Retry-After hint on shed responses (jittered)")
+	checkInterval := flag.Duration("check-interval", 250*time.Millisecond, "health/staleness probe cadence")
+	failAfter := flag.Int("fail-after", 2, "consecutive probe failures that eject a replica")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		log.Fatal("hftfront: at least one -replica name=URL is required")
+	}
+	seen := map[string]bool{}
+	for _, r := range replicas {
+		if seen[r.Name] {
+			log.Fatalf("hftfront: duplicate replica name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+
+	f := fleet.NewFront(fleet.FrontConfig{
+		Replicas:       replicas,
+		Primary:        strings.TrimSuffix(*primary, "/"),
+		StalenessBound: *stalenessBound,
+		HedgeAfter:     *hedgeAfter,
+		RequestTimeout: *requestTimeout,
+		RetryAfter:     *retryAfter,
+		CheckInterval:  *checkInterval,
+		FailAfter:      *failAfter,
+		Vnodes:         *vnodes,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	log.Printf("hftfront: fronting %d replica(s) on %s (staleness bound %d, hedge %v)",
+		len(replicas), *addr, *stalenessBound, *hedgeAfter)
+	httpSrv := &http.Server{Addr: *addr, Handler: f.Handler()}
+	err := serve.ListenAndServeGraceful(httpSrv, serve.GracefulOptions{
+		DrainTimeout: *drainTimeout,
+		OnHUP:        func() { log.Printf("hftfront: SIGHUP ignored (nothing to reload)") },
+	})
+	if err != nil {
+		log.Fatalf("hftfront: %v", err)
+	}
+	log.Printf("hftfront: drained cleanly")
+}

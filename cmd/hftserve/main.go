@@ -12,6 +12,7 @@
 //	         [-request-timeout 10s]
 //	         [-breaker-failures 5] [-breaker-cooldown 5s]
 //	         [-drain-timeout 15s]
+//	         [-pull-from URL] [-pull-interval 2s] [-pull-keep 3]
 //
 // Endpoints:
 //
@@ -19,9 +20,11 @@
 //	/v1/rank       fastest networks per corridor path (Table 2)
 //	/v1/evolution  one licensee's longitudinal trajectory (Figs 1–2)
 //	/v1/apa        alternate-path availability + complementary pairs (§5, §2.4)
+//	/v1/gen/*      generation shipping (with -store-dir): manifest +
+//	               segments, byte-for-byte the store's artifacts
 //	/healthz       liveness
-//	/readyz        readiness + reload health
-//	/statsz        engine/breaker/admission counters
+//	/readyz        readiness + reload health + generation identity
+//	/statsz        engine/breaker/admission counters (+ pull status)
 //
 // Without -bulk the synthetic corridor corpus is served and reloads
 // are disabled. With -bulk, SIGHUP re-ingests the file (and -watch N
@@ -35,7 +38,16 @@
 // re-ingests in the background and hot-swaps once validated, every
 // successful reload persists a new generation, and graceful shutdown
 // closes the store so no temp debris survives a SIGTERM mid-persist.
-// Inspect or prune the store with hftstore.
+// Inspect or prune the store with hftstore. A store also turns on the
+// /v1/gen shipping endpoints, making this instance a primary that
+// replicas can pull from.
+//
+// With -pull-from (requires -store-dir, excludes -bulk) the instance
+// is a replica: it polls the primary's newest generation, downloads
+// and cryptographically verifies it, installs it into the local store,
+// and hot-swaps it live — refusing corrupt shipments and keeping the
+// previous generation serving. Put replicas behind hftfront for
+// failover routing.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"time"
 
 	"hftnetview"
+	"hftnetview/internal/fleet"
 	"hftnetview/internal/serve"
 	"hftnetview/internal/store"
 	"hftnetview/internal/uls"
@@ -70,7 +83,17 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive engine failures that trip the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker rejects before probing")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
+	pullFrom := flag.String("pull-from", "", "replicate generations from this primary's base URL (requires -store-dir, excludes -bulk)")
+	pullInterval := flag.Duration("pull-interval", 2*time.Second, "replication poll cadence (jittered)")
+	pullKeep := flag.Int("pull-keep", 3, "local generations kept after each replicated install")
 	flag.Parse()
+
+	if *pullFrom != "" && *storeDir == "" {
+		log.Fatal("hftserve: -pull-from needs -store-dir (pulled generations are verified into the local store)")
+	}
+	if *pullFrom != "" && *bulk != "" {
+		log.Fatal("hftserve: -pull-from and -bulk are exclusive (a replica's corpus comes from its primary)")
+	}
 
 	srv := serve.New(serve.Config{
 		MaxInFlight:      *maxInflight,
@@ -86,16 +109,20 @@ func main() {
 		reloadOpts.Mode = uls.DropLicense
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
 	opts := serve.GracefulOptions{DrainTimeout: *drainTimeout}
 
+	var st *store.Store
 	warm := false
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		var err error
+		st, err = store.Open(*storeDir)
 		if err != nil {
 			log.Fatalf("hftserve: opening store %s: %v", *storeDir, err)
 		}
 		srv.AttachStore(st)
+		// A persistent store makes this instance a shippable primary.
+		handler = fleet.WithShipping(handler, fleet.NewShipper(st))
 		opts.OnShutdown = func() {
 			if err := srv.CloseStore(); err != nil {
 				log.Printf("hftserve: closing store: %v", err)
@@ -131,6 +158,21 @@ func main() {
 		return srv.LoadCorpusFile(*bulk, reloadOpts)
 	}
 	switch {
+	case *pullFrom != "":
+		// Replica: the corpus arrives from the primary. A warm start
+		// already serves the last pulled generation; otherwise /readyz
+		// stays not-ready until the first verified install lands.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		puller := fleet.NewPuller(fleet.PullerConfig{
+			Primary:  *pullFrom,
+			Store:    st,
+			Server:   srv,
+			Interval: *pullInterval,
+			Keep:     *pullKeep,
+		})
+		go puller.Run(ctx)
+		log.Printf("hftserve: replicating from %s every %v (keep %d)", *pullFrom, *pullInterval, *pullKeep)
 	case warm && *bulk != "":
 		// The persisted generation is already serving; re-ingest the
 		// bulk file in the background and hot-swap once it validates.
@@ -176,6 +218,7 @@ func main() {
 
 	log.Printf("hftserve: serving on %s (inflight %d, queue wait %v, breaker %d/%v)",
 		*addr, *maxInflight, *queueWait, *breakerFailures, *breakerCooldown)
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	if err := serve.ListenAndServeGraceful(httpSrv, opts); err != nil {
 		log.Fatalf("hftserve: %v", err)
 	}

@@ -1,0 +1,355 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hftnetview/internal/serve"
+	"hftnetview/internal/store"
+	"hftnetview/internal/synth"
+)
+
+// Chaos harness: in-process stand-ins for the two failure modes the
+// E21 soak injects. A ChaosReplica is a full replica (store + serve
+// server + pull loop + listener) whose Kill is SIGKILL-shaped — the
+// listener and every open connection are slammed shut mid-flight, the
+// pull loop is abandoned wherever it was, nothing is drained or
+// closed; Restart warm-boots from the surviving store directory
+// exactly like a respawned process. A FaultyTransport sits under the
+// puller's HTTP client and corrupts segment downloads with mutations
+// drawn from a synth corruption profile's weights.
+
+// ChaosReplica is one killable, restartable replica.
+type ChaosReplica struct {
+	Name     string
+	StoreDir string // survives kills, like a real machine's disk
+	Primary  string
+	// PullInterval is the replica's poll cadence; ServeCfg its query
+	// service envelope; Transport, when set, underlies the puller's
+	// HTTP client (inject a FaultyTransport here); Keep the local GC
+	// retention.
+	PullInterval time.Duration
+	ServeCfg     serve.Config
+	Transport    http.RoundTripper
+	Keep         int
+
+	mu         sync.Mutex
+	addr       string
+	srv        *serve.Server
+	puller     *Puller
+	httpSrv    *http.Server
+	cancelPull context.CancelFunc
+	pullDone   chan struct{}
+	running    bool
+	cum        PullStatus // accumulated across kills; a restart starts a fresh Puller
+}
+
+// URL returns the replica's base URL ("" before the first Start).
+func (r *ChaosReplica) URL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.addr == "" {
+		return ""
+	}
+	return "http://" + r.addr
+}
+
+// Running reports whether the replica is currently serving.
+func (r *ChaosReplica) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Server returns the live serve.Server (nil while killed) — for test
+// assertions against /statsz-level state.
+func (r *ChaosReplica) Server() *serve.Server {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv
+}
+
+// Start boots (or re-boots) the replica: open the store, warm-start
+// from whatever generation survived, start the pull loop, and listen.
+// The first Start picks a free port; restarts re-bind the same one so
+// the front tier's replica URL stays valid, retrying briefly while the
+// kernel releases the old socket.
+func (r *ChaosReplica) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return fmt.Errorf("chaos replica %s: already running", r.Name)
+	}
+
+	st, err := store.Open(r.StoreDir)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(r.ServeCfg)
+	srv.AttachStore(st)
+	// An empty store (first boot) just serves nothing until the first
+	// pull lands; any other warm-start failure is likewise survivable.
+	_, _ = srv.WarmStart()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if r.Transport != nil {
+		client.Transport = r.Transport
+	}
+	puller := NewPuller(PullerConfig{
+		Primary:  r.Primary,
+		Store:    st,
+		Server:   srv,
+		Interval: r.PullInterval,
+		Client:   client,
+		Keep:     r.Keep,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		puller.Run(ctx)
+	}()
+
+	addr := r.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			st.Close()
+			return fmt.Errorf("chaos replica %s: rebinding %s: %w", r.Name, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.addr = ln.Addr().String()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+
+	r.srv = srv
+	r.puller = puller
+	r.httpSrv = httpSrv
+	r.cancelPull = cancel
+	r.pullDone = done
+	r.running = true
+	return nil
+}
+
+// CumulativeStatus sums the pull counters over the replica's whole
+// life, across every kill/restart (gauges are the live loop's).
+func (r *ChaosReplica) CumulativeStatus() PullStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.cum
+	if r.puller != nil {
+		out = addPullCounters(out, r.puller.Status())
+	}
+	return out
+}
+
+func addPullCounters(acc, s PullStatus) PullStatus {
+	acc.Polls += s.Polls
+	acc.Attempts += s.Attempts
+	acc.Installs += s.Installs
+	acc.Rejections += s.Rejections
+	acc.Retried += s.Retried
+	if s.Generation > acc.Generation {
+		acc.Generation = s.Generation
+	}
+	if s.LastInstall > acc.LastInstall {
+		acc.LastInstall = s.LastInstall
+	}
+	acc.LastError = s.LastError
+	return acc
+}
+
+// Kill is the SIGKILL analogue: listener and connections slam shut
+// (in-flight responses are cut mid-byte), the pull loop's context is
+// cancelled and whatever install was mid-verify is abandoned (its temp
+// directory is swept by the next Start, like crash debris), and the
+// store is NOT cleanly closed. Kill waits only for the pull goroutine
+// to notice the cancel, so a Restart never races the old loop's file
+// writes.
+func (r *ChaosReplica) Kill() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.running {
+		return
+	}
+	r.cancelPull()
+	r.httpSrv.Close()
+	select {
+	case <-r.pullDone:
+	case <-time.After(5 * time.Second):
+	}
+	r.cum = addPullCounters(r.cum, r.puller.Status())
+	r.srv = nil
+	r.puller = nil
+	r.httpSrv = nil
+	r.running = false
+}
+
+// FaultyTransport corrupts segment downloads passing through it:
+// with probability Rate (atomically adjustable mid-soak), the response
+// body of a /v1/gen/segment/ GET is mutated — the mutation kind drawn
+// from the synth corruption profile's weights, reusing the calibrated
+// recipes the ingestion salvage tests are built on. GarbleW flips
+// bits, TruncateW cuts the tail, DuplicateW appends a re-read chunk,
+// ReorderW swaps two chunks, ShredW deletes an interior chunk. Every
+// mutation must be caught by the manifest's size/SHA-256 checks —
+// Corrupted counts injections, so tests can assert rejections match.
+type FaultyTransport struct {
+	Base    http.RoundTripper
+	Profile synth.Profile
+	Seed    uint64
+	// CorruptManifests extends injection to manifest downloads (off by
+	// default: segment corruption is the common partial-transfer mode).
+	CorruptManifests bool
+
+	rate      atomic.Uint64 // current rate in fixed-point parts-per-1e9
+	Corrupted atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultyTransport wraps base (nil means http.DefaultTransport).
+func NewFaultyTransport(base http.RoundTripper, profile synth.Profile, seed uint64) *FaultyTransport {
+	t := &FaultyTransport{Base: base, Profile: profile, Seed: seed}
+	t.SetRate(profile.Rate)
+	t.rng = rand.New(rand.NewPCG(seed, hash64(profile.Name)|1))
+	return t
+}
+
+// SetRate adjusts the corruption probability (0 disables injection).
+func (t *FaultyTransport) SetRate(rate float64) {
+	t.rate.Store(floatBits(rate))
+}
+
+func floatBits(f float64) uint64 { return uint64(int64(f * 1e9)) }
+
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	target := strings.Contains(req.URL.Path, shipPrefix+"segment/") ||
+		(t.CorruptManifests && strings.Contains(req.URL.Path, shipPrefix+"manifest"))
+	if err != nil || resp.StatusCode != http.StatusOK || !target {
+		return resp, err
+	}
+	rate := float64(t.rate.Load()) / 1e9
+	t.mu.Lock()
+	hit := rate > 0 && t.rng.Float64() < rate
+	var seed uint64
+	var kind int
+	if hit {
+		seed = t.rng.Uint64()
+		kind = t.pickKind()
+	}
+	t.mu.Unlock()
+	if !hit {
+		return resp, nil
+	}
+
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShipBytes))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	body = corruptBytes(body, kind, seed)
+	t.Corrupted.Add(1)
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header = resp.Header.Clone()
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// Mutation kinds, selected by the profile's weights.
+const (
+	mutGarble = iota
+	mutTruncate
+	mutDuplicate
+	mutReorder
+	mutShred
+)
+
+func (t *FaultyTransport) pickKind() int {
+	p := t.Profile
+	total := p.GarbleW + p.TruncateW + p.DuplicateW + p.ReorderW + p.ShredW
+	if total == 0 {
+		return mutGarble
+	}
+	r := t.rng.IntN(total)
+	switch {
+	case r < p.GarbleW:
+		return mutGarble
+	case r < p.GarbleW+p.TruncateW:
+		return mutTruncate
+	case r < p.GarbleW+p.TruncateW+p.DuplicateW:
+		return mutDuplicate
+	case r < p.GarbleW+p.TruncateW+p.DuplicateW+p.ReorderW:
+		return mutReorder
+	default:
+		return mutShred
+	}
+}
+
+// corruptBytes applies one byte-level mutation. Deterministic in
+// (data, kind, seed). Always returns a buffer that differs from data
+// when len(data) > 0.
+func corruptBytes(data []byte, kind int, seed uint64) []byte {
+	if len(data) == 0 {
+		return []byte{0xFF}
+	}
+	rng := rand.New(rand.NewPCG(seed, uint64(kind)|1))
+	chunk := len(data) / 4
+	if chunk < 1 {
+		chunk = 1
+	}
+	switch kind {
+	case mutTruncate:
+		return data[:rng.IntN(len(data))]
+	case mutDuplicate:
+		at := rng.IntN(len(data))
+		n := min(chunk, len(data)-at)
+		return append(append([]byte{}, data...), data[at:at+n]...)
+	case mutReorder:
+		if len(data) >= 2*chunk {
+			out := append([]byte{}, data...)
+			a := rng.IntN(len(out) - 2*chunk + 1)
+			b := a + chunk
+			for i := 0; i < chunk; i++ {
+				out[a+i], out[b+i] = out[b+i], out[a+i]
+			}
+			if !bytes.Equal(out, data) {
+				return out
+			}
+		}
+		return synth.FlipBits(data, seed, 3)
+	case mutShred:
+		at := rng.IntN(len(data))
+		n := min(chunk, len(data)-at)
+		return append(append([]byte{}, data[:at]...), data[at+n:]...)
+	default: // mutGarble
+		return synth.FlipBits(data, seed, 1+rng.IntN(8))
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hftnetview/internal/serve"
+	"hftnetview/internal/store"
+	"hftnetview/internal/synth"
+	"hftnetview/internal/uls"
+)
+
+var (
+	corpusOnce sync.Once
+	corpusDB   *uls.Database
+	corpusErr  error
+)
+
+func corpus(t testing.TB) *uls.Database {
+	t.Helper()
+	corpusOnce.Do(func() { corpusDB, corpusErr = synth.Generate() })
+	if corpusErr != nil {
+		t.Fatalf("synth.Generate: %v", corpusErr)
+	}
+	return corpusDB
+}
+
+// newPrimary opens a store in a temp dir, saves the shared corpus as
+// one generation, and serves the shipping endpoints over httptest.
+// Returns the store, the shipping base URL, and the server for
+// shutdown control.
+func newPrimary(t testing.TB) (*store.Store, string, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.WithSegmentTarget(32<<10), store.WithBlockLicenses(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if _, err := st.Save(corpus(t), "primary seed"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewShipper(st))
+	t.Cleanup(srv.Close)
+	return st, srv.URL, srv
+}
+
+// newReplica wires a puller-backed replica over its own store and
+// serve server. The caller drives PullOnce by hand.
+func newReplica(t testing.TB, primary string, client *http.Client) (*Puller, *serve.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := serve.New(serve.Config{})
+	srv.AttachStore(st)
+	p := NewPuller(PullerConfig{Primary: primary, Store: st, Server: srv, Client: client})
+	return p, srv, st
+}
+
+// clientWith wraps a transport in a plain client.
+func clientWith(rt http.RoundTripper) *http.Client {
+	return &http.Client{Transport: rt, Timeout: 30 * time.Second}
+}
+
+// getJSON GETs url and decodes the JSON body into T.
+func getJSON[T any](t testing.TB, client *http.Client, url string) (T, int) {
+	t.Helper()
+	var v T
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,392 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hftnetview/internal/serve"
+)
+
+// FrontConfig tunes the failover front tier. The zero value of every
+// field falls back to the default documented on it.
+type FrontConfig struct {
+	// Replicas is the serving fleet behind this front.
+	Replicas []Replica
+	// Primary is the base URL of the primary's shipping endpoints;
+	// the front polls /v1/gen/latest there to know the newest
+	// published generation. "" disables staleness exclusion.
+	Primary string
+	// StalenessBound K: a replica whose live generation is more than K
+	// behind the primary's newest is excluded from routing (default 2).
+	StalenessBound int64
+	// HedgeAfter is the per-request hedging deadline: if the chosen
+	// replica has not answered within it, the request is also sent to
+	// the next replica in ring order and the first answer wins
+	// (default 150ms).
+	HedgeAfter time.Duration
+	// RequestTimeout bounds one client request end to end, across all
+	// attempts (default 15s).
+	RequestTimeout time.Duration
+	// RetryAfter is the base hint on shed responses; the emitted
+	// header is jittered to break up retry waves (default 1s).
+	RetryAfter time.Duration
+	// CheckInterval is the health/staleness probe cadence (default
+	// 250ms); FailAfter the consecutive probe failures that mark a
+	// replica down (default 2).
+	CheckInterval time.Duration
+	FailAfter     int
+	// Vnodes is the consistent-hash virtual node count (default 64).
+	Vnodes int
+	// Client issues proxied requests and probes (default: 15s timeout,
+	// keep-alives on — connection reuse per replica is the point).
+	Client *http.Client
+}
+
+func (c FrontConfig) withDefaults() FrontConfig {
+	if c.StalenessBound <= 0 {
+		c.StalenessBound = 2
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 150 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 250 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 15 * time.Second}
+	}
+	return c
+}
+
+// Front is the fleet's failover proxy: consistent-hash routing with
+// health- and staleness-aware failover, hedged idempotent reads, and
+// load shedding when no replica is serviceable.
+type Front struct {
+	cfg     FrontConfig
+	checker *Checker
+	ring    *Ring
+
+	primaryGen atomic.Int64
+
+	counters struct {
+		requests atomic.Int64 // client requests entering /v1
+		proxied  atomic.Int64 // attempts forwarded to replicas
+		retried  atomic.Int64 // failovers to a later candidate
+		hedged   atomic.Int64 // hedge attempts launched on the timer
+		shed     atomic.Int64 // 503s from the front itself
+	}
+	started time.Time
+}
+
+// NewFront builds the front tier. Call Run to start its probe loops,
+// then serve Handler.
+func NewFront(cfg FrontConfig) *Front {
+	cfg = cfg.withDefaults()
+	names := make([]string, len(cfg.Replicas))
+	for i, r := range cfg.Replicas {
+		names[i] = r.Name
+	}
+	return &Front{
+		cfg:     cfg,
+		checker: NewChecker(cfg.Replicas, cfg.Client, cfg.FailAfter),
+		ring:    NewRing(names, cfg.Vnodes),
+		started: time.Now(),
+	}
+}
+
+// Run drives the health checker and the primary-generation poll until
+// ctx is done.
+func (f *Front) Run(ctx context.Context) {
+	if f.cfg.Primary != "" {
+		go f.pollPrimary(ctx)
+	}
+	f.checker.Run(ctx, f.cfg.CheckInterval)
+}
+
+// PrimaryGeneration is the newest generation id observed at the
+// primary (0 before the first successful poll or with no primary).
+func (f *Front) PrimaryGeneration() int64 { return f.primaryGen.Load() }
+
+func (f *Front) pollPrimary(ctx context.Context) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+shipPrefix+"latest", nil)
+		if err == nil {
+			if resp, err := f.cfg.Client.Do(req); err == nil {
+				var v struct {
+					ID int64 `json:"id"`
+				}
+				if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v) == nil && v.ID > 0 {
+					f.primaryGen.Store(v.ID)
+				}
+				resp.Body.Close()
+			}
+			// An unreachable primary keeps the last known generation:
+			// nothing new can have been published by a primary that is
+			// down, so the staleness bound keeps meaning "within K of
+			// the newest anything a replica could have pulled".
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.cfg.CheckInterval):
+		}
+	}
+}
+
+// routable returns the healthy, fresh-enough replicas by name.
+func (f *Front) routable() map[string]Replica {
+	primary := f.primaryGen.Load()
+	out := make(map[string]Replica)
+	for _, h := range f.checker.Snapshot() {
+		if !h.Healthy {
+			continue
+		}
+		if primary > 0 && h.Generation > 0 && primary-h.Generation > f.cfg.StalenessBound {
+			continue // too stale to serve: beyond the staleness budget
+		}
+		out[h.Name] = Replica{Name: h.Name, URL: h.URL}
+	}
+	return out
+}
+
+// candidates is the failover order for one key: the ring walk from the
+// key's owner, restricted to routable replicas.
+func (f *Front) candidates(key string) []Replica {
+	routable := f.routable()
+	var seq []Replica
+	for _, name := range f.ring.Seq(key) {
+		if r, ok := routable[name]; ok {
+			seq = append(seq, r)
+		}
+	}
+	return seq
+}
+
+// shardKey derives the routing key: per-licensee when the query names
+// one (so a licensee's snapshot memos concentrate on one replica's
+// engine), else the full path+query (so identical queries still reuse
+// one replica's memo).
+func shardKey(r *http.Request) string {
+	if l := r.URL.Query().Get("licensee"); l != "" {
+		return "licensee:" + l
+	}
+	return r.URL.Path + "?" + r.URL.RawQuery
+}
+
+// Handler returns the front tier's HTTP surface: /v1/* proxied to the
+// fleet, plus the front's own health endpoints.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", f.handleReadyz)
+	mux.HandleFunc("/statsz", f.handleStatsz)
+	mux.HandleFunc("/v1/", f.handleProxy)
+	return mux
+}
+
+// bufferedResp is one fully-read replica response: buffering decouples
+// failover from streaming (a replica killed mid-body is a retry, never
+// a truncated client response).
+type bufferedResp struct {
+	status  int
+	header  http.Header
+	body    []byte
+	replica string
+}
+
+func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
+	f.counters.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "fleet front proxies idempotent reads only", http.StatusMethodNotAllowed)
+		return
+	}
+	cands := f.candidates(shardKey(r))
+	if len(cands) == 0 {
+		f.shed(w, "no healthy replica within the staleness bound")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
+	defer cancel()
+
+	resp := f.hedgedFetch(ctx, cands, r.URL.RequestURI())
+	if resp == nil {
+		f.shed(w, "all replicas failed")
+		return
+	}
+	for k, vs := range resp.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Fleet-Replica", resp.replica)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// hedgedFetch tries candidates in order. One attempt runs at a time
+// until HedgeAfter elapses without an answer — then the next candidate
+// is raced against it (tail-latency hedging; the reads are idempotent
+// by construction). An attempt that fails at transport level or
+// answers 5xx/timeout triggers immediate failover to the next
+// candidate. First passable answer wins; nil means everything failed.
+func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *bufferedResp {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the losing attempts
+
+	results := make(chan *bufferedResp, len(cands))
+	next := 0
+	inFlight := 0
+	launch := func() {
+		if next >= len(cands) {
+			return
+		}
+		rep := cands[next]
+		next++
+		inFlight++
+		f.counters.proxied.Add(1)
+		go func() { results <- f.attempt(ctx, rep, uri) }()
+	}
+	launch()
+
+	hedge := time.NewTimer(f.cfg.HedgeAfter)
+	defer hedge.Stop()
+
+	for inFlight > 0 {
+		select {
+		case res := <-results:
+			inFlight--
+			if res != nil && passable(res.status) {
+				return res
+			}
+			// Transport failure or 5xx: fail over immediately.
+			if next < len(cands) {
+				f.counters.retried.Add(1)
+				launch()
+			}
+		case <-hedge.C:
+			if next < len(cands) {
+				f.counters.hedged.Add(1)
+				launch()
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}
+
+// passable reports whether a replica's status is returned to the
+// client as-is. 2xx–4xx are real answers; a replica's own 503 shed,
+// 5xx, and the replica-deadline 504 all mean "try another replica" —
+// a saturated or broken replica is precisely when a sibling should
+// absorb the read. When every candidate is exhausted the front sheds
+// with its own 503 + jittered Retry-After, so the client-visible error
+// surface stays exactly one status wide.
+func passable(status int) bool { return status < 500 }
+
+func (f *Front) attempt(ctx context.Context, rep Replica, uri string) *bufferedResp {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.URL+uri, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShipBytes))
+	if err != nil {
+		// Killed mid-body: the buffered read makes this a clean retry.
+		return nil
+	}
+	return &bufferedResp{status: resp.StatusCode, header: resp.Header, body: body, replica: rep.Name}
+}
+
+// shed is the front's own 503: jittered Retry-After, JSON error body.
+func (f *Front) shed(w http.ResponseWriter, msg string) {
+	f.counters.shed.Add(1)
+	w.Header().Set("Retry-After", serve.RetryAfterJitter(f.cfg.RetryAfter))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// FrontStats is the /statsz payload.
+type FrontStats struct {
+	UptimeSeconds     float64         `json:"uptime_seconds"`
+	Requests          int64           `json:"requests"`
+	Proxied           int64           `json:"proxied"`
+	Retried           int64           `json:"retried"`
+	Hedged            int64           `json:"hedged"`
+	Shed              int64           `json:"shed"`
+	PrimaryGeneration int64           `json:"primary_generation"`
+	StalenessBound    int64           `json:"staleness_bound"`
+	Replicas          []ReplicaHealth `json:"replicas"`
+}
+
+// Stats snapshots the front's counters and fleet view.
+func (f *Front) Stats() FrontStats {
+	return FrontStats{
+		UptimeSeconds:     time.Since(f.started).Seconds(),
+		Requests:          f.counters.requests.Load(),
+		Proxied:           f.counters.proxied.Load(),
+		Retried:           f.counters.retried.Load(),
+		Hedged:            f.counters.hedged.Load(),
+		Shed:              f.counters.shed.Load(),
+		PrimaryGeneration: f.primaryGen.Load(),
+		StalenessBound:    f.cfg.StalenessBound,
+		Replicas:          f.checker.Snapshot(),
+	}
+}
+
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	routable := f.routable()
+	body := struct {
+		Ready             bool            `json:"ready"`
+		Routable          int             `json:"routable"`
+		Total             int             `json:"total"`
+		PrimaryGeneration int64           `json:"primary_generation"`
+		Replicas          []ReplicaHealth `json:"replicas"`
+	}{
+		Ready:             len(routable) > 0,
+		Routable:          len(routable),
+		Total:             len(f.cfg.Replicas),
+		PrimaryGeneration: f.primaryGen.Load(),
+		Replicas:          f.checker.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !body.Ready {
+		w.Header().Set("Retry-After", serve.RetryAfterJitter(f.cfg.RetryAfter))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(body); err != nil {
+		log.Printf("fleet: encoding readyz: %v", err)
+	}
+}
+
+func (f *Front) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(f.Stats())
+}

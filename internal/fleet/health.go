@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReplicaHealth is one replica's last observed state.
+type ReplicaHealth struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Generation is the replica's live store generation (0 unknown);
+	// Digest its corpus digest; AgeSeconds how long that generation
+	// has been live there. All read straight off the replica's
+	// /readyz — the health probe doubles as the staleness probe.
+	Generation int64   `json:"generation"`
+	Digest     string  `json:"digest,omitempty"`
+	AgeSeconds float64 `json:"age_seconds"`
+	LastError  string  `json:"last_error,omitempty"`
+
+	fails int // consecutive probe failures
+}
+
+// readyzProbe is the slice of the serve /readyz payload the fleet
+// reads. Probing JSON instead of linking the store keeps the front
+// tier deployable against any replica build.
+type readyzProbe struct {
+	Ready      bool `json:"ready"`
+	Generation *struct {
+		StoreGeneration int64   `json:"store_generation"`
+		CorpusSHA256    string  `json:"corpus_sha256"`
+		AgeSeconds      float64 `json:"age_seconds"`
+	} `json:"generation"`
+}
+
+// Checker polls replica /readyz endpoints and maintains health +
+// generation state. A replica is marked unhealthy after failAfter
+// consecutive probe failures (or one not-ready answer) and healthy
+// again after a single good probe — fail slow, recover fast is wrong
+// for serving; here a kill must be noticed within one probe interval
+// while a single dropped probe must not eject a healthy replica.
+type Checker struct {
+	replicas  []Replica
+	client    *http.Client
+	failAfter int
+
+	mu    sync.Mutex
+	state map[string]*ReplicaHealth
+}
+
+// NewChecker builds a checker over the replica set. failAfter <= 0
+// means 2 consecutive failures.
+func NewChecker(replicas []Replica, client *http.Client, failAfter int) *Checker {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if failAfter <= 0 {
+		failAfter = 2
+	}
+	c := &Checker{replicas: replicas, client: client, failAfter: failAfter,
+		state: make(map[string]*ReplicaHealth, len(replicas))}
+	for _, r := range replicas {
+		// Replicas start unhealthy until the first good probe: routing
+		// to an address nobody has ever answered on is a guess.
+		c.state[r.Name] = &ReplicaHealth{Name: r.Name, URL: r.URL}
+	}
+	return c
+}
+
+// Run probes every replica each interval until ctx is done. The first
+// sweep runs immediately so a freshly started front tier begins
+// routing within one probe round-trip, not one interval.
+func (c *Checker) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		c.CheckOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// CheckOnce probes every replica concurrently.
+func (c *Checker) CheckOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, r := range c.replicas {
+		wg.Add(1)
+		go func(r Replica) {
+			defer wg.Done()
+			probe, err := c.probe(ctx, r)
+			c.record(r.Name, probe, err)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (c *Checker) probe(ctx context.Context, r Replica) (*readyzProbe, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.URL+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var p readyzProbe
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("readyz from %s: %w", r.URL, err)
+	}
+	if resp.StatusCode != http.StatusOK || !p.Ready {
+		return &p, fmt.Errorf("readyz from %s: status %d ready=%v", r.URL, resp.StatusCode, p.Ready)
+	}
+	return &p, nil
+}
+
+func (c *Checker) record(name string, probe *readyzProbe, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state[name]
+	if err != nil {
+		st.fails++
+		st.LastError = err.Error()
+		if st.fails >= c.failAfter {
+			st.Healthy = false
+		}
+		return
+	}
+	st.fails = 0
+	st.Healthy = true
+	st.LastError = ""
+	if probe.Generation != nil {
+		st.Generation = probe.Generation.StoreGeneration
+		st.Digest = probe.Generation.CorpusSHA256
+		st.AgeSeconds = probe.Generation.AgeSeconds
+	}
+}
+
+// Snapshot returns a copy of every replica's health, in the configured
+// replica order.
+func (c *Checker) Snapshot() []ReplicaHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ReplicaHealth, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		out = append(out, *c.state[r.Name])
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"hftnetview/internal/serve"
+	"hftnetview/internal/store"
+)
+
+// maxShipBytes bounds a single manifest or segment download; a
+// malicious or corrupted primary must not drive an unbounded read.
+const maxShipBytes = 256 << 20
+
+// PullerConfig wires one replica's pull loop.
+type PullerConfig struct {
+	// Primary is the base URL of the primary's shipping endpoints.
+	Primary string
+	// Store is the replica's own crash-safe store; pulled generations
+	// are verified and committed here before going live.
+	Store *store.Store
+	// Server, when non-nil, has each installed generation published as
+	// its live corpus, and gains a "pull" section on /statsz.
+	Server *serve.Server
+	// Interval is the poll cadence (default 2s); each sleep is
+	// stretched by up to JitterFrac so a restarted fleet's replicas
+	// don't poll the primary in lockstep.
+	Interval time.Duration
+	// JitterFrac is the fraction of Interval used as jitter (default
+	// 0.5, i.e. sleeps are uniform in [Interval, 1.5·Interval]).
+	JitterFrac float64
+	// Client issues the HTTP fetches (default: a client with a 30s
+	// timeout). Tests inject fault transports here.
+	Client *http.Client
+	// Keep is how many local generations survive the post-install GC
+	// (default 3; the previous generation is always retained as the
+	// fallback corpus).
+	Keep int
+}
+
+func (c PullerConfig) withDefaults() PullerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = 0.5
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Keep <= 0 {
+		c.Keep = 3
+	}
+	return c
+}
+
+// PullStatus is the pull loop's account of itself, surfaced on the
+// replica's /statsz under "pull".
+type PullStatus struct {
+	// Attempts counts pulls that found a newer generation and tried to
+	// install it; Polls counts every manifest probe.
+	Polls    int64 `json:"polls"`
+	Attempts int64 `json:"attempts"`
+	// Installs counts generations verified, committed, and published.
+	Installs int64 `json:"installs"`
+	// Rejections counts downloads refused because verification failed
+	// — corrupted bytes never went live and never touched disk
+	// durably; the previous generation kept serving.
+	Rejections int64 `json:"rejections"`
+	// Retried counts pulls abandoned because the primary GC'd the
+	// generation mid-download (retryable; the next poll starts over
+	// from a newer manifest).
+	Retried int64 `json:"retried"`
+	// Generation is the newest installed store generation id.
+	Generation int64 `json:"generation"`
+	// LastError is the most recent pull failure ("" after a clean
+	// poll); LastInstall timestamps the newest install.
+	LastError   string `json:"last_error,omitempty"`
+	LastInstall string `json:"last_install,omitempty"`
+}
+
+// Puller replicates a primary's generations into a local store and
+// serves them. Safe for one Run loop plus concurrent Status calls.
+type Puller struct {
+	cfg PullerConfig
+
+	mu     sync.Mutex
+	status PullStatus
+}
+
+// NewPuller returns a puller; if cfg.Server is set, its pull status is
+// registered on that server's /statsz.
+func NewPuller(cfg PullerConfig) *Puller {
+	p := &Puller{cfg: cfg.withDefaults()}
+	if p.cfg.Server != nil {
+		p.cfg.Server.RegisterStats("pull", func() any { return p.Status() })
+	}
+	return p
+}
+
+// Status returns a copy of the pull counters.
+func (p *Puller) Status() PullStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
+}
+
+// Run polls until ctx is done. Failures never stop the loop: a
+// verification rejection or a transport error is recorded and the next
+// jittered tick tries again.
+func (p *Puller) Run(ctx context.Context) {
+	for {
+		if _, err := p.PullOnce(ctx); err != nil && ctx.Err() == nil {
+			log.Printf("fleet: pull from %s: %v", p.cfg.Primary, err)
+		}
+		d := p.cfg.Interval + time.Duration(rand.Float64()*p.cfg.JitterFrac*float64(p.cfg.Interval))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// PullOnce probes the primary's newest manifest and, if it is ahead of
+// the local store, downloads, verifies, installs, and publishes it.
+// It reports whether a new generation went live.
+func (p *Puller) PullOnce(ctx context.Context) (installed bool, err error) {
+	p.bump(func(st *PullStatus) { st.Polls++ })
+
+	mb, err := p.fetch(ctx, p.cfg.Primary+shipPrefix+"manifest")
+	if err != nil {
+		return false, p.fail(err)
+	}
+	gi, err := store.ParseManifest(mb)
+	if err != nil {
+		// The manifest itself arrived corrupted — a verification
+		// rejection, same as a bad segment.
+		p.bump(func(st *PullStatus) { st.Attempts++; st.Rejections++ })
+		return false, p.fail(fmt.Errorf("%w: manifest: %v", store.ErrVerify, err))
+	}
+	local, err := p.cfg.Store.LatestID()
+	if err != nil {
+		return false, p.fail(err)
+	}
+	if gi.ID <= local {
+		p.clearError()
+		return false, nil // up to date
+	}
+
+	p.bump(func(st *PullStatus) { st.Attempts++ })
+	fetchSeg := func(name string) ([]byte, error) {
+		return p.fetch(ctx, fmt.Sprintf("%s%ssegment/%d/%s", p.cfg.Primary, shipPrefix, gi.ID, name))
+	}
+	igi, db, err := p.cfg.Store.Install(mb, fetchSeg)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrVerify):
+		p.bump(func(st *PullStatus) { st.Rejections++ })
+		return false, p.fail(err)
+	case store.IsRetryable(err):
+		// The primary GC'd this generation mid-pull; the next poll
+		// starts from whatever replaced it.
+		p.bump(func(st *PullStatus) { st.Retried++ })
+		return false, p.fail(err)
+	case errors.Is(err, os.ErrExist):
+		p.clearError()
+		return false, nil // raced with another installer; already have it
+	default:
+		return false, p.fail(err)
+	}
+
+	if p.cfg.Server != nil {
+		p.cfg.Server.PublishStoreGeneration(db, igi)
+	}
+	p.mu.Lock()
+	p.status.Installs++
+	p.status.Generation = igi.ID
+	p.status.LastInstall = time.Now().UTC().Format(time.RFC3339)
+	p.status.LastError = ""
+	p.mu.Unlock()
+
+	// Prune local history; Keep >= 1 plus GC's own last-recoverable
+	// guarantee means the fallback corpus always survives.
+	if _, err := p.cfg.Store.GC(p.cfg.Keep); err != nil && !errors.Is(err, store.ErrClosed) {
+		log.Printf("fleet: post-install gc: %v", err)
+	}
+	return true, nil
+}
+
+func (p *Puller) bump(f func(*PullStatus)) {
+	p.mu.Lock()
+	f(&p.status)
+	p.mu.Unlock()
+}
+
+func (p *Puller) fail(err error) error {
+	p.bump(func(st *PullStatus) { st.LastError = err.Error() })
+	return err
+}
+
+func (p *Puller) clearError() {
+	p.bump(func(st *PullStatus) { st.LastError = "" })
+}
+
+// fetch GETs one shipping URL. A 404 carrying X-Gen-Gone is translated
+// back into the store's retryable ErrGenGone so Install's caller can
+// classify it.
+func (p *Puller) fetch(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShipBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", url, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return body, nil
+	case resp.StatusCode == http.StatusNotFound && resp.Header.Get("X-Gen-Gone") != "":
+		return nil, fmt.Errorf("%w: primary swept it mid-pull", store.ErrGenGone)
+	default:
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package fleet
+
+// raceScale stretches the soak's cadences under the race detector,
+// whose instrumentation slows deep verification and reconstruction
+// roughly fivefold — without it the publisher outruns the fleet and
+// the whole soak degenerates into staleness shedding.
+const raceScale = 4

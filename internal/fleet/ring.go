@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent hash ring over replica names. Each node is
+// placed at vnodes pseudo-random points; a key routes to the first
+// node clockwise of its hash. The property the fleet needs is memo
+// locality under churn: a licensee's queries keep landing on the same
+// replica (whose engine has that licensee's snapshots memoized), and
+// when a replica dies only the keys it owned move — the survivors'
+// hot shards stay hot.
+type Ring struct {
+	hashes []uint64
+	owner  map[uint64]string
+	nodes  []string
+}
+
+// NewRing builds a ring over nodes with the given virtual-node count
+// per node (<=0 means 64). Node order does not matter; the same node
+// set always yields the same ring.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{owner: make(map[uint64]string, len(nodes)*vnodes)}
+	r.nodes = append(r.nodes, nodes...)
+	sort.Strings(r.nodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", n, v))
+			// On the (astronomically unlikely) collision, first
+			// sorted node wins deterministically.
+			if _, taken := r.owner[h]; !taken {
+				r.owner[h] = n
+				r.hashes = append(r.hashes, h)
+			}
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r
+}
+
+// Len returns the number of distinct nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Seq returns every node in ring order starting at key's position: the
+// first element is the key's owner, the rest are the failover order.
+// Deterministic for a given (ring, key).
+func (r *Ring) Seq(key string) []string {
+	if len(r.hashes) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= h })
+	seq := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for k := 0; k < len(r.hashes) && len(seq) < len(r.nodes); k++ {
+		n := r.owner[r.hashes[(i+k)%len(r.hashes)]]
+		if !seen[n] {
+			seen[n] = true
+			seq = append(seq, n)
+		}
+	}
+	return seq
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV of short, similar strings differs mostly in the low bits, so
+	// raw sums cluster on the ring; a splitmix64 finalizer spreads them.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterminism: the same node set must produce the same ring
+// and the same failover sequence regardless of input order — replica
+// affinity only works if every front-tier instance agrees on it.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"r1", "r2", "r3"}, 64)
+	b := NewRing([]string{"r3", "r1", "r2"}, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("licensee:L%03d", i)
+		sa, sb := a.Seq(key), b.Seq(key)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("Seq(%q) differs across insertion orders: %v vs %v", key, sa, sb)
+		}
+		if len(sa) != 3 {
+			t.Fatalf("Seq(%q) = %v, want all 3 nodes", key, sa)
+		}
+		seen := map[string]bool{}
+		for _, n := range sa {
+			if seen[n] {
+				t.Fatalf("Seq(%q) repeats node %s: %v", key, n, sa)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingDistribution: with enough virtual nodes no replica owns a
+// wildly outsized share of keys.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"r1", "r2", "r3", "r4"}
+	r := NewRing(nodes, 64)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Seq(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys (counts %v) — ring badly unbalanced", n, share*100, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one node must not move keys owned by the
+// survivors — that is the consistent-hashing property the engine memo
+// locality depends on.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"r1", "r2", "r3"}, 64)
+	without := map[string]*Ring{
+		"r1": NewRing([]string{"r2", "r3"}, 64),
+		"r2": NewRing([]string{"r1", "r3"}, 64),
+		"r3": NewRing([]string{"r1", "r2"}, 64),
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("licensee:L%03d", i)
+		owner := full.Seq(key)[0]
+		for dead, ring := range without {
+			got := ring.Seq(key)[0]
+			if dead == owner {
+				// The orphaned key must land on the full ring's first
+				// failover choice: the ring walk IS the failover plan.
+				if want := full.Seq(key)[1]; got != want {
+					t.Errorf("key %q orphaned by %s moved to %s, want next-in-ring %s", key, dead, got, want)
+				}
+			} else if got != owner {
+				t.Errorf("key %q owned by %s moved to %s when unrelated node %s left", key, owner, got, dead)
+			}
+		}
+	}
+}
+
+// TestRingEmpty: a ring with no nodes yields no candidates rather than
+// panicking — the front tier sheds instead.
+func TestRingEmpty(t *testing.T) {
+	if seq := NewRing(nil, 0).Seq("anything"); seq != nil {
+		t.Fatalf("empty ring Seq = %v, want nil", seq)
+	}
+}

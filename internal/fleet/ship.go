@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hftnetview/internal/store"
+)
+
+// shipPrefix is the root of the generation-shipping surface.
+const shipPrefix = "/v1/gen/"
+
+// Shipper exposes a store's committed generations over HTTP:
+//
+//	GET /v1/gen/latest              {"id": N} — newest committed id (0 = empty)
+//	GET /v1/gen/manifest[?id=N]     raw manifest bytes (newest without ?id)
+//	GET /v1/gen/segment/{id}/{name} raw segment bytes
+//
+// Manifest and segment responses are byte-for-byte the on-disk
+// artifacts; their integrity is carried by the format itself (manifest
+// self-checksum, per-segment digests), so the transport needs no extra
+// framing. A generation swept by GC between a replica reading the
+// manifest and fetching a segment answers 404 with X-Gen-Gone: the
+// puller's retryable signal to restart from a newer manifest.
+type Shipper struct {
+	st *store.Store
+}
+
+// NewShipper exports st's generations.
+func NewShipper(st *store.Store) *Shipper { return &Shipper{st: st} }
+
+func (h *Shipper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, shipPrefix)
+	switch {
+	case rest == "latest":
+		h.serveLatest(w)
+	case rest == "manifest":
+		h.serveManifest(w, r)
+	case strings.HasPrefix(rest, "segment/"):
+		h.serveSegment(w, strings.TrimPrefix(rest, "segment/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Shipper) serveLatest(w http.ResponseWriter) {
+	id, err := h.st.LatestID()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		ID int64 `json:"id"`
+	}{id})
+}
+
+func (h *Shipper) serveManifest(w http.ResponseWriter, r *http.Request) {
+	var id int64
+	if q := r.URL.Query().Get("id"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		id = n
+	}
+	data, served, err := h.st.ExportManifest(id)
+	if err != nil {
+		h.exportError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Gen-ID", strconv.FormatInt(served, 10))
+	w.Write(data)
+}
+
+func (h *Shipper) serveSegment(w http.ResponseWriter, rest string) {
+	gen, name, ok := strings.Cut(rest, "/")
+	id, err := strconv.ParseInt(gen, 10, 64)
+	if !ok || err != nil || id <= 0 || strings.Contains(name, "/") {
+		http.Error(w, "bad segment reference", http.StatusBadRequest)
+		return
+	}
+	data, err := h.st.ReadSegmentRaw(id, name)
+	if err != nil {
+		h.exportError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// exportError maps store read errors onto the wire: a GC-swept
+// generation is 404 + X-Gen-Gone (retryable — pull a newer manifest),
+// a malformed reference 400, anything else 500.
+func (h *Shipper) exportError(w http.ResponseWriter, err error) {
+	switch {
+	case store.IsRetryable(err):
+		w.Header().Set("X-Gen-Gone", "1")
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case strings.Contains(err.Error(), "bad segment reference"):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

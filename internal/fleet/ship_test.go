@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"hftnetview/internal/store"
+)
+
+// TestShipperEndpoints: the shipping surface serves the on-disk
+// artifacts byte-for-byte and rejects malformed or mutating requests.
+func TestShipperEndpoints(t *testing.T) {
+	st, base, _ := newPrimary(t)
+	client := http.DefaultClient
+
+	latest, code := getJSON[struct {
+		ID int64 `json:"id"`
+	}](t, client, base+"/v1/gen/latest")
+	if code != 200 || latest.ID <= 0 {
+		t.Fatalf("latest = %+v (status %d), want a committed id", latest, code)
+	}
+
+	resp, err := client.Get(base + "/v1/gen/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("manifest status %d: %s", resp.StatusCode, mb)
+	}
+	if got := resp.Header.Get("X-Gen-ID"); got == "" || got == "0" {
+		t.Errorf("manifest X-Gen-ID = %q, want the served id", got)
+	}
+	want, _, err := st.ExportManifest(latest.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb, want) {
+		t.Error("shipped manifest differs from on-disk bytes")
+	}
+
+	// Segments round trip byte-identically too.
+	gi, err := store.ParseManifest(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range gi.Segments {
+		resp, err := client.Get(base + "/v1/gen/segment/" + strconv.FormatInt(latest.ID, 10) + "/" + seg.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("segment %s status %d", seg.Name, resp.StatusCode)
+		}
+		disk, err := st.ReadSegmentRaw(latest.ID, seg.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, disk) {
+			t.Errorf("segment %s shipped bytes differ from disk", seg.Name)
+		}
+	}
+
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{base + "/v1/gen/manifest?id=999", 404}, // never committed → gone
+		{base + "/v1/gen/manifest?id=bogus", 400},
+		{base + "/v1/gen/segment/1/..%2F..%2FMANIFEST-000001.json", 400},
+		{base + "/v1/gen/segment/1/seg-9999.dat", 404},
+		{base + "/v1/gen/segment/999/seg-0000.dat", 404},
+		{base + "/v1/gen/unknown", 404},
+	} {
+		resp, err := client.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+		if tc.want == 404 && resp.Request.URL.Path != "/v1/gen/unknown" {
+			if resp.Header.Get("X-Gen-Gone") == "" {
+				t.Errorf("GET %s missing X-Gen-Gone on retryable 404", tc.url)
+			}
+		}
+	}
+
+	// Shipping is read-only.
+	resp, err = client.Post(base+"/v1/gen/manifest", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST manifest = %d, want 405", resp.StatusCode)
+	}
+}

@@ -83,14 +83,23 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, f func(p core.SnapshotProvider, g *generation) error) bool {
 	g := s.gen.Load()
 	if g == nil {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", RetryAfterJitter(s.cfg.RetryAfter))
 		writeError(w, http.StatusServiceUnavailable, "no corpus loaded")
 		return false
+	}
+	// Every query response names the exact corpus it was computed from:
+	// the fleet's chaos soak asserts wrong-generation responses are
+	// impossible by checking these against the primary's published set.
+	if g.storeGen > 0 {
+		w.Header().Set("X-Corpus-Generation", strconv.FormatInt(g.storeGen, 10))
+	}
+	if g.digest != "" {
+		w.Header().Set("X-Corpus-Digest", g.digest)
 	}
 	done, err := s.breaker.Allow()
 	if err != nil {
 		s.counters.rejected.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.BreakerCooldown))
+		w.Header().Set("Retry-After", RetryAfterJitter(s.cfg.BreakerCooldown))
 		writeError(w, http.StatusServiceUnavailable, "engine circuit breaker open")
 		return false
 	}
@@ -435,7 +444,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !body.Ready {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", RetryAfterJitter(s.cfg.RetryAfter))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(body)

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hftnetview/internal/store"
+)
+
+// TestRetryAfterJitter: shed hints must be integer seconds in
+// [hint, 2·hint] and actually spread — identical hints retry as a
+// thundering herd.
+func TestRetryAfterJitter(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := RetryAfterJitter(4 * time.Second)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 4 || n > 8 {
+			t.Fatalf("RetryAfterJitter(4s) = %q, want integer in [4,8]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("200 jittered hints produced only %d distinct values %v — not spread", len(seen), seen)
+	}
+	// Sub-second hints still floor at 1s but may jitter to 2s.
+	for i := 0; i < 50; i++ {
+		n, err := strconv.Atoi(RetryAfterJitter(10 * time.Millisecond))
+		if err != nil || n < 1 || n > 2 {
+			t.Fatalf("RetryAfterJitter(10ms) out of [1,2]: %d err=%v", n, err)
+		}
+	}
+}
+
+// TestGenerationIdentity: with a store attached, /readyz and /statsz
+// expose the persisted generation id, corpus digest, and age, and every
+// /v1 response is stamped with the corpus it was computed from — the
+// measurements a front tier needs to detect staleness without any store
+// dependency.
+func TestGenerationIdentity(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	s := New(Config{})
+	s.AttachStore(st)
+	s.SetCorpus(corpus(t), "identity test")
+
+	gi, err := st.List()
+	if err != nil || len(gi) != 1 {
+		t.Fatalf("store generations after SetCorpus = %v, %v; want exactly 1", gi, err)
+	}
+	wantGen, wantDigest := gi[0].ID, gi[0].CorpusSHA256
+
+	h := s.Handler()
+
+	var ready readyzBody
+	ready = decode[readyzBody](t, get(t, h, "/readyz"))
+	if ready.Generation == nil {
+		t.Fatal("/readyz has no generation")
+	}
+	if ready.Generation.StoreGeneration != wantGen || ready.Generation.CorpusSHA256 != wantDigest {
+		t.Errorf("/readyz identity = (%d, %q), want (%d, %q)",
+			ready.Generation.StoreGeneration, ready.Generation.CorpusSHA256, wantGen, wantDigest)
+	}
+	if ready.Generation.AgeSeconds < 0 {
+		t.Errorf("/readyz age_seconds = %v, want >= 0", ready.Generation.AgeSeconds)
+	}
+
+	stats := s.Stats()
+	if stats.Generation == nil || stats.Generation.StoreGeneration != wantGen || stats.Generation.CorpusSHA256 != wantDigest {
+		t.Errorf("/statsz identity = %+v, want (%d, %q)", stats.Generation, wantGen, wantDigest)
+	}
+
+	rec := get(t, h, "/v1/snapshot")
+	if rec.Code != 200 {
+		t.Fatalf("/v1/snapshot = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Corpus-Generation"); got != strconv.FormatInt(wantGen, 10) {
+		t.Errorf("X-Corpus-Generation = %q, want %d", got, wantGen)
+	}
+	if got := rec.Header().Get("X-Corpus-Digest"); got != wantDigest {
+		t.Errorf("X-Corpus-Digest = %q, want %q", got, wantDigest)
+	}
+}
+
+// TestRegisterStats: auxiliary stats sources surface under /statsz
+// "extra".
+// TestPublishStoreGenerationClearsBootError: a replica that boots
+// against an empty store records the warm-start failure as a persist
+// error, but the first verified install it publishes proves the store
+// healthy — the stale boot error must not keep /readyz degraded.
+func TestPublishStoreGenerationClearsBootError(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	s := New(Config{})
+	s.AttachStore(st)
+	if _, err := s.WarmStart(); err == nil {
+		t.Fatal("WarmStart on an empty store should fail")
+	}
+	if ps := s.PersistStatus(); ps.LastError == "" {
+		t.Fatal("cold boot should record the warm-start failure as a persist error")
+	}
+
+	// Land a generation the way the pull loop does: it already exists
+	// verified in the store, then gets published without re-persisting.
+	db := corpus(t)
+	gi, err := st.Save(db, "pulled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PublishStoreGeneration(db, gi)
+
+	ps := s.PersistStatus()
+	if ps.LastError != "" || !ps.Verified || ps.Generation != gi.ID {
+		t.Fatalf("after publish: persist = %+v, want verified generation %d with no lingering error", ps, gi.ID)
+	}
+}
+
+func TestRegisterStats(t *testing.T) {
+	s := testServer(t, Config{})
+	s.RegisterStats("pull", func() any { return map[string]int{"rejections": 3} })
+	st := s.Stats()
+	v, ok := st.Extra["pull"].(map[string]int)
+	if !ok || v["rejections"] != 3 {
+		t.Fatalf("Extra[pull] = %#v, want rejections 3", st.Extra["pull"])
+	}
+}

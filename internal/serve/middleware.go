@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -89,7 +91,7 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 		if err := s.limiter.Acquire(r.Context()); err != nil {
 			if errors.Is(err, ErrOverloaded) {
 				s.counters.shed.Add(1)
-				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+				w.Header().Set("Retry-After", RetryAfterJitter(s.cfg.RetryAfter))
 				writeError(w, http.StatusServiceUnavailable, "overloaded: admission queue full")
 				return
 			}
@@ -128,13 +130,18 @@ func (s *Server) withCounting(next http.Handler) http.Handler {
 // status keeps the access accounting honest.
 const statusClientClosedRequest = 499
 
-// retryAfterSeconds renders a Retry-After header value, at least 1s
-// (the header is integer seconds; rounding a sub-second hint to 0 would
-// invite an immediate retry stampede).
-func retryAfterSeconds(d time.Duration) string {
+// RetryAfterJitter renders a Retry-After header value: the configured
+// hint plus up to one hint's worth of uniform jitter, at least 1s (the
+// header is integer seconds; rounding a sub-second hint to 0 would
+// invite an immediate retry stampede). The jitter matters at fleet
+// scale: a shed wave given one identical Retry-After retries as a
+// synchronized thundering herd, re-saturating a recovering service at
+// exactly t+hint; spreading the hints over [hint, 2·hint] spreads the
+// retries too. The front tier reuses this for its own shed responses.
+func RetryAfterJitter(d time.Duration) string {
 	secs := int(d / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	return fmt.Sprintf("%d", secs)
+	return strconv.Itoa(secs + rand.IntN(secs+1))
 }

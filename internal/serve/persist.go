@@ -109,7 +109,7 @@ func (s *Server) WarmStart() (*store.RecoveryReport, error) {
 	s.persist.status.Generation = gi.ID
 	s.persist.status.Verified = true
 	s.persist.status.LastError = ""
-	s.publish(db, fmt.Sprintf("store generation %d: %s", gi.ID, gi.Source))
+	s.publishMeta(db, fmt.Sprintf("store generation %d: %s", gi.ID, gi.Source), gi.ID, gi.CorpusSHA256)
 	// The corpus serves immediately; the memo store fills in the
 	// background so the first real query finds its snapshot hot.
 	go s.prewarmDefaults()
@@ -161,9 +161,9 @@ func (s *Server) persistCorpus(db *uls.Database, source string) {
 	gi, err := st.Save(db, source)
 
 	s.persist.mu.Lock()
-	defer s.persist.mu.Unlock()
 	if err != nil {
 		s.persist.status.LastError = err.Error()
+		s.persist.mu.Unlock()
 		log.Printf("serve: persisting generation failed (serving continues): %v", err)
 		return
 	}
@@ -171,6 +171,32 @@ func (s *Server) persistCorpus(db *uls.Database, source string) {
 	s.persist.status.Verified = true
 	s.persist.status.LastSaved = gi.CreatedAt.UTC().Format(time.RFC3339)
 	s.persist.status.LastError = ""
+	s.persist.mu.Unlock()
+
+	// The corpus now has a durable cross-process identity; stamp it on
+	// the live generation so /readyz and the /v1 response headers carry
+	// it.
+	s.annotateStoreIdentity(db, gi.ID, gi.CorpusSHA256)
+}
+
+// PublishStoreGeneration atomically swaps in a corpus that already
+// exists as a verified generation in this server's attached store —
+// the replica pull loop's publish path. Unlike SetCorpus it does not
+// re-persist (the store just installed these exact bytes); the store
+// identity is stamped directly so staleness probes and response
+// headers reflect the shipped generation id immediately.
+func (s *Server) PublishStoreGeneration(db *uls.Database, gi *store.GenInfo) {
+	s.publishMeta(db, fmt.Sprintf("store generation %d: %s", gi.ID, gi.Source), gi.ID, gi.CorpusSHA256)
+
+	s.persist.mu.Lock()
+	s.persist.status.Generation = gi.ID
+	s.persist.status.Verified = true
+	s.persist.status.LastSaved = gi.CreatedAt.UTC().Format(time.RFC3339)
+	// The store demonstrably holds a verified generation now, so a
+	// stale boot-time failure (cold start: "no verified generation")
+	// must not keep reporting the replica as degraded.
+	s.persist.status.LastError = ""
+	s.persist.mu.Unlock()
 }
 
 // CloseStore detaches and closes the attached store, sweeping any temp

@@ -95,6 +95,15 @@ type generation struct {
 	eng      *engine.Engine
 	source   string
 	loadedAt time.Time
+
+	// Store identity, when known: the persisted generation id and
+	// corpus digest this in-memory generation corresponds to. Unlike
+	// the process-local id above, these are comparable across processes
+	// — the fleet's replicas and front tier use them to detect
+	// wrong-generation responses and measure staleness. Zero/empty for
+	// a corpus that was never persisted.
+	storeGen int64
+	digest   string
 }
 
 // Server is the query service. Create with New, install a corpus with
@@ -120,7 +129,24 @@ type Server struct {
 
 	persist persistState
 
+	auxMu sync.Mutex
+	aux   map[string]func() any
+
 	started time.Time
+}
+
+// RegisterStats installs a named auxiliary stats source whose snapshot
+// is embedded in /statsz under "extra" — how subsystems layered on top
+// of the server (the fleet's pull loop, for one) surface their health
+// through the existing endpoint without serve depending on them.
+// Registering the same name again replaces the source.
+func (s *Server) RegisterStats(name string, fn func() any) {
+	s.auxMu.Lock()
+	defer s.auxMu.Unlock()
+	if s.aux == nil {
+		s.aux = make(map[string]func() any)
+	}
+	s.aux[name] = fn
 }
 
 // New returns a server with no corpus loaded; /readyz reports 503
@@ -153,6 +179,12 @@ func (s *Server) SetCorpus(db *uls.Database, source string) {
 // the persistence layer (WarmStart uses it directly: re-saving what
 // was just recovered would duplicate generations on every boot).
 func (s *Server) publish(db *uls.Database, source string) {
+	s.publishMeta(db, source, 0, "")
+}
+
+// publishMeta is publish with the corpus's store identity attached,
+// when the caller knows it (warm starts and replica installs do).
+func (s *Server) publishMeta(db *uls.Database, source string, storeGen int64, digest string) {
 	opts := []engine.Option{engine.WithRebuildTimeout(s.cfg.RebuildTimeout)}
 	if s.cfg.EngineWorkers > 0 {
 		opts = append(opts, engine.WithWorkers(s.cfg.EngineWorkers))
@@ -163,24 +195,56 @@ func (s *Server) publish(db *uls.Database, source string) {
 		eng:      engine.New(db, opts...),
 		source:   source,
 		loadedAt: time.Now(),
+		storeGen: storeGen,
+		digest:   digest,
 	}
 	s.gen.Store(g)
 }
 
-// generationInfo is the serialized view of the live generation.
+// annotateStoreIdentity attaches a just-persisted store identity to the
+// live generation, if it still serves the same database. The swap
+// republishes a shallow copy sharing db and engine (generations are
+// immutable once visible to requests); a CAS failure means a newer
+// generation was published mid-persist and the identity belongs to a
+// corpus that is no longer live — dropped, correctly.
+func (s *Server) annotateStoreIdentity(db *uls.Database, storeGen int64, digest string) {
+	g := s.gen.Load()
+	if g == nil || g.db != db || (g.storeGen == storeGen && g.digest == digest) {
+		return
+	}
+	g2 := *g
+	g2.storeGen = storeGen
+	g2.digest = digest
+	s.gen.CompareAndSwap(g, &g2)
+}
+
+// generationInfo is the serialized view of the live generation, shaped
+// for remote staleness probes: a front tier or sibling replica reads
+// store_generation, corpus_sha256, and age_seconds straight off
+// /readyz or /statsz — no store dependency, no disk access.
 type generationInfo struct {
 	ID       int64  `json:"id"`
 	Source   string `json:"source"`
 	LoadedAt string `json:"loaded_at"`
 	Licenses int    `json:"licenses"`
+	// StoreGeneration is the cross-process generation id from the
+	// corpus store (0 when the corpus was never persisted).
+	StoreGeneration int64 `json:"store_generation,omitempty"`
+	// CorpusSHA256 is the persisted corpus digest ("" when unknown).
+	CorpusSHA256 string `json:"corpus_sha256,omitempty"`
+	// AgeSeconds is how long this generation has been live.
+	AgeSeconds float64 `json:"age_seconds"`
 }
 
 func (g *generation) info() generationInfo {
 	return generationInfo{
-		ID:       g.id,
-		Source:   g.source,
-		LoadedAt: g.loadedAt.UTC().Format(time.RFC3339),
-		Licenses: g.db.Len(),
+		ID:              g.id,
+		Source:          g.source,
+		LoadedAt:        g.loadedAt.UTC().Format(time.RFC3339),
+		Licenses:        g.db.Len(),
+		StoreGeneration: g.storeGen,
+		CorpusSHA256:    g.digest,
+		AgeSeconds:      time.Since(g.loadedAt).Seconds(),
 	}
 }
 
@@ -200,6 +264,7 @@ type ServeStats struct {
 	Breaker       BreakerStats    `json:"breaker"`
 	Reload        ReloadStatus    `json:"reload"`
 	Persist       *PersistStatus  `json:"persist,omitempty"`
+	Extra         map[string]any  `json:"extra,omitempty"`
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -224,5 +289,13 @@ func (s *Server) Stats() ServeStats {
 		est := g.eng.Stats()
 		st.Engine = &est
 	}
+	s.auxMu.Lock()
+	for name, fn := range s.aux {
+		if st.Extra == nil {
+			st.Extra = make(map[string]any, len(s.aux))
+		}
+		st.Extra[name] = fn()
+	}
+	s.auxMu.Unlock()
 	return st
 }

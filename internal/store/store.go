@@ -465,8 +465,25 @@ func (s *Store) writeFileSync(path string, data []byte) error {
 func (s *Store) loadManifest(id int64) (*manifest, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, manifestName(id)))
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: generation %d manifest", ErrGenGone, id)
+		}
 		return nil, fmt.Errorf("reading manifest: %w", err)
 	}
+	m, err := parseManifestBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if m.Generation != id {
+		return nil, fmt.Errorf("manifest names generation %d, file says %d", m.Generation, id)
+	}
+	return m, nil
+}
+
+// parseManifestBytes self-verifies and decodes one manifest's raw bytes
+// (the exact content of a MANIFEST-*.json file — also the generation
+// shipping wire format).
+func parseManifestBytes(data []byte) (*manifest, error) {
 	line, rest, ok := strings.Cut(string(data), "\n")
 	if !ok {
 		return nil, errors.New("manifest missing checksum line")
@@ -484,9 +501,6 @@ func (s *Store) loadManifest(id int64) (*manifest, error) {
 	}
 	if m.Codec != codecVersion {
 		return nil, fmt.Errorf("codec version %d (this binary reads %d)", m.Codec, codecVersion)
-	}
-	if m.Generation != id {
-		return nil, fmt.Errorf("manifest names generation %d, file says %d", m.Generation, id)
 	}
 	return &m, nil
 }
@@ -520,7 +534,13 @@ func corpusDigest(segs []SegmentInfo) string {
 // catching hash-level corruption a CRC could theoretically be collided
 // past and codec bugs that byte integrity cannot see.
 func (s *Store) verifyGeneration(m *manifest, deep bool) (*uls.Database, error) {
-	genDir := filepath.Join(s.dir, genDirName(m.Generation))
+	return verifyGenerationDir(m, filepath.Join(s.dir, genDirName(m.Generation)), deep)
+}
+
+// verifyGenerationDir is verifyGeneration against an explicit segment
+// directory — the committed gen-N dir on the boot path, a temp dir full
+// of just-downloaded segments on the replica install path.
+func verifyGenerationDir(m *manifest, genDir string, deep bool) (*uls.Database, error) {
 	type segResult struct {
 		ls  []*uls.License
 		err error
