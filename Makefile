@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak bench bench-short fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak watch-soak bench bench-short bench-gate fuzz-short ci
 
 all: build
 
@@ -60,6 +60,22 @@ store-crash:
 fleet-soak:
 	$(GO) test -race -run 'TestFleetChaosSoak' -v ./internal/fleet/
 
+# Streaming-replay soak, under the race detector: fast, slow
+# (backpressured), and mid-stream-disconnecting /v1/watch clients while
+# the corpus hot-reloads underneath them — asserting gap-free monotone
+# frame sequences on every observed stream prefix and zero leaked
+# goroutines after the wind-down.
+watch-soak:
+	$(GO) test -race -run 'TestWatchSoak' -v ./internal/serve/
+
+# Delta-sweep perf gate (E22): the engine's event-log replay must keep
+# a daily-grid evolution sweep >= 10x faster than the legacy
+# rebuild-per-date path, with identical points. Same-process ratio, so
+# it holds on any runner; absolute numbers are recorded in
+# BENCH_*.json.
+bench-gate:
+	$(GO) test -run 'TestDeltaSweepBudget' -v .
+
 # Short fuzz pass over the bulk parsers. The lenient reader must never
 # panic, must always produce a report, and must only load licenses the
 # strict reader would re-accept; the strict reader must round-trip
@@ -79,4 +95,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: fmt-check vet build race serve-soak store-crash fleet-soak bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash fleet-soak watch-soak bench-gate bench-short fuzz-short

@@ -543,3 +543,46 @@ func BenchmarkAblationBoundedLinksTreeCriterion(b *testing.B) {
 		}
 	}
 }
+
+// benchDailyDates is the E22 workload grid: every calendar day from
+// 2013 through the paper snapshot (1 April 2020).
+func benchDailyDates(b *testing.B) []uls.Date {
+	dates, err := core.GridDates(2013, 2020, "daily")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dates
+}
+
+// BenchmarkEvolutionDailyFullRebuild is the E22 baseline: a daily-grid
+// 2013–2020 evolution sweep on the legacy path — one full stab-query
+// reconstruction per date (no engine, no event log).
+func BenchmarkEvolutionDailyFullRebuild(b *testing.B) {
+	db := corpus(b)
+	dates := benchDailyDates(b)
+	licensee := report.Fig1Networks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvolutionVia(core.DirectProvider(db), licensee,
+			PathNY4(), dates, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvolutionDailyDelta is the same sweep through a cold delta
+// engine each iteration: the dates collapse onto their event-log
+// anchors and resolve in one linear replay (E22). The gate holding
+// this at >=10x over the baseline is TestDeltaSweepBudget.
+func BenchmarkEvolutionDailyDelta(b *testing.B) {
+	db := corpus(b)
+	dates := benchDailyDates(b)
+	licensee := report.Fig1Networks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEngine(db).Evolution(licensee,
+			PathNY4(), dates, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,8 @@
 //	         [-request-timeout 10s]
 //	         [-breaker-failures 5] [-breaker-cooldown 5s]
 //	         [-drain-timeout 15s]
+//	         [-watch-max-streams 64] [-watch-heartbeat 15s]
+//	         [-keyframe-interval 16]
 //	         [-pull-from URL] [-pull-interval 2s] [-pull-keep 3]
 //
 // Endpoints:
@@ -19,6 +21,8 @@
 //	/v1/snapshot   networks active on a path at a date (Table 1)
 //	/v1/rank       fastest networks per corridor path (Table 2)
 //	/v1/evolution  one licensee's longitudinal trajectory (Figs 1–2)
+//	/v1/watch      SSE replay of a licensee's evolution: snapshot, then
+//	               one diff frame per event date (curl -N to follow)
 //	/v1/apa        alternate-path availability + complementary pairs (§5, §2.4)
 //	/v1/gen/*      generation shipping (with -store-dir): manifest +
 //	               segments, byte-for-byte the store's artifacts
@@ -83,6 +87,9 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive engine failures that trip the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker rejects before probing")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
+	watchMaxStreams := flag.Int("watch-max-streams", 64, "max concurrently open /v1/watch replay streams")
+	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "SSE heartbeat cadence on idle /v1/watch streams")
+	keyframeInterval := flag.Int("keyframe-interval", 0, "engine replay keyframe spacing in events (0 = engine default)")
 	pullFrom := flag.String("pull-from", "", "replicate generations from this primary's base URL (requires -store-dir, excludes -bulk)")
 	pullInterval := flag.Duration("pull-interval", 2*time.Second, "replication poll cadence (jittered)")
 	pullKeep := flag.Int("pull-keep", 3, "local generations kept after each replicated install")
@@ -102,6 +109,9 @@ func main() {
 		RequestTimeout:   *requestTimeout,
 		BreakerThreshold: *breakerFailures,
 		BreakerCooldown:  *breakerCooldown,
+		WatchMaxStreams:  *watchMaxStreams,
+		WatchHeartbeat:   *watchHeartbeat,
+		KeyframeInterval: *keyframeInterval,
 	})
 
 	reloadOpts := serve.ReloadOptions{MaxErrorRate: *maxErrorRate}
@@ -219,6 +229,10 @@ func main() {
 	log.Printf("hftserve: serving on %s (inflight %d, queue wait %v, breaker %d/%v)",
 		*addr, *maxInflight, *queueWait, *breakerFailures, *breakerCooldown)
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	// Shutdown waits for in-flight handlers; open replay streams must
+	// drain (final `drain` frame, then close) rather than run out their
+	// replays against that wait.
+	httpSrv.RegisterOnShutdown(srv.StopWatches)
 	if err := serve.ListenAndServeGraceful(httpSrv, opts); err != nil {
 		log.Fatalf("hftserve: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"hftnetview/internal/sites"
@@ -21,17 +22,36 @@ type EvolutionPoint struct {
 	ActiveLicenses int
 }
 
+// EvolutionSweeper is a provider that can resolve a whole longitudinal
+// sweep itself — the snapshot engine implements it as one linear pass
+// over the temporal event log (distinct anchors resolved in ascending
+// date order, so the rolling replay cursor only moves forward) instead
+// of one independent reconstruction per date. EvolutionVia prefers it
+// when the provider offers it.
+type EvolutionSweeper interface {
+	EvolutionSweep(licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error)
+}
+
 // Evolution reconstructs the licensee's network at each date and reports
 // the trajectory — the data behind Figs 1 and 2. It is the one-shot form
-// of EvolutionVia over an uncached provider.
+// of EvolutionVia over an uncached provider, and doubles as the
+// correctness oracle for the event-log sweep: every date is rebuilt
+// independently, with no delta state shared between points.
 func Evolution(db *uls.Database, licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error) {
 	return EvolutionVia(DirectProvider(db), licensee, path, dates, opts)
 }
 
-// EvolutionVia is Evolution over a SnapshotProvider: the per-date
-// reconstructions are independent, so the provider may resolve the
-// sweep in parallel (and, with the snapshot engine, from cache).
+// EvolutionVia is Evolution over a SnapshotProvider. A provider that
+// implements EvolutionSweeper (the snapshot engine) resolves the sweep
+// as one linear pass over the event log; otherwise the per-date path
+// runs — reconstructions are independent, so the provider may resolve
+// them in parallel. Either way the per-date license counts come from
+// the event log's prefix sums (O(log events) per point), not from
+// re-deriving the full per-licensee activity map at every date.
 func EvolutionVia(p SnapshotProvider, licensee string, path sites.Path, dates []uls.Date, opts Options) ([]EvolutionPoint, error) {
+	if s, ok := p.(EvolutionSweeper); ok {
+		return s.EvolutionSweep(licensee, path, dates, opts)
+	}
 	reqs := make([]SnapshotRequest, len(dates))
 	for i, d := range dates {
 		reqs[i] = SnapshotRequest{
@@ -45,10 +65,10 @@ func EvolutionVia(p SnapshotProvider, licensee string, path sites.Path, dates []
 	if err != nil {
 		return nil, err
 	}
-	db := p.DB()
+	log := p.DB().EventLog()
 	out := make([]EvolutionPoint, 0, len(dates))
 	for i, d := range dates {
-		pt := EvolutionPoint{Date: d, ActiveLicenses: db.ActiveCountByLicensee(d)[licensee]}
+		pt := EvolutionPoint{Date: d, ActiveLicenses: log.ActiveCount(licensee, d)}
 		if r, ok := nets[i].BestRoute(path); ok {
 			pt.Connected = true
 			pt.Latency = r.Latency
@@ -72,4 +92,43 @@ func PaperSampleDates(firstYear, lastYear int) []uls.Date {
 		out = append(out, uls.NewDate(y, time.January, 1))
 	}
 	return out
+}
+
+// GridDates returns the sampling dates of an Evolution sweep on a
+// denser grid than the paper's yearly samples: "yearly" is exactly
+// PaperSampleDates, "monthly" is the 1st of every month, and "daily"
+// is every calendar day. Like PaperSampleDates, a range reaching 2020
+// stops at April 1st, the paper's corpus snapshot date.
+func GridDates(firstYear, lastYear int, grid string) ([]uls.Date, error) {
+	if lastYear < firstYear {
+		return nil, fmt.Errorf("core: grid range %d–%d is empty", firstYear, lastYear)
+	}
+	end := uls.NewDate(lastYear, time.December, 31)
+	if lastYear >= 2020 {
+		end = uls.NewDate(2020, time.April, 1)
+	}
+	switch grid {
+	case "yearly", "":
+		return PaperSampleDates(firstYear, lastYear), nil
+	case "monthly":
+		var out []uls.Date
+		for y := firstYear; y <= lastYear; y++ {
+			for m := time.January; m <= time.December; m++ {
+				d := uls.NewDate(y, m, 1)
+				if d.After(end) {
+					return out, nil
+				}
+				out = append(out, d)
+			}
+		}
+		return out, nil
+	case "daily":
+		var out []uls.Date
+		for d := uls.NewDate(firstYear, time.January, 1); !d.After(end); d = d.AddDays(1) {
+			out = append(out, d)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown grid %q (want daily, monthly, or yearly)", grid)
+	}
 }

@@ -43,6 +43,15 @@ type Engine struct {
 	db             *uls.Database
 	sem            chan struct{} // bounds concurrent reconstructions
 	rebuildTimeout time.Duration // 0 = wait forever
+	keyframeEvery  int           // replay keyframe interval, in events
+	deltaOff       bool          // WithoutDelta: legacy full-stitch rebuilds
+
+	// Delta replay state: one track per (licensee set, DC set, options)
+	// family, flushed together with the memo store on generation
+	// change. Guarded by trackMu; lock order is mu before trackMu
+	// (flushTracks runs under mu), never the reverse.
+	trackMu sync.Mutex
+	tracks  map[string]*track
 
 	mu      sync.Mutex
 	gen     int64 // db generation the memo store was built against
@@ -76,6 +85,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithKeyframeInterval sets how many replayed events separate two
+// keyframes (default 16). Smaller intervals bound rewinds tighter at
+// the cost of memory; 1 keyframes every event position the replay
+// visits. Values < 1 are ignored.
+func WithKeyframeInterval(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.keyframeEvery = n
+		}
+	}
+}
+
+// WithoutDelta disables the event-log delta path: every cache miss is
+// a full date-interval stitch and requests memoize under their literal
+// dates. It exists as the correctness oracle and benchmark baseline
+// for the delta path, not for production use.
+func WithoutDelta() Option {
+	return func(e *Engine) { e.deltaOff = true }
+}
+
 // WithRebuildTimeout caps how long any single SnapshotContext call
 // waits for its reconstruction (queueing included). A request that
 // exceeds the cap fails with an error classified as FailureTimeout;
@@ -91,9 +120,11 @@ func WithRebuildTimeout(d time.Duration) Option {
 // store.
 func New(db *uls.Database, opts ...Option) *Engine {
 	e := &Engine{
-		db:      db,
-		gen:     db.Generation(),
-		entries: make(map[string]*entry),
+		db:            db,
+		gen:           db.Generation(),
+		entries:       make(map[string]*entry),
+		tracks:        make(map[string]*track),
+		keyframeEvery: 16,
 	}
 	for _, o := range opts {
 		o(e)
@@ -118,14 +149,7 @@ func (e *Engine) DB() *uls.Database { return e.db }
 // licensees, the date, sorted data-center codes, and the options
 // fingerprint. Requests that normalize identically share one snapshot.
 func keyOf(req core.SnapshotRequest) string {
-	names := append([]string(nil), req.Licensees...)
-	sort.Strings(names)
-	dedup := names[:0]
-	for i, n := range names {
-		if i == 0 || names[i-1] != n {
-			dedup = append(dedup, n)
-		}
-	}
+	dedup := canonNames(req.Licensees)
 	codes := make([]string, len(req.DCs))
 	for i, dc := range req.DCs {
 		codes[i] = dc.Code
@@ -165,22 +189,33 @@ func (e *Engine) SnapshotContext(ctx context.Context, req core.SnapshotRequest) 
 		ctx, cancel = context.WithTimeout(ctx, e.rebuildTimeout)
 		defer cancel()
 	}
+	// Anchor re-keying: the requested date collapses onto the date of
+	// the last event at or before it — every date between two events
+	// shares one memo entry. The clone returned below has its Date
+	// patched back to the literal request.
+	want := req.Date
+	req, rekeyed := e.rekey(req)
 	key := keyOf(req)
 
 	e.mu.Lock()
 	if g := e.db.Generation(); g != e.gen {
 		// The database changed under us: every memoized snapshot is
 		// stale. Entries still in flight finish against the old data
-		// and are dropped with the map.
+		// and are dropped with the map, and the replay tracks (built
+		// over the old event log) flush with them.
 		e.entries = make(map[string]*entry)
 		e.gen = g
 		e.stats.Invalidations++
+		e.flushTracks()
 	}
 	ent, ok := e.entries[key]
 	if ok {
 		select {
 		case <-ent.done:
 			e.stats.Hits++
+			if rekeyed {
+				e.stats.DeltaHits++
+			}
 		default:
 			e.stats.Coalesced++
 		}
@@ -206,7 +241,9 @@ func (e *Engine) SnapshotContext(ctx context.Context, req core.SnapshotRequest) 
 	if ent.err != nil {
 		return nil, ent.err
 	}
-	return ent.net.Clone(), nil
+	n := ent.net.Clone()
+	n.Date = want
+	return n, nil
 }
 
 // fill runs the reconstruction for a freshly created entry and
@@ -214,11 +251,16 @@ func (e *Engine) SnapshotContext(ctx context.Context, req core.SnapshotRequest) 
 // retried rather than served from the memo store.
 func (e *Engine) fill(key string, ent *entry, req core.SnapshotRequest) {
 	e.sem <- struct{}{}
-	ent.net, ent.err = e.reconstruct(req)
+	var ds deltaStats
+	ent.net, ds, ent.err = e.reconstructAny(req)
 	<-e.sem
 
 	e.mu.Lock()
 	e.stats.Rebuilds++
+	e.stats.DeltaBuilds += ds.deltaBuilds
+	e.stats.KeyframeRestores += ds.keyframeRestores
+	e.stats.EventsReplayed += ds.eventsReplayed
+	e.stats.KeyframesSaved += ds.keyframesSaved
 	if ent.err != nil && e.entries[key] == ent {
 		delete(e.entries, key)
 	}
@@ -309,6 +351,21 @@ type Stats struct {
 	// Invalidations counts memo-store flushes triggered by database
 	// generation changes.
 	Invalidations int64
+	// DeltaHits counts memo hits where anchor re-keying collapsed a
+	// requested date onto an earlier anchor's snapshot — requests the
+	// pre-delta engine would have rebuilt under a distinct date key.
+	DeltaHits int64
+	// DeltaBuilds counts rebuilds served by the event-log replay path
+	// (vs the legacy full-stitch path under WithoutDelta).
+	DeltaBuilds int64
+	// KeyframeRestores counts replays that rewound to a keyframe (or
+	// the empty set) because the target date preceded the rolling
+	// cursor.
+	KeyframeRestores int64
+	// EventsReplayed counts log events applied across all replays.
+	EventsReplayed int64
+	// KeyframesSaved counts keyframes captured while rolling forward.
+	KeyframesSaved int64
 	// Entries is the current memo-store size.
 	Entries int
 }

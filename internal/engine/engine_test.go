@@ -325,11 +325,17 @@ func TestEvolutionCachedMatchesDirect(t *testing.T) {
 		}
 	}
 	st := e.Stats()
-	if st.Rebuilds != int64(len(dates)) {
-		t.Errorf("rebuilds = %d, want %d (second sweep fully cached)", st.Rebuilds, len(dates))
+	// Anchor re-keying collapses the date grid onto distinct event-log
+	// anchors, so rebuilds can undershoot the date count but must never
+	// exceed it, and the second sweep must be fully cached.
+	if st.Rebuilds > int64(len(dates)) || st.Rebuilds < 1 {
+		t.Errorf("rebuilds = %d, want 1..%d (one per distinct anchor)", st.Rebuilds, len(dates))
 	}
-	if st.Hits < int64(len(dates)) {
-		t.Errorf("hits = %d, want >= %d", st.Hits, len(dates))
+	if st.Rebuilds != st.Misses {
+		t.Errorf("rebuilds = %d, misses = %d; want equal (second sweep fully cached)", st.Rebuilds, st.Misses)
+	}
+	if st.Hits < st.Misses {
+		t.Errorf("hits = %d, want >= %d (second sweep served from memo)", st.Hits, st.Misses)
 	}
 }
 

@@ -130,7 +130,19 @@ func Table3(p core.SnapshotProvider, date uls.Date) (*Table, error) {
 // Fig1 reproduces Fig 1's series: end-to-end CME–NY4 latency per year
 // for the five tracked networks ("-" where not connected).
 func Fig1(p core.SnapshotProvider, firstYear, lastYear int) (*Table, error) {
-	dates := core.PaperSampleDates(firstYear, lastYear)
+	return Fig1Grid(p, firstYear, lastYear, "yearly")
+}
+
+// Fig1Grid is Fig1 on an arbitrary sampling grid ("yearly", "monthly",
+// "daily"). Dense grids are where the engine's delta sweep pays off:
+// every date between two license events resolves to the same anchor
+// snapshot, so a daily sweep costs one linear event-log pass, not one
+// rebuild per day.
+func Fig1Grid(p core.SnapshotProvider, firstYear, lastYear int, grid string) (*Table, error) {
+	dates, err := core.GridDates(firstYear, lastYear, grid)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Fig 1: CME-NY4 latency evolution (ms)",
 		Headers: append([]string{"Date"}, abbreviateAll(Fig1Networks)...),
@@ -162,17 +174,26 @@ func Fig1(p core.SnapshotProvider, firstYear, lastYear int) (*Table, error) {
 // Fig2 reproduces Fig 2's series: active license counts per year for the
 // five tracked networks.
 func Fig2(p core.SnapshotProvider, firstYear, lastYear int) (*Table, error) {
-	dates := core.PaperSampleDates(firstYear, lastYear)
+	return Fig2Grid(p, firstYear, lastYear, "yearly")
+}
+
+// Fig2Grid is Fig2 on an arbitrary sampling grid. Counts come from the
+// event log's prefix sums — O(log events) per cell — so a daily grid
+// over the full corpus range stays instant.
+func Fig2Grid(p core.SnapshotProvider, firstYear, lastYear int, grid string) (*Table, error) {
+	dates, err := core.GridDates(firstYear, lastYear, grid)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Fig 2: active licenses over time",
 		Headers: append([]string{"Date"}, abbreviateAll(Fig1Networks)...),
 	}
-	db := p.DB()
+	log := p.DB().EventLog()
 	for _, d := range dates {
-		counts := db.ActiveCountByLicensee(d)
 		row := []string{d.String()}
 		for _, name := range Fig1Networks {
-			row = append(row, fmt.Sprintf("%d", counts[name]))
+			row = append(row, fmt.Sprintf("%d", log.ActiveCount(name, d)))
 		}
 		t.Rows = append(t.Rows, row)
 	}

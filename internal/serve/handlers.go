@@ -31,6 +31,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/evolution", query(s.handleEvolution))
 	mux.Handle("/v1/apa", query(s.handleAPA))
 
+	// The replay stream is long-lived, so it skips admission and the
+	// per-request deadline; its own semaphore bounds concurrency (see
+	// watch.go).
+	mux.Handle("/v1/watch", s.withCounting(http.HandlerFunc(s.handleWatch)))
+
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
@@ -55,6 +60,14 @@ func (p ctxProvider) Snapshot(req core.SnapshotRequest) (*core.Network, error) {
 
 func (p ctxProvider) Snapshots(reqs []core.SnapshotRequest) ([]*core.Network, error) {
 	return core.SnapshotsParallel(p, reqs)
+}
+
+// EvolutionSweep forwards core.EvolutionSweeper to the engine's linear
+// event-log pass, keeping the request context on every anchor
+// snapshot — core.EvolutionVia over a ctxProvider takes the delta
+// sweep, not the legacy per-date path.
+func (p ctxProvider) EvolutionSweep(licensee string, path sites.Path, dates []uls.Date, opts core.Options) ([]core.EvolutionPoint, error) {
+	return p.eng.EvolutionSweepContext(p.ctx, licensee, path, dates, opts)
 }
 
 // errorBody is the uniform JSON error envelope.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -288,5 +289,75 @@ func TestShutdownSweepsPersistDebris(t *testing.T) {
 	// debris.
 	if _, err := st.Save(corpus(t), "after close"); !errors.Is(err, store.ErrClosed) {
 		t.Fatalf("save after shutdown = %v, want ErrClosed", err)
+	}
+}
+
+// TestKeyframePersistRoundTrip: a serving process's replay keyframes
+// survive a restart — CloseStore exports them next to the generation,
+// and the next WarmStart of the same data directory imports them into
+// the fresh engine (verified by digest) before prewarming.
+func TestKeyframePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Save(corpus(t), "seeded by test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func() *Server {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interval 1 keyframes every event, so even short replays leave
+		// state worth persisting.
+		s := New(Config{KeyframeInterval: 1})
+		s.AttachStore(st)
+		if _, err := s.WarmStart(); err != nil {
+			t.Fatalf("warm start: %v", err)
+		}
+		return s
+	}
+
+	s1 := boot()
+	// Drive the delta path so the engine accumulates keyframes.
+	licensee := corpus(t).Licensees()[0]
+	rec := get(t, s1.Handler(), "/v1/evolution?licensee="+url.QueryEscape(licensee))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/evolution = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if err := s1.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	saved := s1.PersistStatus().KeyframesSaved
+	if saved == 0 {
+		t.Fatal("CloseStore exported no keyframes after an evolution sweep")
+	}
+
+	s2 := boot()
+	defer s2.CloseStore()
+	deadline := time.Now().Add(30 * time.Second)
+	for s2.PersistStatus().KeyframesLoaded == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("restart imported no keyframes (first run saved %d)", saved)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := s2.PersistStatus().KeyframesLoaded; got != saved {
+		t.Fatalf("restart imported %d keyframes, first run saved %d", got, saved)
+	}
+
+	// The imported state must serve correct results.
+	rec2 := get(t, s2.Handler(), "/v1/evolution?licensee="+url.QueryEscape(licensee))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("post-import /v1/evolution = %d", rec2.Code)
+	}
+	if rec2.Body.String() != rec.Body.String() {
+		t.Fatal("evolution response changed across keyframe persist round trip")
 	}
 }

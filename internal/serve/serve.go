@@ -58,6 +58,19 @@ type Config struct {
 	// (default: RequestTimeout; the per-request context usually fires
 	// first, this is the backstop for requests without deadlines).
 	RebuildTimeout time.Duration
+	// KeyframeInterval tunes each generation engine's replay keyframe
+	// spacing in events (default: the engine's own default).
+	KeyframeInterval int
+	// WatchMaxStreams bounds concurrently open /v1/watch replay
+	// streams; excess requests are shed with 503 (default 64).
+	WatchMaxStreams int
+	// WatchHeartbeat is how often an idle watch stream emits an SSE
+	// heartbeat comment to keep the connection alive (default 15s).
+	WatchHeartbeat time.Duration
+	// WatchBuffer is the per-stream frame buffer between the replay
+	// producer and the client connection; when a slow client fills it,
+	// the replay clock pauses (default 32 frames).
+	WatchBuffer int
 }
 
 // withDefaults fills unset fields.
@@ -82,6 +95,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RebuildTimeout <= 0 {
 		c.RebuildTimeout = c.RequestTimeout
+	}
+	if c.WatchMaxStreams <= 0 {
+		c.WatchMaxStreams = 64
+	}
+	if c.WatchHeartbeat <= 0 {
+		c.WatchHeartbeat = 15 * time.Second
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 32
 	}
 	return c
 }
@@ -129,6 +151,8 @@ type Server struct {
 
 	persist persistState
 
+	watch watchState
+
 	auxMu sync.Mutex
 	aux   map[string]func() any
 
@@ -153,12 +177,15 @@ func (s *Server) RegisterStats(name string, fn func() any) {
 // until SetCorpus or LoadCorpusFile installs one.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		limiter: NewLimiter(cfg.MaxInFlight, cfg.MaxQueueWait),
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		started: time.Now(),
 	}
+	s.watch.sem = make(chan struct{}, cfg.WatchMaxStreams)
+	s.watch.stop = make(chan struct{})
+	return s
 }
 
 // Config returns the server's effective (default-filled) configuration.
@@ -188,6 +215,9 @@ func (s *Server) publishMeta(db *uls.Database, source string, storeGen int64, di
 	opts := []engine.Option{engine.WithRebuildTimeout(s.cfg.RebuildTimeout)}
 	if s.cfg.EngineWorkers > 0 {
 		opts = append(opts, engine.WithWorkers(s.cfg.EngineWorkers))
+	}
+	if s.cfg.KeyframeInterval > 0 {
+		opts = append(opts, engine.WithKeyframeInterval(s.cfg.KeyframeInterval))
 	}
 	g := &generation{
 		id:       s.nextID.Add(1),
@@ -264,6 +294,7 @@ type ServeStats struct {
 	Breaker       BreakerStats    `json:"breaker"`
 	Reload        ReloadStatus    `json:"reload"`
 	Persist       *PersistStatus  `json:"persist,omitempty"`
+	Watch         WatchStats      `json:"watch"`
 	Extra         map[string]any  `json:"extra,omitempty"`
 }
 
@@ -279,6 +310,7 @@ func (s *Server) Stats() ServeStats {
 		InFlight:      s.limiter.InFlight(),
 		Breaker:       s.breaker.Stats(),
 		Reload:        s.ReloadStatus(),
+		Watch:         s.watch.stats(),
 	}
 	if ps := s.PersistStatus(); ps.Enabled {
 		st.Persist = &ps

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchSoak is the streaming surface's endurance test (run it
+// under -race via `make watch-soak`): a seeded mix of fast readers,
+// slow readers (exercising the backpressure seam — their replay clock
+// must pause, not drop frames), and clients that disconnect mid-replay,
+// all while the corpus hot-reloads underneath them. Asserts:
+//
+//   - every frame sequence observed is gap-free and monotone — a
+//     client that read frames 0..k saw every transition in between,
+//     whether it finished, was drained, or hung up;
+//   - completed streams end in eof (or drain after StopWatches);
+//   - no goroutines leak once the streams and the server wind down.
+func TestWatchSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	s := testServer(t, Config{WatchMaxStreams: 64, WatchHeartbeat: 25 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	licensees := corpus(t).Licensees()
+
+	const (
+		fastClients    = 6
+		slowClients    = 4
+		flakyClients   = 4
+		reloads        = 3
+		reloadInterval = 60 * time.Millisecond
+	)
+
+	// kind describes each client's read discipline.
+	type outcome struct {
+		kind   string
+		err    error
+		events []sseEvent
+	}
+	results := make(chan outcome, fastClients+slowClients+flakyClients)
+	var wg sync.WaitGroup
+
+	stream := func(kind string, i int, read func(ctx context.Context, body io.Reader) ([]sseEvent, error)) {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(uint64(i), 0x50a7))
+		licensee := licensees[i%len(licensees)]
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		speed := ""
+		if kind == "slow" {
+			// Paced just enough that a reload lands mid-stream; the slow
+			// read below is the real brake.
+			speed = "&speed=" + strconv.Itoa(2000+rng.IntN(2000))
+		}
+		req, err := http.NewRequestWithContext(ctx, "GET",
+			fmt.Sprintf("%s/v1/watch?licensee=%s&seed=%d%s", ts.URL, url.QueryEscape(licensee), i, speed), nil)
+		if err != nil {
+			results <- outcome{kind: kind, err: err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			results <- outcome{kind: kind, err: err}
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			results <- outcome{kind: kind, err: fmt.Errorf("status %d", resp.StatusCode)}
+			return
+		}
+		events, err := read(ctx, resp.Body)
+		results <- outcome{kind: kind, events: events, err: err}
+	}
+
+	for i := 0; i < fastClients; i++ {
+		wg.Add(1)
+		go stream("fast", i, func(_ context.Context, body io.Reader) ([]sseEvent, error) {
+			evs, _ := parseSSE(body)
+			return evs, nil
+		})
+	}
+	for i := 0; i < slowClients; i++ {
+		wg.Add(1)
+		go stream("slow", fastClients+i, func(_ context.Context, body io.Reader) ([]sseEvent, error) {
+			// Trickle-read a few bytes at a time so the server's frame
+			// buffer and the socket fill up and the producer blocks.
+			evs, _ := parseSSE(&slowReader{r: body, chunk: 64, pause: time.Millisecond})
+			return evs, nil
+		})
+	}
+	for i := 0; i < flakyClients; i++ {
+		wg.Add(1)
+		go stream("flaky", fastClients+slowClients+i, func(ctx context.Context, body io.Reader) ([]sseEvent, error) {
+			// Read a random prefix, then hang up mid-stream.
+			n := 2 + i%5
+			lr := &limitedFrames{r: body, max: n}
+			evs, _ := parseSSE(lr)
+			return evs, nil
+		})
+	}
+
+	// Hot-reload the corpus underneath the open streams: pinned
+	// generations must keep replaying without tearing.
+	for i := 0; i < reloads; i++ {
+		time.Sleep(reloadInterval)
+		s.SetCorpus(corpus(t), fmt.Sprintf("soak reload %d", i))
+	}
+
+	// End the soak: slow paced streams would otherwise replay for ages.
+	time.Sleep(reloadInterval)
+	s.StopWatches()
+	wg.Wait()
+	close(results)
+
+	finished := map[string]int{}
+	for res := range results {
+		if res.err != nil {
+			t.Errorf("%s client failed: %v", res.kind, res.err)
+			continue
+		}
+		if len(res.events) == 0 {
+			t.Errorf("%s client saw no frames", res.kind)
+			continue
+		}
+		// Gap-free monotone ids on every observed prefix; flaky clients
+		// just stop early, so only full streams must close with
+		// eof/drain.
+		verifyWatchPrefix(t, res.kind, res.events)
+		if res.kind != "flaky" {
+			if last := res.events[len(res.events)-1].event; last != "eof" && last != "drain" {
+				t.Errorf("%s client ended with %q, want eof or drain", res.kind, last)
+			}
+		}
+		finished[res.kind]++
+	}
+	if finished["fast"] != fastClients || finished["slow"] != slowClients || finished["flaky"] != flakyClients {
+		t.Fatalf("finished clients = %v", finished)
+	}
+
+	ts.Close()
+	if ws := s.Stats().Watch; ws.Active != 0 {
+		t.Fatalf("streams still active after soak: %+v", ws)
+	}
+
+	// Everything the soak spawned — producers, writers, connections —
+	// must wind down; allow the runtime a moment and a small slack for
+	// unrelated test-runner goroutines.
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			return
+		}
+		select {
+		case <-deadline:
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d at baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// verifyWatchPrefix asserts a (possibly truncated) stream prefix obeys
+// the protocol: hello, snapshot, diffs with contiguous ids, at most one
+// trailing drain.
+func verifyWatchPrefix(t *testing.T, kind string, events []sseEvent) {
+	t.Helper()
+	if events[0].event != "hello" {
+		t.Errorf("%s client: first frame = %q, want hello", kind, events[0].event)
+		return
+	}
+	for i, ev := range events {
+		if ev.event == "drain" {
+			if i != len(events)-1 {
+				t.Errorf("%s client: drain frame %d not last of %d", kind, i, len(events))
+			}
+			return
+		}
+		if got, want := ev.id, strconv.Itoa(i); got != want {
+			t.Errorf("%s client: frame %d (%s) id = %s, want %s (sequence gap)", kind, i, ev.event, got, want)
+			return
+		}
+	}
+}
+
+// slowReader throttles reads to chunk bytes per pause.
+type slowReader struct {
+	r     io.Reader
+	chunk int
+	pause time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.pause)
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.r.Read(p)
+}
+
+// limitedFrames stops reading (simulating a client hang-up) after max
+// SSE frame terminators have passed.
+type limitedFrames struct {
+	r    io.Reader
+	max  int
+	seen int
+	prev byte
+	done bool
+}
+
+func (l *limitedFrames) Read(p []byte) (int, error) {
+	if l.done {
+		return 0, io.EOF
+	}
+	if len(p) > 32 {
+		p = p[:32]
+	}
+	n, err := l.r.Read(p)
+	for i := 0; i < n; i++ {
+		if p[i] == '\n' && l.prev == '\n' {
+			l.seen++
+			if l.seen >= l.max {
+				l.done = true
+				return i + 1, io.EOF
+			}
+		}
+		l.prev = p[i]
+	}
+	return n, err
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Keyframe sidecar files.
+//
+// The snapshot engine's delta path accumulates replay keyframes —
+// active license sets captured at intervals along the temporal event
+// log. They are expensive to re-derive (each one is a partial replay)
+// but cheap to persist, so a serving process exports them next to the
+// generation they were computed against: one KF-%06d.dat file per
+// generation id, framed exactly like a segment (magic + one
+// CRC32C-checked block) so the same verification discipline applies.
+//
+// Keyframes are advisory state, not corpus data: a missing or corrupt
+// keyframe file only costs warm-boot replay speed, never correctness
+// or recovery — Load ignores them entirely, and importers must match
+// the payload's corpus digest before trusting event indexes. GC sweeps
+// a generation's keyframe file together with its manifest.
+
+func keyframeName(id int64) string { return fmt.Sprintf("KF-%06d.dat", id) }
+
+// parseKeyframeID extracts the generation id from a keyframe file
+// name, or -1.
+func parseKeyframeID(name string) int64 {
+	if !strings.HasPrefix(name, "KF-") || !strings.HasSuffix(name, ".dat") {
+		return -1
+	}
+	id, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "KF-"), ".dat"), 10, 64)
+	if err != nil || id <= 0 {
+		return -1
+	}
+	return id
+}
+
+// SaveKeyframes persists an opaque keyframe payload (the engine's
+// KeyframeExport JSON) alongside generation id, committed by temp file
+// + fsync + atomic rename like every other store artifact. A payload
+// for an id with no committed manifest is still written — the caller
+// owns the pairing — but GC will sweep it.
+func (s *Store) SaveKeyframes(id int64, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if id <= 0 {
+		return fmt.Errorf("store: keyframe generation id %d out of range", id)
+	}
+	if len(payload) > maxBlockBytes {
+		return fmt.Errorf("store: keyframe payload %d bytes exceeds %d", len(payload), maxBlockBytes)
+	}
+	buf := append([]byte(nil), segMagic...)
+	buf = appendBlockFrame(buf, payload)
+	final := filepath.Join(s.dir, keyframeName(id))
+	tmp := final + ".tmp"
+	if err := s.writeFileSync(tmp, buf); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: committing keyframes %d: %w", id, err)
+	}
+	return syncDir(s.dir)
+}
+
+// LoadKeyframes reads generation id's keyframe payload, verifying the
+// magic and the block CRC. It returns os.ErrNotExist (wrapped) when no
+// keyframe file exists for the id; callers treat any error as a cold
+// start, never a boot failure.
+func (s *Store) LoadKeyframes(id int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, keyframeName(id)))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading keyframes %d: %w", id, err)
+	}
+	if len(data) < len(segMagic)+8 || string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, fmt.Errorf("store: keyframes %d: bad magic or truncated", id)
+	}
+	rest := data[len(segMagic):]
+	n := binary.LittleEndian.Uint32(rest)
+	sum := binary.LittleEndian.Uint32(rest[4:])
+	if n > maxBlockBytes || len(rest) != 8+int(n) {
+		return nil, fmt.Errorf("store: keyframes %d: frame length %d does not match file", id, n)
+	}
+	payload := rest[8:]
+	if got := crc32.Checksum(payload, castagnoli); got != sum {
+		return nil, fmt.Errorf("store: keyframes %d: CRC32C mismatch (%08x != %08x)", id, got, sum)
+	}
+	return payload, nil
+}
+
+// sweepKeyframes removes keyframe files whose generation id is not in
+// kept. Called from GC with the surviving manifest set.
+func (s *Store) sweepKeyframes(kept map[int64]bool) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if id := parseKeyframeID(e.Name()); id > 0 && !kept[id] {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}

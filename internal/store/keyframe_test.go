@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hftnetview/internal/synth"
+)
+
+func TestKeyframeRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	payload := []byte(`{"corpus_sha256":"abc","keyframe_interval":16}`)
+	if err := s.SaveKeyframes(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadKeyframes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %q != %q", got, payload)
+	}
+	// Overwrite is atomic replace, not append.
+	if err := s.SaveKeyframes(3, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadKeyframes(3); err != nil || string(got) != "v2" {
+		t.Fatalf("after overwrite: %q, %v", got, err)
+	}
+}
+
+func TestKeyframeMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.LoadKeyframes(7); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing keyframes: err = %v, want os.ErrNotExist", err)
+	}
+
+	if err := s.SaveKeyframes(7, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, keyframeName(7))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload byte under the CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadKeyframes(7); err == nil {
+		t.Fatal("corrupt keyframe payload loaded without error")
+	}
+
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadKeyframes(7); err == nil {
+		t.Fatal("truncated keyframe file loaded without error")
+	}
+}
+
+// TestKeyframeGCSweep: GC removes keyframe files together with their
+// generations, and orphan keyframes (no manifest) go too; the kept
+// generation's keyframes survive.
+func TestKeyframeGCSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	db, err := synth.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		gi, err := s.Save(db, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, gi.ID)
+		if err := s.SaveKeyframes(gi.ID, []byte("kf")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveKeyframes(999, []byte("orphan")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.GC(1); err != nil {
+		t.Fatal(err)
+	}
+	last := ids[len(ids)-1]
+	if _, err := s.LoadKeyframes(last); err != nil {
+		t.Fatalf("kept generation's keyframes swept: %v", err)
+	}
+	for _, id := range append(ids[:len(ids)-1], 999) {
+		if _, err := s.LoadKeyframes(id); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("generation %d keyframes survived GC: %v", id, err)
+		}
+	}
+}

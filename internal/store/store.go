@@ -222,7 +222,8 @@ func (s *Store) sweepTemp() {
 	for _, e := range ents {
 		name := e.Name()
 		if strings.HasPrefix(name, "tmp-gen-") ||
-			(strings.HasPrefix(name, "MANIFEST-") && strings.HasSuffix(name, ".json.tmp")) {
+			(strings.HasPrefix(name, "MANIFEST-") && strings.HasSuffix(name, ".json.tmp")) ||
+			(strings.HasPrefix(name, "KF-") && strings.HasSuffix(name, ".dat.tmp")) {
 			os.RemoveAll(filepath.Join(s.dir, name))
 		}
 	}
@@ -793,6 +794,7 @@ func (s *Store) GC(keep int) ([]int64, error) {
 			os.RemoveAll(filepath.Join(s.dir, name))
 		}
 	}
+	s.sweepKeyframes(kept)
 	s.sweepTemp()
 	syncDir(s.dir)
 	return removed, nil

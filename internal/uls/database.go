@@ -26,6 +26,9 @@ type Database struct {
 
 	dateMu  sync.Mutex
 	dateIdx *dateIndex // lazy; guarded by dateMu; invalidated by Add
+
+	eventMu sync.Mutex
+	events  *EventLog // lazy; guarded by eventMu; invalidated by Add
 }
 
 // NewDatabase returns an empty database.
@@ -101,6 +104,9 @@ func (db *Database) invalidate() {
 	db.dateMu.Lock()
 	db.dateIdx = nil // activity index is stale now
 	db.dateMu.Unlock()
+	db.eventMu.Lock()
+	db.events = nil // temporal event log is stale now
+	db.eventMu.Unlock()
 }
 
 // Generation returns a counter that changes whenever the database is
