@@ -6,22 +6,25 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak watch-soak bench bench-short bench-gate fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak membership-soak watch-soak bench bench-short bench-gate fuzz-short ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package: unit tests
+# that only pass because an earlier test warmed shared state fail loud
+# instead of landing.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Fast inner-loop run: skips the soak tests and the full funnel scrape.
 short:
-	$(GO) test -short ./...
+	$(GO) test -short -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +63,17 @@ store-crash:
 fleet-soak:
 	$(GO) test -race -run 'TestFleetChaosSoak' -v ./internal/fleet/
 
+# Self-healing membership chaos soak (E23), under the race detector: a
+# fleet assembled entirely from self-registering (lease-holding)
+# replicas, while a seeded multi-fault campaign composes kills,
+# front/replica/primary partitions, a full primary outage, slow and
+# hung replicas, clock skew on lease timestamps, silent heartbeat
+# stalls, and corruption bursts — asserting the E21 response
+# invariants plus ring re-convergence within one lease TTL of every
+# heal and lease-lapse eviction of silently dead replicas.
+membership-soak:
+	$(GO) test -race -run 'TestMembershipChaosSoak' -v ./internal/fleet/
+
 # Streaming-replay soak, under the race detector: fast, slow
 # (backpressured), and mid-stream-disconnecting /v1/watch clients while
 # the corpus hot-reloads underneath them — asserting gap-free monotone
@@ -95,4 +109,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: fmt-check vet build race serve-soak store-crash fleet-soak watch-soak bench-gate bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash fleet-soak membership-soak watch-soak bench-gate bench-short fuzz-short

@@ -6,21 +6,34 @@
 // corpus generation falls too far behind the primary's, and sheds with
 // 503 + jittered Retry-After when no replica is serviceable.
 //
+// Replicas reach the front two ways: statically, as permanent
+// -replica members, or by self-registering at POST /v1/fleet/join
+// (hftserve -announce), holding a TTL lease renewed on a heartbeat —
+// a replica that crashes or is partitioned away stops renewing and is
+// evicted from the routing ring within one -lease-ttl, no operator in
+// the loop. When fewer than -min-healthy members are routable the
+// front sheds every request with 503 + Retry-After rather than piling
+// the whole fleet's load onto a rump.
+//
 // Usage:
 //
-//	hftfront -replica r1=http://host1:8090 -replica r2=http://host2:8090 ...
+//	hftfront [-replica r1=http://host1:8090 ...]
 //	         [-addr :8080] [-primary http://primary:8090]
-//	         [-staleness-bound 2] [-hedge-after 150ms]
+//	         [-staleness-bound 2] [-lease-ttl 3s] [-min-healthy 1]
+//	         [-hedge-after 150ms]
 //	         [-request-timeout 15s] [-retry-after 1s]
 //	         [-check-interval 250ms] [-fail-after 2] [-vnodes 64]
 //	         [-drain-timeout 15s]
 //
 // Endpoints:
 //
+//	/v1/fleet/join     replica announce/lease renewal (POST)
+//	/v1/fleet/leave    graceful immediate eviction (POST)
+//	/v1/fleet/members  the live member table (GET)
 //	/v1/*     proxied to the fleet (GET/HEAD only)
 //	/healthz  the front's own liveness
 //	/readyz   fleet readiness: routable replica count + per-replica health
-//	/statsz   routing/failover/shed counters + fleet view
+//	/statsz   routing/failover/shed counters + fleet + membership view
 //
 // The front never serves corpus data itself; a response always comes
 // from exactly one replica (named in X-Fleet-Replica) and carries that
@@ -57,6 +70,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	primary := flag.String("primary", "", "primary's base URL, polled for the newest generation (enables staleness exclusion)")
 	stalenessBound := flag.Int64("staleness-bound", 2, "max generations a replica may lag the primary and still serve")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "membership lease TTL for self-registered replicas")
+	minHealthy := flag.Int("min-healthy", 1, "healthy-member floor below which all requests are shed")
 	hedgeAfter := flag.Duration("hedge-after", 150*time.Millisecond, "hedge a slow read against the next replica after this long")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "end-to-end deadline per client request, across all attempts")
 	retryAfter := flag.Duration("retry-after", time.Second, "base Retry-After hint on shed responses (jittered)")
@@ -66,9 +81,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "in-flight drain budget on SIGTERM/SIGINT")
 	flag.Parse()
 
-	if len(replicas) == 0 {
-		log.Fatal("hftfront: at least one -replica name=URL is required")
-	}
+	// No static replicas is fine: the fleet can be built entirely from
+	// self-registering members (hftserve -announce).
 	seen := map[string]bool{}
 	for _, r := range replicas {
 		if seen[r.Name] {
@@ -81,6 +95,8 @@ func main() {
 		Replicas:       replicas,
 		Primary:        strings.TrimSuffix(*primary, "/"),
 		StalenessBound: *stalenessBound,
+		LeaseTTL:       *leaseTTL,
+		MinHealthy:     *minHealthy,
 		HedgeAfter:     *hedgeAfter,
 		RequestTimeout: *requestTimeout,
 		RetryAfter:     *retryAfter,
@@ -92,8 +108,8 @@ func main() {
 	defer cancel()
 	go f.Run(ctx)
 
-	log.Printf("hftfront: fronting %d replica(s) on %s (staleness bound %d, hedge %v)",
-		len(replicas), *addr, *stalenessBound, *hedgeAfter)
+	log.Printf("hftfront: fronting %d static replica(s) on %s (staleness bound %d, lease TTL %v, min healthy %d, hedge %v)",
+		len(replicas), *addr, *stalenessBound, *leaseTTL, *minHealthy, *hedgeAfter)
 	httpSrv := &http.Server{Addr: *addr, Handler: f.Handler()}
 	err := serve.ListenAndServeGraceful(httpSrv, serve.GracefulOptions{
 		DrainTimeout: *drainTimeout,

@@ -15,6 +15,7 @@
 //	         [-watch-max-streams 64] [-watch-heartbeat 15s]
 //	         [-keyframe-interval 16]
 //	         [-pull-from URL] [-pull-interval 2s] [-pull-keep 3]
+//	         [-announce URL] [-announce-name NAME] [-announce-url URL]
 //
 // Endpoints:
 //
@@ -52,6 +53,13 @@
 // and hot-swaps it live — refusing corrupt shipments and keeping the
 // previous generation serving. Put replicas behind hftfront for
 // failover routing.
+//
+// With -announce the instance self-registers with an hftfront front
+// tier: it joins at /v1/fleet/join, renews its TTL lease on the
+// front-suggested heartbeat, and leaves gracefully on shutdown — no
+// static -replica list needed on the front. -announce-url overrides
+// the routed-to URL (required when the bind address is not reachable
+// as announced, e.g. behind NAT); -announce-name the member name.
 package main
 
 import (
@@ -63,6 +71,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -93,6 +102,9 @@ func main() {
 	pullFrom := flag.String("pull-from", "", "replicate generations from this primary's base URL (requires -store-dir, excludes -bulk)")
 	pullInterval := flag.Duration("pull-interval", 2*time.Second, "replication poll cadence (jittered)")
 	pullKeep := flag.Int("pull-keep", 3, "local generations kept after each replicated install")
+	announce := flag.String("announce", "", "front tier base URL to self-register with (lease-based membership)")
+	announceName := flag.String("announce-name", "", "member name to announce (default: the announced URL's host:port)")
+	announceURL := flag.String("announce-url", "", "base URL the front should route to (default: http://127.0.0.1<addr> for a :port bind)")
 	flag.Parse()
 
 	if *pullFrom != "" && *storeDir == "" {
@@ -229,6 +241,35 @@ func main() {
 	log.Printf("hftserve: serving on %s (inflight %d, queue wait %v, breaker %d/%v)",
 		*addr, *maxInflight, *queueWait, *breakerFailures, *breakerCooldown)
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+
+	if *announce != "" {
+		self := strings.TrimSuffix(*announceURL, "/")
+		if self == "" {
+			bind := *addr
+			if strings.HasPrefix(bind, ":") {
+				bind = "127.0.0.1" + bind
+			}
+			self = "http://" + bind
+		}
+		name := *announceName
+		if name == "" {
+			name = strings.TrimPrefix(strings.TrimPrefix(self, "http://"), "https://")
+		}
+		annCtx, annCancel := context.WithCancel(context.Background())
+		defer annCancel()
+		ann := fleet.NewAnnouncer(fleet.AnnouncerConfig{
+			Front:       strings.TrimSuffix(*announce, "/"),
+			Self:        fleet.Replica{Name: name, URL: self},
+			Server:      srv,
+			LeaveOnExit: true,
+		})
+		go ann.Run(annCtx)
+		// Cancel at shutdown start so the best-effort leave goes out
+		// while the listener is still draining — the front evicts this
+		// member immediately instead of waiting out the lease.
+		httpSrv.RegisterOnShutdown(annCancel)
+		log.Printf("hftserve: announcing as %s (%s) to %s", name, self, *announce)
+	}
 	// Shutdown waits for in-flight handlers; open replay streams must
 	// drain (final `drain` frame, then close) rather than run out their
 	// replays against that wait.

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,15 +19,20 @@ import (
 	"hftnetview/internal/synth"
 )
 
-// Chaos harness: in-process stand-ins for the two failure modes the
-// E21 soak injects. A ChaosReplica is a full replica (store + serve
-// server + pull loop + listener) whose Kill is SIGKILL-shaped — the
-// listener and every open connection are slammed shut mid-flight, the
-// pull loop is abandoned wherever it was, nothing is drained or
-// closed; Restart warm-boots from the surviving store directory
-// exactly like a respawned process. A FaultyTransport sits under the
-// puller's HTTP client and corrupts segment downloads with mutations
-// drawn from a synth corruption profile's weights.
+// Chaos harness: in-process stand-ins for the fleet's failure modes.
+// A ChaosReplica is a full replica (store + serve server + pull loop +
+// announcer + listener) whose Kill is SIGKILL-shaped — the listener
+// and every open connection are slammed shut mid-flight, the pull and
+// announce loops are abandoned wherever they were (no graceful leave:
+// the lease must lapse), nothing is drained or closed; Restart
+// warm-boots from the surviving store directory exactly like a
+// respawned process. A FaultyTransport sits under the puller's HTTP
+// client and corrupts segment downloads with mutations drawn from a
+// synth corruption profile's weights. A Partitioner is a network
+// partition at the transport layer: requests to blocked hosts fail
+// without a packet sent. A SlowGate makes a replica slow or hung
+// without killing it. The Campaign runner (campaign.go) composes
+// these into seeded multi-fault rounds.
 
 // ChaosReplica is one killable, restartable replica.
 type ChaosReplica struct {
@@ -35,22 +41,61 @@ type ChaosReplica struct {
 	Primary  string
 	// PullInterval is the replica's poll cadence; ServeCfg its query
 	// service envelope; Transport, when set, underlies the puller's
-	// HTTP client (inject a FaultyTransport here); Keep the local GC
-	// retention.
+	// HTTP client (inject a FaultyTransport and/or Partitioner here);
+	// Keep the local GC retention.
 	PullInterval time.Duration
 	ServeCfg     serve.Config
 	Transport    http.RoundTripper
 	Keep         int
 
-	mu         sync.Mutex
-	addr       string
-	srv        *serve.Server
-	puller     *Puller
-	httpSrv    *http.Server
-	cancelPull context.CancelFunc
-	pullDone   chan struct{}
-	running    bool
-	cum        PullStatus // accumulated across kills; a restart starts a fresh Puller
+	// Front, when set, makes the replica self-register: each Start
+	// boots an announcer against this front-tier URL; Kill abandons it
+	// mid-lease. AnnounceTransport underlies the announce client
+	// (inject a Partitioner to cut the replica off from the front);
+	// AnnounceInterval overrides the front-suggested heartbeat. The
+	// paused/skew knobs live on the ChaosReplica — not the announcer —
+	// so they survive kill/restart cycles.
+	Front             string
+	AnnounceTransport http.RoundTripper
+	AnnounceInterval  time.Duration
+
+	// Gate, when set, wraps the replica's handler — the campaign dials
+	// it to make this replica slow or hung without killing it.
+	Gate *SlowGate
+
+	announcePaused atomic.Bool
+	skewNanos      atomic.Int64
+
+	mu             sync.Mutex
+	addr           string
+	srv            *serve.Server
+	puller         *Puller
+	announcer      *Announcer
+	httpSrv        *http.Server
+	cancelPull     context.CancelFunc
+	pullDone       chan struct{}
+	cancelAnnounce context.CancelFunc
+	announceDone   chan struct{}
+	running        bool
+	cum            PullStatus // accumulated across kills; a restart starts a fresh Puller
+}
+
+// SetAnnouncePaused stops (true) or resumes (false) lease renewals
+// without touching the process — the "replica silently stops
+// heartbeating" fault. Persists across Kill/Start.
+func (r *ChaosReplica) SetAnnouncePaused(paused bool) { r.announcePaused.Store(paused) }
+
+// SetSkew offsets the announce timestamps by d — the clock-skew fault.
+// The front must keep granting leases regardless. Persists across
+// Kill/Start.
+func (r *ChaosReplica) SetSkew(d time.Duration) { r.skewNanos.Store(int64(d)) }
+
+// Announcer returns the live announcer (nil while killed or when no
+// Front is configured).
+func (r *ChaosReplica) Announcer() *Announcer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.announcer
 }
 
 // URL returns the replica's base URL ("" before the first Start).
@@ -139,8 +184,43 @@ func (r *ChaosReplica) Start() error {
 	}
 	r.addr = ln.Addr().String()
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if r.Gate != nil {
+		handler = r.Gate.Wrap(handler)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(ln)
+
+	if r.Front != "" {
+		annClient := &http.Client{Timeout: 5 * time.Second}
+		if r.AnnounceTransport != nil {
+			annClient.Transport = r.AnnounceTransport
+		}
+		ann := NewAnnouncer(AnnouncerConfig{
+			Front:    r.Front,
+			Self:     Replica{Name: r.Name, URL: "http://" + r.addr},
+			Server:   srv,
+			Interval: r.AnnounceInterval,
+			// Retry on the same cadence: rejoin latency after a healed
+			// partition is then bounded by one announce interval, which
+			// the soak's convergence assertions depend on.
+			RetryInterval: r.AnnounceInterval,
+			Client:        annClient,
+			// LeaveOnExit stays false: Kill is a crash, and the lease
+			// lapsing unannounced is the behavior under test.
+			Paused: r.announcePaused.Load,
+			Skew:   func() time.Duration { return time.Duration(r.skewNanos.Load()) },
+		})
+		actx, acancel := context.WithCancel(context.Background())
+		adone := make(chan struct{})
+		go func() {
+			defer close(adone)
+			ann.Run(actx)
+		}()
+		r.announcer = ann
+		r.cancelAnnounce = acancel
+		r.announceDone = adone
+	}
 
 	r.srv = srv
 	r.puller = puller
@@ -169,6 +249,7 @@ func addPullCounters(acc, s PullStatus) PullStatus {
 	acc.Installs += s.Installs
 	acc.Rejections += s.Rejections
 	acc.Retried += s.Retried
+	acc.Backoffs += s.Backoffs
 	if s.Generation > acc.Generation {
 		acc.Generation = s.Generation
 	}
@@ -193,15 +274,27 @@ func (r *ChaosReplica) Kill() {
 		return
 	}
 	r.cancelPull()
+	if r.cancelAnnounce != nil {
+		r.cancelAnnounce()
+	}
 	r.httpSrv.Close()
 	select {
 	case <-r.pullDone:
 	case <-time.After(5 * time.Second):
 	}
+	if r.announceDone != nil {
+		select {
+		case <-r.announceDone:
+		case <-time.After(5 * time.Second):
+		}
+	}
 	r.cum = addPullCounters(r.cum, r.puller.Status())
 	r.srv = nil
 	r.puller = nil
+	r.announcer = nil
 	r.httpSrv = nil
+	r.cancelAnnounce = nil
+	r.announceDone = nil
 	r.running = false
 }
 
@@ -281,6 +374,116 @@ func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	resp.Header = resp.Header.Clone()
 	resp.Header.Del("Content-Length")
 	return resp, nil
+}
+
+// Partitioner is a network partition at the RoundTripper layer:
+// requests to blocked hosts fail immediately with a transport error —
+// no packet sent, exactly the shape a severed link presents to an HTTP
+// client. One Partitioner per directed edge (front→replica,
+// replica→primary, replica→front); composing over a FaultyTransport
+// (Base) stacks partition on top of corruption.
+type Partitioner struct {
+	Base http.RoundTripper
+
+	mu      sync.Mutex
+	blocked map[string]bool
+
+	Blocked atomic.Int64 // requests refused, for test accounting
+}
+
+// NewPartitioner wraps base (nil means http.DefaultTransport).
+func NewPartitioner(base http.RoundTripper) *Partitioner {
+	return &Partitioner{Base: base, blocked: make(map[string]bool)}
+}
+
+// Block severs the link to each URL's host until Unblock/Heal.
+func (p *Partitioner) Block(urls ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, u := range urls {
+		if h := hostOf(u); h != "" {
+			p.blocked[h] = true
+		}
+	}
+}
+
+// Unblock restores the link to each URL's host.
+func (p *Partitioner) Unblock(urls ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, u := range urls {
+		delete(p.blocked, hostOf(u))
+	}
+}
+
+// Heal restores every link.
+func (p *Partitioner) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	clear(p.blocked)
+}
+
+func (p *Partitioner) isBlocked(host string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked[host]
+}
+
+func (p *Partitioner) RoundTrip(req *http.Request) (*http.Response, error) {
+	if p.isBlocked(req.URL.Host) {
+		p.Blocked.Add(1)
+		return nil, fmt.Errorf("chaos: partitioned from %s", req.URL.Host)
+	}
+	base := p.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// hostOf extracts host:port from a URL or returns the input when it
+// already is one ("127.0.0.1:8080" parses with an empty url.Host).
+func hostOf(u string) string {
+	if parsed, err := url.Parse(u); err == nil && parsed.Host != "" {
+		return parsed.Host
+	}
+	return u
+}
+
+// SlowGate makes a handler slow or hung without killing the process:
+// the slow-replica fault. Delay > 0 stalls every request by that much
+// before serving; Hang blocks requests until the client gives up (the
+// hung-replica fault — the caller's timeout, not this gate, ends the
+// wait). Zero value is a transparent gate.
+type SlowGate struct {
+	delayNanos atomic.Int64 // -1 = hang
+}
+
+// SetDelay stalls each gated request by d (0 restores pass-through).
+func (g *SlowGate) SetDelay(d time.Duration) { g.delayNanos.Store(int64(d)) }
+
+// Hang blocks every gated request until its client disconnects.
+func (g *SlowGate) Hang() { g.delayNanos.Store(-1) }
+
+// Clear restores pass-through.
+func (g *SlowGate) Clear() { g.delayNanos.Store(0) }
+
+// Wrap gates h.
+func (g *SlowGate) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch d := g.delayNanos.Load(); {
+		case d < 0:
+			<-r.Context().Done() // hung: never answer, let the probe/request deadline fire
+			return
+		case d > 0:
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Mutation kinds, selected by the profile's weights.

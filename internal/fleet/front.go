@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 // FrontConfig tunes the failover front tier. The zero value of every
 // field falls back to the default documented on it.
 type FrontConfig struct {
-	// Replicas is the serving fleet behind this front.
+	// Replicas is the statically configured serving fleet: permanent
+	// members that never lease-expire. May be empty when the fleet
+	// self-registers via /v1/fleet/join.
 	Replicas []Replica
 	// Primary is the base URL of the primary's shipping endpoints;
 	// the front polls /v1/gen/latest there to know the newest
@@ -25,10 +28,20 @@ type FrontConfig struct {
 	// StalenessBound K: a replica whose live generation is more than K
 	// behind the primary's newest is excluded from routing (default 2).
 	StalenessBound int64
+	// LeaseTTL is the membership lease granted to self-registering
+	// replicas; a member that stops renewing is evicted from the ring
+	// within one TTL (default 3s).
+	LeaseTTL time.Duration
+	// MinHealthy is the healthy-member floor: when fewer routable
+	// members remain, the front sheds every request with 503 +
+	// Retry-After instead of piling the whole fleet's load onto a
+	// rump that cannot absorb it (default 1, i.e. serve from whatever
+	// remains).
+	MinHealthy int
 	// HedgeAfter is the per-request hedging deadline: if the chosen
 	// replica has not answered within it, the request is also sent to
-	// the next replica in ring order and the first answer wins
-	// (default 150ms).
+	// the next replica in ring order and the first answer wins; the
+	// loser is canceled (default 150ms).
 	HedgeAfter time.Duration
 	// RequestTimeout bounds one client request end to end, across all
 	// attempts (default 15s).
@@ -36,9 +49,9 @@ type FrontConfig struct {
 	// RetryAfter is the base hint on shed responses; the emitted
 	// header is jittered to break up retry waves (default 1s).
 	RetryAfter time.Duration
-	// CheckInterval is the health/staleness probe cadence (default
-	// 250ms); FailAfter the consecutive probe failures that mark a
-	// replica down (default 2).
+	// CheckInterval is the health/staleness probe cadence, which also
+	// paces the lease sweep (default 250ms); FailAfter the consecutive
+	// probe failures that mark a replica down (default 2).
 	CheckInterval time.Duration
 	FailAfter     int
 	// Vnodes is the consistent-hash virtual node count (default 64).
@@ -51,6 +64,12 @@ type FrontConfig struct {
 func (c FrontConfig) withDefaults() FrontConfig {
 	if c.StalenessBound <= 0 {
 		c.StalenessBound = 2
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.MinHealthy <= 0 {
+		c.MinHealthy = 1
 	}
 	if c.HedgeAfter <= 0 {
 		c.HedgeAfter = 150 * time.Millisecond
@@ -70,15 +89,19 @@ func (c FrontConfig) withDefaults() FrontConfig {
 	return c
 }
 
-// Front is the fleet's failover proxy: consistent-hash routing with
-// health- and staleness-aware failover, hedged idempotent reads, and
-// load shedding when no replica is serviceable.
+// Front is the fleet's failover proxy: consistent-hash routing over a
+// self-healing member set, health- and staleness-aware failover,
+// hedged idempotent reads, and load shedding when the healthy quorum
+// drops below the floor.
 type Front struct {
 	cfg     FrontConfig
 	checker *Checker
-	ring    *Ring
+	members *Membership
 
 	primaryGen atomic.Int64
+
+	ctxMu sync.Mutex
+	ctx   context.Context // the Run context; background before Run
 
 	counters struct {
 		requests atomic.Int64 // client requests entering /v1
@@ -90,29 +113,71 @@ type Front struct {
 	started time.Time
 }
 
-// NewFront builds the front tier. Call Run to start its probe loops,
-// then serve Handler.
+// NewFront builds the front tier. Call Run to start its probe and
+// lease-sweep loops, then serve Handler.
 func NewFront(cfg FrontConfig) *Front {
 	cfg = cfg.withDefaults()
-	names := make([]string, len(cfg.Replicas))
-	for i, r := range cfg.Replicas {
-		names[i] = r.Name
-	}
-	return &Front{
-		cfg:     cfg,
-		checker: NewChecker(cfg.Replicas, cfg.Client, cfg.FailAfter),
-		ring:    NewRing(names, cfg.Vnodes),
-		started: time.Now(),
-	}
+	f := &Front{cfg: cfg, started: time.Now()}
+	f.checker = NewChecker(cfg.Replicas, cfg.Client, cfg.FailAfter)
+	// The membership change hook keeps the probed set in lockstep with
+	// the ring: it runs under the membership lock, so by the time a
+	// Join or eviction returns, both structures agree — there is no
+	// window in which the ring offers a member the checker has
+	// forgotten, or vice versa.
+	f.members = NewMembership(cfg.Replicas, cfg.LeaseTTL, cfg.Vnodes, func(added, removed []Replica) {
+		for _, r := range added {
+			f.checker.Add(r)
+		}
+		for _, r := range removed {
+			f.checker.Remove(r.Name)
+		}
+	})
+	return f
 }
 
-// Run drives the health checker and the primary-generation poll until
-// ctx is done.
+// Members exposes the membership registry (tests and the fleet
+// handlers use it; the proxy path goes through candidates).
+func (f *Front) Members() *Membership { return f.members }
+
+// Run drives the health checker, the lease sweep, and the
+// primary-generation poll until ctx is done.
 func (f *Front) Run(ctx context.Context) {
+	f.ctxMu.Lock()
+	f.ctx = ctx
+	f.ctxMu.Unlock()
 	if f.cfg.Primary != "" {
 		go f.pollPrimary(ctx)
 	}
+	go f.sweepLeases(ctx)
 	f.checker.Run(ctx, f.cfg.CheckInterval)
+}
+
+// runCtx returns the Run context (Background before Run is called) —
+// join-triggered immediate probes hang off it, not the join request's
+// own context, so they outlive the announce round-trip.
+func (f *Front) runCtx() context.Context {
+	f.ctxMu.Lock()
+	defer f.ctxMu.Unlock()
+	if f.ctx != nil {
+		return f.ctx
+	}
+	return context.Background()
+}
+
+// sweepLeases evicts lapsed leases on the probe cadence.
+func (f *Front) sweepLeases(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.cfg.CheckInterval):
+		}
+		if evicted := f.members.Sweep(); len(evicted) > 0 {
+			for _, r := range evicted {
+				log.Printf("fleet: lease lapsed, evicted %s (%s)", r.Name, r.URL)
+			}
+		}
+	}
 }
 
 // PrimaryGeneration is the newest generation id observed at the
@@ -135,7 +200,8 @@ func (f *Front) pollPrimary(ctx context.Context) {
 			// An unreachable primary keeps the last known generation:
 			// nothing new can have been published by a primary that is
 			// down, so the staleness bound keeps meaning "within K of
-			// the newest anything a replica could have pulled".
+			// the newest anything a replica could have pulled" — and the
+			// replicas keep serving their last installed generation.
 		}
 		select {
 		case <-ctx.Done():
@@ -145,7 +211,9 @@ func (f *Front) pollPrimary(ctx context.Context) {
 	}
 }
 
-// routable returns the healthy, fresh-enough replicas by name.
+// routable returns the healthy, fresh-enough members by name. The
+// checker's probed set tracks membership exactly (see NewFront), so an
+// evicted member cannot appear here.
 func (f *Front) routable() map[string]Replica {
 	primary := f.primaryGen.Load()
 	out := make(map[string]Replica)
@@ -161,12 +229,12 @@ func (f *Front) routable() map[string]Replica {
 	return out
 }
 
-// candidates is the failover order for one key: the ring walk from the
-// key's owner, restricted to routable replicas.
+// candidates is the failover order for one key: the current ring's
+// walk from the key's owner, restricted to routable members.
 func (f *Front) candidates(key string) []Replica {
 	routable := f.routable()
 	var seq []Replica
-	for _, name := range f.ring.Seq(key) {
+	for _, name := range f.members.Ring().Seq(key) {
 		if r, ok := routable[name]; ok {
 			seq = append(seq, r)
 		}
@@ -186,7 +254,8 @@ func shardKey(r *http.Request) string {
 }
 
 // Handler returns the front tier's HTTP surface: /v1/* proxied to the
-// fleet, plus the front's own health endpoints.
+// fleet, the membership control surface under /v1/fleet/, plus the
+// front's own health endpoints.
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -195,9 +264,13 @@ func (f *Front) Handler() http.Handler {
 	})
 	mux.HandleFunc("/readyz", f.handleReadyz)
 	mux.HandleFunc("/statsz", f.handleStatsz)
+	mux.HandleFunc(fleetPrefix, f.handleFleet)
 	mux.HandleFunc("/v1/", f.handleProxy)
 	return mux
 }
+
+// io1MB bounds a control-surface request body read.
+func io1MB(r *http.Request) io.Reader { return io.LimitReader(r.Body, 1<<20) }
 
 // bufferedResp is one fully-read replica response: buffering decouples
 // failover from streaming (a replica killed mid-body is a retry, never
@@ -219,6 +292,14 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 	cands := f.candidates(shardKey(r))
 	if len(cands) == 0 {
 		f.shed(w, "no healthy replica within the staleness bound")
+		return
+	}
+	// The quorum floor: a rump fleet below MinHealthy sheds rather
+	// than absorbing the whole fleet's load — a partition that leaves
+	// one straggler serving everyone would just melt it down and turn
+	// a partial outage into a total one.
+	if healthy := len(f.routable()); healthy < f.cfg.MinHealthy {
+		f.shed(w, fmt.Sprintf("healthy members %d below floor %d", healthy, f.cfg.MinHealthy))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
@@ -244,7 +325,10 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 // is raced against it (tail-latency hedging; the reads are idempotent
 // by construction). An attempt that fails at transport level or
 // answers 5xx/timeout triggers immediate failover to the next
-// candidate. First passable answer wins; nil means everything failed.
+// candidate. The first passable answer wins and cancels every losing
+// attempt still in flight (the shared context is torn down on return,
+// reeling in hedges so a slow loser never holds a replica slot after
+// the race is decided); nil means everything failed.
 func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *bufferedResp {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels in the losing attempts
@@ -339,7 +423,9 @@ type FrontStats struct {
 	Shed              int64           `json:"shed"`
 	PrimaryGeneration int64           `json:"primary_generation"`
 	StalenessBound    int64           `json:"staleness_bound"`
+	MinHealthy        int             `json:"min_healthy"`
 	Replicas          []ReplicaHealth `json:"replicas"`
+	Membership        MembershipStats `json:"membership"`
 }
 
 // Stats snapshots the front's counters and fleet view.
@@ -353,7 +439,9 @@ func (f *Front) Stats() FrontStats {
 		Shed:              f.counters.shed.Load(),
 		PrimaryGeneration: f.primaryGen.Load(),
 		StalenessBound:    f.cfg.StalenessBound,
+		MinHealthy:        f.cfg.MinHealthy,
 		Replicas:          f.checker.Snapshot(),
+		Membership:        f.members.Stats(),
 	}
 }
 
@@ -362,13 +450,15 @@ func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	body := struct {
 		Ready             bool            `json:"ready"`
 		Routable          int             `json:"routable"`
-		Total             int             `json:"total"`
+		Members           int             `json:"members"`
+		MinHealthy        int             `json:"min_healthy"`
 		PrimaryGeneration int64           `json:"primary_generation"`
 		Replicas          []ReplicaHealth `json:"replicas"`
 	}{
-		Ready:             len(routable) > 0,
+		Ready:             len(routable) >= f.cfg.MinHealthy,
 		Routable:          len(routable),
-		Total:             len(f.cfg.Replicas),
+		Members:           f.members.Len(),
+		MinHealthy:        f.cfg.MinHealthy,
 		PrimaryGeneration: f.primaryGen.Load(),
 		Replicas:          f.checker.Snapshot(),
 	}

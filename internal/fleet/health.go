@@ -45,17 +45,23 @@ type readyzProbe struct {
 // again after a single good probe — fail slow, recover fast is wrong
 // for serving; here a kill must be noticed within one probe interval
 // while a single dropped probe must not eject a healthy replica.
+//
+// The probed set is dynamic: the membership layer Adds a replica when
+// its lease is granted and Removes it on eviction, so the checker
+// never wastes probes on — and routable() never consults — a member
+// the fleet has already let go.
 type Checker struct {
-	replicas  []Replica
-	client    *http.Client
-	failAfter int
+	client       *http.Client
+	failAfter    int
+	probeTimeout time.Duration
 
 	mu    sync.Mutex
+	order []string // configured/insertion order, for stable Snapshot
 	state map[string]*ReplicaHealth
 }
 
-// NewChecker builds a checker over the replica set. failAfter <= 0
-// means 2 consecutive failures.
+// NewChecker builds a checker over the initial replica set. failAfter
+// <= 0 means 2 consecutive failures.
 func NewChecker(replicas []Replica, client *http.Client, failAfter int) *Checker {
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Second}
@@ -63,23 +69,60 @@ func NewChecker(replicas []Replica, client *http.Client, failAfter int) *Checker
 	if failAfter <= 0 {
 		failAfter = 2
 	}
-	c := &Checker{replicas: replicas, client: client, failAfter: failAfter,
+	c := &Checker{client: client, failAfter: failAfter,
 		state: make(map[string]*ReplicaHealth, len(replicas))}
 	for _, r := range replicas {
-		// Replicas start unhealthy until the first good probe: routing
-		// to an address nobody has ever answered on is a guess.
-		c.state[r.Name] = &ReplicaHealth{Name: r.Name, URL: r.URL}
+		c.Add(r)
 	}
 	return c
 }
 
+// Add registers a replica with the checker. Like a configured replica,
+// it starts unhealthy until its first good probe: routing to an
+// address nobody has ever answered on is a guess. Re-adding an
+// existing name updates its URL and resets its probe history (a
+// rejoined member may be a fresh process on the same name).
+func (c *Checker) Add(r Replica) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.state[r.Name]; !ok {
+		c.order = append(c.order, r.Name)
+	}
+	c.state[r.Name] = &ReplicaHealth{Name: r.Name, URL: r.URL}
+}
+
+// Remove forgets a replica. Subsequent Snapshots exclude it; a probe
+// already in flight for it is discarded when it lands.
+func (c *Checker) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.state[name]; !ok {
+		return
+	}
+	delete(c.state, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Run probes every replica each interval until ctx is done. The first
 // sweep runs immediately so a freshly started front tier begins
-// routing within one probe round-trip, not one interval.
+// routing within one probe round-trip, not one interval. Each probe
+// gets its own timeout derived from the interval (see CheckOnce), so
+// one hung replica delays a sweep by at most that bound instead of
+// pinning the loop on the HTTP client's (much longer) timeout.
 func (c *Checker) Run(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
 	}
+	c.mu.Lock()
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = probeTimeoutFor(interval)
+	}
+	c.mu.Unlock()
 	for {
 		c.CheckOnce(ctx)
 		select {
@@ -90,18 +133,64 @@ func (c *Checker) Run(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// CheckOnce probes every replica concurrently.
+// probeTimeoutFor derives the per-probe deadline from the probe
+// cadence: two intervals of grace (a healthy replica under load may
+// straddle one), clamped so very tight test cadences still allow a
+// real round-trip and very lazy ones don't reintroduce the hang.
+func probeTimeoutFor(interval time.Duration) time.Duration {
+	t := 2 * interval
+	if t < 100*time.Millisecond {
+		t = 100 * time.Millisecond
+	}
+	if t > 2*time.Second {
+		t = 2 * time.Second
+	}
+	return t
+}
+
+// CheckOnce probes every currently registered replica concurrently,
+// each under its own per-probe timeout.
 func (c *Checker) CheckOnce(ctx context.Context) {
+	c.mu.Lock()
+	replicas := make([]Replica, 0, len(c.state))
+	for _, name := range c.order {
+		st := c.state[name]
+		replicas = append(replicas, Replica{Name: st.Name, URL: st.URL})
+	}
+	timeout := c.probeTimeout
+	c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = probeTimeoutFor(0)
+	}
+
 	var wg sync.WaitGroup
-	for _, r := range c.replicas {
+	for _, r := range replicas {
 		wg.Add(1)
 		go func(r Replica) {
 			defer wg.Done()
-			probe, err := c.probe(ctx, r)
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			probe, err := c.probe(pctx, r)
 			c.record(r.Name, probe, err)
 		}(r)
 	}
 	wg.Wait()
+}
+
+// ProbeNow probes one replica immediately, outside the sweep cadence —
+// the membership layer calls it on a fresh join so the member becomes
+// routable within one round-trip instead of one probe interval.
+func (c *Checker) ProbeNow(ctx context.Context, r Replica) {
+	c.mu.Lock()
+	timeout := c.probeTimeout
+	c.mu.Unlock()
+	if timeout <= 0 {
+		timeout = probeTimeoutFor(0)
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	probe, err := c.probe(pctx, r)
+	c.record(r.Name, probe, err)
 }
 
 func (c *Checker) probe(ctx context.Context, r Replica) (*readyzProbe, error) {
@@ -131,7 +220,10 @@ func (c *Checker) probe(ctx context.Context, r Replica) (*readyzProbe, error) {
 func (c *Checker) record(name string, probe *readyzProbe, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state[name]
+	st, ok := c.state[name]
+	if !ok {
+		return // removed while the probe was in flight
+	}
 	if err != nil {
 		st.fails++
 		st.LastError = err.Error()
@@ -150,14 +242,14 @@ func (c *Checker) record(name string, probe *readyzProbe, err error) {
 	}
 }
 
-// Snapshot returns a copy of every replica's health, in the configured
-// replica order.
+// Snapshot returns a copy of every registered replica's health, in
+// registration order.
 func (c *Checker) Snapshot() []ReplicaHealth {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]ReplicaHealth, 0, len(c.replicas))
-	for _, r := range c.replicas {
-		out = append(out, *c.state[r.Name])
+	out := make([]ReplicaHealth, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, *c.state[name])
 	}
 	return out
 }

@@ -1,0 +1,343 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Membership is the front tier's self-healing member registry: seeded
+// (permanent) replicas from static configuration plus lease-holding
+// replicas that announced themselves. Every membership change — join,
+// graceful leave, lease-lapse eviction — rebuilds the consistent-hash
+// ring atomically, so a reader that loads the ring after an eviction
+// returns can never be handed the evicted member as a candidate.
+//
+// Two clocks could disagree about a lease; only one is used. A lease
+// expires at (front receipt time + TTL) on the front's own clock. The
+// announce payload's sent_at is recorded as observed skew for the
+// member table and nothing else, which is what makes the subsystem
+// indifferent to the chaos campaigns' clock-skew faults: a replica
+// reporting timestamps hours off still renews on schedule as measured
+// here.
+type Membership struct {
+	ttl    time.Duration
+	vnodes int
+	now    func() time.Time
+	// onChange runs under the membership lock on every member-set
+	// change, with the members added and removed — the front wires the
+	// health checker through it so the probed set and the ring can
+	// never disagree about who is in the fleet.
+	onChange func(added, removed []Replica)
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    atomic.Pointer[Ring]
+
+	counters struct {
+		joins     atomic.Int64 // first-time admissions
+		renews    atomic.Int64 // lease renewals
+		leaves    atomic.Int64 // graceful leaves
+		evictions atomic.Int64 // lease-lapse evictions
+		rejects   atomic.Int64 // malformed/conflicting join attempts
+	}
+	maxSkew atomic.Int64 // largest |observed skew| in nanoseconds
+}
+
+// member is one fleet member's registry entry.
+type member struct {
+	Replica
+	permanent bool // seeded by configuration; never evicted by lease
+	joinedAt  time.Time
+	renewedAt time.Time
+	expires   time.Time // zero for permanent members
+	// generation/digest/skew are announce-payload diagnostics.
+	generation int64
+	digest     string
+	skew       time.Duration
+}
+
+// NewMembership seeds the registry with the permanent replicas. ttl <=
+// 0 means 3s; vnodes <= 0 means the ring default.
+func NewMembership(seed []Replica, ttl time.Duration, vnodes int, onChange func(added, removed []Replica)) *Membership {
+	if ttl <= 0 {
+		ttl = 3 * time.Second
+	}
+	m := &Membership{
+		ttl:      ttl,
+		vnodes:   vnodes,
+		now:      time.Now,
+		onChange: onChange,
+		members:  make(map[string]*member, len(seed)),
+	}
+	for _, r := range seed {
+		m.members[r.Name] = &member{Replica: r, permanent: true, joinedAt: m.now()}
+	}
+	m.rebuildLocked()
+	return m
+}
+
+// TTL returns the lease TTL granted to joining members.
+func (m *Membership) TTL() time.Duration { return m.ttl }
+
+// Ring returns the current consistent-hash ring over the member set.
+// Lock-free: the proxy hot path loads one pointer.
+func (m *Membership) Ring() *Ring { return m.ring.Load() }
+
+// rebuildLocked rebuilds the ring from the current member set. Caller
+// holds mu.
+func (m *Membership) rebuildLocked() {
+	names := make([]string, 0, len(m.members))
+	for name := range m.members {
+		names = append(names, name)
+	}
+	m.ring.Store(NewRing(names, m.vnodes))
+}
+
+// Join admits a member or renews its lease, granting ttl from the
+// front's clock. A name collision with a different URL is rejected —
+// two processes fighting over one member name is an operator error,
+// not churn (the same name re-announcing from a new URL after its old
+// lease lapsed joins cleanly, which is how a restarted replica on a
+// fresh port rejoins).
+func (m *Membership) Join(req joinRequest) (joinResponse, error) {
+	if req.Name == "" || req.URL == "" {
+		m.counters.rejects.Add(1)
+		return joinResponse{}, fmt.Errorf("join needs name and url")
+	}
+	if u, err := url.Parse(req.URL); err != nil || u.Scheme == "" || u.Host == "" {
+		m.counters.rejects.Add(1)
+		return joinResponse{}, fmt.Errorf("join url %q is not absolute", req.URL)
+	}
+	now := m.now()
+	skew := m.observeSkew(req.SentAt, now)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[req.Name]
+	switch {
+	case ok && mem.URL != req.URL:
+		m.counters.rejects.Add(1)
+		return joinResponse{}, fmt.Errorf("member %q already registered at %s", req.Name, mem.URL)
+	case ok:
+		mem.renewedAt = now
+		mem.generation, mem.digest, mem.skew = req.Generation, req.Digest, skew
+		if !mem.permanent {
+			mem.expires = now.Add(m.ttl)
+		}
+		m.counters.renews.Add(1)
+	default:
+		mem = &member{
+			Replica:    Replica{Name: req.Name, URL: req.URL},
+			joinedAt:   now,
+			renewedAt:  now,
+			expires:    now.Add(m.ttl),
+			generation: req.Generation,
+			digest:     req.Digest,
+			skew:       skew,
+		}
+		m.members[req.Name] = mem
+		m.rebuildLocked()
+		m.counters.joins.Add(1)
+		if m.onChange != nil {
+			m.onChange([]Replica{mem.Replica}, nil)
+		}
+	}
+	return joinResponse{
+		TTLMillis:       m.ttl.Milliseconds(),
+		HeartbeatMillis: (m.ttl / 3).Milliseconds(),
+	}, nil
+}
+
+// observeSkew records |sent_at - now| for the diagnostics surface. A
+// missing or malformed timestamp is skew zero — never an error; the
+// lease must not depend on the member's clock being parseable, let
+// alone right.
+func (m *Membership) observeSkew(sentAt string, now time.Time) time.Duration {
+	if sentAt == "" {
+		return 0
+	}
+	t, err := time.Parse(time.RFC3339Nano, sentAt)
+	if err != nil {
+		return 0
+	}
+	skew := t.Sub(now)
+	abs := skew
+	if abs < 0 {
+		abs = -abs
+	}
+	for {
+		cur := m.maxSkew.Load()
+		if int64(abs) <= cur || m.maxSkew.CompareAndSwap(cur, int64(abs)) {
+			break
+		}
+	}
+	return skew
+}
+
+// Leave evicts a member immediately (graceful shutdown). Unknown
+// names are a no-op: a leave racing a lease-lapse eviction is fine.
+// Permanent members cannot leave — they are configuration.
+func (m *Membership) Leave(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[name]
+	if !ok || mem.permanent {
+		return
+	}
+	delete(m.members, name)
+	m.rebuildLocked()
+	m.counters.leaves.Add(1)
+	if m.onChange != nil {
+		m.onChange(nil, []Replica{mem.Replica})
+	}
+}
+
+// Sweep evicts every member whose lease has lapsed, returning the
+// evicted replicas. The front runs it on the probe cadence; a lapsed
+// lease is therefore detected within one sweep interval of the TTL.
+func (m *Membership) Sweep() []Replica {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var evicted []Replica
+	for name, mem := range m.members {
+		if !mem.permanent && now.After(mem.expires) {
+			delete(m.members, name)
+			evicted = append(evicted, mem.Replica)
+		}
+	}
+	if len(evicted) > 0 {
+		m.rebuildLocked()
+		m.counters.evictions.Add(int64(len(evicted)))
+		if m.onChange != nil {
+			m.onChange(nil, evicted)
+		}
+	}
+	return evicted
+}
+
+// Has reports whether name is currently a member.
+func (m *Membership) Has(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.members[name]
+	return ok
+}
+
+// Len returns the current member count.
+func (m *Membership) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.members)
+}
+
+// MemberInfo is one member's row in the membership table.
+type MemberInfo struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	Permanent bool   `json:"permanent,omitempty"`
+	JoinedAt  string `json:"joined_at"`
+	RenewedAt string `json:"renewed_at,omitempty"`
+	// LeaseSeconds is time left on the lease (absent for permanent
+	// members; negative never appears — lapsed members are swept).
+	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
+	// Generation/Digest/SkewSeconds are announce-payload diagnostics.
+	Generation  int64   `json:"generation,omitempty"`
+	Digest      string  `json:"digest,omitempty"`
+	SkewSeconds float64 `json:"skew_seconds,omitempty"`
+}
+
+// MembershipStats is the /statsz view of the registry.
+type MembershipStats struct {
+	TTLSeconds     float64      `json:"ttl_seconds"`
+	Members        []MemberInfo `json:"members"`
+	Joins          int64        `json:"joins"`
+	Renews         int64        `json:"renews"`
+	Leaves         int64        `json:"leaves"`
+	Evictions      int64        `json:"evictions"`
+	Rejects        int64        `json:"rejects"`
+	MaxSkewSeconds float64      `json:"max_skew_seconds,omitempty"`
+}
+
+// Stats snapshots the registry.
+func (m *Membership) Stats() MembershipStats {
+	now := m.now()
+	m.mu.Lock()
+	members := make([]MemberInfo, 0, len(m.members))
+	for _, mem := range m.members {
+		info := MemberInfo{
+			Name:      mem.Name,
+			URL:       mem.URL,
+			Permanent: mem.permanent,
+			JoinedAt:  mem.joinedAt.UTC().Format(time.RFC3339),
+		}
+		if !mem.renewedAt.IsZero() {
+			info.RenewedAt = mem.renewedAt.UTC().Format(time.RFC3339)
+		}
+		if !mem.permanent {
+			info.LeaseSeconds = mem.expires.Sub(now).Seconds()
+		}
+		info.Generation, info.Digest = mem.generation, mem.digest
+		info.SkewSeconds = mem.skew.Seconds()
+		members = append(members, info)
+	}
+	m.mu.Unlock()
+	return MembershipStats{
+		TTLSeconds:     m.ttl.Seconds(),
+		Members:        members,
+		Joins:          m.counters.joins.Load(),
+		Renews:         m.counters.renews.Load(),
+		Leaves:         m.counters.leaves.Load(),
+		Evictions:      m.counters.evictions.Load(),
+		Rejects:        m.counters.rejects.Load(),
+		MaxSkewSeconds: time.Duration(m.maxSkew.Load()).Seconds(),
+	}
+}
+
+// handleFleet serves the membership control surface on the front tier:
+//
+//	POST /v1/fleet/join   announce/renew; responds with the lease grant
+//	POST /v1/fleet/leave  graceful immediate eviction
+//	GET  /v1/fleet/members  the member table
+func (f *Front) handleFleet(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == fleetPrefix+"join" && r.Method == http.MethodPost:
+		var req joinRequest
+		if err := json.NewDecoder(io1MB(r)).Decode(&req); err != nil {
+			http.Error(w, "bad join body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		grant, err := f.members.Join(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		// A fresh joiner becomes routable after its first good probe;
+		// probe it now so that is one round-trip away, not one interval.
+		if h := f.checker; h != nil {
+			go h.ProbeNow(f.runCtx(), Replica{Name: req.Name, URL: req.URL})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(grant)
+	case r.URL.Path == fleetPrefix+"leave" && r.Method == http.MethodPost:
+		var req leaveRequest
+		if err := json.NewDecoder(io1MB(r)).Decode(&req); err != nil {
+			http.Error(w, "bad leave body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.members.Leave(req.Name)
+		w.WriteHeader(http.StatusOK)
+	case r.URL.Path == fleetPrefix+"members" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f.members.Stats())
+	default:
+		http.NotFound(w, r)
+	}
+}

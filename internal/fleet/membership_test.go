@@ -1,0 +1,523 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMembershipLeaseLifecycle drives one member through the whole
+// lease state machine on a fake clock: join grants a TTL, renewals
+// push expiry forward, a lapse evicts, and a rejoin after eviction is
+// a fresh admission.
+func TestMembershipLeaseLifecycle(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var added, removed []string
+	m := NewMembership(nil, time.Second, 8, func(a, r []Replica) {
+		for _, x := range a {
+			added = append(added, x.Name)
+		}
+		for _, x := range r {
+			removed = append(removed, x.Name)
+		}
+	})
+	m.now = func() time.Time { return clock }
+
+	grant, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.TTLMillis != 1000 || grant.HeartbeatMillis >= grant.TTLMillis {
+		t.Fatalf("grant = %+v; want 1s TTL with a heartbeat well inside it", grant)
+	}
+	if !m.Has("r1") || m.Len() != 1 || len(added) != 1 {
+		t.Fatalf("after join: has=%v len=%d added=%v", m.Has("r1"), m.Len(), added)
+	}
+
+	// Renewals keep the lease alive past the original expiry.
+	for i := 0; i < 3; i++ {
+		clock = clock.Add(600 * time.Millisecond)
+		if _, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:1"}); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+		if ev := m.Sweep(); len(ev) != 0 {
+			t.Fatalf("renewed member swept: %v", ev)
+		}
+	}
+	if s := m.Stats(); s.Joins != 1 || s.Renews != 3 {
+		t.Fatalf("stats after renewals = %+v", s)
+	}
+
+	// Stop renewing: one TTL later the sweep evicts it.
+	clock = clock.Add(1001 * time.Millisecond)
+	ev := m.Sweep()
+	if len(ev) != 1 || ev[0].Name != "r1" || m.Has("r1") || len(removed) != 1 {
+		t.Fatalf("lapse: evicted=%v has=%v removed=%v", ev, m.Has("r1"), removed)
+	}
+	if ring := m.Ring(); ring.Len() != 0 {
+		t.Fatalf("evicted member still on the ring: %d nodes", ring.Len())
+	}
+
+	// A restarted process on the same name but a new port rejoins clean.
+	if _, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:2"}); err != nil {
+		t.Fatalf("rejoin after eviction: %v", err)
+	}
+	if s := m.Stats(); s.Joins != 2 || s.Evictions != 1 {
+		t.Fatalf("stats after rejoin = %+v", s)
+	}
+}
+
+// TestMembershipValidation: joins are rejected for missing fields,
+// relative URLs, and name collisions with a different live URL; a
+// graceful leave evicts immediately; permanent (seeded) members are
+// immune to both leave and sweep.
+func TestMembershipValidation(t *testing.T) {
+	m := NewMembership([]Replica{{Name: "seed", URL: "http://127.0.0.1:9"}}, 50*time.Millisecond, 8, nil)
+
+	for _, req := range []joinRequest{
+		{Name: "", URL: "http://x"},
+		{Name: "x", URL: ""},
+		{Name: "x", URL: "not-a-url"},
+		{Name: "x", URL: "/relative"},
+	} {
+		if _, err := m.Join(req); err == nil {
+			t.Errorf("join %+v accepted, want rejection", req)
+		}
+	}
+	if _, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different URL, while the lease is live: operator error.
+	if _, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:2"}); err == nil {
+		t.Fatal("conflicting join accepted")
+	}
+
+	m.Leave("r1")
+	if m.Has("r1") {
+		t.Fatal("member still present after leave")
+	}
+	m.Leave("seed")
+	time.Sleep(60 * time.Millisecond)
+	m.Sweep()
+	if !m.Has("seed") {
+		t.Fatal("permanent member lost to leave/sweep")
+	}
+	if s := m.Stats(); s.Rejects != 5 || s.Leaves != 1 {
+		t.Fatalf("stats = %+v; want 5 rejects, 1 leave", s)
+	}
+}
+
+// TestMembershipClockSkewHarmless: leases are measured on the front's
+// clock, so announce timestamps hours off (or unparseable) must not
+// shorten or lengthen a lease — they surface only as skew diagnostics.
+func TestMembershipClockSkewHarmless(t *testing.T) {
+	clock := time.Unix(5000, 0)
+	m := NewMembership(nil, time.Second, 8, nil)
+	m.now = func() time.Time { return clock }
+
+	skewed := clock.Add(-3 * time.Hour).UTC().Format(time.RFC3339Nano)
+	if _, err := m.Join(joinRequest{Name: "r1", URL: "http://127.0.0.1:1", SentAt: skewed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Join(joinRequest{Name: "r2", URL: "http://127.0.0.1:2", SentAt: "garbage-timestamp"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both leases expire on the FRONT's schedule, not the senders'.
+	clock = clock.Add(900 * time.Millisecond)
+	if ev := m.Sweep(); len(ev) != 0 {
+		t.Fatalf("skewed members evicted early: %v", ev)
+	}
+	clock = clock.Add(200 * time.Millisecond)
+	if ev := m.Sweep(); len(ev) != 2 {
+		t.Fatalf("skewed members not evicted on schedule: %v", ev)
+	}
+	if s := m.Stats(); s.MaxSkewSeconds < (3 * time.Hour).Seconds() {
+		t.Fatalf("max skew %.0fs not recorded", s.MaxSkewSeconds)
+	}
+}
+
+// TestFrontFleetJoinServeEvict is the tentpole's end-to-end happy
+// path over real HTTP: a front tier starts with NO static replicas, a
+// replica announces itself via the Announcer, becomes routable, serves
+// proxied queries, then leaves gracefully — and the front returns to
+// shedding.
+func TestFrontFleetJoinServeEvict(t *testing.T) {
+	_, base, _ := newPrimary(t)
+	repURL, _ := liveReplica(t, base)
+
+	f := NewFront(FrontConfig{
+		Primary:       base,
+		LeaseTTL:      500 * time.Millisecond,
+		CheckInterval: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+	front := httptest.NewServer(f.Handler())
+	defer front.Close()
+	client := front.Client()
+
+	// Empty fleet sheds with 503 + Retry-After.
+	resp, err := client.Get(front.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("empty fleet: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	ann := NewAnnouncer(AnnouncerConfig{
+		Front: front.URL,
+		Self:  Replica{Name: "r1", URL: repURL},
+	})
+	if err := ann.AnnounceOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := ann.State()
+	if !st.Joined || st.TTLSeconds != 0.5 {
+		t.Fatalf("announcer state after join = %+v", st)
+	}
+
+	waitFor(t, 5*time.Second, "joined replica routable", func() bool {
+		ready, _ := getJSON[struct {
+			Routable int `json:"routable"`
+		}](t, client, front.URL+"/readyz")
+		return ready.Routable == 1
+	})
+	resp, err = client.Get(front.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Fleet-Replica") != "r1" {
+		t.Fatalf("proxied query: status %d via %q", resp.StatusCode, resp.Header.Get("X-Fleet-Replica"))
+	}
+
+	// The member table names the joiner.
+	members, code := getJSON[MembershipStats](t, client, front.URL+"/v1/fleet/members")
+	if code != http.StatusOK || len(members.Members) != 1 || members.Members[0].Name != "r1" {
+		t.Fatalf("member table = %+v (status %d)", members, code)
+	}
+
+	// Graceful leave evicts immediately — no TTL wait.
+	if err := ann.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.Members().Has("r1") {
+		t.Fatal("member present after graceful leave")
+	}
+	waitFor(t, 5*time.Second, "post-leave shed", func() bool {
+		resp, err := client.Get(front.URL + "/v1/snapshot")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+}
+
+// TestFrontLeaseLapseEvictsWithinTTL: a member that stops renewing is
+// off the ring within one lease TTL plus one sweep interval — the
+// tentpole's convergence bound — while a heartbeating sibling stays.
+func TestFrontLeaseLapseEvictsWithinTTL(t *testing.T) {
+	_, base, _ := newPrimary(t)
+	aliveURL, _ := liveReplica(t, base)
+	deadURL, _ := liveReplica(t, base)
+
+	const ttl = 300 * time.Millisecond
+	f := NewFront(FrontConfig{
+		Primary:       base,
+		LeaseTTL:      ttl,
+		CheckInterval: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+	front := httptest.NewServer(f.Handler())
+	defer front.Close()
+
+	alive := NewAnnouncer(AnnouncerConfig{Front: front.URL, Self: Replica{Name: "alive", URL: aliveURL}})
+	go alive.Run(ctx)
+	dead := NewAnnouncer(AnnouncerConfig{Front: front.URL, Self: Replica{Name: "dead", URL: deadURL}})
+	if err := dead.AnnounceOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "both members joined", func() bool { return f.Members().Len() == 2 })
+
+	// "dead" never renews again; it must be gone within TTL + sweep
+	// slack, and "alive" must still hold its lease well past that.
+	waitFor(t, ttl+200*time.Millisecond, "lapsed member evicted", func() bool { return !f.Members().Has("dead") })
+	if !f.Members().Has("alive") {
+		t.Fatal("heartbeating member evicted alongside the lapsed one")
+	}
+	if s := f.Members().Stats(); s.Evictions != 1 {
+		t.Fatalf("membership stats = %+v; want exactly 1 eviction", s)
+	}
+}
+
+// TestFrontMinHealthyFloor: with MinHealthy=2 and only one routable
+// member, every request sheds 503+Retry-After even though that member
+// could answer — the floor trades availability for not melting a rump.
+func TestFrontMinHealthyFloor(t *testing.T) {
+	_, base, _ := newPrimary(t)
+	repURL, _ := liveReplica(t, base)
+
+	f := NewFront(FrontConfig{
+		Replicas:      []Replica{{Name: "r1", URL: repURL}},
+		Primary:       base,
+		MinHealthy:    2,
+		CheckInterval: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+	front := httptest.NewServer(f.Handler())
+	defer front.Close()
+	client := front.Client()
+
+	waitFor(t, 5*time.Second, "replica probed healthy", func() bool {
+		snap := f.checker.Snapshot()
+		return len(snap) == 1 && snap[0].Healthy
+	})
+	resp, err := client.Get(front.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("below-floor fleet: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	ready, code := getJSON[struct {
+		Ready bool `json:"ready"`
+	}](t, client, front.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || ready.Ready {
+		t.Fatalf("readyz below floor = %v (status %d), want not ready", ready.Ready, code)
+	}
+}
+
+// TestCheckerHungReplica is the per-probe-timeout regression test: one
+// hung replica (accepts connections, never answers) must neither stall
+// the check loop nor delay a healthy sibling's probe — the sweep
+// completes within the derived per-probe timeout, not the HTTP
+// client's.
+func TestCheckerHungReplica(t *testing.T) {
+	hungGate := &SlowGate{}
+	hungGate.Hang()
+	hung := httptest.NewServer(hungGate.Wrap(http.NewServeMux()))
+	defer hung.Close()
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ready":true}`)
+	}))
+	defer healthy.Close()
+
+	// A 60s client timeout: if probes ran under it, this test would
+	// hang for a minute. The per-probe timeout derived from the 25ms
+	// interval (clamped to 100ms) must govern instead.
+	c := NewChecker([]Replica{
+		{Name: "hung", URL: hung.URL},
+		{Name: "ok", URL: healthy.URL},
+	}, &http.Client{Timeout: 60 * time.Second}, 1)
+	c.probeTimeout = probeTimeoutFor(25 * time.Millisecond)
+
+	start := time.Now()
+	c.CheckOnce(context.Background())
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("sweep with a hung replica took %v — per-probe timeout not applied", elapsed)
+	}
+	snap := c.Snapshot()
+	byName := map[string]ReplicaHealth{}
+	for _, h := range snap {
+		byName[h.Name] = h
+	}
+	if byName["hung"].Healthy || byName["hung"].LastError == "" {
+		t.Fatalf("hung replica = %+v; want unhealthy with an error", byName["hung"])
+	}
+	if !byName["ok"].Healthy {
+		t.Fatalf("healthy sibling = %+v; hung peer starved its probe", byName["ok"])
+	}
+}
+
+func TestProbeTimeoutDerivation(t *testing.T) {
+	for _, tc := range []struct {
+		interval, want time.Duration
+	}{
+		{25 * time.Millisecond, 100 * time.Millisecond},  // clamp up
+		{250 * time.Millisecond, 500 * time.Millisecond}, // 2× interval
+		{10 * time.Second, 2 * time.Second},              // clamp down
+	} {
+		if got := probeTimeoutFor(tc.interval); got != tc.want {
+			t.Errorf("probeTimeoutFor(%v) = %v, want %v", tc.interval, got, tc.want)
+		}
+	}
+}
+
+// TestRingChurnBoundedMovement is the consistent-hashing contract:
+// adding or removing one node of n moves at most ~2/(n+1) of the keys
+// (the ideal is 1/(n+1); the factor-2 slack absorbs vnode variance),
+// and the keys that do move all move to/from the churned node.
+func TestRingChurnBoundedMovement(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{4, 8, 16} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("replica-%d", i)
+		}
+		before := NewRing(nodes, 0)
+		after := NewRing(append(append([]string{}, nodes...), "replica-new"), 0)
+
+		movedAdd := 0
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("licensee:%d", k)
+			ob, oa := before.Seq(key)[0], after.Seq(key)[0]
+			if ob != oa {
+				movedAdd++
+				if oa != "replica-new" {
+					t.Fatalf("n=%d: key %q moved %s→%s, not to the new node", n, key, ob, oa)
+				}
+			}
+		}
+		bound := int(2.0 / float64(n+1) * keys)
+		if movedAdd > bound {
+			t.Errorf("n=%d: adding one node moved %d/%d keys, bound %d (~2/(n+1))", n, movedAdd, keys, bound)
+		}
+		if movedAdd == 0 {
+			t.Errorf("n=%d: adding a node moved nothing — it owns no keyspace", n)
+		}
+
+		// Removal is the mirror image: only the removed node's keys move.
+		movedRemove := 0
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("licensee:%d", k)
+			oa, ob := after.Seq(key)[0], before.Seq(key)[0]
+			if oa != ob {
+				movedRemove++
+				if oa != "replica-new" {
+					t.Fatalf("n=%d: removal moved key %q that %s owned", n, key, oa)
+				}
+			}
+		}
+		if movedRemove > bound {
+			t.Errorf("n=%d: removing one node moved %d/%d keys, bound %d", n, movedRemove, keys, bound)
+		}
+	}
+}
+
+// TestMembershipConcurrentChurnNeverRoutesRemoved hammers Join / Leave
+// / Sweep from several goroutines while readers route keys, asserting
+// the ring a reader loads never contains a member whose removal has
+// completed — the atomic rebuild-under-lock contract. Run under -race
+// in CI.
+func TestMembershipConcurrentChurnNeverRoutesRemoved(t *testing.T) {
+	m := NewMembership([]Replica{{Name: "anchor", URL: "http://127.0.0.1:9"}}, time.Minute, 8, nil)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				name := fmt.Sprintf("churn-%d-%d", w, i)
+				if _, err := m.Join(joinRequest{Name: name, URL: "http://127.0.0.1:1"}); err != nil {
+					t.Errorf("join %s: %v", name, err)
+					return
+				}
+				m.Leave(name)
+				// The contract under test: a ring loaded after Leave
+				// returned must not route to the removed member, no
+				// matter how many sibling joins/leaves race the rebuild.
+				// (No sibling ever re-adds this name, so seeing it here
+				// can only mean a stale ring was published.)
+				for _, n2 := range m.Ring().Seq(name) {
+					if n2 == name {
+						t.Errorf("ring loaded after Leave(%s) returned still routes to it", name)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers keep the hot path (atomic ring load + walk)
+	// racing the rebuilds; -race flags any unsynchronized publish.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if seq := m.Ring().Seq(fmt.Sprintf("key-%d-%d", r, i)); len(seq) == 0 {
+					t.Error("ring lost its permanent member mid-churn")
+					return
+				}
+			}
+		}(r)
+	}
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if !m.Has("anchor") {
+		t.Fatal("permanent member lost during churn")
+	}
+}
+
+// TestPullerBackoff: consecutive failures double the sleep up to the
+// cap, one success resets it, and a shipper's Retry-After hint floors
+// the next sleep — all visible in the backoffs counter.
+func TestPullerBackoff(t *testing.T) {
+	var shed atomic.Bool
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if shed.Load() {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer primary.Close()
+
+	p, _, _ := newReplica(t, primary.URL, nil)
+	p.cfg.Interval = 100 * time.Millisecond
+	p.cfg.MaxBackoff = 800 * time.Millisecond
+
+	// Success (or a clean no-op poll) keeps the base cadence.
+	if d := p.nextDelay(0); d != 100*time.Millisecond {
+		t.Fatalf("delay after success = %v, want the base interval", d)
+	}
+	if p.Status().Backoffs != 0 {
+		t.Fatal("backoff counted on the success path")
+	}
+	// Failures double, then saturate at the cap.
+	for i, want := range []time.Duration{200, 400, 800, 800, 800} {
+		if d := p.nextDelay(i + 1); d != want*time.Millisecond {
+			t.Fatalf("delay after %d failures = %v, want %v", i+1, d, want*time.Millisecond)
+		}
+	}
+	if got := p.Status().Backoffs; got != 5 {
+		t.Fatalf("backoffs = %d, want 5", got)
+	}
+	// Reset on success.
+	if d := p.nextDelay(0); d != 100*time.Millisecond {
+		t.Fatalf("delay after reset = %v", d)
+	}
+
+	// A shedding shipper's Retry-After floors the next delay even on
+	// the first failure, then is consumed.
+	shed.Store(true)
+	if _, err := p.PullOnce(context.Background()); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("pull against shedding shipper = %v, want 503 error", err)
+	}
+	if d := p.nextDelay(1); d != 7*time.Second {
+		t.Fatalf("delay after shed = %v, want the 7s Retry-After hint", d)
+	}
+	if d := p.nextDelay(1); d != 200*time.Millisecond {
+		t.Fatalf("hint not consumed: next delay = %v", d)
+	}
+}

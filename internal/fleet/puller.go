@@ -9,6 +9,8 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +39,9 @@ type PullerConfig struct {
 	// JitterFrac is the fraction of Interval used as jitter (default
 	// 0.5, i.e. sleeps are uniform in [Interval, 1.5·Interval]).
 	JitterFrac float64
+	// MaxBackoff caps the exponential backoff consecutive failures
+	// build up to (default 8·Interval). One success resets to Interval.
+	MaxBackoff time.Duration
 	// Client issues the HTTP fetches (default: a client with a 30s
 	// timeout). Tests inject fault transports here.
 	Client *http.Client
@@ -52,6 +57,9 @@ func (c PullerConfig) withDefaults() PullerConfig {
 	}
 	if c.JitterFrac <= 0 {
 		c.JitterFrac = 0.5
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 8 * c.Interval
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -79,6 +87,10 @@ type PullStatus struct {
 	// generation mid-download (retryable; the next poll starts over
 	// from a newer manifest).
 	Retried int64 `json:"retried"`
+	// Backoffs counts ticks slept beyond the base interval because of
+	// consecutive failures — a sick primary shows up here long before
+	// it shows up in the error log's volume.
+	Backoffs int64 `json:"backoffs"`
 	// Generation is the newest installed store generation id.
 	Generation int64 `json:"generation"`
 	// LastError is the most recent pull failure ("" after a clean
@@ -92,8 +104,9 @@ type PullStatus struct {
 type Puller struct {
 	cfg PullerConfig
 
-	mu     sync.Mutex
-	status PullStatus
+	mu         sync.Mutex
+	status     PullStatus
+	retryAfter time.Duration // shipper's latest Retry-After hint; consumed by nextDelay
 }
 
 // NewPuller returns a puller; if cfg.Server is set, its pull status is
@@ -115,19 +128,54 @@ func (p *Puller) Status() PullStatus {
 
 // Run polls until ctx is done. Failures never stop the loop: a
 // verification rejection or a transport error is recorded and the next
-// jittered tick tries again.
+// tick tries again — but consecutive failures back off exponentially
+// (capped, reset by one success), so a fleet of replicas does not
+// hammer a primary that is down, and a shipper shedding load with
+// Retry-After gets at least the breather it asked for.
 func (p *Puller) Run(ctx context.Context) {
+	failStreak := 0
 	for {
-		if _, err := p.PullOnce(ctx); err != nil && ctx.Err() == nil {
-			log.Printf("fleet: pull from %s: %v", p.cfg.Primary, err)
+		if _, err := p.PullOnce(ctx); err != nil {
+			if ctx.Err() == nil {
+				log.Printf("fleet: pull from %s: %v", p.cfg.Primary, err)
+			}
+			failStreak++
+		} else {
+			failStreak = 0
 		}
-		d := p.cfg.Interval + time.Duration(rand.Float64()*p.cfg.JitterFrac*float64(p.cfg.Interval))
+		d := p.nextDelay(failStreak)
+		d += time.Duration(rand.Float64() * p.cfg.JitterFrac * float64(p.cfg.Interval))
 		select {
 		case <-ctx.Done():
 			return
 		case <-time.After(d):
 		}
 	}
+}
+
+// nextDelay is the base sleep before the next poll: Interval after a
+// success, doubling per consecutive failure up to MaxBackoff, and
+// never less than the shipper's pending Retry-After hint (the primary
+// said when to come back; ignoring it is how retry storms start).
+func (p *Puller) nextDelay(failStreak int) time.Duration {
+	d := p.cfg.Interval
+	for i := 0; i < failStreak; i++ {
+		d *= 2
+		if d >= p.cfg.MaxBackoff {
+			d = p.cfg.MaxBackoff
+			break
+		}
+	}
+	p.mu.Lock()
+	if p.retryAfter > d {
+		d = p.retryAfter
+	}
+	p.retryAfter = 0
+	if d > p.cfg.Interval {
+		p.status.Backoffs++
+	}
+	p.mu.Unlock()
+	return d
 }
 
 // PullOnce probes the primary's newest manifest and, if it is ahead of
@@ -234,6 +282,14 @@ func (p *Puller) fetch(ctx context.Context, url string) ([]byte, error) {
 	case resp.StatusCode == http.StatusNotFound && resp.Header.Get("X-Gen-Gone") != "":
 		return nil, fmt.Errorf("%w: primary swept it mid-pull", store.ErrGenGone)
 	default:
+		// A shedding shipper names its price; record it for nextDelay.
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if secs, aerr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); aerr == nil && secs > 0 {
+				p.mu.Lock()
+				p.retryAfter = time.Duration(secs) * time.Second
+				p.mu.Unlock()
+			}
+		}
 		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
 }

@@ -248,6 +248,19 @@ func (s *Server) annotateStoreIdentity(db *uls.Database, storeGen int64, digest 
 	s.gen.CompareAndSwap(g, &g2)
 }
 
+// StoreIdentity reports the live generation's cross-process identity:
+// the persisted store generation id and corpus digest. ok is false when
+// no corpus is loaded or the live corpus was never persisted — callers
+// (the fleet announcer, for one) then omit the identity rather than
+// report zeros as fact.
+func (s *Server) StoreIdentity() (gen int64, digest string, ok bool) {
+	g := s.gen.Load()
+	if g == nil || g.storeGen == 0 {
+		return 0, "", false
+	}
+	return g.storeGen, g.digest, true
+}
+
 // generationInfo is the serialized view of the live generation, shaped
 // for remote staleness probes: a front tier or sibling replica reads
 // store_generation, corpus_sha256, and age_seconds straight off

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +25,13 @@ import (
 // window's start, then one diff frame per event date — links and towers
 // added/removed (core.DiffNetworks), the latency delta, the active
 // license count, and the lifecycle events that fired. Frames carry
-// monotonically increasing SSE ids with no gaps, so a client (or the
-// soak test) can assert it observed every transition.
+// SSE ids of the form "<generation>.<seq>" with seq monotonically
+// increasing and gap-free, so a client (or the soak test) can assert
+// it observed every transition — and a dropped client can resume: a
+// reconnect with the standard Last-Event-ID header picks the replay
+// up at the next frame of the same pinned generation, or gets 409
+// when that generation is no longer the live corpus (diffs from a
+// dead generation cannot be stitched onto the new one's replay).
 //
 // The stream is long-lived, so it deliberately bypasses the query
 // surface's admission limiter and per-request deadline — a replay
@@ -211,6 +217,29 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Resume: a reconnecting client presents the last frame id it saw
+	// and the replay continues from the next frame. resumeAfter is the
+	// seq already delivered (-1 = fresh stream). The id's generation
+	// part must match the live generation — resuming against a corpus
+	// that has since been replaced would stitch diffs from two
+	// different histories, so that is a 409, restart from scratch.
+	// (id -1 is the drain frame: a client that saw it starts fresh.)
+	resumeAfter := int64(-1)
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" && lei != "-1" {
+		genPart, seqPart, found := strings.Cut(lei, ".")
+		pg, err1 := strconv.ParseInt(genPart, 10, 64)
+		ps, err2 := strconv.ParseInt(seqPart, 10, 64)
+		if !found || err1 != nil || err2 != nil || ps < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad Last-Event-ID %q (want <generation>.<seq>)", lei))
+			return
+		}
+		if pg != g.id {
+			writeError(w, http.StatusConflict, fmt.Sprintf("generation %d is gone (live generation is %d); restart the stream", pg, g.id))
+			return
+		}
+		resumeAfter = ps
+	}
+
 	// Refuse new streams once draining, and bound concurrent streams
 	// with the watch semaphore (non-blocking: a replay is not worth
 	// queueing for).
@@ -281,7 +310,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	frames := make(chan sseFrame, buffer)
 	go func() {
 		defer close(frames)
-		s.produceWatch(ctx, g, licensee, path, start, speed, int64(seed), steps, frames)
+		s.produceWatch(ctx, g, licensee, path, start, speed, int64(seed), steps, resumeAfter, frames)
 	}()
 
 	heartbeat := time.NewTicker(s.cfg.WatchHeartbeat)
@@ -319,7 +348,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", f.id, f.event, f.data)
+			fmt.Fprintf(w, "id: %d.%d\nevent: %s\ndata: %s\n\n", g.id, f.id, f.event, f.data)
 			flusher.Flush()
 			s.watch.frames.Add(1)
 			if f.event == "eof" || f.event == "error" {
@@ -351,12 +380,20 @@ type watchStep struct {
 	events []uls.Event
 }
 
-// produceWatch computes the replay frames in order: hello, the start
-// snapshot, one diff per event date, eof. Every send honors ctx, so a
-// canceled stream stops computing promptly; with speed > 0 the
-// producer paces frames by virtual time (jittered deterministically by
-// seed so concurrent replays desynchronize).
-func (s *Server) produceWatch(ctx context.Context, g *generation, licensee string, path sites.Path, start uls.Date, speed float64, seed int64, steps []watchStep, frames chan<- sseFrame) {
+// produceWatch computes the replay frames in order: hello (seq 0), the
+// start snapshot (seq 1), one diff per event date (seq 2..S+1), eof
+// (seq S+2). Every send honors ctx, so a canceled stream stops
+// computing promptly; with speed > 0 the producer paces frames by
+// virtual time (jittered deterministically by seed so concurrent
+// replays desynchronize).
+//
+// resumeAfter >= 0 resumes a dropped stream: every frame with seq <=
+// resumeAfter is suppressed (the client already has them), the
+// baseline network state is recomputed at the date the client last
+// saw, and the replay continues from the next frame — the
+// concatenation of the frames the client kept and the frames this
+// stream emits is byte-identical to an uninterrupted replay.
+func (s *Server) produceWatch(ctx context.Context, g *generation, licensee string, path sites.Path, start uls.Date, speed float64, seed int64, steps []watchStep, resumeAfter int64, frames chan<- sseFrame) {
 	send := func(id int64, event string, v any) bool {
 		data, err := json.Marshal(v)
 		if err != nil {
@@ -391,44 +428,62 @@ func (s *Server) produceWatch(ctx context.Context, g *generation, licensee strin
 		return r.Latency.Microseconds(), true
 	}
 
-	var seq int64
+	S := int64(len(steps))
+	last := resumeAfter // highest seq the client already holds; -1 = none
 	lastStr := start.String()
-	if n := len(steps); n > 0 {
-		lastStr = steps[n-1].date.String()
+	if S > 0 {
+		lastStr = steps[S-1].date.String()
 	}
-	if !send(seq, "hello", watchHello{
-		Licensee: licensee, Path: path.Name(),
-		From: start.String(), To: lastStr,
-		Speed: speed, Seed: seed,
-		Generation: g.id, StoreGeneration: g.storeGen, CorpusSHA256: g.digest,
-		Diffs: len(steps),
-	}) {
-		return
+	if last < 0 {
+		if !send(0, "hello", watchHello{
+			Licensee: licensee, Path: path.Name(),
+			From: start.String(), To: lastStr,
+			Speed: speed, Seed: seed,
+			Generation: g.id, StoreGeneration: g.storeGen, CorpusSHA256: g.digest,
+			Diffs: len(steps),
+		}) {
+			return
+		}
+		last = 0
 	}
 
-	prev, err := snapshotAt(start)
+	// Baseline network state: for a fresh stream (or a client holding
+	// only the hello) it is the window start and is emitted as the
+	// snapshot frame; for a resume it is the date of the last diff the
+	// client saw — recomputed, not replayed, so the diffs that follow
+	// chain off exactly the state the client's copy ends in.
+	baseline := start
+	if last >= 2 {
+		baseline = steps[min(last-2, S-1)].date
+	}
+	prev, err := snapshotAt(baseline)
 	if err != nil {
-		fail(seq+1, err)
+		fail(last+1, err)
 		return
 	}
-	seq++
 	prevLat, prevConn := latency(prev)
-	snap := watchSnapshot{
-		Seq: seq, Date: start.String(),
-		Towers: len(prev.Towers), Links: len(prev.Links),
-		Connected:      prevConn,
-		ActiveLicenses: log.ActiveCount(licensee, start),
-	}
-	if prevConn {
-		snap.LatencyMicros = prevLat
-	}
-	if !send(seq, "snapshot", snap) {
-		return
+	if last == 0 {
+		snap := watchSnapshot{
+			Seq: 1, Date: start.String(),
+			Towers: len(prev.Towers), Links: len(prev.Links),
+			Connected:      prevConn,
+			ActiveLicenses: log.ActiveCount(licensee, start),
+		}
+		if prevConn {
+			snap.LatencyMicros = prevLat
+		}
+		if !send(1, "snapshot", snap) {
+			return
+		}
+		last = 1
 	}
 
 	rng := rand.New(rand.NewPCG(uint64(seed), 0x77a7c4)) //nolint:gosec // pacing jitter, not security
-	clock := start
-	for _, st := range steps {
+	clock := baseline
+	seq := last
+	// Diff for step index i carries seq 2+i; the client holds seqs
+	// through `last`, so the replay continues at step index last-1.
+	for _, st := range steps[min(last-1, S):] {
 		if speed > 0 {
 			days := int(st.date.Time().Sub(clock.Time()).Hours() / 24)
 			if days > 0 {
@@ -485,6 +540,8 @@ func (s *Server) produceWatch(ctx context.Context, g *generation, licensee strin
 		prev, prevLat, prevConn = cur, curLat, curConn
 	}
 
-	seq++
-	send(seq, "eof", map[string]int64{"frames": seq})
+	// The eof seq is fixed at S+2 regardless of where the stream
+	// resumed — a client that reconnects after seeing the eof just gets
+	// it again, idempotently.
+	send(S+2, "eof", map[string]int64{"frames": S + 2})
 }

@@ -183,6 +183,7 @@ func verifyWatchPrefix(t *testing.T, kind string, events []sseEvent) {
 		t.Errorf("%s client: first frame = %q, want hello", kind, events[0].event)
 		return
 	}
+	streamGen, _ := watchID(t, events[0].id)
 	for i, ev := range events {
 		if ev.event == "drain" {
 			if i != len(events)-1 {
@@ -190,8 +191,13 @@ func verifyWatchPrefix(t *testing.T, kind string, events []sseEvent) {
 			}
 			return
 		}
-		if got, want := ev.id, strconv.Itoa(i); got != want {
-			t.Errorf("%s client: frame %d (%s) id = %s, want %s (sequence gap)", kind, i, ev.event, got, want)
+		gen, seq := watchID(t, ev.id)
+		if gen != streamGen {
+			t.Errorf("%s client: frame %d (%s) generation %s, stream started on %s", kind, i, ev.event, gen, streamGen)
+			return
+		}
+		if seq != i {
+			t.Errorf("%s client: frame %d (%s) seq = %d, want %d (sequence gap)", kind, i, ev.event, seq, i)
 			return
 		}
 	}
