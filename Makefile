@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak membership-soak watch-soak bench bench-short bench-gate fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak cover bench bench-short bench-gate fuzz-short ci
 
 all: build
 
@@ -74,6 +74,18 @@ fleet-soak:
 membership-soak:
 	$(GO) test -race -run 'TestMembershipChaosSoak' -v ./internal/fleet/
 
+# Self-healing data-plane chaos soak (E24), under the race detector: a
+# promote-enabled front over four equivalent lease-holding replicas
+# (no fixed primary), while a seeded campaign composes permanent
+# source kills, on-disk bit-flips under the scrubbers, partitions, and
+# corruption bursts under saturating audited load — asserting a new
+# source is fenced in within one promotion budget, every bit-flip is
+# repaired in place from a peer without a restart, dead branches are
+# quarantined (never blended), epochs never regress, and the client
+# error surface stays exactly {200, 503 + Retry-After}.
+heal-soak:
+	$(GO) test -race -run 'TestHealSoak' -v ./internal/fleet/
+
 # Streaming-replay soak, under the race detector: fast, slow
 # (backpressured), and mid-stream-disconnecting /v1/watch clients while
 # the corpus hot-reloads underneath them — asserting gap-free monotone
@@ -81,6 +93,23 @@ membership-soak:
 # goroutines after the wind-down.
 watch-soak:
 	$(GO) test -race -run 'TestWatchSoak' -v ./internal/serve/
+
+# Coverage gate on the two subsystems whose failure modes are silent
+# corruption and data loss: the generation store and the fleet layer.
+# Floors sit a few points under measured coverage (~91% fleet, ~80%
+# store) so a tested-path regression fails loud without the gate
+# flaking on timing-dependent branches.
+cover:
+	@set -e; \
+	check() { \
+		$(GO) test -coverprofile="cover-$$2.out" "$$1"; \
+		pct="$$($(GO) tool cover -func="cover-$$2.out" | awk '/^total:/ { sub(/%/,"",$$3); print $$3 }')"; \
+		echo "$$1 coverage: $$pct% (floor $$3%)"; \
+		awk -v p="$$pct" -v f="$$3" 'BEGIN { exit !(p+0 >= f+0) }' || { \
+			echo "coverage regression: $$1 at $$pct% is below the $$3% floor"; exit 1; }; \
+	}; \
+	check ./internal/fleet/ fleet 85.0; \
+	check ./internal/store/ store 75.0
 
 # Delta-sweep perf gate (E22): the engine's event-log replay must keep
 # a daily-grid evolution sweep >= 10x faster than the legacy
@@ -109,4 +138,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: fmt-check vet build race serve-soak store-crash fleet-soak membership-soak watch-soak bench-gate bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak cover bench-gate bench-short fuzz-short

@@ -15,10 +15,20 @@
 // front sheds every request with 503 + Retry-After rather than piling
 // the whole fleet's load onto a rump.
 //
+// With -promote the front also elects the fleet's write source: the
+// healthy member holding the newest generation is promoted (ties break
+// on the smallest name), published at GET /v1/fleet/source with a
+// monotonically increasing epoch, and handed to joining members in
+// their lease grant. A healthy incumbent is never displaced; when the
+// source dies or its lease lapses the role is re-elected at the next
+// epoch, so a fenced ex-primary that comes back cannot reclaim it.
+// Replicas started with hftserve -pull-front follow the elected source
+// and refuse stale lower-epoch resolutions.
+//
 // Usage:
 //
 //	hftfront [-replica r1=http://host1:8090 ...]
-//	         [-addr :8080] [-primary http://primary:8090]
+//	         [-addr :8080] [-primary http://primary:8090] [-promote]
 //	         [-staleness-bound 2] [-lease-ttl 3s] [-min-healthy 1]
 //	         [-hedge-after 150ms]
 //	         [-request-timeout 15s] [-retry-after 1s]
@@ -30,6 +40,7 @@
 //	/v1/fleet/join     replica announce/lease renewal (POST)
 //	/v1/fleet/leave    graceful immediate eviction (POST)
 //	/v1/fleet/members  the live member table (GET)
+//	/v1/fleet/source   the elected source and its fencing epoch (GET)
 //	/v1/*     proxied to the fleet (GET/HEAD only)
 //	/healthz  the front's own liveness
 //	/readyz   fleet readiness: routable replica count + per-replica health
@@ -69,6 +80,7 @@ func main() {
 	})
 	addr := flag.String("addr", ":8080", "listen address")
 	primary := flag.String("primary", "", "primary's base URL, polled for the newest generation (enables staleness exclusion)")
+	promote := flag.Bool("promote", false, "elect and fence a source replica: promote the healthy member with the newest generation, re-electing (next epoch) when it dies")
 	stalenessBound := flag.Int64("staleness-bound", 2, "max generations a replica may lag the primary and still serve")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "membership lease TTL for self-registered replicas")
 	minHealthy := flag.Int("min-healthy", 1, "healthy-member floor below which all requests are shed")
@@ -94,6 +106,7 @@ func main() {
 	f := fleet.NewFront(fleet.FrontConfig{
 		Replicas:       replicas,
 		Primary:        strings.TrimSuffix(*primary, "/"),
+		Promote:        *promote,
 		StalenessBound: *stalenessBound,
 		LeaseTTL:       *leaseTTL,
 		MinHealthy:     *minHealthy,

@@ -14,8 +14,9 @@
 //	         [-drain-timeout 15s]
 //	         [-watch-max-streams 64] [-watch-heartbeat 15s]
 //	         [-keyframe-interval 16]
-//	         [-pull-from URL] [-pull-interval 2s] [-pull-keep 3]
+//	         [-pull-from URL] [-pull-front URL] [-pull-interval 2s] [-pull-keep 3]
 //	         [-announce URL] [-announce-name NAME] [-announce-url URL]
+//	         [-scrub-interval 0] [-scrub-pause 2ms]
 //
 // Endpoints:
 //
@@ -52,7 +53,23 @@
 // and cryptographically verifies it, installs it into the local store,
 // and hot-swaps it live — refusing corrupt shipments and keeping the
 // previous generation serving. Put replicas behind hftfront for
-// failover routing.
+// failover routing. With -pull-front the replica instead resolves its
+// source dynamically from the front tier's /v1/fleet/source each poll:
+// when the front promotes a new primary (hftfront -promote), the
+// replica re-targets on its own, refuses stale lower-epoch resolutions
+// (epoch fencing), quarantines any local generations that diverge from
+// the new source's history, and — should this very instance be the
+// promoted source — stops pulling entirely.
+//
+// With -scrub-interval > 0 (requires -store-dir) a background
+// anti-entropy scrubber re-verifies every committed generation on the
+// deep fsck ladder, pausing -scrub-pause between segments so scrubbing
+// stays off the serving path. A corrupt segment is re-fetched from a
+// peer holding a digest-matching copy (the front's member table when
+// -pull-front or -announce is set, else the -pull-from primary),
+// verified, and swapped in place without a restart; the corrupt
+// original is preserved under quarantine/. Counters appear under
+// "scrub" on /statsz.
 //
 // With -announce the instance self-registers with an hftfront front
 // tier: it joins at /v1/fleet/join, renews its TTL lease on the
@@ -100,18 +117,37 @@ func main() {
 	watchHeartbeat := flag.Duration("watch-heartbeat", 15*time.Second, "SSE heartbeat cadence on idle /v1/watch streams")
 	keyframeInterval := flag.Int("keyframe-interval", 0, "engine replay keyframe spacing in events (0 = engine default)")
 	pullFrom := flag.String("pull-from", "", "replicate generations from this primary's base URL (requires -store-dir, excludes -bulk)")
+	pullFront := flag.String("pull-front", "", "resolve the replication source dynamically from this front tier's /v1/fleet/source (requires -store-dir, excludes -bulk; overrides -pull-from once a source is elected)")
 	pullInterval := flag.Duration("pull-interval", 2*time.Second, "replication poll cadence (jittered)")
 	pullKeep := flag.Int("pull-keep", 3, "local generations kept after each replicated install")
 	announce := flag.String("announce", "", "front tier base URL to self-register with (lease-based membership)")
 	announceName := flag.String("announce-name", "", "member name to announce (default: the announced URL's host:port)")
 	announceURL := flag.String("announce-url", "", "base URL the front should route to (default: http://127.0.0.1<addr> for a :port bind)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background anti-entropy scrub cadence over the store (0 = off; requires -store-dir)")
+	scrubPause := flag.Duration("scrub-pause", 2*time.Millisecond, "pause between segment verifications inside a scrub cycle")
 	flag.Parse()
 
-	if *pullFrom != "" && *storeDir == "" {
-		log.Fatal("hftserve: -pull-from needs -store-dir (pulled generations are verified into the local store)")
+	replica := *pullFrom != "" || *pullFront != ""
+	if replica && *storeDir == "" {
+		log.Fatal("hftserve: -pull-from/-pull-front need -store-dir (pulled generations are verified into the local store)")
 	}
-	if *pullFrom != "" && *bulk != "" {
-		log.Fatal("hftserve: -pull-from and -bulk are exclusive (a replica's corpus comes from its primary)")
+	if replica && *bulk != "" {
+		log.Fatal("hftserve: -pull-from/-pull-front and -bulk are exclusive (a replica's corpus comes from its primary)")
+	}
+	if *scrubInterval > 0 && *storeDir == "" {
+		log.Fatal("hftserve: -scrub-interval needs -store-dir (there is nothing to scrub without one)")
+	}
+
+	// The instance's own base URL: what it announces to the front, what
+	// the puller uses to recognise "the promoted source is me", and what
+	// the repair fetcher excludes from its peer candidates.
+	self := strings.TrimSuffix(*announceURL, "/")
+	if self == "" {
+		bind := *addr
+		if strings.HasPrefix(bind, ":") {
+			bind = "127.0.0.1" + bind
+		}
+		self = "http://" + bind
 	}
 
 	srv := serve.New(serve.Config{
@@ -180,7 +216,7 @@ func main() {
 		return srv.LoadCorpusFile(*bulk, reloadOpts)
 	}
 	switch {
-	case *pullFrom != "":
+	case replica:
 		// Replica: the corpus arrives from the primary. A warm start
 		// already serves the last pulled generation; otherwise /readyz
 		// stays not-ready until the first verified install lands.
@@ -188,13 +224,24 @@ func main() {
 		defer cancel()
 		puller := fleet.NewPuller(fleet.PullerConfig{
 			Primary:  *pullFrom,
+			Front:    strings.TrimSuffix(*pullFront, "/"),
+			Self:     self,
 			Store:    st,
 			Server:   srv,
 			Interval: *pullInterval,
 			Keep:     *pullKeep,
 		})
 		go puller.Run(ctx)
-		log.Printf("hftserve: replicating from %s every %v (keep %d)", *pullFrom, *pullInterval, *pullKeep)
+		switch {
+		case *pullFront != "" && *pullFrom != "":
+			log.Printf("hftserve: replicating from the source elected by %s (seed %s) every %v (keep %d)",
+				*pullFront, *pullFrom, *pullInterval, *pullKeep)
+		case *pullFront != "":
+			log.Printf("hftserve: replicating from the source elected by %s every %v (keep %d)",
+				*pullFront, *pullInterval, *pullKeep)
+		default:
+			log.Printf("hftserve: replicating from %s every %v (keep %d)", *pullFrom, *pullInterval, *pullKeep)
+		}
 	case warm && *bulk != "":
 		// The persisted generation is already serving; re-ingest the
 		// bulk file in the background and hot-swap once it validates.
@@ -211,6 +258,36 @@ func main() {
 		if err := loadInitial(); err != nil {
 			log.Fatalf("hftserve: loading corpus: %v", err)
 		}
+	}
+
+	if *scrubInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := store.ScrubConfig{Interval: *scrubInterval, Pause: *scrubPause}
+		var peerSource string
+		var peers fleet.PeerLister
+		switch {
+		case *pullFront != "":
+			peerSource = "members of front " + *pullFront
+			peers = fleet.FrontMembers(strings.TrimSuffix(*pullFront, "/"), nil)
+		case *announce != "":
+			peerSource = "members of front " + *announce
+			peers = fleet.FrontMembers(strings.TrimSuffix(*announce, "/"), nil)
+		case *pullFrom != "":
+			peerSource = "primary " + *pullFrom
+			peers = fleet.StaticPeers(fleet.Replica{Name: "primary", URL: *pullFrom})
+		}
+		if peers != nil {
+			cfg.Fetch = fleet.NewPeerFetcher(fleet.PeerFetcherConfig{Peers: peers, Self: self})
+			log.Printf("hftserve: scrubbing every %v (pause %v), repairing from %s",
+				*scrubInterval, *scrubPause, peerSource)
+		} else {
+			log.Printf("hftserve: scrubbing every %v (pause %v), detect-only: no peers to repair from",
+				*scrubInterval, *scrubPause)
+		}
+		scr := store.NewScrubber(st, cfg)
+		srv.RegisterStats("scrub", func() any { return scr.Status() })
+		go scr.Run(ctx)
 	}
 
 	if *bulk != "" {
@@ -243,14 +320,6 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	if *announce != "" {
-		self := strings.TrimSuffix(*announceURL, "/")
-		if self == "" {
-			bind := *addr
-			if strings.HasPrefix(bind, ":") {
-				bind = "127.0.0.1" + bind
-			}
-			self = "http://" + bind
-		}
 		name := *announceName
 		if name == "" {
 			name = strings.TrimPrefix(strings.TrimPrefix(self, "http://"), "https://")

@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	hftstore -dir DIR ls            list generations, newest first
-//	hftstore -dir DIR fsck          verify every generation end to end
-//	hftstore -dir DIR gc [-keep K]  retain the newest K generations (default 3)
+//	hftstore -dir DIR ls                    list generations, newest first
+//	hftstore -dir DIR fsck [-quarantine]    verify every generation end to end
+//	hftstore -dir DIR gc [-keep K]          retain the newest K generations (default 3)
 //
 // fsck re-reads every committed generation — manifest self-checksum,
 // segment sizes and SHA-256 digests, per-block CRCs, full license
 // decode and semantic re-validation — and inventories orphan segment
-// directories and temp debris. It exits 1 unless every generation
-// verifies. gc never deletes the last recoverable corpus: when none of
-// the newest K generations verifies, the retained set extends downward
+// directories and temp debris. With -quarantine, each corrupt
+// generation is moved into the store's quarantine/ directory (retired
+// from serving but never deleted — the bytes stay for forensics),
+// unless nothing verifies at all: quarantining everything would leave
+// an empty store, and the last copy, even corrupt, beats no copy. fsck
+// exit codes: 0 everything verifies, 1 corruption was found (whether
+// or not it was quarantined), 2 the store could not be read at all.
+// gc never deletes the last recoverable corpus: when none of the
+// newest K generations verifies, the retained set extends downward
 // until one does.
 package main
 
@@ -32,7 +38,7 @@ func main() {
 
 	dir := flag.String("dir", "", "store directory (required)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: hftstore -dir DIR {ls | fsck | gc [-keep K]}")
+		fmt.Fprintln(os.Stderr, "usage: hftstore -dir DIR {ls | fsck [-quarantine] | gc [-keep K]}")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,7 +49,11 @@ func main() {
 
 	s, err := store.Open(*dir)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		if flag.Arg(0) == "fsck" {
+			os.Exit(2) // fsck contract: 2 = could not read the store
+		}
+		os.Exit(1)
 	}
 	defer s.Close()
 
@@ -51,7 +61,7 @@ func main() {
 	case "ls":
 		runLs(s)
 	case "fsck":
-		runFsck(s)
+		runFsck(s, flag.Args()[1:])
 	case "gc":
 		runGC(s, flag.Args()[1:])
 	default:
@@ -82,16 +92,26 @@ func runLs(s *store.Store) {
 	}
 }
 
-func runFsck(s *store.Store) {
+func runFsck(s *store.Store, args []string) {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	quarantine := fs.Bool("quarantine", false,
+		"move corrupt generations into the store's quarantine/ directory (refused when nothing verifies)")
+	fs.Parse(args)
+
 	rep, err := s.Fsck()
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(2) // could not read the store
 	}
+	anyOK := false
+	var corrupt []int64
 	for _, g := range rep.Generations {
 		if g.OK {
+			anyOK = true
 			fmt.Printf("gen %d: ok (%d licenses, %d segments, %d bytes)\n",
 				g.ID, g.Licenses, len(g.Info.Segments), g.Info.Bytes)
 		} else {
+			corrupt = append(corrupt, g.ID)
 			fmt.Printf("gen %d: CORRUPT: %s\n", g.ID, g.Err)
 		}
 	}
@@ -101,8 +121,23 @@ func runFsck(s *store.Store) {
 	if len(rep.Generations) == 0 {
 		fmt.Println("no generations")
 	}
+	if *quarantine && len(corrupt) > 0 {
+		if !anyOK {
+			// The last copy, even corrupt, beats no copy — same ladder
+			// the scrubber and gc follow.
+			log.Print("refusing to quarantine: no generation verifies, the store would be left empty")
+		} else {
+			for _, id := range corrupt {
+				if err := s.QuarantineGeneration(id); err != nil {
+					log.Printf("quarantining gen %d: %v", id, err)
+					os.Exit(2)
+				}
+				fmt.Printf("gen %d: quarantined\n", id)
+			}
+		}
+	}
 	if !rep.OK() {
-		os.Exit(1)
+		os.Exit(1) // corruption was found (quarantined or not)
 	}
 }
 

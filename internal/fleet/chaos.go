@@ -48,6 +48,23 @@ type ChaosReplica struct {
 	Transport    http.RoundTripper
 	Keep         int
 
+	// PullFront, when set, makes the pull source dynamic: the puller
+	// resolves the fleet's current source role from this front-tier URL
+	// each poll (epoch-fenced) instead of pulling the static Primary.
+	PullFront string
+
+	// ScrubInterval > 0 runs a background anti-entropy scrubber over
+	// the replica's store, repairing corrupt segments from fleet peers
+	// (resolved via PullFront's member table when set, else the static
+	// Primary). ScrubPause throttles it between segments;
+	// ScrubQuarantineAfter is the consecutive-miss ladder to
+	// whole-generation quarantine; RepairTransport, when set, underlies
+	// the repair fetches (partitionable like everything else).
+	ScrubInterval        time.Duration
+	ScrubPause           time.Duration
+	ScrubQuarantineAfter int
+	RepairTransport      http.RoundTripper
+
 	// Front, when set, makes the replica self-register: each Start
 	// boots an announcer against this front-tier URL; Kill abandons it
 	// mid-lease. AnnounceTransport underlies the announce client
@@ -68,16 +85,20 @@ type ChaosReplica struct {
 
 	mu             sync.Mutex
 	addr           string
+	st             *store.Store
 	srv            *serve.Server
 	puller         *Puller
+	scrubber       *store.Scrubber
 	announcer      *Announcer
 	httpSrv        *http.Server
 	cancelPull     context.CancelFunc
 	pullDone       chan struct{}
+	scrubDone      chan struct{}
 	cancelAnnounce context.CancelFunc
 	announceDone   chan struct{}
 	running        bool
-	cum            PullStatus // accumulated across kills; a restart starts a fresh Puller
+	cum            PullStatus        // accumulated across kills; a restart starts a fresh Puller
+	cumScrub       store.ScrubStatus // likewise for the scrubber
 }
 
 // SetAnnouncePaused stops (true) or resumes (false) lease renewals
@@ -145,12 +166,35 @@ func (r *ChaosReplica) Start() error {
 	// pull lands; any other warm-start failure is likewise survivable.
 	_, _ = srv.WarmStart()
 
+	// Bind the listener before wiring the loops: the puller's self-URL
+	// fence and the scrubber's peer exclusion both need the bound addr.
+	addr := r.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			st.Close()
+			return fmt.Errorf("chaos replica %s: rebinding %s: %w", r.Name, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.addr = ln.Addr().String()
+	self := "http://" + r.addr
+
 	client := &http.Client{Timeout: 30 * time.Second}
 	if r.Transport != nil {
 		client.Transport = r.Transport
 	}
 	puller := NewPuller(PullerConfig{
 		Primary:  r.Primary,
+		Front:    r.PullFront,
+		Self:     self,
 		Store:    st,
 		Server:   srv,
 		Interval: r.PullInterval,
@@ -164,27 +208,43 @@ func (r *ChaosReplica) Start() error {
 		puller.Run(ctx)
 	}()
 
-	addr := r.addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	var ln net.Listener
-	for deadline := time.Now().Add(5 * time.Second); ; {
-		ln, err = net.Listen("tcp", addr)
-		if err == nil {
-			break
+	var scrubber *store.Scrubber
+	var sdone chan struct{}
+	if r.ScrubInterval > 0 {
+		repairClient := &http.Client{Timeout: 10 * time.Second}
+		if r.RepairTransport != nil {
+			repairClient.Transport = r.RepairTransport
 		}
-		if time.Now().After(deadline) {
-			cancel()
-			<-done
-			st.Close()
-			return fmt.Errorf("chaos replica %s: rebinding %s: %w", r.Name, addr, err)
+		var peers PeerLister
+		switch {
+		case r.PullFront != "":
+			peers = FrontMembers(r.PullFront, repairClient)
+		case r.Front != "":
+			peers = FrontMembers(r.Front, repairClient)
+		default:
+			peers = StaticPeers(Replica{Name: "primary", URL: r.Primary})
 		}
-		time.Sleep(10 * time.Millisecond)
+		scrubber = store.NewScrubber(st, store.ScrubConfig{
+			Interval: r.ScrubInterval,
+			Pause:    r.ScrubPause,
+			Fetch: NewPeerFetcher(PeerFetcherConfig{
+				Peers:  peers,
+				Self:   self,
+				Client: repairClient,
+			}),
+			QuarantineAfter: r.ScrubQuarantineAfter,
+		})
+		srv.RegisterStats("scrub", func() any { return scrubber.Status() })
+		sdone = make(chan struct{})
+		go func() {
+			defer close(sdone)
+			scrubber.Run(ctx)
+		}()
 	}
-	r.addr = ln.Addr().String()
 
-	var handler http.Handler = srv.Handler()
+	// Every replica ships: peers repair from each other, and a promoted
+	// source serves pulls with no reconfiguration.
+	var handler http.Handler = WithShipping(srv.Handler(), NewShipper(st))
 	if r.Gate != nil {
 		handler = r.Gate.Wrap(handler)
 	}
@@ -222,13 +282,24 @@ func (r *ChaosReplica) Start() error {
 		r.announceDone = adone
 	}
 
+	r.st = st
 	r.srv = srv
 	r.puller = puller
+	r.scrubber = scrubber
 	r.httpSrv = httpSrv
 	r.cancelPull = cancel
 	r.pullDone = done
+	r.scrubDone = sdone
 	r.running = true
 	return nil
+}
+
+// Store returns the live store (nil while killed) — for test seeding
+// and on-disk fault injection against a running replica.
+func (r *ChaosReplica) Store() *store.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st
 }
 
 // CumulativeStatus sums the pull counters over the replica's whole
@@ -260,6 +331,33 @@ func addPullCounters(acc, s PullStatus) PullStatus {
 	return acc
 }
 
+// CumulativeScrub sums the scrub counters over the replica's whole
+// life, across every kill/restart.
+func (r *ChaosReplica) CumulativeScrub() store.ScrubStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.cumScrub
+	if r.scrubber != nil {
+		out = addScrubCounters(out, r.scrubber.Status())
+	}
+	return out
+}
+
+func addScrubCounters(acc, s store.ScrubStatus) store.ScrubStatus {
+	acc.Cycles += s.Cycles
+	acc.Segments += s.Segments
+	acc.Corrupt += s.Corrupt
+	acc.Repaired += s.Repaired
+	acc.Quarantined += s.Quarantined
+	acc.Unrepaired += s.Unrepaired
+	acc.GenerationsQuarantined += s.GenerationsQuarantined
+	acc.LastError = s.LastError
+	if s.LastRepair != "" {
+		acc.LastRepair = s.LastRepair
+	}
+	return acc
+}
+
 // Kill is the SIGKILL analogue: listener and connections slam shut
 // (in-flight responses are cut mid-byte), the pull loop's context is
 // cancelled and whatever install was mid-verify is abandoned (its temp
@@ -282,6 +380,12 @@ func (r *ChaosReplica) Kill() {
 	case <-r.pullDone:
 	case <-time.After(5 * time.Second):
 	}
+	if r.scrubDone != nil {
+		select {
+		case <-r.scrubDone:
+		case <-time.After(5 * time.Second):
+		}
+	}
 	if r.announceDone != nil {
 		select {
 		case <-r.announceDone:
@@ -289,12 +393,18 @@ func (r *ChaosReplica) Kill() {
 		}
 	}
 	r.cum = addPullCounters(r.cum, r.puller.Status())
+	if r.scrubber != nil {
+		r.cumScrub = addScrubCounters(r.cumScrub, r.scrubber.Status())
+	}
+	r.st = nil
 	r.srv = nil
 	r.puller = nil
+	r.scrubber = nil
 	r.announcer = nil
 	r.httpSrv = nil
 	r.cancelAnnounce = nil
 	r.announceDone = nil
+	r.scrubDone = nil
 	r.running = false
 }
 

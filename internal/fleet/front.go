@@ -54,6 +54,15 @@ type FrontConfig struct {
 	// probe failures that mark a replica down (default 2).
 	CheckInterval time.Duration
 	FailAfter     int
+	// Promote enables epoch-fenced source promotion: the front tracks a
+	// source role (the member pullers replicate from), and when the
+	// role holder's lease lapses or its /readyz fails FailAfter
+	// consecutive probes, deterministically promotes the healthy member
+	// holding the newest generation under the next epoch. With Promote
+	// on, the front's observed primary generation follows the probed
+	// source instead of a static Primary URL. Default off: a statically
+	// wired fleet (Primary + pull-from) behaves exactly as before.
+	Promote bool
 	// Vnodes is the consistent-hash virtual node count (default 64).
 	Vnodes int
 	// Client issues proxied requests and probes (default: 15s timeout,
@@ -177,6 +186,58 @@ func (f *Front) sweepLeases(ctx context.Context) {
 				log.Printf("fleet: lease lapsed, evicted %s (%s)", r.Name, r.URL)
 			}
 		}
+		f.maybePromote()
+	}
+}
+
+// maybePromote keeps the source role filled. While the role holder is
+// a healthy member, the front just tracks its probed generation as the
+// fleet's newest published truth. When the role is vacant (lease
+// lapsed, graceful leave) or the holder has failed FailAfter
+// consecutive probes, the healthy member holding the newest generation
+// is promoted under the next epoch — ties broken on the smallest name,
+// so every observer of the same snapshot elects the same member. The
+// observed primary generation is reset to the new source's: the dead
+// source's unshipped generations are gone, and a staleness bound
+// anchored to them would strand the whole fleet as "too stale".
+func (f *Front) maybePromote() {
+	if !f.cfg.Promote {
+		return
+	}
+	snap := f.checker.Snapshot()
+	src := f.members.Source()
+	if src.Name != "" && f.members.Has(src.Name) {
+		for _, h := range snap {
+			if h.Name != src.Name {
+				continue
+			}
+			if h.Healthy {
+				if h.Generation > 0 {
+					f.primaryGen.Store(h.Generation)
+				}
+				return
+			}
+			break // held but failing probes: elect a replacement
+		}
+	}
+	var best *ReplicaHealth
+	for i := range snap {
+		h := &snap[i]
+		if !h.Healthy || h.Generation <= 0 || h.Name == src.Name {
+			continue
+		}
+		if best == nil || h.Generation > best.Generation ||
+			(h.Generation == best.Generation && h.Name < best.Name) {
+			best = h
+		}
+	}
+	if best == nil {
+		return // nobody verified to hold a generation; stay vacant
+	}
+	if info, ok := f.members.Promote(best.Name); ok {
+		f.primaryGen.Store(best.Generation)
+		log.Printf("fleet: promoted %s (%s) to source at epoch %d, generation %d",
+			best.Name, best.URL, info.Epoch, best.Generation)
 	}
 }
 

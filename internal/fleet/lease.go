@@ -52,6 +52,9 @@ type joinRequest struct {
 type joinResponse struct {
 	TTLMillis       int64 `json:"ttl_ms"`
 	HeartbeatMillis int64 `json:"heartbeat_ms"`
+	// Source is the fleet's current source role at grant time — how a
+	// rejoining stale primary learns it has been fenced to replica.
+	Source SourceInfo `json:"source"`
 }
 
 // leaveRequest is the graceful-leave body.
@@ -72,6 +75,11 @@ type LeaseState struct {
 	Leaves           int64   `json:"leaves"`
 	LastRenew        string  `json:"last_renew,omitempty"`
 	LastError        string  `json:"last_error,omitempty"`
+	// IsSource reports whether the last grant named this replica as the
+	// fleet's source; SourceName/SourceEpoch echo the grant's role.
+	IsSource    bool   `json:"is_source,omitempty"`
+	SourceName  string `json:"source_name,omitempty"`
+	SourceEpoch int64  `json:"source_epoch,omitempty"`
 }
 
 // AnnouncerConfig wires one replica's membership loop.
@@ -217,6 +225,9 @@ func (a *Announcer) AnnounceOnce(ctx context.Context) error {
 	a.state.HeartbeatSeconds = float64(grant.HeartbeatMillis) / 1e3
 	a.state.LastRenew = time.Now().UTC().Format(time.RFC3339)
 	a.state.LastError = ""
+	a.state.IsSource = grant.Source.Name != "" && grant.Source.Name == a.cfg.Self.Name
+	a.state.SourceName = grant.Source.Name
+	a.state.SourceEpoch = grant.Source.Epoch
 	a.mu.Unlock()
 	return nil
 }

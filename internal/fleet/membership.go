@@ -36,7 +36,13 @@ type Membership struct {
 
 	mu      sync.Mutex
 	members map[string]*member
-	ring    atomic.Pointer[Ring]
+	// source is the fleet's current replication origin under a monotone
+	// epoch fence. The epoch only ever increases — it survives the
+	// source leaving or lapsing (the role goes vacant, Name/URL empty,
+	// Epoch kept), so a promotion after an outage always outranks
+	// anything the dead source's era produced.
+	source SourceInfo
+	ring   atomic.Pointer[Ring]
 
 	counters struct {
 		joins     atomic.Int64 // first-time admissions
@@ -59,6 +65,17 @@ type member struct {
 	generation int64
 	digest     string
 	skew       time.Duration
+}
+
+// SourceInfo names the member currently holding the fleet's source
+// role — the replication origin every puller re-targets to — fenced by
+// a monotone epoch. A vacant role has empty Name/URL but keeps the
+// epoch; anything announcing itself under a lower epoch is stale by
+// definition and must be refused.
+type SourceInfo struct {
+	Name  string `json:"name,omitempty"`
+	URL   string `json:"url,omitempty"`
+	Epoch int64  `json:"epoch"`
 }
 
 // NewMembership seeds the registry with the permanent replicas. ttl <=
@@ -147,10 +164,49 @@ func (m *Membership) Join(req joinRequest) (joinResponse, error) {
 			m.onChange([]Replica{mem.Replica}, nil)
 		}
 	}
+	// The grant carries the current source role: a rejoining stale
+	// primary learns in the same round-trip that the fleet moved on
+	// under a higher epoch and that it is a plain replica now.
 	return joinResponse{
 		TTLMillis:       m.ttl.Milliseconds(),
 		HeartbeatMillis: (m.ttl / 3).Milliseconds(),
+		Source:          m.source,
 	}, nil
+}
+
+// Source returns the current source role holder (possibly vacant) and
+// its epoch.
+func (m *Membership) Source() SourceInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.source
+}
+
+// Promote hands the source role to an existing member under the next
+// epoch. Promoting the member that already holds the role is a no-op
+// (no epoch burn); promoting a non-member fails — the elector must
+// pick from the registry it can actually route to. Returns the
+// resulting SourceInfo and whether a new epoch was opened.
+func (m *Membership) Promote(name string) (SourceInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[name]
+	if !ok {
+		return m.source, false
+	}
+	if m.source.Name == name {
+		return m.source, false
+	}
+	m.source = SourceInfo{Name: name, URL: mem.URL, Epoch: m.source.Epoch + 1}
+	return m.source, true
+}
+
+// vacateSourceLocked empties the role (keeping the epoch) if name held
+// it. Caller holds mu.
+func (m *Membership) vacateSourceLocked(name string) {
+	if m.source.Name == name {
+		m.source.Name, m.source.URL = "", ""
+	}
 }
 
 // observeSkew records |sent_at - now| for the diagnostics surface. A
@@ -190,6 +246,7 @@ func (m *Membership) Leave(name string) {
 		return
 	}
 	delete(m.members, name)
+	m.vacateSourceLocked(name)
 	m.rebuildLocked()
 	m.counters.leaves.Add(1)
 	if m.onChange != nil {
@@ -208,6 +265,7 @@ func (m *Membership) Sweep() []Replica {
 	for name, mem := range m.members {
 		if !mem.permanent && now.After(mem.expires) {
 			delete(m.members, name)
+			m.vacateSourceLocked(name)
 			evicted = append(evicted, mem.Replica)
 		}
 	}
@@ -262,6 +320,7 @@ type MembershipStats struct {
 	Evictions      int64        `json:"evictions"`
 	Rejects        int64        `json:"rejects"`
 	MaxSkewSeconds float64      `json:"max_skew_seconds,omitempty"`
+	Source         SourceInfo   `json:"source"`
 }
 
 // Stats snapshots the registry.
@@ -286,9 +345,11 @@ func (m *Membership) Stats() MembershipStats {
 		info.SkewSeconds = mem.skew.Seconds()
 		members = append(members, info)
 	}
+	source := m.source
 	m.mu.Unlock()
 	return MembershipStats{
 		TTLSeconds:     m.ttl.Seconds(),
+		Source:         source,
 		Members:        members,
 		Joins:          m.counters.joins.Load(),
 		Renews:         m.counters.renews.Load(),
@@ -304,6 +365,7 @@ func (m *Membership) Stats() MembershipStats {
 //	POST /v1/fleet/join   announce/renew; responds with the lease grant
 //	POST /v1/fleet/leave  graceful immediate eviction
 //	GET  /v1/fleet/members  the member table
+//	GET  /v1/fleet/source   the current source role + epoch fence
 func (f *Front) handleFleet(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == fleetPrefix+"join" && r.Method == http.MethodPost:
@@ -337,6 +399,9 @@ func (f *Front) handleFleet(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(f.members.Stats())
+	case r.URL.Path == fleetPrefix+"source" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(f.members.Source())
 	default:
 		http.NotFound(w, r)
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,8 +25,21 @@ const maxShipBytes = 256 << 20
 
 // PullerConfig wires one replica's pull loop.
 type PullerConfig struct {
-	// Primary is the base URL of the primary's shipping endpoints.
+	// Primary is the base URL of the primary's shipping endpoints
+	// (static wiring; also the seed source before the first successful
+	// role resolution when Front is set).
 	Primary string
+	// Front, when set, makes the source dynamic: each poll resolves the
+	// fleet's current source role from the front's /v1/fleet/source and
+	// re-targets on change, fenced by the role's monotone epoch — a
+	// resolution naming a lower epoch than one already obeyed is
+	// refused, so a stale front (or a fenced old primary reappearing
+	// behind one) can never re-point this replica at dead state.
+	Front string
+	// Self is this replica's own base URL; when the resolved source is
+	// Self the poll is a no-op — a promoted source's store IS the
+	// origin, there is nothing to pull.
+	Self string
 	// Store is the replica's own crash-safe store; pulled generations
 	// are verified and committed here before going live.
 	Store *store.Store
@@ -93,6 +107,20 @@ type PullStatus struct {
 	Backoffs int64 `json:"backoffs"`
 	// Generation is the newest installed store generation id.
 	Generation int64 `json:"generation"`
+	// Source is the base URL currently replicated from — the static
+	// primary, or the front-resolved source role; SourceEpoch is the
+	// epoch fence it was adopted under (0 = static wiring).
+	Source      string `json:"source,omitempty"`
+	SourceEpoch int64  `json:"source_epoch,omitempty"`
+	// ConsecutiveFailures counts polls failed since the last clean one
+	// — a wedged or re-targeting puller is diagnosable from /statsz
+	// without logs.
+	ConsecutiveFailures int64 `json:"consecutive_failures,omitempty"`
+	// Fenced counts source resolutions refused for naming a lower epoch
+	// than one already obeyed; Diverged counts local generations
+	// quarantined as dead-branch state after a promotion.
+	Fenced   int64 `json:"fenced,omitempty"`
+	Diverged int64 `json:"diverged,omitempty"`
 	// LastError is the most recent pull failure ("" after a clean
 	// poll); LastInstall timestamps the newest install.
 	LastError   string `json:"last_error,omitempty"`
@@ -113,6 +141,7 @@ type Puller struct {
 // registered on that server's /statsz.
 func NewPuller(cfg PullerConfig) *Puller {
 	p := &Puller{cfg: cfg.withDefaults()}
+	p.status.Source = p.cfg.Primary
 	if p.cfg.Server != nil {
 		p.cfg.Server.RegisterStats("pull", func() any { return p.Status() })
 	}
@@ -137,7 +166,7 @@ func (p *Puller) Run(ctx context.Context) {
 	for {
 		if _, err := p.PullOnce(ctx); err != nil {
 			if ctx.Err() == nil {
-				log.Printf("fleet: pull from %s: %v", p.cfg.Primary, err)
+				log.Printf("fleet: pull from %s: %v", p.Status().Source, err)
 			}
 			failStreak++
 		} else {
@@ -178,13 +207,61 @@ func (p *Puller) nextDelay(failStreak int) time.Duration {
 	return d
 }
 
-// PullOnce probes the primary's newest manifest and, if it is ahead of
-// the local store, downloads, verifies, installs, and publishes it.
-// It reports whether a new generation went live.
+// resolveSource picks the base URL this poll replicates from. Static
+// wiring (no Front) is just Primary. Dynamic wiring asks the front for
+// the current source role, fenced by its epoch: a resolution naming a
+// lower epoch than one already obeyed is counted and refused, a vacant
+// role or an unreachable front keeps the last adopted source (its
+// failures accrue the ordinary backoff). "" means nothing to pull from
+// yet.
+func (p *Puller) resolveSource(ctx context.Context) string {
+	if p.cfg.Front == "" {
+		return p.cfg.Primary
+	}
+	var info SourceInfo
+	ok := false
+	if req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.cfg.Front+fleetPrefix+"source", nil); err == nil {
+		if resp, err := p.cfg.Client.Do(req); err == nil {
+			if resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info) == nil {
+				ok = true
+			}
+			resp.Body.Close()
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ok && info.URL != "" {
+		switch {
+		case info.Epoch < p.status.SourceEpoch:
+			p.status.Fenced++
+		case info.URL != p.status.Source || info.Epoch != p.status.SourceEpoch:
+			log.Printf("fleet: pull source is now %s (epoch %d)", info.URL, info.Epoch)
+			p.status.Source = info.URL
+			p.status.SourceEpoch = info.Epoch
+		}
+	}
+	return p.status.Source
+}
+
+// PullOnce resolves the current source, probes its newest manifest
+// and, if it is ahead of the local store, downloads, verifies,
+// installs, and publishes it. It reports whether a new generation went
+// live.
 func (p *Puller) PullOnce(ctx context.Context) (installed bool, err error) {
 	p.bump(func(st *PullStatus) { st.Polls++ })
 
-	mb, err := p.fetch(ctx, p.cfg.Primary+shipPrefix+"manifest")
+	src := p.resolveSource(ctx)
+	if src == "" {
+		p.clearError() // source role vacant, nothing adopted yet
+		return false, nil
+	}
+	if p.cfg.Self != "" && src == p.cfg.Self {
+		p.clearError() // we ARE the source; our store is the origin
+		return false, nil
+	}
+
+	mb, err := p.fetch(ctx, src+shipPrefix+"manifest")
 	if err != nil {
 		return false, p.fail(err)
 	}
@@ -195,18 +272,72 @@ func (p *Puller) PullOnce(ctx context.Context) (installed bool, err error) {
 		p.bump(func(st *PullStatus) { st.Attempts++; st.Rejections++ })
 		return false, p.fail(fmt.Errorf("%w: manifest: %v", store.ErrVerify, err))
 	}
+	if gi.ID <= 0 {
+		p.bump(func(st *PullStatus) { st.Attempts++; st.Rejections++ })
+		return false, p.fail(fmt.Errorf("%w: manifest names generation %d", store.ErrVerify, gi.ID))
+	}
 	local, err := p.cfg.Store.LatestID()
 	if err != nil {
 		return false, p.fail(err)
 	}
 	if gi.ID <= local {
-		p.clearError()
-		return false, nil // up to date
+		if p.cfg.Front == "" {
+			p.clearError()
+			return false, nil // up to date
+		}
+		return p.reconcile(ctx, src, gi, mb)
 	}
+	return p.installFrom(ctx, src, gi, mb)
+}
 
+// reconcile handles a resolved source whose newest generation does not
+// lead the local store. The source is the only member that creates
+// generations in its epoch, so local ids beyond the source's newest —
+// or a differing corpus digest at the same id — are dead-branch state
+// inherited from a fenced, older-epoch source (the old primary's
+// unshipped tail). Dead-branch generations are quarantined, never
+// deleted, and the source's own newest is installed when ours differs;
+// matching digests just mean "up to date".
+func (p *Puller) reconcile(ctx context.Context, src string, gi *store.GenInfo, mb []byte) (bool, error) {
+	gens, err := p.cfg.Store.List()
+	if err != nil {
+		return false, p.fail(err)
+	}
+	for _, g := range gens {
+		if g.ID <= gi.ID {
+			continue
+		}
+		if qerr := p.cfg.Store.QuarantineGeneration(g.ID); qerr != nil {
+			return false, p.fail(fmt.Errorf("quarantining dead-branch generation %d: %w", g.ID, qerr))
+		}
+		p.bump(func(st *PullStatus) { st.Diverged++ })
+		log.Printf("fleet: quarantined dead-branch generation %d (source %s is at %d, epoch %d)",
+			g.ID, src, gi.ID, p.Status().SourceEpoch)
+	}
+	localDigest, derr := p.cfg.Store.GenDigest(gi.ID)
+	switch {
+	case derr == nil && localDigest == gi.CorpusSHA256:
+		p.clearError()
+		return false, nil // same branch, up to date
+	case derr == nil, !store.IsRetryable(derr):
+		// Same id from a different branch, or a local manifest too
+		// corrupt to compare: quarantine ours and take the source's.
+		if qerr := p.cfg.Store.QuarantineGeneration(gi.ID); qerr != nil && !store.IsRetryable(qerr) {
+			return false, p.fail(fmt.Errorf("quarantining divergent generation %d: %w", gi.ID, qerr))
+		}
+		p.bump(func(st *PullStatus) { st.Diverged++ })
+		log.Printf("fleet: quarantined divergent generation %d, reinstalling from %s", gi.ID, src)
+	default:
+		// We simply do not hold the source's newest id; install it.
+	}
+	return p.installFrom(ctx, src, gi, mb)
+}
+
+// installFrom downloads, verifies, installs, and publishes gi from src.
+func (p *Puller) installFrom(ctx context.Context, src string, gi *store.GenInfo, mb []byte) (bool, error) {
 	p.bump(func(st *PullStatus) { st.Attempts++ })
 	fetchSeg := func(name string) ([]byte, error) {
-		return p.fetch(ctx, fmt.Sprintf("%s%ssegment/%d/%s", p.cfg.Primary, shipPrefix, gi.ID, name))
+		return p.fetch(ctx, fmt.Sprintf("%s%ssegment/%d/%s", src, shipPrefix, gi.ID, name))
 	}
 	igi, db, err := p.cfg.Store.Install(mb, fetchSeg)
 	switch {
@@ -234,6 +365,7 @@ func (p *Puller) PullOnce(ctx context.Context) (installed bool, err error) {
 	p.status.Generation = igi.ID
 	p.status.LastInstall = time.Now().UTC().Format(time.RFC3339)
 	p.status.LastError = ""
+	p.status.ConsecutiveFailures = 0
 	p.mu.Unlock()
 
 	// Prune local history; Keep >= 1 plus GC's own last-recoverable
@@ -251,12 +383,12 @@ func (p *Puller) bump(f func(*PullStatus)) {
 }
 
 func (p *Puller) fail(err error) error {
-	p.bump(func(st *PullStatus) { st.LastError = err.Error() })
+	p.bump(func(st *PullStatus) { st.LastError = err.Error(); st.ConsecutiveFailures++ })
 	return err
 }
 
 func (p *Puller) clearError() {
-	p.bump(func(st *PullStatus) { st.LastError = "" })
+	p.bump(func(st *PullStatus) { st.LastError = ""; st.ConsecutiveFailures = 0 })
 }
 
 // fetch GETs one shipping URL. A 404 carrying X-Gen-Gone is translated

@@ -98,6 +98,17 @@ func (s *Store) ReadSegmentRaw(id int64, name string) ([]byte, error) {
 	return data, nil
 }
 
+// GenDigest returns the corpus digest one committed manifest records —
+// the cheap identity check pullers use to tell a divergent branch from
+// an already-installed generation. A missing manifest is ErrGenGone.
+func (s *Store) GenDigest(id int64) (string, error) {
+	m, err := s.loadManifest(id)
+	if err != nil {
+		return "", err
+	}
+	return m.CorpusSHA256, nil
+}
+
 // ParseManifest self-verifies raw manifest bytes (as returned by
 // ExportManifest or fetched over the wire) and returns the generation's
 // public description — how a replica learns a shipped generation's id

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Load edge cases: whatever is (or is not) on disk, Load must return a
+// clean RecoveryReport — never a panic, never a partial corpus.
+
+func TestLoadEmptyDirReportsClean(t *testing.T) {
+	s := open(t, t.TempDir())
+	db, gi, rep, err := s.Load()
+	if !errors.Is(err, ErrNoGeneration) {
+		t.Fatalf("err = %v, want ErrNoGeneration", err)
+	}
+	if db != nil || gi != nil {
+		t.Fatal("empty store must not return a corpus")
+	}
+	if rep == nil || rep.Scanned != 0 || rep.Served != 0 || len(rep.Discarded) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestLoadMissingSegmentDiscardsGeneration(t *testing.T) {
+	db := corpus(t)
+	dir := t.TempDir()
+	s := open(t, dir, WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	gi, err := s.Save(db, "gen one")
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, genDirName(gi.ID), gi.Segments[0].Name)); err != nil {
+		t.Fatalf("remove segment: %v", err)
+	}
+	got, lgi, rep, err := s.Load()
+	if !errors.Is(err, ErrNoGeneration) {
+		t.Fatalf("err = %v, want ErrNoGeneration", err)
+	}
+	if got != nil || lgi != nil {
+		t.Fatal("generation with a missing segment must not serve a partial corpus")
+	}
+	if rep.Scanned != 1 || len(rep.Discarded) != 1 || rep.Discarded[0].ID != gi.ID {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestLoadQuarantinedOnlyDirReportsClean(t *testing.T) {
+	db := corpus(t)
+	dir := t.TempDir()
+	s := open(t, dir)
+	gi, err := s.Save(db, "gen one")
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := s.QuarantineGeneration(gi.ID); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	got, lgi, rep, err := s.Load()
+	if !errors.Is(err, ErrNoGeneration) {
+		t.Fatalf("err = %v, want ErrNoGeneration", err)
+	}
+	if got != nil || lgi != nil {
+		t.Fatal("quarantined-only store must not return a corpus")
+	}
+	if rep.Scanned != 0 || len(rep.Discarded) != 0 {
+		t.Fatalf("quarantined artifacts leaked into recovery: %+v", rep)
+	}
+	// Reopening over the same dir must not resurrect or sweep the
+	// quarantined generation either.
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s2 := open(t, dir)
+	if _, _, _, err := s2.Load(); !errors.Is(err, ErrNoGeneration) {
+		t.Fatalf("reopened err = %v, want ErrNoGeneration", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDirName, manifestName(gi.ID))); err != nil {
+		t.Fatalf("reopen disturbed quarantine: %v", err)
+	}
+}
