@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak cover bench bench-short bench-gate fuzz-short ci
+.PHONY: all build test short race vet fmt-check soak serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak ship-soak cover bench bench-short bench-gate fuzz-short ci
 
 all: build
 
@@ -86,6 +86,17 @@ membership-soak:
 heal-soak:
 	$(GO) test -race -run 'TestHealSoak' -v ./internal/fleet/
 
+# Torn-transfer replication soak (E25), under the race detector: a
+# replica converges on a primary's generations through seeded
+# mid-stream link cuts, corruption injected into resumed ranges,
+# kill/restart between segments, and a throttled link — asserting
+# byte-identical installs with monotone per-pull progress, zero
+# re-downloads of verified segments (a recorder transport proves it),
+# zero wire bytes for segments shared between generations N and N+1,
+# and no staging debris after the drain.
+ship-soak:
+	$(GO) test -race -run 'TestShipSoak' -v ./internal/fleet/
+
 # Streaming-replay soak, under the race detector: fast, slow
 # (backpressured), and mid-stream-disconnecting /v1/watch clients while
 # the corpus hot-reloads underneath them — asserting gap-free monotone
@@ -96,7 +107,7 @@ watch-soak:
 
 # Coverage gate on the two subsystems whose failure modes are silent
 # corruption and data loss: the generation store and the fleet layer.
-# Floors sit a few points under measured coverage (~91% fleet, ~80%
+# Floors sit a few points under measured coverage (~88% fleet, ~78%
 # store) so a tested-path regression fails loud without the gate
 # flaking on timing-dependent branches.
 cover:
@@ -127,10 +138,10 @@ fuzz-short:
 	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulkLenient' -fuzztime 10s
 	$(GO) test ./internal/uls -run '^$$' -fuzz 'FuzzReadBulk$$' -fuzztime 5s
 
-# Full benchmark suite (E1–E17, ablations, engine, serving
-# middleware), machine-readable.
+# Full benchmark suite (E1–E17, ablations, engine, serving middleware,
+# full-pull vs delta-pull bytes-on-wire), machine-readable.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json . ./internal/serve/
+	$(GO) test -run '^$$' -bench . -benchmem -json . ./internal/serve/ ./internal/fleet/
 
 # Engine benchmarks only, one iteration each under the race detector:
 # a smoke test that the memoized snapshot path stays correct and
@@ -138,4 +149,4 @@ bench:
 bench-short:
 	$(GO) test -race -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x .
 
-ci: fmt-check vet build race serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak cover bench-gate bench-short fuzz-short
+ci: fmt-check vet build race serve-soak store-crash fleet-soak membership-soak heal-soak watch-soak ship-soak cover bench-gate bench-short fuzz-short

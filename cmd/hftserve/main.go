@@ -15,6 +15,7 @@
 //	         [-watch-max-streams 64] [-watch-heartbeat 15s]
 //	         [-keyframe-interval 16]
 //	         [-pull-from URL] [-pull-front URL] [-pull-interval 2s] [-pull-keep 3]
+//	         [-pull-max-bps 0]
 //	         [-announce URL] [-announce-name NAME] [-announce-url URL]
 //	         [-scrub-interval 0] [-scrub-pause 2ms]
 //
@@ -60,6 +61,17 @@
 // (epoch fencing), quarantines any local generations that diverge from
 // the new source's history, and — should this very instance be the
 // promoted source — stops pulling entirely.
+//
+// Replication is resumable and delta-based: an interrupted download
+// leaves its verified progress in the store's staging area and the next
+// poll continues it with ranged GETs, and segments whose SHA-256 digest
+// the replica already holds locally are hard-linked instead of fetched
+// (an unchanged segment between generations N and N+1 ships zero
+// bytes). -pull-max-bps caps download throughput with a token bucket so
+// replication cannot starve live serving — the staging area makes the
+// stretched transfer safe. Transfer counters (resumed, reused_segments,
+// bytes_saved) appear under "pull" on /statsz, and the shipping side's
+// serve counters under "ship".
 //
 // With -scrub-interval > 0 (requires -store-dir) a background
 // anti-entropy scrubber re-verifies every committed generation on the
@@ -120,6 +132,7 @@ func main() {
 	pullFront := flag.String("pull-front", "", "resolve the replication source dynamically from this front tier's /v1/fleet/source (requires -store-dir, excludes -bulk; overrides -pull-from once a source is elected)")
 	pullInterval := flag.Duration("pull-interval", 2*time.Second, "replication poll cadence (jittered)")
 	pullKeep := flag.Int("pull-keep", 3, "local generations kept after each replicated install")
+	pullMaxBps := flag.Int64("pull-max-bps", 0, "replication download cap in bytes/sec (0 = unlimited; interrupted transfers resume from the staging area)")
 	announce := flag.String("announce", "", "front tier base URL to self-register with (lease-based membership)")
 	announceName := flag.String("announce-name", "", "member name to announce (default: the announced URL's host:port)")
 	announceURL := flag.String("announce-url", "", "base URL the front should route to (default: http://127.0.0.1<addr> for a :port bind)")
@@ -180,7 +193,9 @@ func main() {
 		}
 		srv.AttachStore(st)
 		// A persistent store makes this instance a shippable primary.
-		handler = fleet.WithShipping(handler, fleet.NewShipper(st))
+		shipper := fleet.NewShipper(st)
+		handler = fleet.WithShipping(handler, shipper)
+		srv.RegisterStats("ship", func() any { return shipper.Status() })
 		opts.OnShutdown = func() {
 			if err := srv.CloseStore(); err != nil {
 				log.Printf("hftserve: closing store: %v", err)
@@ -223,13 +238,14 @@ func main() {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		puller := fleet.NewPuller(fleet.PullerConfig{
-			Primary:  *pullFrom,
-			Front:    strings.TrimSuffix(*pullFront, "/"),
-			Self:     self,
-			Store:    st,
-			Server:   srv,
-			Interval: *pullInterval,
-			Keep:     *pullKeep,
+			Primary:        *pullFrom,
+			Front:          strings.TrimSuffix(*pullFront, "/"),
+			Self:           self,
+			Store:          st,
+			Server:         srv,
+			Interval:       *pullInterval,
+			Keep:           *pullKeep,
+			MaxBytesPerSec: *pullMaxBps,
 		})
 		go puller.Run(ctx)
 		switch {

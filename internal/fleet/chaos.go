@@ -321,6 +321,12 @@ func addPullCounters(acc, s PullStatus) PullStatus {
 	acc.Rejections += s.Rejections
 	acc.Retried += s.Retried
 	acc.Backoffs += s.Backoffs
+	acc.SegmentsFetched += s.SegmentsFetched
+	acc.BytesFetched += s.BytesFetched
+	acc.Resumed += s.Resumed
+	acc.ReusedSegments += s.ReusedSegments
+	acc.BytesSaved += s.BytesSaved
+	acc.ThrottleWaits += s.ThrottleWaits
 	if s.Generation > acc.Generation {
 		acc.Generation = s.Generation
 	}
@@ -455,7 +461,11 @@ func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	resp, err := base.RoundTrip(req)
 	target := strings.Contains(req.URL.Path, shipPrefix+"segment/") ||
 		(t.CorruptManifests && strings.Contains(req.URL.Path, shipPrefix+"manifest"))
-	if err != nil || resp.StatusCode != http.StatusOK || !target {
+	// 206 bodies are corrupted too: a resumed range is exactly where a
+	// flaky link keeps injecting damage, and the puller's whole-file
+	// re-verification must catch a poisoned tail.
+	if err != nil || !target ||
+		(resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent) {
 		return resp, err
 	}
 	rate := float64(t.rate.Load()) / 1e9
@@ -485,6 +495,89 @@ func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	resp.Header.Del("Content-Length")
 	return resp, nil
 }
+
+// errLinkCut is what a severed connection surfaces to a body reader.
+var errLinkCut = fmt.Errorf("fleet: connection cut mid-stream (injected)")
+
+// CutTransport severs segment downloads mid-stream: with probability
+// Rate, a /v1/gen/segment/ response body delivers a seeded fraction of
+// its bytes and then fails with a transport error — exactly the shape
+// a dropped TCP connection presents to a reader, as opposed to
+// FaultyTransport's complete-but-wrong bodies. The resumable puller
+// must keep the delivered prefix staged and continue it with a ranged
+// GET; Cuts counts injections so soaks can assert the drill actually
+// fired. 206 resumption responses are cut too — a flaky link does not
+// spare retries.
+type CutTransport struct {
+	Base http.RoundTripper
+	Seed uint64
+
+	rate atomic.Uint64 // fixed-point parts-per-1e9, like FaultyTransport
+	Cuts atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewCutTransport wraps base (nil means http.DefaultTransport).
+func NewCutTransport(base http.RoundTripper, seed uint64) *CutTransport {
+	t := &CutTransport{Base: base, Seed: seed}
+	t.rng = rand.New(rand.NewPCG(seed, 0xC11))
+	return t
+}
+
+// SetRate adjusts the cut probability (0 disables injection).
+func (t *CutTransport) SetRate(rate float64) { t.rate.Store(floatBits(rate)) }
+
+func (t *CutTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !strings.Contains(req.URL.Path, shipPrefix+"segment/") ||
+		(resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent) {
+		return resp, err
+	}
+	rate := float64(t.rate.Load()) / 1e9
+	t.mu.Lock()
+	hit := rate > 0 && t.rng.Float64() < rate
+	var frac float64
+	if hit {
+		frac = t.rng.Float64()
+	}
+	t.mu.Unlock()
+	if !hit {
+		return resp, nil
+	}
+	length := resp.ContentLength
+	if length <= 0 {
+		length = 64 << 10
+	}
+	t.Cuts.Add(1)
+	resp.Body = &cutBody{rc: resp.Body, remaining: int64(frac * float64(length))}
+	return resp, nil
+}
+
+// cutBody delivers its byte budget, then fails like a severed link.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, errLinkCut
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
 
 // Partitioner is a network partition at the RoundTripper layer:
 // requests to blocked hosts fail immediately with a transport error —

@@ -30,6 +30,22 @@ func corpus(t testing.TB) *uls.Database {
 	return corpusDB
 }
 
+// alteredCorpus is the shared corpus minus its first license. Dropping
+// the head shifts every encoding block by one, so NO segment of a
+// generation saved from it is digest-identical to one saved from
+// corpus — tests that need the wire actually exercised (corruption
+// drills) use this for re-publications, or the puller's local digest
+// reuse would satisfy the pull with zero fetched bytes.
+func alteredCorpus(t testing.TB) *uls.Database {
+	t.Helper()
+	all := corpus(t).All()
+	db := uls.NewDatabase()
+	if err := db.AddBulk(all[1:], uls.BulkAddOptions{TrustValidated: true}); err != nil {
+		t.Fatalf("building altered corpus: %v", err)
+	}
+	return db
+}
+
 // newPrimary opens a store in a temp dir, saves the shared corpus as
 // one generation, and serves the shipping endpoints over httptest.
 // Returns the store, the shipping base URL, and the server for

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,12 @@ type FrontConfig struct {
 	// probe failures that mark a replica down (default 2).
 	CheckInterval time.Duration
 	FailAfter     int
+	// HedgeBulk extends tail-latency hedging to bulk segment fetches
+	// (/v1/gen/segment/ proxied through the front). Default off: a
+	// hedged segment fetch duplicates megabytes of transfer to shave a
+	// tail the puller's resumable staging already tolerates, so bulk
+	// reads fail over sequentially instead of racing two replicas.
+	HedgeBulk bool
 	// Promote enables epoch-fenced source promotion: the front tracks a
 	// source role (the member pullers replicate from), and when the
 	// role holder's lease lapses or its /readyz fails FailAfter
@@ -366,7 +373,11 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
 	defer cancel()
 
-	resp := f.hedgedFetch(ctx, cands, r.URL.RequestURI())
+	// Bulk segment fetches fail over but never hedge (unless opted in):
+	// racing two replicas on a multi-megabyte body duplicates the very
+	// transfer bytes the delta-shipping path exists to save.
+	hedge := f.cfg.HedgeBulk || !strings.HasPrefix(r.URL.Path, shipPrefix+"segment/")
+	resp := f.hedgedFetch(ctx, cands, r.URL.RequestURI(), r.Header, hedge)
 	if resp == nil {
 		f.shed(w, "all replicas failed")
 		return
@@ -384,13 +395,15 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 // hedgedFetch tries candidates in order. One attempt runs at a time
 // until HedgeAfter elapses without an answer — then the next candidate
 // is raced against it (tail-latency hedging; the reads are idempotent
-// by construction). An attempt that fails at transport level or
-// answers 5xx/timeout triggers immediate failover to the next
-// candidate. The first passable answer wins and cancels every losing
-// attempt still in flight (the shared context is torn down on return,
-// reeling in hedges so a slow loser never holds a replica slot after
-// the race is decided); nil means everything failed.
-func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *bufferedResp {
+// by construction; hedge=false, used for bulk transfers, disables the
+// timer so failover stays strictly sequential). An attempt that fails
+// at transport level or answers 5xx/timeout triggers immediate
+// failover to the next candidate. The first passable answer wins and
+// cancels every losing attempt still in flight (the shared context is
+// torn down on return, reeling in hedges so a slow loser never holds a
+// replica slot after the race is decided); nil means everything
+// failed.
+func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string, hdr http.Header, hedge bool) *bufferedResp {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels in the losing attempts
 
@@ -405,12 +418,16 @@ func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *b
 		next++
 		inFlight++
 		f.counters.proxied.Add(1)
-		go func() { results <- f.attempt(ctx, rep, uri) }()
+		go func() { results <- f.attempt(ctx, rep, uri, hdr) }()
 	}
 	launch()
 
-	hedge := time.NewTimer(f.cfg.HedgeAfter)
-	defer hedge.Stop()
+	var hedgeC <-chan time.Time
+	if hedge {
+		t := time.NewTimer(f.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
 
 	for inFlight > 0 {
 		select {
@@ -424,7 +441,7 @@ func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *b
 				f.counters.retried.Add(1)
 				launch()
 			}
-		case <-hedge.C:
+		case <-hedgeC:
 			if next < len(cands) {
 				f.counters.hedged.Add(1)
 				launch()
@@ -436,6 +453,22 @@ func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *b
 	return nil
 }
 
+// hopByHop are the headers a proxy must not forward (RFC 7230 §6.1);
+// everything else from the client request — notably Range and
+// If-Range, which a resuming puller behind the front depends on —
+// passes through to the replica.
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Proxy-Connection":    true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
 // passable reports whether a replica's status is returned to the
 // client as-is. 2xx–4xx are real answers; a replica's own 503 shed,
 // 5xx, and the replica-deadline 504 all mean "try another replica" —
@@ -445,10 +478,16 @@ func (f *Front) hedgedFetch(ctx context.Context, cands []Replica, uri string) *b
 // surface stays exactly one status wide.
 func passable(status int) bool { return status < 500 }
 
-func (f *Front) attempt(ctx context.Context, rep Replica, uri string) *bufferedResp {
+func (f *Front) attempt(ctx context.Context, rep Replica, uri string, hdr http.Header) *bufferedResp {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.URL+uri, nil)
 	if err != nil {
 		return nil
+	}
+	for k, vs := range hdr {
+		if hopByHop[http.CanonicalHeaderKey(k)] || k == "Host" {
+			continue
+		}
+		req.Header[http.CanonicalHeaderKey(k)] = vs
 	}
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {

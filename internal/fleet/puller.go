@@ -63,6 +63,12 @@ type PullerConfig struct {
 	// (default 3; the previous generation is always retained as the
 	// fallback corpus).
 	Keep int
+	// MaxBytesPerSec caps segment download throughput with a token
+	// bucket (0 = unlimited), so replication and repair traffic cannot
+	// starve live serving. The staging area makes the stretched
+	// transfer safe: a pull interrupted mid-budget resumes where it
+	// stopped.
+	MaxBytesPerSec int64
 }
 
 func (c PullerConfig) withDefaults() PullerConfig {
@@ -105,6 +111,25 @@ type PullStatus struct {
 	// consecutive failures — a sick primary shows up here long before
 	// it shows up in the error log's volume.
 	Backoffs int64 `json:"backoffs"`
+	// SegmentsFetched and BytesFetched count wire-level segment
+	// transfer: what actually crossed the network, the denominator for
+	// every saving below.
+	SegmentsFetched int64 `json:"segments_fetched"`
+	BytesFetched    int64 `json:"bytes_fetched"`
+	// Resumed counts segments whose bytes were (partly or wholly)
+	// recovered from an earlier interrupted pull instead of
+	// re-downloaded — staged partials continued with ranged GETs and
+	// verified survivors re-adopted after a restart.
+	Resumed int64 `json:"resumed"`
+	// ReusedSegments counts segments satisfied by SHA-256 digest from a
+	// local committed generation (delta shipping: unchanged segments of
+	// generation N+1 never touch the wire).
+	ReusedSegments int64 `json:"reused_segments"`
+	// BytesSaved totals the bytes resume and reuse kept off the wire.
+	BytesSaved int64 `json:"bytes_saved"`
+	// ThrottleWaits counts reads the MaxBytesPerSec token bucket made
+	// sleep — nonzero means the budget is actually shaping traffic.
+	ThrottleWaits int64 `json:"throttle_waits,omitempty"`
 	// Generation is the newest installed store generation id.
 	Generation int64 `json:"generation"`
 	// Source is the base URL currently replicated from — the static
@@ -130,17 +155,26 @@ type PullStatus struct {
 // Puller replicates a primary's generations into a local store and
 // serves them. Safe for one Run loop plus concurrent Status calls.
 type Puller struct {
-	cfg PullerConfig
+	cfg    PullerConfig
+	bucket *byteBucket // nil = unthrottled
 
 	mu         sync.Mutex
 	status     PullStatus
 	retryAfter time.Duration // shipper's latest Retry-After hint; consumed by nextDelay
+
+	// credited marks segments whose transfer accounting (resumed,
+	// reused, fetched) is settled for creditedGen — re-opening the same
+	// staging area on a later attempt re-adopts the same files and must
+	// not count them again.
+	creditedGen int64
+	credited    map[string]bool
 }
 
 // NewPuller returns a puller; if cfg.Server is set, its pull status is
 // registered on that server's /statsz.
 func NewPuller(cfg PullerConfig) *Puller {
 	p := &Puller{cfg: cfg.withDefaults()}
+	p.bucket = newByteBucket(p.cfg.MaxBytesPerSec)
 	p.status.Source = p.cfg.Primary
 	if p.cfg.Server != nil {
 		p.cfg.Server.RegisterStats("pull", func() any { return p.Status() })
@@ -333,22 +367,73 @@ func (p *Puller) reconcile(ctx context.Context, src string, gi *store.GenInfo, m
 	return p.installFrom(ctx, src, gi, mb)
 }
 
-// installFrom downloads, verifies, installs, and publishes gi from src.
+// installFrom downloads, verifies, installs, and publishes gi from src
+// through the store's resumable staging area: segments already held
+// locally by digest are reused off-wire, partials from an earlier
+// interrupted pull are continued with ranged GETs, and every staged
+// byte passes the size + SHA-256 ladder before it counts. A pull that
+// fails mid-way leaves its verified progress staged on disk; the next
+// poll resumes instead of starting over.
 func (p *Puller) installFrom(ctx context.Context, src string, gi *store.GenInfo, mb []byte) (bool, error) {
 	p.bump(func(st *PullStatus) { st.Attempts++ })
-	fetchSeg := func(name string) ([]byte, error) {
-		return p.fetch(ctx, fmt.Sprintf("%s%ssegment/%d/%s", src, shipPrefix, gi.ID, name))
+	stg, err := p.cfg.Store.OpenStaging(mb)
+	switch {
+	case err == nil:
+	case errors.Is(err, os.ErrExist):
+		p.clearError()
+		return false, nil // raced with another installer; already have it
+	case errors.Is(err, store.ErrVerify):
+		p.bump(func(st *PullStatus) { st.Rejections++ })
+		return false, p.fail(err)
+	default:
+		return false, p.fail(err)
 	}
-	igi, db, err := p.cfg.Store.Install(mb, fetchSeg)
+	defer stg.Close()
+
+	// Progress adopted at open — resumed survivors of an interrupted
+	// pull plus digest-reused local segments — is bytes the wire never
+	// carries. Credit each segment once per generation: a later attempt
+	// re-opening the same staging area re-adopts the same files.
+	for _, si := range gi.Segments {
+		if !stg.Verified(si.Name) || !p.markCredited(gi.ID, si.Name) {
+			continue
+		}
+		reused, sz := stg.Origin(si.Name) == "reused", si.Bytes
+		p.bump(func(st *PullStatus) {
+			if reused {
+				st.ReusedSegments++
+			} else {
+				st.Resumed++
+			}
+			st.BytesSaved += sz
+		})
+	}
+
+	for _, si := range stg.Missing() {
+		if stg.ReuseLocal(si) {
+			if p.markCredited(gi.ID, si.Name) {
+				p.bump(func(st *PullStatus) { st.ReusedSegments++; st.BytesSaved += si.Bytes })
+			}
+			continue
+		}
+		if err := p.fetchStagedSegment(ctx, src, gi, si, stg); err != nil {
+			switch {
+			case errors.Is(err, store.ErrVerify):
+				p.bump(func(st *PullStatus) { st.Rejections++ })
+			case store.IsRetryable(err):
+				// The source swept or re-published the generation
+				// mid-pull; the next poll starts from a fresh manifest.
+				p.bump(func(st *PullStatus) { st.Retried++ })
+			}
+			return false, p.fail(err)
+		}
+	}
+
+	igi, db, err := p.cfg.Store.InstallStaged(stg)
 	switch {
 	case err == nil:
 	case errors.Is(err, store.ErrVerify):
 		p.bump(func(st *PullStatus) { st.Rejections++ })
-		return false, p.fail(err)
-	case store.IsRetryable(err):
-		// The primary GC'd this generation mid-pull; the next poll
-		// starts from whatever replaced it.
-		p.bump(func(st *PullStatus) { st.Retried++ })
 		return false, p.fail(err)
 	case errors.Is(err, os.ErrExist):
 		p.clearError()
@@ -376,6 +461,23 @@ func (p *Puller) installFrom(ctx context.Context, src string, gi *store.GenInfo,
 	return true, nil
 }
 
+// markCredited records that a segment's transfer accounting is settled
+// for this generation, reporting whether this call was the first to do
+// so. A new generation id resets the set.
+func (p *Puller) markCredited(gen int64, name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.creditedGen != gen {
+		p.creditedGen = gen
+		p.credited = make(map[string]bool)
+	}
+	if p.credited[name] {
+		return false
+	}
+	p.credited[name] = true
+	return true
+}
+
 func (p *Puller) bump(f func(*PullStatus)) {
 	p.mu.Lock()
 	f(&p.status)
@@ -389,6 +491,145 @@ func (p *Puller) fail(err error) error {
 
 func (p *Puller) clearError() {
 	p.bump(func(st *PullStatus) { st.LastError = ""; st.ConsecutiveFailures = 0 })
+}
+
+// fetchStagedSegment downloads one segment into the staging area,
+// resuming any existing partial with a ranged GET, and runs the
+// completion ladder. Errors classify exactly like Install's: ErrVerify
+// for bytes that fail the manifest's checks (the poisoned partial is
+// discarded), ErrGenGone for a source that moved on mid-pull, anything
+// else a transport failure whose partial stays staged for resume.
+func (p *Puller) fetchStagedSegment(ctx context.Context, src string, gi *store.GenInfo, si store.SegmentInfo, stg *store.Staging) error {
+	url := fmt.Sprintf("%s%ssegment/%d/%s", src, shipPrefix, gi.ID, si.Name)
+	off := stg.PartialSize(si.Name)
+	if off > si.Bytes {
+		// Longer than the manifest promises: poisoned, start over.
+		if err := stg.ResetPartial(si.Name); err != nil {
+			return err
+		}
+		off = 0
+	}
+	if off == si.Bytes {
+		// A prior pull landed every byte but was cut before the verify:
+		// nothing to fetch, run the ladder directly.
+		if err := stg.CompleteSegment(si); err != nil {
+			return err
+		}
+		if p.markCredited(gi.ID, si.Name) {
+			p.bump(func(st *PullStatus) { st.Resumed++; st.BytesSaved += off })
+		}
+		return nil
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if off > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", off))
+		// The segment digest is the strong validator: a source holding
+		// different bytes under this name answers 200-whole instead of
+		// splicing a mismatched tail onto our partial.
+		req.Header.Set("If-Range", `"`+si.SHA256+`"`)
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetching segment %s: %w", si.Name, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if off > 0 {
+			// The source ignored the range (or If-Range says the
+			// content moved): restart this segment from byte zero.
+			if err := stg.ResetPartial(si.Name); err != nil {
+				return err
+			}
+			off = 0
+		}
+	case http.StatusPartialContent:
+		start, perr := parseContentRangeStart(resp.Header.Get("Content-Range"))
+		if perr != nil || start != off {
+			stg.ResetPartial(si.Name)
+			return fmt.Errorf("%w: segment %s: unusable range response %q",
+				store.ErrVerify, si.Name, resp.Header.Get("Content-Range"))
+		}
+	case http.StatusNotFound:
+		if resp.Header.Get("X-Gen-Gone") != "" {
+			return fmt.Errorf("%w: source swept it mid-pull", store.ErrGenGone)
+		}
+		return fmt.Errorf("GET %s: status 404", url)
+	case http.StatusServiceUnavailable:
+		if secs, aerr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); aerr == nil && secs > 0 {
+			p.mu.Lock()
+			p.retryAfter = time.Duration(secs) * time.Second
+			p.mu.Unlock()
+		}
+		return fmt.Errorf("GET %s: status 503", url)
+	default:
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+
+	// The shipper names the branch and content ahead of the body: a
+	// mismatch means the source re-published or promoted mid-pull, so
+	// restart from a fresh manifest without downloading a byte.
+	if d := resp.Header.Get("X-Gen-Digest"); d != "" && d != gi.CorpusSHA256 {
+		return fmt.Errorf("%w: source re-published generation %d mid-pull", store.ErrGenGone, gi.ID)
+	}
+	if d := resp.Header.Get("X-Segment-SHA256"); d != "" && d != si.SHA256 {
+		return fmt.Errorf("%w: segment %s moved mid-pull", store.ErrGenGone, si.Name)
+	}
+
+	w, err := stg.SegmentWriter(si)
+	if err != nil {
+		return err
+	}
+	if w.Offset() != off {
+		w.Close()
+		return fmt.Errorf("fleet: partial for %s moved underfoot (%d != %d)", si.Name, w.Offset(), off)
+	}
+	// Read at most one byte past what the manifest promises: an
+	// over-long body must fail the size ladder, never grow the partial
+	// unboundedly.
+	body := io.Reader(io.LimitReader(resp.Body, si.Bytes-off+1))
+	if p.bucket != nil {
+		body = &throttledReader{ctx: ctx, r: body, bucket: p.bucket, onWait: func() {
+			p.bump(func(st *PullStatus) { st.ThrottleWaits++ })
+		}}
+	}
+	n, cpErr := io.Copy(w, body)
+	w.Close()
+	if n > 0 {
+		p.bump(func(st *PullStatus) { st.BytesFetched += n })
+	}
+	if cpErr != nil {
+		// Torn mid-stream: the partial stays staged for the next pull.
+		return fmt.Errorf("fetching segment %s: %w", si.Name, cpErr)
+	}
+	if err := stg.CompleteSegment(si); err != nil {
+		return err
+	}
+	p.markCredited(gi.ID, si.Name)
+	p.bump(func(st *PullStatus) { st.SegmentsFetched++ })
+	if off > 0 {
+		p.bump(func(st *PullStatus) { st.Resumed++; st.BytesSaved += off })
+	}
+	return nil
+}
+
+// parseContentRangeStart extracts the first byte position a 206
+// response's Content-Range claims to start at.
+func parseContentRangeStart(v string) (int64, error) {
+	rest, ok := strings.CutPrefix(v, "bytes ")
+	if !ok {
+		return 0, fmt.Errorf("bad Content-Range %q", v)
+	}
+	start, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, fmt.Errorf("bad Content-Range %q", v)
+	}
+	return strconv.ParseInt(start, 10, 64)
 }
 
 // fetch GETs one shipping URL. A 404 carrying X-Gen-Gone is translated

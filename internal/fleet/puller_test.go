@@ -99,8 +99,9 @@ func TestPullerRejectsCorruptShipment(t *testing.T) {
 	}
 	goodGen, _ := rst.LatestID()
 
-	// Primary publishes a new generation; the wire turns hostile.
-	if _, err := pst.Save(corpus(t), "update under fire"); err != nil {
+	// Primary publishes a new generation the replica shares no segment
+	// digests with (local reuse must not bypass the hostile wire).
+	if _, err := pst.Save(alteredCorpus(t), "update under fire"); err != nil {
 		t.Fatal(err)
 	}
 	for _, profile := range synth.Profiles() {

@@ -84,7 +84,12 @@ func NewPeerFetcher(cfg PeerFetcherConfig) store.SegmentFetch {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 10 * time.Second}
 	}
-	get := func(ctx context.Context, url string) ([]byte, error) {
+	// get fetches one URL; check, when non-nil, sees the response
+	// headers before a single body byte is read — the shipper
+	// advertises X-Gen-Digest and X-Segment-SHA256, so a peer on a
+	// divergent branch is rejected for free. Peers that predate the
+	// headers (no value present) fall through to the body-level checks.
+	get := func(ctx context.Context, url string, check func(http.Header) error) ([]byte, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, err
@@ -97,7 +102,20 @@ func NewPeerFetcher(cfg PeerFetcherConfig) store.SegmentFetch {
 		if resp.StatusCode != http.StatusOK {
 			return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 		}
+		if check != nil {
+			if err := check(resp.Header); err != nil {
+				return nil, err
+			}
+		}
 		return io.ReadAll(io.LimitReader(resp.Body, maxShipBytes))
+	}
+	headerGate := func(name, want string) func(http.Header) error {
+		return func(h http.Header) error {
+			if got := h.Get(name); got != "" && got != want {
+				return fmt.Errorf("%s %s does not match wanted %s", name, got[:min(12, len(got))], want[:min(12, len(want))])
+			}
+			return nil
+		}
 	}
 	return func(ctx context.Context, gen store.GenInfo, seg store.SegmentInfo) ([]byte, error) {
 		peers, err := cfg.Peers(ctx)
@@ -110,15 +128,17 @@ func NewPeerFetcher(cfg PeerFetcherConfig) store.SegmentFetch {
 				continue
 			}
 			tried++
-			mb, err := get(ctx, fmt.Sprintf("%s%smanifest?id=%d", peer.URL, shipPrefix, gen.ID))
+			mb, err := get(ctx, fmt.Sprintf("%s%smanifest?id=%d", peer.URL, shipPrefix, gen.ID),
+				headerGate("X-Gen-Digest", gen.CorpusSHA256))
 			if err != nil {
-				continue // peer down or never had the generation
+				continue // peer down, divergent branch, or never had the generation
 			}
 			pgi, err := store.ParseManifest(mb)
 			if err != nil || pgi.ID != gen.ID || pgi.CorpusSHA256 != gen.CorpusSHA256 {
 				continue // different branch or corrupt copy: never blend
 			}
-			data, err := get(ctx, fmt.Sprintf("%s%ssegment/%d/%s", peer.URL, shipPrefix, gen.ID, seg.Name))
+			data, err := get(ctx, fmt.Sprintf("%s%ssegment/%d/%s", peer.URL, shipPrefix, gen.ID, seg.Name),
+				headerGate("X-Segment-SHA256", seg.SHA256))
 			if err != nil {
 				continue
 			}

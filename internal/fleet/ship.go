@@ -3,8 +3,10 @@ package fleet
 import (
 	"encoding/json"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"hftnetview/internal/store"
 )
@@ -16,20 +18,55 @@ const shipPrefix = "/v1/gen/"
 //
 //	GET /v1/gen/latest              {"id": N} — newest committed id (0 = empty)
 //	GET /v1/gen/manifest[?id=N]     raw manifest bytes (newest without ?id)
-//	GET /v1/gen/segment/{id}/{name} raw segment bytes
+//	GET /v1/gen/segment/{id}/{name} raw segment bytes (Range supported)
 //
 // Manifest and segment responses are byte-for-byte the on-disk
 // artifacts; their integrity is carried by the format itself (manifest
 // self-checksum, per-segment digests), so the transport needs no extra
-// framing. A generation swept by GC between a replica reading the
+// framing. Segments stream straight from disk via http.ServeContent —
+// no whole-file allocation per request — which also gives ranged GETs:
+// a puller resuming a torn transfer asks for exactly the missing tail.
+// Every response advertises the branch and content identity up front
+// (X-Gen-Digest, X-Segment-SHA256, ETag = segment SHA-256) so a client
+// on a different branch can reject the transfer before downloading a
+// byte, and If-Range can never splice bytes from two publications of
+// the same id. A generation swept by GC between a replica reading the
 // manifest and fetching a segment answers 404 with X-Gen-Gone: the
 // puller's retryable signal to restart from a newer manifest.
 type Shipper struct {
 	st *store.Store
+
+	manifests   atomic.Int64
+	segments    atomic.Int64
+	rangeServes atomic.Int64
+	bytesServed atomic.Int64
 }
 
 // NewShipper exports st's generations.
 func NewShipper(st *store.Store) *Shipper { return &Shipper{st: st} }
+
+// ShipStatus counts what this member has shipped — the serving-side
+// half of the fleet's transfer accounting, exported on /statsz.
+type ShipStatus struct {
+	// Manifests and Segments count completed responses by kind.
+	Manifests int64 `json:"manifests"`
+	Segments  int64 `json:"segments"`
+	// RangeServes counts segment responses answered 206 — resumed
+	// transfers, each one whole-file bytes the wire did not re-carry.
+	RangeServes int64 `json:"range_serves"`
+	// BytesServed is the total segment body bytes written to the wire.
+	BytesServed int64 `json:"bytes_served"`
+}
+
+// Status snapshots the shipping counters.
+func (h *Shipper) Status() ShipStatus {
+	return ShipStatus{
+		Manifests:   h.manifests.Load(),
+		Segments:    h.segments.Load(),
+		RangeServes: h.rangeServes.Load(),
+		BytesServed: h.bytesServed.Load(),
+	}
+}
 
 func (h *Shipper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -44,7 +81,7 @@ func (h *Shipper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case rest == "manifest":
 		h.serveManifest(w, r)
 	case strings.HasPrefix(rest, "segment/"):
-		h.serveSegment(w, strings.TrimPrefix(rest, "segment/"))
+		h.serveSegment(w, r, strings.TrimPrefix(rest, "segment/"))
 	default:
 		http.NotFound(w, r)
 	}
@@ -79,23 +116,82 @@ func (h *Shipper) serveManifest(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Gen-ID", strconv.FormatInt(served, 10))
+	if gi, err := store.ParseManifest(data); err == nil {
+		w.Header().Set("X-Gen-Digest", gi.CorpusSHA256)
+	}
 	w.Write(data)
+	h.manifests.Add(1)
 }
 
-func (h *Shipper) serveSegment(w http.ResponseWriter, rest string) {
+func (h *Shipper) serveSegment(w http.ResponseWriter, r *http.Request, rest string) {
 	gen, name, ok := strings.Cut(rest, "/")
 	id, err := strconv.ParseInt(gen, 10, 64)
 	if !ok || err != nil || id <= 0 || strings.Contains(name, "/") {
 		http.Error(w, "bad segment reference", http.StatusBadRequest)
 		return
 	}
-	data, err := h.st.ReadSegmentRaw(id, name)
+	path, si, modTime, err := h.st.SegmentHandle(id, name)
 	if err != nil {
 		h.exportError(w, err)
 		return
 	}
+	digest, err := h.st.GenDigest(id)
+	if err != nil {
+		h.exportError(w, err)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// The manifest resolved but the segment file is gone:
+			// concurrent GC swept the generation mid-request.
+			w.Header().Set("X-Gen-Gone", "1")
+			http.Error(w, "generation swept mid-request", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(data)
+	w.Header().Set("X-Gen-ID", strconv.FormatInt(id, 10))
+	w.Header().Set("X-Gen-Digest", digest)
+	w.Header().Set("X-Segment-SHA256", si.SHA256)
+	// The segment digest is the strong validator: If-Range against it
+	// can never splice a resumed tail onto bytes from a different
+	// publication of the same id.
+	w.Header().Set("ETag", `"`+si.SHA256+`"`)
+	cw := &countingWriter{ResponseWriter: w}
+	http.ServeContent(cw, r, "", modTime, f)
+	h.segments.Add(1)
+	h.bytesServed.Add(cw.bytes)
+	if cw.status == http.StatusPartialContent {
+		h.rangeServes.Add(1)
+	}
+}
+
+// countingWriter records the response status and body bytes written —
+// the shipper's wire accounting, without buffering anything.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	n, err := c.ResponseWriter.Write(p)
+	c.bytes += int64(n)
+	return n, err
 }
 
 // exportError maps store read errors onto the wire: a GC-swept

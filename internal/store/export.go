@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"time"
 
 	"hftnetview/internal/uls"
 )
@@ -203,27 +204,60 @@ func (s *Store) install(m *manifest, manifestBytes []byte, tmpDir string, fetch 
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrVerify, err)
 	}
+	gi, err := s.commitGeneration(m, manifestBytes, tmpDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gi, db, nil
+}
 
-	// Commit with Save's protocol: segment dir rename, then manifest
-	// write + atomic rename, each made durable with a directory sync.
+// commitGeneration publishes an assembled, fully verified segment
+// directory with Save's protocol: rename the segment dir into place,
+// then write and atomically rename the manifest, each made durable
+// with a directory sync. Shared by Install and InstallStaged; the
+// caller holds s.mu and has already deep-verified tmpDir against m.
+func (s *Store) commitGeneration(m *manifest, manifestBytes []byte, tmpDir string) (*GenInfo, error) {
 	genDir := filepath.Join(s.dir, genDirName(m.Generation))
 	if err := os.Rename(tmpDir, genDir); err != nil {
-		return nil, nil, fmt.Errorf("store: publishing segment dir: %w", err)
+		return nil, fmt.Errorf("store: publishing segment dir: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
-		return nil, nil, fmt.Errorf("store: syncing %s: %w", s.dir, err)
+		return nil, fmt.Errorf("store: syncing %s: %w", s.dir, err)
 	}
 	final := filepath.Join(s.dir, manifestName(m.Generation))
 	tmp := final + ".tmp"
 	if err := s.writeFileSync(tmp, manifestBytes); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
-		return nil, nil, fmt.Errorf("store: committing manifest: %w", err)
+		return nil, fmt.Errorf("store: committing manifest: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
-		return nil, nil, fmt.Errorf("store: syncing %s: %w", s.dir, err)
+		return nil, fmt.Errorf("store: syncing %s: %w", s.dir, err)
 	}
 	gi := m.info()
-	return &gi, db, nil
+	return &gi, nil
+}
+
+// SegmentHandle resolves one committed segment to its on-disk path,
+// manifest entry, and commit time — what a shipper needs to stream it
+// with http.ServeContent instead of loading it whole. The path points
+// into an immutable generation directory; concurrent GC maps to
+// ErrGenGone at open time on the caller's side.
+func (s *Store) SegmentHandle(id int64, name string) (string, SegmentInfo, time.Time, error) {
+	if id <= 0 || !segNameRE.MatchString(name) {
+		return "", SegmentInfo{}, time.Time{}, fmt.Errorf("store: bad segment reference %d/%q", id, name)
+	}
+	m, err := s.loadManifest(id)
+	if err != nil {
+		return "", SegmentInfo{}, time.Time{}, err
+	}
+	for _, si := range m.Segments {
+		if si.Name == name {
+			return filepath.Join(s.dir, genDirName(id), name), si, m.CreatedAt, nil
+		}
+	}
+	// A well-formed name the manifest does not list: the caller's view
+	// of the generation is stale — retryable, like a GC'd generation.
+	return "", SegmentInfo{}, time.Time{}, fmt.Errorf("%w: generation %d segment %s", ErrGenGone, id, name)
 }

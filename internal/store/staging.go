@@ -1,0 +1,809 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hftnetview/internal/uls"
+)
+
+// Delta shipping & resumable transfer.
+//
+// Install (export.go) downloads a whole generation in one shot: a kill,
+// partition, or slow link mid-pull discards every byte of progress, and
+// every pull re-fetches segments the replica already holds as part of
+// an earlier generation. The staging area fixes both:
+//
+//	dir/staging/<gen-000007>/
+//	  MANIFEST.bin      the incoming manifest, verbatim, saved first
+//	  JOURNAL           checksummed append-only resume journal
+//	  seg-0003.dat      complete-and-verified segment
+//	  seg-0007.dat.part in-progress partial (never trusted)
+//
+// The staging directory survives process restarts deliberately: it is
+// not swept by Open/Close (unlike tmp-gen-*), so a replica killed
+// mid-pull resumes where it stopped. The JOURNAL records which
+// segments are complete-and-verified, one checksummed line per event;
+// a torn tail line (crash mid-append) is ignored. A segment reaches
+// the journal only after the full ladder passed — exact size, then
+// SHA-256 against the manifest entry — and the verified file was
+// renamed from its .part name and the directory synced, in that
+// order. So every crash window is safe:
+//
+//	crash mid-.part-write  → the partial is resumed by a ranged fetch
+//	                         and never trusted until the whole-file
+//	                         digest passes;
+//	crash after rename,    → the final-named file is re-hashed at the
+//	  before journal append  next open and adopted iff it matches the
+//	                         manifest (it was verified; the journal
+//	                         line just never landed);
+//	crash mid-journal-append → the torn line is dropped, the file is
+//	                         re-hashed and re-adopted as above.
+//
+// OpenStaging re-verifies everything it adopts by re-hashing the bytes
+// on disk, so resume never trusts state it cannot prove; the journal
+// is the record of intent and provenance, not a substitute for proof.
+//
+// Segment reuse is what makes shipping delta-based: any segment of the
+// incoming manifest whose (SHA-256, size) already exists in a local
+// committed generation — or verified in another staging area — is
+// hard-linked (copy fallback) into staging, re-hashed, and never
+// fetched. Successive generations that share most of their corpus ship
+// only the changed segments over the wire.
+//
+// A staging area is abandoned only when the manifest digest changes
+// for its generation id (the source re-published a different id, or a
+// promotion moved the branch): same id + same manifest digest always
+// resumes. Opening a staging area for a new id harvests digest-matching
+// segments from, then removes, any older staging debris, so at most one
+// staging directory survives a pull cycle; GC sweeps staging dirs whose
+// generation is already committed.
+
+// stagingRootName is the store subdirectory holding per-pull staging
+// areas. Like quarantine/, it is invisible to Load, List, Fsck, and the
+// temp sweeps.
+const stagingRootName = "staging"
+
+const (
+	stagingManifestFile = "MANIFEST.bin"
+	stagingJournalFile  = "JOURNAL"
+	partialSuffix       = ".part"
+)
+
+func stagingDirName(id int64) string { return genDirName(id) }
+
+// parseStagingID extracts the generation id from a staging dir name.
+func parseStagingID(name string) int64 { return parseGenDirID(name) }
+
+// journalEntry is one checksummed JOURNAL line. Type "begin" pins the
+// generation id and manifest digest the staging area was opened for;
+// type "segment" records one complete-and-verified segment.
+type journalEntry struct {
+	Type string `json:"type"`
+	// begin fields
+	Generation     int64  `json:"generation,omitempty"`
+	ManifestSHA256 string `json:"manifest_sha256,omitempty"`
+	// segment fields
+	Name   string `json:"name,omitempty"`
+	SHA256 string `json:"sha256,omitempty"`
+	Bytes  int64  `json:"bytes,omitempty"`
+	// Origin is how the bytes arrived: "fetched" over the wire,
+	// "reused" from a local committed generation or older staging
+	// area, "resumed" re-adopted from a prior pull of this very
+	// generation (including the crash-before-journal window).
+	Origin string `json:"origin,omitempty"`
+}
+
+func appendJournalLine(w io.Writer, e journalEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal entry: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	_, err = fmt.Fprintf(w, "%s %s\n", hex.EncodeToString(sum[:]), payload)
+	return err
+}
+
+// parseJournal decodes the checksummed journal lines, dropping any line
+// whose checksum does not match (a torn append) and everything after it.
+func parseJournal(data []byte) []journalEntry {
+	var out []journalEntry
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		sumHex, payload, ok := strings.Cut(line, " ")
+		if !ok {
+			return out // torn tail
+		}
+		sum := sha256.Sum256([]byte(payload))
+		if hex.EncodeToString(sum[:]) != sumHex {
+			return out // torn or corrupted tail
+		}
+		var e journalEntry
+		if json.Unmarshal([]byte(payload), &e) != nil {
+			return out
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// StagingStats is a staging area's account of where its verified bytes
+// came from, read by the puller's transfer counters.
+type StagingStats struct {
+	// ResumedSegments were adopted from a prior pull of the same
+	// generation (journal replay or the crash-before-journal window);
+	// ResumedBytes is their total size.
+	ResumedSegments int64
+	ResumedBytes    int64
+	// ReusedSegments were hard-linked/copied from a local committed
+	// generation or older staging area by digest; ReusedBytes likewise.
+	ReusedSegments int64
+	ReusedBytes    int64
+}
+
+// Staging is one in-progress generation pull: a durable, resumable
+// download area for the segments one manifest promises. Not safe for
+// concurrent use; one puller drives one Staging at a time.
+type Staging struct {
+	st            *Store
+	dir           string
+	m             *manifest
+	manifestBytes []byte
+	manifestSHA   string
+
+	journal  *os.File
+	verified map[string]bool   // segment name -> verified on disk under its final name
+	origins  map[string]string // segment name -> fetched | resumed | reused
+	writer   *StagingWriter    // at most one open partial writer
+	stats    StagingStats
+	closed   bool
+}
+
+// OpenStaging opens (or resumes) the staging area for one shipped
+// manifest. The manifest bytes are self-verified first; a staging
+// directory already holding a different manifest digest for the same
+// generation id is abandoned and restarted, the same digest is resumed
+// with every previously verified segment re-hashed and adopted. Older
+// staging areas (other generation ids) are harvested for digest-matching
+// segments and removed. A generation this store already committed
+// returns os.ErrExist.
+func (s *Store) OpenStaging(manifestBytes []byte) (*Staging, error) {
+	m, err := parseManifestBytes(manifestBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if m.Generation <= 0 {
+		return nil, fmt.Errorf("%w: manifest names generation %d", ErrVerify, m.Generation)
+	}
+	for _, si := range m.Segments {
+		if !segNameRE.MatchString(si.Name) {
+			return nil, fmt.Errorf("%w: manifest names segment %q", ErrVerify, si.Name)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, manifestName(m.Generation))); err == nil {
+		return nil, fmt.Errorf("store: generation %d already installed: %w", m.Generation, os.ErrExist)
+	}
+
+	sum := sha256.Sum256(manifestBytes)
+	stg := &Staging{
+		st:            s,
+		dir:           filepath.Join(s.dir, stagingRootName, stagingDirName(m.Generation)),
+		m:             m,
+		manifestBytes: append([]byte(nil), manifestBytes...),
+		manifestSHA:   hex.EncodeToString(sum[:]),
+		verified:      make(map[string]bool),
+		origins:       make(map[string]string),
+	}
+
+	// A prior staging area for this id resumes iff it was opened for
+	// these exact manifest bytes; anything else is a different branch
+	// or a re-publish and starts over.
+	fresh := true
+	if entries := stg.readJournal(); len(entries) > 0 {
+		if entries[0].Type == "begin" &&
+			entries[0].Generation == m.Generation &&
+			entries[0].ManifestSHA256 == stg.manifestSHA {
+			fresh = false
+		} else {
+			os.RemoveAll(stg.dir)
+		}
+	} else if _, err := os.Stat(stg.dir); err == nil {
+		os.RemoveAll(stg.dir) // journal unreadable or missing: untrusted debris
+	}
+
+	if fresh {
+		if err := os.MkdirAll(stg.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating staging dir: %w", err)
+		}
+		if err := s.writeFileSync(filepath.Join(stg.dir, stagingManifestFile), manifestBytes); err != nil {
+			return nil, err
+		}
+		j, err := stg.openJournal()
+		if err != nil {
+			return nil, err
+		}
+		stg.journal = j
+		if err := stg.appendJournal(journalEntry{
+			Type: "begin", Generation: m.Generation, ManifestSHA256: stg.manifestSHA,
+		}); err != nil {
+			j.Close()
+			return nil, err
+		}
+	} else {
+		j, err := stg.openJournal()
+		if err != nil {
+			return nil, err
+		}
+		stg.journal = j
+		stg.adoptSurvivors()
+	}
+
+	// Delta reuse: harvest digest-matching segments from committed
+	// generations and older staging debris, then drop the debris.
+	stg.reuseAll()
+	s.sweepStagingLocked(m.Generation)
+	return stg, nil
+}
+
+func (g *Staging) openJournal() (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(g.dir, stagingJournalFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening staging journal: %w", err)
+	}
+	return f, nil
+}
+
+func (g *Staging) readJournal() []journalEntry {
+	data, err := os.ReadFile(filepath.Join(g.dir, stagingJournalFile))
+	if err != nil {
+		return nil
+	}
+	return parseJournal(data)
+}
+
+// appendJournal durably appends one entry (write + fsync).
+func (g *Staging) appendJournal(e journalEntry) error {
+	if err := appendJournalLine(g.journal, e); err != nil {
+		return fmt.Errorf("store: appending staging journal: %w", err)
+	}
+	if err := g.journal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing staging journal: %w", err)
+	}
+	return nil
+}
+
+// adoptSurvivors re-verifies what a prior pull of this generation left
+// behind: every final-named segment file — journaled or caught in the
+// crash-before-journal window — is re-hashed against the manifest and
+// adopted iff it matches; anything else final-named is deleted (it can
+// only be garbage from a torn rename). Partials are left alone: they
+// are resumed by ranged fetches and verified at completion.
+func (g *Staging) adoptSurvivors() {
+	journaled := make(map[string]bool)
+	for _, e := range g.readJournal() {
+		if e.Type == "segment" {
+			journaled[e.Name] = true
+		}
+	}
+	for _, si := range g.m.Segments {
+		path := filepath.Join(g.dir, si.Name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if int64(len(data)) == si.Bytes && segmentDigest(data) == si.SHA256 {
+			g.verified[si.Name] = true
+			g.origins[si.Name] = "resumed"
+			g.stats.ResumedSegments++
+			g.stats.ResumedBytes += si.Bytes
+			if !journaled[si.Name] {
+				// The crash-before-journal window: verified bytes whose
+				// journal line never landed. Record them now.
+				g.appendJournal(journalEntry{
+					Type: "segment", Name: si.Name, SHA256: si.SHA256,
+					Bytes: si.Bytes, Origin: "resumed",
+				})
+			}
+			continue
+		}
+		os.Remove(path) // final-named but unverifiable: never trust it
+	}
+}
+
+// reuseAll hard-links every still-missing segment whose digest already
+// exists locally — in a committed generation or verified in an older
+// staging area — re-hashing each link before adopting it.
+func (g *Staging) reuseAll() {
+	var index map[string]string // "sha256/bytes" -> source path
+	build := func() {
+		index = g.st.localSegmentIndexLocked()
+	}
+	for _, si := range g.m.Segments {
+		if g.verified[si.Name] {
+			continue
+		}
+		if index == nil {
+			build()
+		}
+		src, ok := index[si.SHA256+"/"+strconv.FormatInt(si.Bytes, 10)]
+		if !ok {
+			continue
+		}
+		if err := g.adoptLocal(src, si, "reused"); err == nil {
+			g.stats.ReusedSegments++
+			g.stats.ReusedBytes += si.Bytes
+		}
+	}
+}
+
+// ReuseLocal retries local reuse for one still-missing segment (the
+// puller calls it right before fetching, in case a concurrent install
+// landed the digest since OpenStaging). It reports whether the segment
+// is now verified locally.
+func (g *Staging) ReuseLocal(si SegmentInfo) bool {
+	if g.verified[si.Name] {
+		return true
+	}
+	g.st.mu.Lock()
+	index := g.st.localSegmentIndexLocked()
+	g.st.mu.Unlock()
+	src, ok := index[si.SHA256+"/"+strconv.FormatInt(si.Bytes, 10)]
+	if !ok {
+		return false
+	}
+	if err := g.adoptLocal(src, si, "reused"); err != nil {
+		return false
+	}
+	g.stats.ReusedSegments++
+	g.stats.ReusedBytes += si.Bytes
+	return true
+}
+
+// adoptLocal links (or copies) src into the staging area under a temp
+// name, re-hashes it against the manifest entry, and promotes it to
+// verified exactly like a fetched segment: rename, dir sync, journal.
+func (g *Staging) adoptLocal(src string, si SegmentInfo, origin string) error {
+	tmp := filepath.Join(g.dir, si.Name+".reuse")
+	os.Remove(tmp)
+	if err := linkOrCopy(src, tmp); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if int64(len(data)) != si.Bytes || segmentDigest(data) != si.SHA256 {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: local copy of %s failed re-verification", ErrVerify, si.Name)
+	}
+	return g.promote(tmp, si, origin)
+}
+
+// promote renames a fully verified temp/partial file to its final
+// segment name, syncs the directory, and journals the verification —
+// in that order, so the journal never leads the bytes.
+func (g *Staging) promote(from string, si SegmentInfo, origin string) error {
+	final := filepath.Join(g.dir, si.Name)
+	if err := os.Rename(from, final); err != nil {
+		return fmt.Errorf("store: promoting staged segment: %w", err)
+	}
+	if err := syncDir(g.dir); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", g.dir, err)
+	}
+	if err := callNameFP(g.st.stagingFP.BeforeJournal, si.Name); err != nil {
+		return err
+	}
+	if err := g.appendJournal(journalEntry{
+		Type: "segment", Name: si.Name, SHA256: si.SHA256, Bytes: si.Bytes, Origin: origin,
+	}); err != nil {
+		return err
+	}
+	g.verified[si.Name] = true
+	g.origins[si.Name] = origin
+	if err := callNameFP(g.st.stagingFP.AfterJournal, si.Name); err != nil {
+		return err
+	}
+	return nil
+}
+
+// linkOrCopy hard-links src to dst, falling back to a byte copy where
+// links are unsupported. Segments are immutable once committed (repair
+// replaces by rename, never in place), so shared inodes are safe.
+func linkOrCopy(src, dst string) error {
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+// Info returns the staged generation's description.
+func (g *Staging) Info() GenInfo { return g.m.info() }
+
+// ManifestBytes returns the manifest this staging area was opened for.
+func (g *Staging) ManifestBytes() []byte { return g.manifestBytes }
+
+// Origin reports where one verified segment's bytes came from:
+// "fetched" (completed from a partial this staging wrote), "resumed"
+// (adopted from a prior interrupted pull of the same generation), or
+// "reused" (satisfied from local disk by digest). Empty for segments
+// not yet verified.
+func (g *Staging) Origin(name string) string { return g.origins[name] }
+
+// Verified reports whether one segment is complete-and-verified.
+func (g *Staging) Verified(name string) bool { return g.verified[name] }
+
+// VerifiedCount returns how many of the manifest's segments are done.
+func (g *Staging) VerifiedCount() int { return len(g.verified) }
+
+// Stats returns the resume/reuse accounting.
+func (g *Staging) Stats() StagingStats { return g.stats }
+
+// PartialSize returns the byte length of a segment's in-progress
+// partial (0 when none exists) — the offset a ranged fetch resumes at.
+func (g *Staging) PartialSize(name string) int64 {
+	fi, err := os.Stat(filepath.Join(g.dir, name+partialSuffix))
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// ResetPartial discards a segment's partial, forcing the next fetch to
+// start from byte zero (a poisoned resume, or a source that ignored the
+// range request).
+func (g *Staging) ResetPartial(name string) error {
+	g.closeWriter()
+	err := os.Remove(filepath.Join(g.dir, name+partialSuffix))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// StagingWriter appends fetched bytes to one segment's partial file.
+type StagingWriter struct {
+	g    *Staging
+	name string
+	f    *os.File
+	off  int64
+}
+
+// SegmentWriter opens (or continues) the partial for one manifest
+// segment; writes append at the current partial size.
+func (g *Staging) SegmentWriter(si SegmentInfo) (*StagingWriter, error) {
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if g.verified[si.Name] {
+		return nil, fmt.Errorf("store: segment %s already verified", si.Name)
+	}
+	g.closeWriter()
+	path := filepath.Join(g.dir, si.Name+partialSuffix)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening partial %s: %w", si.Name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &StagingWriter{g: g, name: si.Name, f: f, off: fi.Size()}
+	g.writer = w
+	return w, nil
+}
+
+// Offset is the byte position the next Write lands at.
+func (w *StagingWriter) Offset() int64 { return w.off }
+
+func (w *StagingWriter) Write(p []byte) (int, error) {
+	if err := w.g.st.stagingFP.midWrite(w.name, w.off); err != nil {
+		return 0, err
+	}
+	n, err := w.f.Write(p)
+	w.off += int64(n)
+	return n, err
+}
+
+// Close closes the partial file without verifying it; the bytes stay
+// on disk for a later resume.
+func (w *StagingWriter) Close() error {
+	if w.g.writer == w {
+		w.g.writer = nil
+	}
+	return w.f.Close()
+}
+
+func (g *Staging) closeWriter() {
+	if g.writer != nil {
+		g.writer.Close()
+	}
+}
+
+// CompleteSegment runs one segment's verification ladder over its
+// partial file: fsync, exact size, whole-file SHA-256 — and only then
+// promotes it to its final name and journals it. A partial that fails
+// verification is deleted (resume must never trust it) and the error
+// wraps ErrVerify so the caller re-fetches from byte zero.
+func (g *Staging) CompleteSegment(si SegmentInfo) error {
+	if g.verified[si.Name] {
+		return nil
+	}
+	g.closeWriter()
+	path := filepath.Join(g.dir, si.Name+partialSuffix)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: completing %s: %w", si.Name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing partial %s: %w", si.Name, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("store: reading partial %s: %w", si.Name, err)
+	}
+	if int64(len(data)) != si.Bytes {
+		os.Remove(path)
+		return fmt.Errorf("%w: segment %s is %d bytes, manifest says %d",
+			ErrVerify, si.Name, len(data), si.Bytes)
+	}
+	if got := segmentDigest(data); got != si.SHA256 {
+		os.Remove(path)
+		return fmt.Errorf("%w: segment %s SHA-256 mismatch", ErrVerify, si.Name)
+	}
+	return g.promote(path, si, "fetched")
+}
+
+// Missing returns the manifest segments not yet verified, in manifest
+// order — the fetch work list.
+func (g *Staging) Missing() []SegmentInfo {
+	var out []SegmentInfo
+	for _, si := range g.m.Segments {
+		if !g.verified[si.Name] {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// Close releases file handles. The staging directory stays on disk for
+// a later resume unless the generation was committed by InstallStaged.
+func (g *Staging) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	g.closeWriter()
+	if g.journal != nil {
+		g.journal.Close()
+	}
+}
+
+// InstallStaged commits a fully staged generation: every manifest
+// segment must be verified, the assembled set is deep-verified exactly
+// like Fsck (rebuilding the database the caller publishes), and the
+// commit uses Save's protocol — segment dir rename, then manifest write
+// + atomic rename, both fsynced. On success the staging area is
+// removed; on any failure it is left intact for resume.
+func (s *Store) InstallStaged(g *Staging) (*GenInfo, *uls.Database, error) {
+	if missing := g.Missing(); len(missing) > 0 {
+		return nil, nil, fmt.Errorf("store: staging for generation %d is incomplete: %d segment(s) unverified",
+			g.m.Generation, len(missing))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, manifestName(g.m.Generation))); err == nil {
+		return nil, nil, fmt.Errorf("store: generation %d already installed: %w", g.m.Generation, os.ErrExist)
+	}
+
+	// Assemble the generation directory from the staged segments by
+	// hard link (copy fallback): the staging area keeps its files until
+	// the commit lands, so a crash mid-assembly costs nothing.
+	tmpDir := filepath.Join(s.dir, "tmp-"+genDirName(g.m.Generation))
+	os.RemoveAll(tmpDir)
+	if err := os.Mkdir(tmpDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: creating temp dir: %w", err)
+	}
+	fail := func(err error) (*GenInfo, *uls.Database, error) {
+		os.RemoveAll(tmpDir)
+		os.Remove(filepath.Join(s.dir, manifestName(g.m.Generation)+".tmp"))
+		return nil, nil, err
+	}
+	for _, si := range g.m.Segments {
+		if err := linkOrCopy(filepath.Join(g.dir, si.Name), filepath.Join(tmpDir, si.Name)); err != nil {
+			return fail(fmt.Errorf("store: assembling staged generation: %w", err))
+		}
+	}
+
+	// The same deep scrub Fsck runs — and the database rebuild the
+	// caller needs to publish the generation.
+	db, err := verifyGenerationDir(g.m, tmpDir, true)
+	if err != nil {
+		return fail(fmt.Errorf("%w: %v", ErrVerify, err))
+	}
+	gi, err := s.commitGeneration(g.m, g.manifestBytes, tmpDir)
+	if err != nil {
+		return fail(err)
+	}
+
+	g.Close()
+	os.RemoveAll(g.dir)
+	// Removing the last staging area leaves an empty staging/ root;
+	// harmless, but tidy stores are easier to reason about.
+	os.Remove(filepath.Join(s.dir, stagingRootName))
+	return gi, db, nil
+}
+
+// localSegmentIndexLocked maps "sha256/bytes" of every segment in every
+// committed generation — plus every verified segment in staging areas —
+// to its on-disk path. Caller holds s.mu.
+func (s *Store) localSegmentIndexLocked() map[string]string {
+	index := make(map[string]string)
+	ids, err := s.manifestIDs()
+	if err != nil {
+		return index
+	}
+	// Oldest first so the newest copy of a digest wins the map.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m, err := s.loadManifest(id)
+		if err != nil {
+			continue
+		}
+		for _, si := range m.Segments {
+			index[si.SHA256+"/"+strconv.FormatInt(si.Bytes, 10)] =
+				filepath.Join(s.dir, genDirName(id), si.Name)
+		}
+	}
+	// Verified segments in staging areas (an abandoned pull's completed
+	// work is still byte-proven — harvesting it is free).
+	root := filepath.Join(s.dir, stagingRootName)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return index
+	}
+	for _, e := range ents {
+		if !e.IsDir() || parseStagingID(e.Name()) <= 0 {
+			continue
+		}
+		sdir := filepath.Join(root, e.Name())
+		data, err := os.ReadFile(filepath.Join(sdir, stagingJournalFile))
+		if err != nil {
+			continue
+		}
+		for _, je := range parseJournal(data) {
+			if je.Type != "segment" {
+				continue
+			}
+			path := filepath.Join(sdir, je.Name)
+			if fi, err := os.Stat(path); err == nil && fi.Size() == je.Bytes {
+				index[je.SHA256+"/"+strconv.FormatInt(je.Bytes, 10)] = path
+			}
+		}
+	}
+	return index
+}
+
+// sweepStagingLocked removes staging areas other than keep's — older
+// pulls abandoned mid-flight (their reusable segments were already
+// harvested) and pulls of generations since committed. keep <= 0
+// removes staging areas only for committed generations (the GC rule).
+// Caller holds s.mu.
+func (s *Store) sweepStagingLocked(keep int64) {
+	root := filepath.Join(s.dir, stagingRootName)
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		id := parseStagingID(e.Name())
+		switch {
+		case id <= 0:
+			// Unrecognized debris under staging/: remove.
+		case keep > 0 && id == keep:
+			continue
+		case keep <= 0:
+			// GC rule: a staging area for a committed generation is
+			// garbage; an uncommitted one may be an in-flight pull.
+			if _, err := os.Stat(filepath.Join(s.dir, manifestName(id))); err != nil {
+				continue
+			}
+		}
+		os.RemoveAll(filepath.Join(root, e.Name()))
+	}
+	if rest, err := os.ReadDir(root); err == nil && len(rest) == 0 {
+		os.Remove(root)
+	}
+}
+
+// StagingIDs lists the generation ids with a staging area on disk —
+// the soak tests' staging-leak probe.
+func (s *Store) StagingIDs() ([]int64, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, stagingRootName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []int64
+	for _, e := range ents {
+		if id := parseStagingID(e.Name()); id > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// StagingReport describes one staging area without opening it: which
+// segments its journal records as verified (and still present under
+// their final names), and the partial sizes of in-progress segments.
+type StagingReport struct {
+	Generation     int64
+	ManifestSHA256 string
+	Verified       []string
+	Partial        map[string]int64
+}
+
+// StagingReportFor inspects one staging area read-only (tests and
+// tooling; returns os.ErrNotExist when none exists for id).
+func (s *Store) StagingReportFor(id int64) (*StagingReport, error) {
+	dir := filepath.Join(s.dir, stagingRootName, stagingDirName(id))
+	data, err := os.ReadFile(filepath.Join(dir, stagingJournalFile))
+	if err != nil {
+		return nil, err
+	}
+	rep := &StagingReport{Generation: id, Partial: make(map[string]int64)}
+	for _, e := range parseJournal(data) {
+		switch e.Type {
+		case "begin":
+			rep.ManifestSHA256 = e.ManifestSHA256
+		case "segment":
+			if fi, err := os.Stat(filepath.Join(dir, e.Name)); err == nil && fi.Size() == e.Bytes {
+				rep.Verified = append(rep.Verified, e.Name)
+			}
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), partialSuffix); ok {
+			if fi, err := e.Info(); err == nil {
+				rep.Partial[name] = fi.Size()
+			}
+		}
+	}
+	sort.Strings(rep.Verified)
+	return rep, nil
+}

@@ -1,0 +1,581 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fetchLog records every simulated wire fetch a staged pull performs:
+// which segment, and from which byte offset. The crash-recovery
+// assertions are all statements about this log — a verified segment
+// must never be fetched again, a resumed partial must be fetched from
+// exactly its surviving size.
+type fetchLog struct {
+	entries []fetchEntry
+}
+
+type fetchEntry struct {
+	name string
+	off  int64
+}
+
+func (l *fetchLog) add(name string, off int64) {
+	l.entries = append(l.entries, fetchEntry{name, off})
+}
+
+func (l *fetchLog) fetchesOf(name string) []fetchEntry {
+	var out []fetchEntry
+	for _, e := range l.entries {
+		if e.name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// stagedPull drives one staging area the way the fleet puller does —
+// resume partials, fetch missing ranges in chunks, verify, install —
+// against a local source store standing in for the wire. Any error
+// (including an injected crash) aborts mid-flight exactly like a kill,
+// leaving the staging area as-is.
+func stagedPull(t *testing.T, dst, src *Store, srcID int64, mb []byte, log *fetchLog) error {
+	t.Helper()
+	stg, err := dst.OpenStaging(mb)
+	if err != nil {
+		return err
+	}
+	defer stg.Close()
+	const chunk = 8 << 10
+	for _, si := range stg.Missing() {
+		off := stg.PartialSize(si.Name)
+		if off > si.Bytes {
+			if err := stg.ResetPartial(si.Name); err != nil {
+				return err
+			}
+			off = 0
+		}
+		if off < si.Bytes {
+			data, err := src.ReadSegmentRaw(srcID, si.Name)
+			if err != nil {
+				return err
+			}
+			log.add(si.Name, off)
+			w, werr := stg.SegmentWriter(si)
+			if werr != nil {
+				return werr
+			}
+			werr = func() error {
+				for pos := off; pos < int64(len(data)); pos += chunk {
+					end := min(pos+chunk, int64(len(data)))
+					if _, err := w.Write(data[pos:end]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+			w.Close()
+			if werr != nil {
+				return werr
+			}
+		}
+		if err := stg.CompleteSegment(si); err != nil {
+			return err
+		}
+	}
+	_, _, err = dst.InstallStaged(stg)
+	return err
+}
+
+// crashBudget arms every staging failpoint with a shared countdown:
+// the Nth event (partial write, pre-journal, post-journal) crashes.
+type crashBudget struct {
+	remaining int
+	armed     bool
+}
+
+func (c *crashBudget) tick(where string) error {
+	if !c.armed {
+		return nil
+	}
+	c.remaining--
+	if c.remaining <= 0 {
+		c.armed = false
+		return fmt.Errorf("%w: at %s", ErrFailpoint, where)
+	}
+	return nil
+}
+
+func (c *crashBudget) points() StagingFailpoints {
+	return StagingFailpoints{
+		MidSegmentWrite: func(name string, off int64) error {
+			return c.tick(fmt.Sprintf("mid-write %s@%d", name, off))
+		},
+		BeforeJournal: func(name string) error { return c.tick("before-journal " + name) },
+		AfterJournal:  func(name string) error { return c.tick("after-journal " + name) },
+	}
+}
+
+// TestStagingCrashRecovery is the torn-transfer matrix: seeds 1–20
+// each kill the pull at a different staging event — mid-partial-write,
+// after a segment's verify+rename but before its journal line, and
+// right after the journal append — then resume with a fresh pull.
+// Invariants, per seed:
+//
+//   - resume never re-fetches a byte of any segment the crashed pull
+//     verified (journaled or caught in the pre-journal window);
+//   - resume never trusts an unverified partial: the surviving bytes
+//     are continued from their exact offset and the whole file still
+//     has to pass the size+SHA-256 ladder;
+//   - the final install is byte-identical to the source corpus and
+//     leaves no staging debris.
+func TestStagingCrashRecovery(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	gi, err := src.Save(db, "crash matrix source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gi.Segments) < 3 {
+		t.Fatalf("want a multi-segment generation for the matrix, got %d", len(gi.Segments))
+	}
+	mb, _, err := src.ExportManifest(gi.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := 1; seed <= 20; seed++ {
+		t.Run(fmt.Sprintf("seed-%02d", seed), func(t *testing.T) {
+			budget := &crashBudget{remaining: seed, armed: true}
+			dst := open(t, t.TempDir(), WithStagingFailpoints(budget.points()))
+			log := &fetchLog{}
+
+			err := stagedPull(t, dst, src, gi.ID, mb, log)
+			crashed := errors.Is(err, ErrFailpoint)
+			if err != nil && !crashed {
+				t.Fatalf("first pull failed outside the injected crash: %v", err)
+			}
+
+			if crashed {
+				rep, rerr := dst.StagingReportFor(gi.ID)
+				if rerr != nil {
+					t.Fatalf("no staging area survived the crash: %v", rerr)
+				}
+				verifiedAtCrash := map[string]bool{}
+				for _, name := range rep.Verified {
+					verifiedAtCrash[name] = true
+				}
+				// The pre-journal window: a final-named file the journal
+				// has not recorded. The report intentionally omits it, but
+				// resume must adopt it; find such files on disk.
+				sdir := filepath.Join(dst.Dir(), stagingRootName, stagingDirName(gi.ID))
+				finalNamed := map[string]bool{}
+				for _, si := range gi.Segments {
+					if _, serr := os.Stat(filepath.Join(sdir, si.Name)); serr == nil {
+						finalNamed[si.Name] = true
+					}
+				}
+				partialAtCrash := map[string]int64{}
+				for name, n := range rep.Partial {
+					partialAtCrash[name] = n
+				}
+
+				mark := len(log.entries)
+				if rerr := stagedPull(t, dst, src, gi.ID, mb, log); rerr != nil {
+					t.Fatalf("resume pull: %v", rerr)
+				}
+				for _, e := range log.entries[mark:] {
+					if finalNamed[e.name] {
+						t.Errorf("resume re-fetched %s@%d — it was already verified on disk", e.name, e.off)
+					}
+					if want, ok := partialAtCrash[e.name]; ok && e.off != want {
+						t.Errorf("resume fetched %s from %d, surviving partial was %d bytes", e.name, e.off, want)
+					}
+					if _, ok := partialAtCrash[e.name]; !ok && e.off != 0 {
+						t.Errorf("resume fetched %s from %d with no surviving partial", e.name, e.off)
+					}
+				}
+			}
+
+			back, lgi, rep, err := dst.Load()
+			if err != nil {
+				t.Fatalf("load after recovery: %v\n%s", err, rep)
+			}
+			if lgi.ID != gi.ID || lgi.CorpusSHA256 != gi.CorpusSHA256 {
+				t.Fatalf("recovered generation %d (%s), want %d (%s)",
+					lgi.ID, lgi.CorpusSHA256[:8], gi.ID, gi.CorpusSHA256[:8])
+			}
+			if !bytes.Equal(bulkBytes(t, back), bulkBytes(t, db)) {
+				t.Fatal("recovered corpus differs from the source")
+			}
+			if ids, _ := dst.StagingIDs(); len(ids) != 0 {
+				t.Fatalf("staging leak after install: %v", ids)
+			}
+		})
+	}
+}
+
+// TestStagingPoisonedPartialNeverTrusted plants garbage in a partial
+// and asserts the resumed pull detects it at verification, discards
+// the poison, and converges from a clean re-fetch — a partial is a
+// hint, never a fact.
+func TestStagingPoisonedPartialNeverTrusted(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	gi, err := src.Save(db, "poison source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _, err := src.ExportManifest(gi.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := open(t, t.TempDir())
+	stg, err := dst.OpenStaging(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a poisoned prefix of the first segment: right length to
+	// look like honest progress, wrong bytes.
+	si := gi.Segments[0]
+	w, err := stg.SegmentWriter(si)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := bytes.Repeat([]byte{0xAB}, int(si.Bytes/2))
+	if _, err := w.Write(poison); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	stg.Close()
+
+	// The resumed pull continues from the poisoned offset — and must
+	// reject the assembled segment, because the surviving prefix never
+	// re-earned trust.
+	log := &fetchLog{}
+	err = stagedPull(t, dst, src, gi.ID, mb, log)
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("pull over a poisoned partial = %v, want ErrVerify", err)
+	}
+	if fs := log.fetchesOf(si.Name); len(fs) != 1 || fs[0].off != int64(len(poison)) {
+		t.Fatalf("fetches of %s = %+v, want one resume from %d", si.Name, fs, len(poison))
+	}
+	if rep, _ := dst.StagingReportFor(gi.ID); rep != nil {
+		if _, ok := rep.Partial[si.Name]; ok {
+			t.Fatal("poisoned partial survived rejection — it must be discarded")
+		}
+	}
+
+	// Next pull starts the segment from zero and converges.
+	if err := stagedPull(t, dst, src, gi.ID, mb, log); err != nil {
+		t.Fatalf("clean retry: %v", err)
+	}
+	if fs := log.fetchesOf(si.Name); fs[len(fs)-1].off != 0 {
+		t.Fatalf("retry fetched %s from %d, want 0 after discard", si.Name, fs[len(fs)-1].off)
+	}
+	if back, lgi, _, err := dst.Load(); err != nil || lgi.ID != gi.ID ||
+		!bytes.Equal(bulkBytes(t, back), bulkBytes(t, db)) {
+		t.Fatalf("post-poison install not byte-identical (gen %v, err %v)", lgi, err)
+	}
+}
+
+// TestStagingDeltaReuse proves the content-addressed path: a replica
+// already holding generation N installs a re-publication N+1 of the
+// same corpus without fetching a single byte — every segment is
+// satisfied by digest from the committed generation.
+func TestStagingDeltaReuse(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	if _, err := src.Save(db, "gen one"); err != nil {
+		t.Fatal(err)
+	}
+	gi2, err := src.Save(db, "gen two, same corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := open(t, t.TempDir())
+	mb1, _, err := src.ExportManifest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &fetchLog{}
+	if err := stagedPull(t, dst, src, 1, mb1, log); err != nil {
+		t.Fatal(err)
+	}
+	wireFetches := len(log.entries)
+	if wireFetches == 0 {
+		t.Fatal("bootstrap pull fetched nothing — vacuous")
+	}
+
+	mb2, _, err := src.ExportManifest(gi2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stg, err := dst.OpenStaging(mb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing := stg.Missing(); len(missing) != 0 {
+		t.Fatalf("%d segments still missing after digest reuse, want 0", len(missing))
+	}
+	if s := stg.Stats(); s.ReusedSegments != int64(len(gi2.Segments)) || s.ReusedBytes != gi2.Bytes {
+		t.Fatalf("reuse stats %+v, want %d segments / %d bytes", s, len(gi2.Segments), gi2.Bytes)
+	}
+	if _, _, err := dst.InstallStaged(stg); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := dst.LatestID(); id != gi2.ID {
+		t.Fatalf("latest = %d, want %d", id, gi2.ID)
+	}
+	if back, _, _, err := dst.Load(); err != nil || !bytes.Equal(bulkBytes(t, back), bulkBytes(t, db)) {
+		t.Fatalf("delta-installed corpus differs (err %v)", err)
+	}
+}
+
+// TestStagingAbandonOnDigestChange: same generation id, different
+// manifest bytes = a different branch — staged progress for the old
+// bytes must be discarded, never blended.
+func TestStagingAbandonOnDigestChange(t *testing.T) {
+	db := corpus(t)
+	srcA := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	giA, err := srcA.Save(db, "branch A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch B: same id from a different store with different framing
+	// (bigger blocks → different segment bytes and digests).
+	srcB := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(16))
+	giB, err := srcB.Save(db, "branch B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if giA.ID != giB.ID || giA.CorpusSHA256 == giB.CorpusSHA256 {
+		t.Fatalf("want same id, different digests: %+v vs %+v", giA, giB)
+	}
+	mbA, _, _ := srcA.ExportManifest(giA.ID)
+	mbB, _, _ := srcB.ExportManifest(giB.ID)
+
+	dst := open(t, t.TempDir())
+	stg, err := dst.OpenStaging(mbA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := giA.Segments[0]
+	data, _ := srcA.ReadSegmentRaw(giA.ID, si.Name)
+	w, _ := stg.SegmentWriter(si)
+	w.Write(data)
+	w.Close()
+	if err := stg.CompleteSegment(si); err != nil {
+		t.Fatal(err)
+	}
+	stg.Close()
+
+	// Same id, branch B: the A progress is abandoned whole.
+	stgB, err := dst.OpenStaging(mbB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stgB.VerifiedCount(); got != 0 {
+		t.Fatalf("branch switch kept %d verified segments from the old branch", got)
+	}
+	stgB.Close()
+
+	// Back to branch A (B's empty staging is abandoned in turn): A's
+	// verified segment would also have been thrown away with it —
+	// unless it was harvested by digest. Either way the invariant is
+	// "nothing unverifiable survives"; re-verify resume correctness.
+	stgA, err := dst.OpenStaging(mbA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{si.Name} {
+		if stgA.Verified(name) {
+			// Harvested: must still be byte-correct — InstallStaged
+			// would deep-verify anyway, but check the digest path now.
+			got, rerr := os.ReadFile(filepath.Join(dst.Dir(), stagingRootName, stagingDirName(giA.ID), name))
+			if rerr != nil || segmentDigest(got) != si.SHA256 {
+				t.Fatalf("harvested segment fails re-verification: %v", rerr)
+			}
+		}
+	}
+	stgA.Close()
+}
+
+// TestStagingJournalTornTail: a torn (half-written) journal line — the
+// crash-mid-append shape — must invalidate only itself; the journaled
+// prefix and the on-disk verified segments still resume.
+func TestStagingJournalTornTail(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	gi, err := src.Save(db, "torn tail source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _, _ := src.ExportManifest(gi.ID)
+
+	dst := open(t, t.TempDir())
+	stg, err := dst.OpenStaging(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := gi.Segments[0]
+	data, _ := src.ReadSegmentRaw(gi.ID, si.Name)
+	w, _ := stg.SegmentWriter(si)
+	w.Write(data)
+	w.Close()
+	if err := stg.CompleteSegment(si); err != nil {
+		t.Fatal(err)
+	}
+	stg.Close()
+
+	// Tear the journal tail: a checksum-less fragment of a line.
+	jpath := filepath.Join(dst.Dir(), stagingRootName, stagingDirName(gi.ID), stagingJournalFile)
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"type":"segm`)
+	f.Close()
+
+	log := &fetchLog{}
+	if err := stagedPull(t, dst, src, gi.ID, mb, log); err != nil {
+		t.Fatalf("resume over torn journal: %v", err)
+	}
+	if fs := log.fetchesOf(si.Name); len(fs) != 0 {
+		t.Fatalf("torn tail caused re-fetch of verified %s: %+v", si.Name, fs)
+	}
+	if back, _, _, err := dst.Load(); err != nil || !bytes.Equal(bulkBytes(t, back), bulkBytes(t, db)) {
+		t.Fatalf("post-torn-tail install differs (err %v)", err)
+	}
+}
+
+// TestParseJournal covers the checksummed line format directly.
+func TestParseJournal(t *testing.T) {
+	var buf bytes.Buffer
+	entries := []journalEntry{
+		{Type: "begin", Generation: 7, ManifestSHA256: "abc"},
+		{Type: "segment", Name: "seg-0000.dat", SHA256: "def", Bytes: 42, Origin: "fetched"},
+	}
+	for _, e := range entries {
+		if err := appendJournalLine(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := parseJournal(buf.Bytes())
+	if len(good) != 2 || good[0].Type != "begin" || good[1].Name != "seg-0000.dat" {
+		t.Fatalf("round trip = %+v", good)
+	}
+	// A flipped byte in the tail line invalidates that line only.
+	raw := buf.Bytes()
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-3] ^= 0x40
+	if got := parseJournal(flipped); len(got) != 1 || got[0].Type != "begin" {
+		t.Fatalf("corrupt tail = %+v, want the begin record alone", got)
+	}
+	// Garbage up front poisons everything after it.
+	if got := parseJournal(append([]byte("junk\n"), raw...)); len(got) != 0 {
+		t.Fatalf("corrupt head = %+v, want nothing", got)
+	}
+}
+
+// TestStagingGCSweep: a staging area whose generation has since been
+// committed is garbage and GC removes it; an in-flight (uncommitted)
+// one survives.
+func TestStagingGCSweep(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	if _, err := src.Save(db, "gen one"); err != nil {
+		t.Fatal(err)
+	}
+	gi2, err := src.Save(db, "gen two")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := open(t, t.TempDir())
+	// Install gen 1 the classic way, then open (and abandon) staging
+	// progress for gen 2.
+	mb1, _, _ := src.ExportManifest(1)
+	if _, _, err := dst.Install(mb1, shipFetch(src, 1)); err != nil {
+		t.Fatal(err)
+	}
+	mb2, _, _ := src.ExportManifest(gi2.ID)
+	stg, err := dst.OpenStaging(mb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stg.Close()
+
+	// GC keeps the staging area: its generation is not committed here.
+	if _, err := dst.GC(3); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := dst.StagingIDs(); len(ids) != 1 || ids[0] != gi2.ID {
+		t.Fatalf("in-flight staging swept by GC: %v", ids)
+	}
+
+	// Commit gen 2 (digest reuse makes it instant), then GC: now the
+	// staging area is spent and must go.
+	stg2, err := dst.OpenStaging(mb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dst.InstallStaged(stg2); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := dst.StagingIDs(); len(ids) != 0 {
+		t.Fatalf("staging survived its own install: %v", ids)
+	}
+	// And a manually recreated spent dir is swept by the next GC.
+	leftover := filepath.Join(dst.Dir(), stagingRootName, stagingDirName(gi2.ID))
+	if err := os.MkdirAll(leftover, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.GC(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatal("spent staging dir survived GC")
+	}
+}
+
+// TestOpenStagingRefusesCommitted: a generation this store already
+// holds is os.ErrExist, mirroring Install's idempotence contract.
+func TestOpenStagingRefusesCommitted(t *testing.T) {
+	db := corpus(t)
+	src := open(t, t.TempDir(), WithSegmentTarget(16<<10), WithBlockLicenses(8))
+	gi, err := src.Save(db, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _, _ := src.ExportManifest(gi.ID)
+	dst := open(t, t.TempDir())
+	if _, _, err := dst.Install(mb, shipFetch(src, gi.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.OpenStaging(mb); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("OpenStaging on a committed generation = %v, want os.ErrExist", err)
+	}
+	// And a garbled manifest is ErrVerify before any directory exists.
+	garbled := append([]byte(nil), mb...)
+	garbled[0] ^= 0xFF
+	if _, err := dst.OpenStaging(garbled); !errors.Is(err, ErrVerify) {
+		t.Fatalf("OpenStaging on garbled manifest = %v, want ErrVerify", err)
+	}
+	if strings.Contains(strings.Join(func() []string {
+		ents, _ := os.ReadDir(dst.Dir())
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		return names
+	}(), " "), stagingRootName) {
+		t.Fatal("refused OpenStaging left a staging root behind")
+	}
+}

@@ -141,6 +141,7 @@ func (r *RecoveryReport) String() string {
 type Store struct {
 	dir           string
 	fp            Failpoints
+	stagingFP     StagingFailpoints
 	segmentTarget int
 	blockLicenses int
 
@@ -154,6 +155,12 @@ type Option func(*Store)
 // WithFailpoints installs crash-injection hooks (tests only).
 func WithFailpoints(fp Failpoints) Option {
 	return func(s *Store) { s.fp = fp }
+}
+
+// WithStagingFailpoints installs crash-injection hooks on the staging
+// area's resumable-download protocol (tests only).
+func WithStagingFailpoints(fp StagingFailpoints) Option {
+	return func(s *Store) { s.stagingFP = fp }
 }
 
 // WithSegmentTarget sets the byte size past which Save starts a new
@@ -796,6 +803,9 @@ func (s *Store) GC(keep int) ([]int64, error) {
 	}
 	s.sweepKeyframes(kept)
 	s.sweepTemp()
+	// Staging areas for generations that have since been committed are
+	// spent; uncommitted ones may be in-flight pulls and are kept.
+	s.sweepStagingLocked(0)
 	syncDir(s.dir)
 	return removed, nil
 }
